@@ -1,0 +1,122 @@
+// Ablation study: the contribution of each optimizer capability to VDM
+// query performance, measured on the JournalEntryItemBrowser workload.
+// Each row disables exactly one capability from the full (HANA) set.
+// Also contrasts on-the-fly evaluation against a static cached view
+// (SCV, §3) for an aggregate query.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+#include "vdm/jeib.h"
+#include "workload/s4.h"
+
+using namespace vdm;
+using bench::MedianMillis;
+using bench::Ms;
+using bench::TablePrinter;
+
+namespace {
+
+struct Ablation {
+  const char* name;
+  void (*apply)(OptimizerConfig*);
+};
+
+const Ablation kAblations[] = {
+    {"full (HANA profile)", [](OptimizerConfig*) {}},
+    {"- UAJ elimination",
+     [](OptimizerConfig* c) { c->uaj_elimination = false; }},
+    {"- projection pruning",
+     [](OptimizerConfig* c) { c->projection_pruning = false; }},
+    {"- keys through joins",
+     [](OptimizerConfig* c) { c->derivation.keys_through_joins = false; }},
+    {"- group-by keys",
+     [](OptimizerConfig* c) { c->derivation.groupby_keys = false; }},
+    {"- union-all keys",
+     [](OptimizerConfig* c) { c->derivation.keys_through_union_all = false; }},
+    {"- limit pushdown",
+     [](OptimizerConfig* c) { c->limit_pushdown_over_aj = false; }},
+    {"- filter pushdown",
+     [](OptimizerConfig* c) { c->filter_pushdown = false; }},
+    {"- aggregation pushdown",
+     [](OptimizerConfig* c) { c->agg_pushdown = false; }},
+    {"no optimizer at all", [](OptimizerConfig* c) {
+       *c = ConfigForProfile(SystemProfile::kNone);
+     }},
+};
+
+const char* kQueries[] = {
+    "select count(*) from journalentryitembrowser",
+    "select rbukrs, sum(hsl) as t from journalentryitembrowser "
+    "group by rbukrs",
+    "select belnr, customername from journalentryitembrowser limit 100",
+};
+
+}  // namespace
+
+int main() {
+  Database db;
+  S4Options options;
+  options.acdoca_rows = 50000;
+  VDM_CHECK(CreateS4Schema(&db, options).ok());
+  VDM_CHECK(LoadS4Data(&db, options).ok());
+  VDM_CHECK(BuildJournalEntryItemBrowser(&db).ok());
+
+  std::printf("== Ablation: per-capability contribution on the "
+              "JournalEntryItemBrowser workload ==\n\n");
+  TablePrinter table({"configuration", "count(*)", "group-by", "paging",
+                      "plan joins (count*)"});
+  for (const Ablation& ablation : kAblations) {
+    OptimizerConfig config = ConfigForProfile(SystemProfile::kHana);
+    ablation.apply(&config);
+    db.SetOptimizerConfig(config);
+    std::vector<std::string> row{ablation.name};
+    size_t joins = 0;
+    for (size_t q = 0; q < 3; ++q) {
+      Result<PlanRef> plan = db.PlanQuery(kQueries[q]);
+      VDM_CHECK(plan.ok());
+      if (q == 0) joins = ComputePlanStats(*plan).joins;
+      row.push_back(Ms(MedianMillis(
+          [&] {
+            Result<Chunk> r = db.ExecutePlan(*plan);
+            VDM_CHECK(r.ok());
+          },
+          3)));
+    }
+    row.push_back(std::to_string(joins));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  // --- SCV comparison (§3). ------------------------------------------------
+  std::printf("\n== Static cached view (SCV) vs on-the-fly ==\n");
+  db.SetProfile(SystemProfile::kHana);
+  VDM_CHECK(db.Execute("create view company_totals as "
+                       "select rbukrs, companyname, sum(hsl) as total "
+                       "from journalentryitembrowser "
+                       "group by rbukrs, companyname")
+                .ok());
+  std::string query = "select * from company_totals";
+  double live_ms = MedianMillis([&] {
+    Result<Chunk> r = db.Query(query);
+    VDM_CHECK(r.ok());
+  });
+  VDM_CHECK(db.MaterializeView("company_totals").ok());
+  double cached_ms = MedianMillis([&] {
+    Result<Chunk> r = db.Query(query);
+    VDM_CHECK(r.ok());
+  });
+  double refresh_ms = MedianMillis(
+      [&] { VDM_CHECK(db.RefreshMaterializedView("company_totals").ok()); },
+      3);
+  TablePrinter scv({"variant", "latency"});
+  scv.AddRow({"on-the-fly (real-time data)", Ms(live_ms)});
+  scv.AddRow({"SCV snapshot (stale until refresh)", Ms(cached_ms)});
+  scv.AddRow({"SCV refresh cost", Ms(refresh_ms)});
+  scv.Print();
+  std::printf(
+      "\nThe SCV trades freshness for latency — the paper's stated reason "
+      "HANA offers cached views next to on-the-fly VDM evaluation.\n");
+  return 0;
+}

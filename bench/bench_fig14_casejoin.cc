@@ -1,0 +1,111 @@
+// E7 — Paper Fig. 14: performance impact of the custom-fields extension
+// with and without the explicit case-join intent.
+//
+// Generates 100 synthetic VDM views (half draft/active-pattern), builds the
+// custom-field extension view for each, and measures the paging query
+// "select ... limit 10" on the original and on the extension view:
+//   (a) extension joins written as plain LEFT OUTER JOINs — recognition of
+//       the union-all ASJ without intent is fragile; draft-pattern views
+//       land far above the diagonal,
+//   (b) extension joins written as CASE JOINs — all points sit on the
+//       diagonal.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "vdm/generator.h"
+
+using namespace vdm;
+using bench::MedianMillis;
+
+namespace {
+
+struct Point {
+  std::string view;
+  bool draft;
+  double original_ms;
+  double extended_ms;
+};
+
+std::vector<Point> Measure(Database* db,
+                           std::vector<SyntheticViewSpec>* specs,
+                           bool use_case_join) {
+  std::vector<Point> points;
+  db->SetProfile(SystemProfile::kHana);
+  for (SyntheticViewSpec& spec : *specs) {
+    VDM_CHECK(ExtendSyntheticView(db, &spec, use_case_join).ok());
+    Result<PlanRef> original =
+        db->PlanQuery(SyntheticPagingQuery(spec, false));
+    Result<PlanRef> extended =
+        db->PlanQuery(SyntheticPagingQuery(spec, true));
+    VDM_CHECK(original.ok());
+    VDM_CHECK(extended.ok());
+    Point point;
+    point.view = spec.view_name;
+    point.draft = spec.draft_pattern;
+    point.original_ms = MedianMillis(
+        [&] {
+          Result<Chunk> r = db->ExecutePlan(*original);
+          VDM_CHECK(r.ok());
+        },
+        3);
+    point.extended_ms = MedianMillis(
+        [&] {
+          Result<Chunk> r = db->ExecutePlan(*extended);
+          VDM_CHECK(r.ok());
+        },
+        3);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+void Report(const char* title, const std::vector<Point>& points) {
+  std::printf("-- %s --\n", title);
+  std::printf("view          pattern  original    extended    ratio\n");
+  int on_diagonal = 0;
+  double worst = 0;
+  for (const Point& p : points) {
+    double ratio = p.extended_ms / p.original_ms;
+    worst = std::max(worst, ratio);
+    if (ratio < 3.0) ++on_diagonal;
+    std::printf("%-13s %-8s %9.3f   %9.3f   %6.1fx\n", p.view.c_str(),
+                p.draft ? "draft" : "plain", p.original_ms, p.extended_ms,
+                ratio);
+  }
+  std::printf(
+      "summary: %d/%zu views within 3x of the diagonal; worst ratio "
+      "%.1fx\n\n",
+      on_diagonal, points.size(), worst);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SyntheticVdmOptions options;
+  options.num_views = argc > 1 ? std::atoi(argv[1]) : 100;
+  options.base_rows = 100000;
+
+  Database db;
+  VDM_CHECK(CreateSyntheticVdmSchema(&db, options).ok());
+  VDM_CHECK(LoadSyntheticVdmData(&db, options).ok());
+  Result<std::vector<SyntheticViewSpec>> specs =
+      GenerateSyntheticViews(&db, options);
+  VDM_CHECK(specs.ok());
+
+  std::printf(
+      "== Fig. 14: custom-fields extension, %d views, paging query "
+      "\"select ... limit 10\" ==\n\n",
+      options.num_views);
+
+  std::vector<Point> without = Measure(&db, &*specs, false);
+  Report("(a) without case join (ASJ intent unknown)", without);
+  std::vector<Point> with = Measure(&db, &*specs, true);
+  Report("(b) with case join (ASJ intent declared)", with);
+
+  std::printf(
+      "Paper reference (Fig. 14): without the intent, unrecognized "
+      "extension views run orders of magnitude above the diagonal; with "
+      "the case join every view sits on the diagonal.\n");
+  return 0;
+}

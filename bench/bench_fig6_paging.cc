@@ -1,0 +1,60 @@
+// E6 — Paper §4.4 / Fig. 6: runtime impact of limit pushdown across an
+// augmentation join, swept over page sizes and data scales.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "workload/tpch.h"
+
+using namespace vdm;
+using bench::MedianMillis;
+using bench::Ms;
+using bench::TablePrinter;
+
+int main() {
+  std::printf("== Fig. 6: paging query latency, limit pushdown on/off ==\n");
+  std::printf(
+      "query: select o_orderkey, o_totalprice, c_name from orders "
+      "left join customer ... limit L offset 1\n\n");
+
+  for (double scale : {1.0, 4.0, 8.0}) {
+    Database db;
+    TpchOptions options;
+    options.scale = scale;
+    VDM_CHECK(CreateTpchSchema(&db, options).ok());
+    VDM_CHECK(LoadTpchData(&db, options).ok());
+
+    std::printf("-- scale %.0f (%.0fk orders) --\n", scale, 15 * scale);
+    TablePrinter table(
+        {"page size", "pushed (HANA)", "not pushed", "speedup"});
+    for (int64_t limit : {10, 100, 1000}) {
+      std::string sql = PagingQuerySql(limit, 1);
+      db.SetProfile(SystemProfile::kHana);
+      Result<PlanRef> pushed = db.PlanQuery(sql);
+      VDM_CHECK(pushed.ok());
+      double pushed_ms = MedianMillis([&] {
+        Result<Chunk> r = db.ExecutePlan(*pushed);
+        VDM_CHECK(r.ok());
+      });
+      db.SetProfile(SystemProfile::kPostgres);  // no limit-on-AJ
+      Result<PlanRef> unpushed = db.PlanQuery(sql);
+      VDM_CHECK(unpushed.ok());
+      double unpushed_ms = MedianMillis([&] {
+        Result<Chunk> r = db.ExecutePlan(*unpushed);
+        VDM_CHECK(r.ok());
+      });
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                    unpushed_ms / pushed_ms);
+      table.AddRow({std::to_string(limit), Ms(pushed_ms), Ms(unpushed_ms),
+                    speedup});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference: pushing the limit determines which side builds the "
+      "hash table; the pushed plan's cost is bounded by the page size, the "
+      "unpushed plan's by the table size.\n");
+  return 0;
+}

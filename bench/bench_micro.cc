@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks for the engine primitives: scan,
+// filter, hash join, aggregation, and the optimizer itself (the paper
+// §6.3 trades optimization time against execution time — this bench
+// quantifies our optimization time on both micro and VDM-scale plans).
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "vdm/jeib.h"
+#include "workload/s4.h"
+#include "workload/tpch.h"
+
+namespace vdm {
+namespace {
+
+Database* TpchDb() {
+  static Database* db = [] {
+    auto* instance = new Database();
+    TpchOptions options;
+    options.scale = 1.0;
+    VDM_CHECK(CreateTpchSchema(instance, options).ok());
+    VDM_CHECK(LoadTpchData(instance, options).ok());
+    return instance;
+  }();
+  return db;
+}
+
+Database* S4Db() {
+  static Database* db = [] {
+    auto* instance = new Database();
+    S4Options options;
+    options.acdoca_rows = 20000;
+    VDM_CHECK(CreateS4Schema(instance, options).ok());
+    VDM_CHECK(LoadS4Data(instance, options).ok());
+    VDM_CHECK(BuildJournalEntryItemBrowser(instance).ok());
+    return instance;
+  }();
+  return db;
+}
+
+void BM_ScanProjection(benchmark::State& state) {
+  Database* db = TpchDb();
+  Result<PlanRef> plan =
+      db->PlanQuery("select l_orderkey, l_extendedprice from lineitem");
+  VDM_CHECK(plan.ok());
+  for (auto _ : state) {
+    Result<Chunk> r = db->ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+}
+BENCHMARK(BM_ScanProjection);
+
+void BM_FilterScan(benchmark::State& state) {
+  Database* db = TpchDb();
+  Result<PlanRef> plan = db->PlanQuery(
+      "select l_orderkey from lineitem where l_quantity > 25");
+  VDM_CHECK(plan.ok());
+  for (auto _ : state) {
+    Result<Chunk> r = db->ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+}
+BENCHMARK(BM_FilterScan);
+
+void BM_HashJoin(benchmark::State& state) {
+  Database* db = TpchDb();
+  Result<PlanRef> plan = db->PlanQuery(
+      "select o.o_orderkey, c.c_name from orders o "
+      "join customer c on o.o_custkey = c.c_custkey");
+  VDM_CHECK(plan.ok());
+  for (auto _ : state) {
+    Result<Chunk> r = db->ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_HashAggregate(benchmark::State& state) {
+  Database* db = TpchDb();
+  Result<PlanRef> plan = db->PlanQuery(
+      "select l_orderkey, sum(l_extendedprice) as s from lineitem "
+      "group by l_orderkey");
+  VDM_CHECK(plan.ok());
+  for (auto _ : state) {
+    Result<Chunk> r = db->ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+}
+BENCHMARK(BM_HashAggregate);
+
+void BM_OptimizeUajQuery(benchmark::State& state) {
+  Database* db = TpchDb();
+  Result<PlanRef> bound = db->BindQuery(UajQuerySql(UajQuery::kUaj2a));
+  VDM_CHECK(bound.ok());
+  db->SetProfile(SystemProfile::kHana);
+  for (auto _ : state) {
+    PlanRef optimized = db->OptimizePlan(*bound);
+    benchmark::DoNotOptimize(optimized.get());
+  }
+}
+BENCHMARK(BM_OptimizeUajQuery);
+
+void BM_BindJeib(benchmark::State& state) {
+  Database* db = S4Db();
+  for (auto _ : state) {
+    Result<PlanRef> bound =
+        db->BindQuery("select count(*) from journalentryitembrowser");
+    benchmark::DoNotOptimize(bound->get());
+  }
+}
+BENCHMARK(BM_BindJeib);
+
+void BM_OptimizeJeibCountStar(benchmark::State& state) {
+  Database* db = S4Db();
+  Result<PlanRef> bound =
+      db->BindQuery("select count(*) from journalentryitembrowser");
+  VDM_CHECK(bound.ok());
+  db->SetProfile(SystemProfile::kHana);
+  for (auto _ : state) {
+    PlanRef optimized = db->OptimizePlan(*bound);
+    benchmark::DoNotOptimize(optimized.get());
+  }
+}
+BENCHMARK(BM_OptimizeJeibCountStar);
+
+}  // namespace
+}  // namespace vdm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// E10 — Paper §7.3: declared join cardinality vs. enforced uniqueness
+// constraints.
+//
+// Measures (1) the insert-path cost of enforcing a unique constraint vs.
+// declaring it, (2) that the declared cardinality yields the same UAJ
+// elimination as the enforced constraint, and (3) the cost of the
+// verification tool that checks a declared cardinality against the data.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+
+using namespace vdm;
+using bench::MedianMillis;
+using bench::Ms;
+using bench::TablePrinter;
+
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+double LoadTable(Database* db, const char* table, bool enforce) {
+  Table* t = db->storage().FindTable(table);
+  VDM_CHECK(t != nullptr);
+  t->SetEnforceConstraints(enforce);
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < kRows; ++i) {
+    Status appended = t->AppendRow(
+        {Value::Int64(i), Value::String("N" + std::to_string(i)),
+         Value::Int64(i % 97)});
+    VDM_CHECK(appended.ok());
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  VDM_CHECK(db.Execute("create table dim_enforced ("
+                       "k int primary key, name varchar, grp int)")
+                .ok());
+  VDM_CHECK(db.Execute("create table dim_declared ("
+                       "k int, name varchar, grp int, "
+                       "unique (k) not enforced)")
+                .ok());
+  // No constraint at all: uniqueness of k is known only to the developer.
+  VDM_CHECK(db.Execute("create table dim_plain ("
+                       "k int, name varchar, grp int)")
+                .ok());
+  VDM_CHECK(db.Execute("create table facts ("
+                       "f int primary key, k int not null)")
+                .ok());
+  for (int64_t i = 0; i < 1000; ++i) {
+    VDM_CHECK(
+        db.Insert("facts", {{Value::Int64(i), Value::Int64(i % kRows)}})
+            .ok());
+  }
+
+  std::printf("== §7.3: declared join cardinality ==\n\n");
+
+  // (1) Insert-path overhead of enforcement.
+  double enforced_ms = LoadTable(&db, "dim_enforced", /*enforce=*/true);
+  double declared_ms = LoadTable(&db, "dim_declared", /*enforce=*/false);
+  TablePrinter inserts({"variant", "insert 200k rows", "relative"});
+  char rel[32];
+  std::snprintf(rel, sizeof(rel), "%.2fx", enforced_ms / declared_ms);
+  inserts.AddRow({"enforced UNIQUE (index maintained)", Ms(enforced_ms), rel});
+  inserts.AddRow({"declared UNIQUE (not enforced)", Ms(declared_ms), "1.00x"});
+  inserts.Print();
+
+  // (2) Both forms enable the same UAJ elimination.
+  db.SetProfile(SystemProfile::kHana);
+  for (const char* dim : {"dim_enforced", "dim_declared"}) {
+    std::string sql = std::string(
+                          "select f.f from facts f left join ") +
+                      dim + " d on f.k = d.k";
+    Result<PlanRef> plan = db.PlanQuery(sql);
+    VDM_CHECK(plan.ok());
+    std::printf("\nUAJ elimination with %-13s : joins in plan = %zu\n", dim,
+                ComputePlanStats(*plan).joins);
+  }
+  // The declared-cardinality join syntax works even with no table-level
+  // declaration at all (the developer asserts f.k = d.k matches at most
+  // one row; the verifier below confirms it against the data).
+  LoadTable(&db, "dim_plain", /*enforce=*/false);
+  Result<PlanRef> spec_plan = db.PlanQuery(
+      "select f.f from facts f "
+      "left outer many to one join "
+      "(select k, name from dim_plain) d on f.k = d.k");
+  VDM_CHECK(spec_plan.ok());
+  std::printf("UAJ elimination via join-level spec : joins in plan = %zu\n",
+              ComputePlanStats(*spec_plan).joins);
+
+  // (3) The verification tool (trust, but verify).
+  double verify_ms = MedianMillis([&] {
+    Result<bool> unique = db.VerifyDeclaredUnique("dim_declared", {"k"});
+    VDM_CHECK(unique.ok());
+    VDM_CHECK(*unique);
+  });
+  std::printf("\nverification tool over 200k rows: %s (result: unique)\n",
+              Ms(verify_ms).c_str());
+  Result<bool> bad = db.VerifyDeclaredUnique("dim_declared", {"grp"});
+  VDM_CHECK(bad.ok());
+  std::printf("verification of a non-unique column correctly fails: %s\n",
+              *bad ? "unique?!" : "not unique");
+  std::printf(
+      "\nPaper reference (§7.3): declared cardinalities give the optimizer "
+      "the same leverage as uniqueness constraints without the index "
+      "maintenance overhead; a tool verifies declarations against data.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E2 — Paper Table 2 / Fig. 6: limit pushdown across an augmentation join.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+#include "workload/tpch.h"
+
+using namespace vdm;
+using bench::MedianMillis;
+using bench::Ms;
+using bench::TablePrinter;
+
+namespace {
+
+bool LimitBelowJoin(const PlanRef& plan, bool below_join = false) {
+  if (plan->kind() == OpKind::kLimit && below_join) return true;
+  bool next = below_join || plan->kind() == OpKind::kJoin;
+  for (const PlanRef& child : plan->children()) {
+    if (LimitBelowJoin(child, next)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  TpchOptions options;
+  options.scale = 4.0;  // make the unpushed hash build clearly visible
+  VDM_CHECK(CreateTpchSchema(&db, options).ok());
+  VDM_CHECK(LoadTpchData(&db, options).ok());
+
+  std::string sql = PagingQuerySql(100, 1);
+  std::printf("== Table 2: Limit-on-AJ Optimization Status ==\n");
+  std::printf("query: %s\n\n", sql.c_str());
+
+  TablePrinter table({"", "HANA", "Postgres", "System X", "System Y",
+                      "System Z"});
+  std::vector<std::string> status{"Fig. 6"};
+  std::vector<std::string> timing{"latency"};
+  for (SystemProfile profile :
+       {SystemProfile::kHana, SystemProfile::kPostgres,
+        SystemProfile::kSystemX, SystemProfile::kSystemY,
+        SystemProfile::kSystemZ}) {
+    db.SetProfile(profile);
+    Result<PlanRef> plan = db.PlanQuery(sql);
+    VDM_CHECK(plan.ok());
+    status.push_back(LimitBelowJoin(*plan) ? "Y" : "-");
+    timing.push_back(Ms(MedianMillis([&] {
+      Result<Chunk> r = db.ExecutePlan(*plan);
+      VDM_CHECK(r.ok());
+    })));
+  }
+  table.AddRow(std::move(status));
+  table.AddRow(std::move(timing));
+  table.Print();
+
+  // Row-flow evidence: the pushed plan probes 101 anchor rows instead of
+  // the whole orders table.
+  std::printf("\nRow flow (probe-side rows through the join):\n");
+  for (SystemProfile profile :
+       {SystemProfile::kHana, SystemProfile::kPostgres}) {
+    db.SetProfile(profile);
+    Result<PlanRef> plan = db.PlanQuery(sql);
+    VDM_CHECK(plan.ok());
+    ExecMetrics metrics;
+    Result<Chunk> r = db.ExecutePlan(*plan, &metrics);
+    VDM_CHECK(r.ok());
+    std::printf("  %-10s probe rows = %-8llu build rows = %llu\n",
+                ProfileName(profile).c_str(),
+                static_cast<unsigned long long>(metrics.rows_probe_input),
+                static_cast<unsigned long long>(metrics.rows_build_input));
+  }
+  std::printf(
+      "\nPaper reference (Table 2): only SAP HANA pushes the limit below "
+      "the augmentation join.\n");
+  return 0;
+}

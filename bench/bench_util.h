@@ -1,0 +1,82 @@
+// Shared helpers for the reproduction benchmarks: wall-clock timing with
+// warmup + median-of-N, and tabular output matching the paper's tables.
+#ifndef VDMQO_BENCH_BENCH_UTIL_H_
+#define VDMQO_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vdm::bench {
+
+/// Median wall-clock milliseconds over `runs` executions (after one
+/// warmup run).
+inline double MedianMillis(const std::function<void()>& fn, int runs = 5) {
+  fn();  // warmup
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    VDM_CHECK(row.size() == headers_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  return buf;
+}
+
+}  // namespace vdm::bench
+
+#endif  // VDMQO_BENCH_BENCH_UTIL_H_

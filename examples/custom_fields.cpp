@@ -1,0 +1,89 @@
+// The custom-fields extension story (paper §5 and §6.3).
+//
+// A customer extends an application table with a custom field; the
+// SAP-managed consumption view must expose it without redefining the
+// interim view stack. The upgrade-safe pattern is an augmentation
+// self-join (ASJ) — and for draft-enabled documents the augmenter is a
+// UNION ALL of the active and draft tables, which needs the explicit
+// `case join` intent to optimize.
+#include <cstdio>
+
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+#include "vdm/generator.h"
+
+using namespace vdm;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void ShowPlans(Database* db, const SyntheticViewSpec& spec) {
+  Result<PlanRef> original =
+      db->PlanQuery(SyntheticPagingQuery(spec, /*extended=*/false));
+  Result<PlanRef> extended =
+      db->PlanQuery(SyntheticPagingQuery(spec, /*extended=*/true));
+  PlanStats orig_stats = ComputePlanStats(Check(std::move(original)));
+  PlanStats ext_stats = ComputePlanStats(Check(std::move(extended)));
+  std::printf("  original view : %zu joins, %zu table scans\n",
+              orig_stats.joins, orig_stats.table_instances);
+  std::printf("  extended view : %zu joins, %zu table scans %s\n",
+              ext_stats.joins, ext_stats.table_instances,
+              ext_stats.joins == orig_stats.joins
+                  ? "(self-join optimized away)"
+                  : "(self-join NOT removed)");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  SyntheticVdmOptions options;
+  options.num_views = 6;
+  options.base_tables = 3;
+  options.base_rows = 20000;
+  if (!CreateSyntheticVdmSchema(&db, options).ok() ||
+      !LoadSyntheticVdmData(&db, options).ok()) {
+    std::fprintf(stderr, "schema setup failed\n");
+    return 1;
+  }
+  std::vector<SyntheticViewSpec> specs =
+      Check(GenerateSyntheticViews(&db, options));
+
+  // Pick one plain view and one draft/active view.
+  SyntheticViewSpec* plain = nullptr;
+  SyntheticViewSpec* draft = nullptr;
+  for (SyntheticViewSpec& spec : specs) {
+    if (spec.draft_pattern && draft == nullptr) draft = &spec;
+    if (!spec.draft_pattern && plain == nullptr) plain = &spec;
+  }
+  VDM_CHECK(plain != nullptr && draft != nullptr);
+
+  std::printf("== plain document view: %s ==\n", plain->view_name.c_str());
+  std::printf(
+      "extension = LEFT OUTER JOIN with the base table on its key\n");
+  VDM_CHECK(ExtendSyntheticView(&db, plain, /*use_case_join=*/false).ok());
+  ShowPlans(&db, *plain);
+
+  std::printf("\n== draft-enabled view: %s ==\n", draft->view_name.c_str());
+  std::printf("the base is Active UNION ALL Draft; first without intent:\n");
+  VDM_CHECK(ExtendSyntheticView(&db, draft, /*use_case_join=*/false).ok());
+  ShowPlans(&db, *draft);
+
+  std::printf("\nnow with the explicit `case join` (paper §6.3):\n");
+  VDM_CHECK(ExtendSyntheticView(&db, draft, /*use_case_join=*/true).ok());
+  ShowPlans(&db, *draft);
+
+  // The custom field really is served from the anchor-side scan.
+  Chunk rows = Check(db.Query(SyntheticPagingQuery(*draft, true, 5)));
+  std::printf("\nfirst rows of the extended draft view:\n%s",
+              rows.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Embedded analytics over the JournalEntryItemBrowser stack (paper §3):
+// financial line-item analysis directly on transactional tables, through
+// the full VDM view hierarchy, with record-wise data access control.
+#include <cstdio>
+
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+#include "vdm/jeib.h"
+#include "workload/s4.h"
+
+using namespace vdm;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  S4Options options;
+  options.acdoca_rows = 50000;
+  if (!CreateS4Schema(&db, options).ok() || !LoadS4Data(&db, options).ok() ||
+      !BuildJournalEntryItemBrowser(&db).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  Result<PlanRef> raw = db.BindQuery("select * from journalentryitembrowser");
+  std::printf(
+      "JournalEntryItemBrowser raw plan: %s\n\n",
+      ComputePlanStats(Check(std::move(raw))).ToString().c_str());
+
+  struct Example {
+    const char* title;
+    const char* sql;
+  } queries[] = {
+      {"company totals (real-time, no ETL)",
+       "select rbukrs, companyname, sum(hsl) as total, count(*) as lines "
+       "from journalentryitembrowser "
+       "group by rbukrs, companyname order by total desc limit 5"},
+      {"spending by supplier country",
+       "select suppliercountryname, sum(hsl) as total "
+       "from journalentryitembrowser "
+       "where lifnr is not null "
+       "group by suppliercountryname order by total desc limit 5"},
+      {"documents above average (per-document totals from the "
+       "GROUP BY augmenter)",
+       "select belnr, documenttotal, documentlines "
+       "from journalentryitembrowser "
+       "where documentlines > 5 limit 5"},
+      {"ledger / fiscal-year matrix",
+       "select ledgername, gjahr, count(*) as n "
+       "from journalentryitembrowser group by ledgername, gjahr "
+       "order by ledgername, gjahr limit 10"},
+  };
+
+  for (const Example& example : queries) {
+    Result<PlanRef> plan = db.PlanQuery(example.sql);
+    PlanStats stats = ComputePlanStats(Check(std::move(plan)));
+    Chunk rows = Check(db.Query(example.sql));
+    std::printf("-- %s\n   %s\n", example.title, example.sql);
+    std::printf("   [plan after optimization: %zu joins, %zu scans]\n",
+                stats.joins, stats.table_instances);
+    std::printf("%s\n", rows.ToString(6).c_str());
+  }
+
+  std::printf(
+      "note: every query above runs through the 30-join consumption view;\n"
+      "the optimizer keeps only the joins each query (and the DAC filter)\n"
+      "actually needs.\n");
+  return 0;
+}

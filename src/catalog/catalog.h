@@ -1,0 +1,130 @@
+// The catalog: metadata registry for tables, views, and expression macros.
+//
+// Views model the paper's VDM artifacts: each view carries its defining SQL
+// text, its VDM layer (basic / composite / consumption, §2.3), optional
+// expression macros (§7.2), and an optional data-access-control predicate
+// that the binder injects on top of the view when it is queried (§3).
+//
+// The catalog stores metadata only; row data lives in storage::StorageManager.
+#ifndef VDMQO_CATALOG_CATALOG_H_
+#define VDMQO_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace vdm {
+
+class LogicalOp;  // defined in plan/logical_plan.h
+
+/// VDM layering (paper Fig. 2). kPlain marks non-VDM views.
+enum class VdmLayer {
+  kPlain = 0,
+  kBasic,
+  kComposite,
+  kConsumption,
+};
+
+/// A named calculation formula over aggregates, attached to a view
+/// (paper §7.2, "expression macros"). The body is SQL expression text that
+/// the binder expands at the aggregation site referencing the macro.
+struct ExpressionMacro {
+  std::string name;
+  std::string body_sql;
+};
+
+/// A CDS-style association (§2.3): a named, to-one link from a view to
+/// another view or table. Queries use path notation — `v.assoc.column` —
+/// and the binder injects the corresponding many-to-one LEFT OUTER join
+/// on demand ("an easy and convenient way to join a view and project
+/// columns from it"). In the ON condition, target columns are written
+/// `<name>.<column>` and source columns bare.
+struct AssociationDef {
+  std::string name;
+  std::string target;  // view or table name
+  std::string condition_sql;
+};
+
+struct ViewDef {
+  std::string name;
+  /// Defining query; parsed and inlined by the binder on every reference.
+  std::string sql;
+  VdmLayer layer = VdmLayer::kPlain;
+  std::vector<ExpressionMacro> macros;
+  std::vector<AssociationDef> associations;
+  /// Optional record-wise data access control filter (SQL boolean
+  /// expression over the view's output columns). Injected per query.
+  std::string dac_filter_sql;
+  /// Pre-bound plan for programmatically constructed views (bypasses the
+  /// parser). If set, takes precedence over `sql`.
+  std::shared_ptr<const LogicalOp> bound_plan;
+  /// Cached views (§3): when materialized_table is non-empty, queries
+  /// against this view read the named snapshot table instead of inlining
+  /// the definition. kStatic snapshots are refreshed explicitly (SCV);
+  /// kDynamic snapshots are kept up to date automatically (DCV) by
+  /// checking the recorded base-table versions on access.
+  enum class CacheMode { kStatic, kDynamic };
+  std::string materialized_table;
+  CacheMode cache_mode = CacheMode::kStatic;
+  /// Base tables the snapshot was computed from, with their versions.
+  std::vector<std::pair<std::string, uint64_t>> snapshot_dependencies;
+
+  const ExpressionMacro* FindMacro(const std::string& macro_name) const;
+  const AssociationDef* FindAssociation(const std::string& assoc_name) const;
+};
+
+/// Basic per-table statistics for cost-based decisions (join ordering,
+/// build-side selection). Collected by Database::AnalyzeTables().
+struct TableStats {
+  uint64_t row_count = 0;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  // The catalog is referenced throughout; avoid accidental copies.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status RegisterTable(TableSchema schema);
+  Status RegisterView(ViewDef view);
+  /// Replaces an existing view (used by the custom-fields extension, §5,
+  /// which redefines the consumption view while keeping interim views).
+  Status ReplaceView(ViewDef view);
+  Status DropView(const std::string& name);
+  Status DropTable(const std::string& name);
+
+  const TableSchema* FindTable(const std::string& name) const;
+  const ViewDef* FindView(const std::string& name) const;
+  bool Exists(const std::string& name) const {
+    return FindTable(name) != nullptr || FindView(name) != nullptr;
+  }
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  void SetTableStats(const std::string& name, TableStats stats) {
+    stats_[ToLowerKey(name)] = stats;
+  }
+  /// Stats for a table, or nullptr when never analyzed.
+  const TableStats* FindTableStats(const std::string& name) const {
+    auto it = stats_.find(ToLowerKey(name));
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  static std::string ToLowerKey(const std::string& name);
+
+  // Keyed by lower-cased name (SQL identifiers are case-insensitive here).
+  std::map<std::string, TableSchema> tables_;
+  std::map<std::string, ViewDef> views_;
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_CATALOG_CATALOG_H_

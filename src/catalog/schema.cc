@@ -1,0 +1,103 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+TableSchema& TableSchema::SetPrimaryKey(std::vector<std::string> columns) {
+  UniqueKeyDef key;
+  key.columns = std::move(columns);
+  key.is_primary = true;
+  key.enforced = true;
+  // Primary key columns are implicitly NOT NULL.
+  for (const std::string& kc : key.columns) {
+    int idx = FindColumn(kc);
+    if (idx >= 0) columns_[static_cast<size_t>(idx)].nullable = false;
+  }
+  unique_keys_.insert(unique_keys_.begin(), std::move(key));
+  return *this;
+}
+
+TableSchema& TableSchema::AddUniqueKey(std::vector<std::string> columns) {
+  UniqueKeyDef key;
+  key.columns = std::move(columns);
+  unique_keys_.push_back(std::move(key));
+  return *this;
+}
+
+TableSchema& TableSchema::AddDeclaredUniqueKey(
+    std::vector<std::string> columns) {
+  UniqueKeyDef key;
+  key.columns = std::move(columns);
+  key.enforced = false;
+  unique_keys_.push_back(std::move(key));
+  return *this;
+}
+
+TableSchema& TableSchema::AddForeignKey(
+    std::vector<std::string> columns, std::string referenced_table,
+    std::vector<std::string> referenced_columns) {
+  ForeignKeyDef fk;
+  fk.columns = std::move(columns);
+  fk.referenced_table = std::move(referenced_table);
+  fk.referenced_columns = std::move(referenced_columns);
+  foreign_keys_.push_back(std::move(fk));
+  return *this;
+}
+
+int TableSchema::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, column_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<std::string> TableSchema::PrimaryKey() const {
+  for (const UniqueKeyDef& key : unique_keys_) {
+    if (key.is_primary) return key.columns;
+  }
+  return {};
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("table has no name");
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table " + name_ + " has no columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (EqualsIgnoreCase(columns_[i].name, columns_[j].name)) {
+        return Status::InvalidArgument("duplicate column " + columns_[i].name +
+                                       " in table " + name_);
+      }
+    }
+  }
+  for (const UniqueKeyDef& key : unique_keys_) {
+    if (key.columns.empty()) {
+      return Status::InvalidArgument("empty unique key in table " + name_);
+    }
+    for (const std::string& kc : key.columns) {
+      if (FindColumn(kc) < 0) {
+        return Status::InvalidArgument("unique key column " + kc +
+                                       " not in table " + name_);
+      }
+    }
+  }
+  for (const ForeignKeyDef& fk : foreign_keys_) {
+    if (fk.columns.size() != fk.referenced_columns.size()) {
+      return Status::InvalidArgument("foreign key arity mismatch in table " +
+                                     name_);
+    }
+    for (const std::string& kc : fk.columns) {
+      if (FindColumn(kc) < 0) {
+        return Status::InvalidArgument("foreign key column " + kc +
+                                       " not in table " + name_);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vdm

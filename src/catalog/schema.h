@@ -1,0 +1,96 @@
+// Table schemas: column definitions, primary keys, unique constraints,
+// foreign keys, and declared join-cardinality metadata.
+//
+// Note the paper's §4.5 / §7.3 observations: SAP applications avoid foreign
+// key and uniqueness constraints, relying on declared (unenforced) join
+// cardinalities instead. The catalog therefore distinguishes *enforced*
+// constraints from *declared* ones; the optimizer trusts both, and the
+// CardinalityVerifier tool (engine/) validates declared ones against data.
+#ifndef VDMQO_CATALOG_SCHEMA_H_
+#define VDMQO_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/type.h"
+
+namespace vdm {
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+
+  ColumnDef() = default;
+  ColumnDef(std::string column_name, DataType column_type,
+            bool is_nullable = true)
+      : name(std::move(column_name)),
+        type(column_type),
+        nullable(is_nullable) {}
+};
+
+/// A uniqueness declaration over one or more columns.
+struct UniqueKeyDef {
+  std::vector<std::string> columns;
+  bool is_primary = false;
+  /// Enforced keys are validated on insert; declared keys are trusted
+  /// (paper §7.3: cardinality specifications without index overhead).
+  bool enforced = true;
+};
+
+struct ForeignKeyDef {
+  std::vector<std::string> columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  TableSchema& AddColumn(std::string column_name, DataType type,
+                         bool nullable = true) {
+    columns_.emplace_back(std::move(column_name), type, nullable);
+    return *this;
+  }
+  /// Declares the primary key (unique + not null, enforced).
+  TableSchema& SetPrimaryKey(std::vector<std::string> columns);
+  /// Declares an enforced unique constraint.
+  TableSchema& AddUniqueKey(std::vector<std::string> columns);
+  /// Declares a trusted-but-unenforced unique key (paper §7.3).
+  TableSchema& AddDeclaredUniqueKey(std::vector<std::string> columns);
+  TableSchema& AddForeignKey(std::vector<std::string> columns,
+                             std::string referenced_table,
+                             std::vector<std::string> referenced_columns);
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const std::vector<UniqueKeyDef>& unique_keys() const { return unique_keys_; }
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  size_t NumColumns() const { return columns_.size(); }
+  /// Column index by (case-insensitive) name, or -1.
+  int FindColumn(const std::string& column_name) const;
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// The primary key columns, or empty if none declared.
+  std::vector<std::string> PrimaryKey() const;
+
+  /// Validates internal consistency (key columns exist, etc.).
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<UniqueKeyDef> unique_keys_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_CATALOG_SCHEMA_H_

@@ -1,0 +1,26 @@
+// Internal invariant checks. VDM_DCHECK compiles away in release builds;
+// VDM_CHECK always fires. Use for programmer errors, not user input.
+#ifndef VDMQO_COMMON_MACROS_H_
+#define VDMQO_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define VDM_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VDM_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define VDM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define VDM_DCHECK(cond) VDM_CHECK(cond)
+#endif
+
+#endif  // VDMQO_COMMON_MACROS_H_

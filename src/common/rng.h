@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generator for data generation.
+// All workload generators are seeded so benchmark runs are reproducible.
+#ifndef VDMQO_COMMON_RNG_H_
+#define VDMQO_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace vdm {
+
+/// SplitMix64-based PRNG: tiny, fast, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    VDM_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with the given probability.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random fixed-length uppercase string, e.g. for names and codes.
+  std::string NextString(size_t length) {
+    std::string out(length, 'A');
+    for (char& c : out) c = static_cast<char>('A' + (Next() % 26));
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_COMMON_RNG_H_

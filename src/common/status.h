@@ -1,0 +1,144 @@
+// Status and Result<T>: error handling without exceptions, in the style of
+// Apache Arrow / RocksDB. Core library code returns Status (or Result<T>)
+// rather than throwing; callers must check before using a Result's value.
+#ifndef VDMQO_COMMON_STATUS_H_
+#define VDMQO_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vdm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kTypeError,
+  kExecutionError,
+  kNotImplemented,
+  kConstraintViolation,
+  kInternal,
+};
+
+/// Operation outcome: OK or an error code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Check ok() before value().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value if ok, otherwise the given default.
+  T ValueOr(T default_value) const {
+    return ok() ? *value_ : std::move(default_value);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Result accessed with error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors from expressions returning Status.
+#define VDM_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::vdm::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+// Evaluate a Result-returning expression, binding the value or propagating
+// the error. Usage: VDM_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define VDM_CONCAT_IMPL(a, b) a##b
+#define VDM_CONCAT(a, b) VDM_CONCAT_IMPL(a, b)
+#define VDM_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto VDM_CONCAT(_result_, __LINE__) = (rexpr);                \
+  if (!VDM_CONCAT(_result_, __LINE__).ok())                     \
+    return VDM_CONCAT(_result_, __LINE__).status();             \
+  lhs = std::move(VDM_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace vdm
+
+#endif  // VDMQO_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef VDMQO_COMMON_STRING_UTIL_H_
+#define VDMQO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdm {
+
+/// Lower-cases ASCII characters; used for case-insensitive SQL identifiers.
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins the elements with the separator, e.g. Join({"a","b"}, ", ").
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits on the separator character, keeping empty parts.
+std::vector<std::string> Split(std::string_view s, char separator);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace vdm
+
+#endif  // VDMQO_COMMON_STRING_UTIL_H_

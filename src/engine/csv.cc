@@ -1,0 +1,237 @@
+#include "engine/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+#include "types/date_util.h"
+
+namespace vdm {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> CoerceCsvValue(const std::string& field,
+                             const DataType& type) {
+  if (field.empty()) return Value::Null();
+  switch (type.id) {
+    case TypeId::kBool: {
+      if (EqualsIgnoreCase(field, "true") || field == "1") {
+        return Value::Bool(true);
+      }
+      if (EqualsIgnoreCase(field, "false") || field == "0") {
+        return Value::Bool(false);
+      }
+      return Status::InvalidArgument("bad bool in CSV: " + field);
+    }
+    case TypeId::kDate: {
+      std::optional<int64_t> days = ParseDate(field);
+      if (days.has_value()) return Value::Date(*days);
+      // Fall through to integer parsing (days since epoch).
+      try {
+        size_t consumed = 0;
+        int64_t v = std::stoll(field, &consumed);
+        if (consumed != field.size()) {
+          return Status::InvalidArgument("bad date in CSV: " + field);
+        }
+        return Value::Date(v);
+      } catch (...) {
+        return Status::InvalidArgument("bad date in CSV: " + field);
+      }
+    }
+    case TypeId::kInt64: {
+      try {
+        size_t consumed = 0;
+        int64_t v = std::stoll(field, &consumed);
+        if (consumed != field.size()) {
+          return Status::InvalidArgument("bad integer in CSV: " + field);
+        }
+        return Value::Int64(v);
+      } catch (...) {
+        return Status::InvalidArgument("bad integer in CSV: " + field);
+      }
+    }
+    case TypeId::kDouble: {
+      try {
+        size_t consumed = 0;
+        double v = std::stod(field, &consumed);
+        if (consumed != field.size()) {
+          return Status::InvalidArgument("bad double in CSV: " + field);
+        }
+        return Value::Double(v);
+      } catch (...) {
+        return Status::InvalidArgument("bad double in CSV: " + field);
+      }
+    }
+    case TypeId::kDecimal: {
+      // Parse as sign, digits, optional fraction; rescale to the column.
+      size_t i = 0;
+      bool negative = false;
+      if (i < field.size() && (field[i] == '-' || field[i] == '+')) {
+        negative = field[i] == '-';
+        ++i;
+      }
+      int64_t unscaled = 0;
+      uint8_t scale = 0;
+      bool seen_dot = false, seen_digit = false;
+      for (; i < field.size(); ++i) {
+        char c = field[i];
+        if (c == '.') {
+          if (seen_dot) {
+            return Status::InvalidArgument("bad decimal in CSV: " + field);
+          }
+          seen_dot = true;
+          continue;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::InvalidArgument("bad decimal in CSV: " + field);
+        }
+        seen_digit = true;
+        unscaled = unscaled * 10 + (c - '0');
+        if (seen_dot) ++scale;
+      }
+      if (!seen_digit) {
+        return Status::InvalidArgument("bad decimal in CSV: " + field);
+      }
+      if (negative) unscaled = -unscaled;
+      // RoundUnscaled also handles upscaling when scale < type.scale.
+      return Value::Decimal(RoundUnscaled(unscaled, scale, type.scale),
+                            type.scale);
+    }
+    case TypeId::kString:
+      return Value::String(field);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<size_t> ImportCsv(Database* db, const std::string& table,
+                         const std::string& path) {
+  const TableSchema* schema = db->catalog().FindTable(table);
+  if (schema == nullptr) return Status::NotFound("unknown table: " + table);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::InvalidArgument("cannot open file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  VDM_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
+  std::vector<size_t> positions;
+  for (const std::string& column : header) {
+    int idx = schema->FindColumn(column);
+    if (idx < 0) {
+      return Status::InvalidArgument("CSV column " + column +
+                                     " not in table " + table);
+    }
+    positions.push_back(static_cast<size_t>(idx));
+  }
+  std::vector<std::vector<Value>> rows;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    VDM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseCsvLine(line));
+    if (fields.size() != positions.size()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV line %zu has %zu fields, expected %zu", line_number,
+                    fields.size(), positions.size()));
+    }
+    std::vector<Value> row(schema->NumColumns(), Value::Null());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      Result<Value> value =
+          CoerceCsvValue(fields[i], schema->column(positions[i]).type);
+      if (!value.ok()) {
+        return Status(value.status().code(),
+                      StrFormat("line %zu: %s", line_number,
+                                value.status().message().c_str()));
+      }
+      row[positions[i]] = std::move(value).value();
+    }
+    rows.push_back(std::move(row));
+  }
+  VDM_RETURN_NOT_OK(db->Insert(table, rows));
+  return rows.size();
+}
+
+Status ExportCsv(const Chunk& chunk, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open file for write: " + path);
+  }
+  auto quote = [](const std::string& s) {
+    bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted += "\"";
+    return quoted;
+  };
+  for (size_t c = 0; c < chunk.NumColumns(); ++c) {
+    if (c > 0) out << ",";
+    out << quote(chunk.names[c]);
+  }
+  out << "\n";
+  for (size_t r = 0; r < chunk.NumRows(); ++r) {
+    for (size_t c = 0; c < chunk.NumColumns(); ++c) {
+      if (c > 0) out << ",";
+      if (!chunk.columns[c].IsNull(r)) {
+        out << quote(chunk.columns[c].GetValue(r).ToString());
+      }
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace vdm

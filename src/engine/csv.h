@@ -1,0 +1,29 @@
+// Minimal CSV import/export for the engine: header row, comma separator,
+// double-quote quoting. Values are coerced to the target table's column
+// types; empty unquoted fields import as NULL.
+#ifndef VDMQO_ENGINE_CSV_H_
+#define VDMQO_ENGINE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdm {
+
+/// Appends the file's rows to an existing table. The header row must name
+/// a subset of the table's columns (case-insensitive); unnamed columns
+/// are filled with NULL. Returns the number of imported rows.
+Result<size_t> ImportCsv(Database* db, const std::string& table,
+                         const std::string& path);
+
+/// Writes a result chunk as CSV (with header).
+Status ExportCsv(const Chunk& chunk, const std::string& path);
+
+/// Parsing helpers, exposed for testing. Empty fields import as NULL.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+Result<Value> CoerceCsvValue(const std::string& field, const DataType& type);
+
+}  // namespace vdm
+
+#endif  // VDMQO_ENGINE_CSV_H_

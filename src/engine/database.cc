@@ -1,0 +1,305 @@
+#include "engine/database.h"
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+#include "expr/fold.h"
+#include "plan/plan_printer.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace vdm {
+
+Result<Chunk> Database::Execute(const std::string& sql) {
+  VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return Query(sql);
+    case Statement::Kind::kCreateTable: {
+      VDM_RETURN_NOT_OK(catalog_.RegisterTable(stmt.create_table->schema));
+      VDM_RETURN_NOT_OK(storage_.CreateTable(stmt.create_table->schema));
+      return Chunk{};
+    }
+    case Statement::Kind::kCreateView: {
+      ViewDef view;
+      view.name = stmt.create_view->name;
+      view.sql = stmt.create_view->select_sql;
+      view.macros = stmt.create_view->macros;
+      view.associations = stmt.create_view->associations;
+      // Validate the view definition binds cleanly now, not at first use.
+      Binder binder(&catalog_);
+      Result<PlanRef> bound = binder.BindSelect(*stmt.create_view->select);
+      if (!bound.ok()) return bound.status();
+      if (stmt.create_view->or_replace) {
+        VDM_RETURN_NOT_OK(catalog_.ReplaceView(std::move(view)));
+      } else {
+        VDM_RETURN_NOT_OK(catalog_.RegisterView(std::move(view)));
+      }
+      return Chunk{};
+    }
+    case Statement::Kind::kInsert: {
+      const InsertStmt& insert = *stmt.insert;
+      const TableSchema* schema = catalog_.FindTable(insert.table);
+      if (schema == nullptr) {
+        return Status::NotFound("unknown table: " + insert.table);
+      }
+      // Map target columns to schema positions.
+      std::vector<size_t> positions;
+      if (insert.columns.empty()) {
+        for (size_t c = 0; c < schema->NumColumns(); ++c) {
+          positions.push_back(c);
+        }
+      } else {
+        for (const std::string& column : insert.columns) {
+          int idx = schema->FindColumn(column);
+          if (idx < 0) {
+            return Status::BindError("unknown column " + column +
+                                     " in table " + insert.table);
+          }
+          positions.push_back(static_cast<size_t>(idx));
+        }
+      }
+      std::vector<std::vector<Value>> rows;
+      for (const std::vector<ExprRef>& exprs : insert.rows) {
+        if (exprs.size() != positions.size()) {
+          return Status::BindError("INSERT value count mismatch");
+        }
+        std::vector<Value> row(schema->NumColumns(), Value::Null());
+        for (size_t i = 0; i < exprs.size(); ++i) {
+          std::optional<Value> value = EvaluateConstantExpr(exprs[i]);
+          if (!value.has_value()) {
+            return Status::BindError("INSERT values must be constant: " +
+                                     exprs[i]->ToString());
+          }
+          // Coerce to the column type so decimals land at the declared
+          // scale regardless of the literal's rendering.
+          const DataType& type = schema->column(positions[i]).type;
+          if (!value->is_null() && type.id == TypeId::kDecimal &&
+              value->type().id == TypeId::kDecimal &&
+              value->type().scale != type.scale) {
+            int64_t unscaled = RoundUnscaled(value->AsUnscaled(),
+                                             value->type().scale,
+                                             type.scale);
+            value = Value::Decimal(unscaled, type.scale);
+          }
+          row[positions[i]] = std::move(*value);
+        }
+        rows.push_back(std::move(row));
+      }
+      VDM_RETURN_NOT_OK(Insert(insert.table, rows));
+      return Chunk{};
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Chunk> Database::Query(const std::string& sql,
+                              ExecMetrics* metrics) {
+  VDM_RETURN_NOT_OK(EnsureFreshCaches());
+  VDM_ASSIGN_OR_RETURN(PlanRef plan, PlanQuery(sql));
+  return ExecutePlan(plan, metrics);
+}
+
+Status Database::Insert(const std::string& table,
+                        const std::vector<std::vector<Value>>& rows) {
+  Table* t = storage_.FindTable(table);
+  if (t == nullptr) return Status::NotFound("unknown table: " + table);
+  for (const std::vector<Value>& row : rows) {
+    VDM_RETURN_NOT_OK(t->AppendRow(row));
+  }
+  return Status::OK();
+}
+
+Result<PlanRef> Database::BindQuery(const std::string& sql) const {
+  Binder binder(&catalog_);
+  return binder.BindSql(sql);
+}
+
+Result<PlanRef> Database::PlanQuery(const std::string& sql) const {
+  VDM_ASSIGN_OR_RETURN(PlanRef plan, BindQuery(sql));
+  return OptimizePlan(plan);
+}
+
+PlanRef Database::OptimizePlan(const PlanRef& plan) const {
+  OptimizerConfig config = optimizer_config_;
+  config.stats_catalog = &catalog_;
+  Optimizer optimizer(config);
+  return optimizer.Optimize(plan);
+}
+
+Result<Chunk> Database::ExecutePlan(const PlanRef& plan,
+                                    ExecMetrics* metrics) const {
+  Executor executor(&storage_);
+  return executor.Execute(plan, metrics);
+}
+
+Result<std::string> Database::Explain(const std::string& sql) const {
+  VDM_ASSIGN_OR_RETURN(PlanRef plan, PlanQuery(sql));
+  return PrintPlan(plan);
+}
+
+Result<std::string> Database::ExplainRaw(const std::string& sql) const {
+  VDM_ASSIGN_OR_RETURN(PlanRef plan, BindQuery(sql));
+  return PrintPlan(plan);
+}
+
+Status Database::RegisterViewPlan(const std::string& name, PlanRef plan,
+                                  VdmLayer layer,
+                                  const std::string& dac_filter_sql) {
+  ViewDef view;
+  view.name = name;
+  view.layer = layer;
+  view.dac_filter_sql = dac_filter_sql;
+  view.bound_plan = std::move(plan);
+  return catalog_.ReplaceView(std::move(view));
+}
+
+namespace {
+
+/// Schema for a materialized snapshot, derived from a result chunk.
+TableSchema SnapshotSchema(const std::string& table_name,
+                           const Chunk& chunk) {
+  TableSchema schema(table_name);
+  for (size_t c = 0; c < chunk.NumColumns(); ++c) {
+    schema.AddColumn(chunk.names[c], chunk.columns[c].type());
+  }
+  return schema;
+}
+
+Status InsertChunk(Table* table, const Chunk& chunk) {
+  std::vector<Value> row(chunk.NumColumns());
+  for (size_t r = 0; r < chunk.NumRows(); ++r) {
+    for (size_t c = 0; c < chunk.NumColumns(); ++c) {
+      row[c] = chunk.columns[c].GetValue(r);
+    }
+    VDM_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  table->MergeDelta();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Database::MaterializeView(const std::string& name,
+                                 ViewDef::CacheMode mode) {
+  const ViewDef* view = catalog_.FindView(name);
+  if (view == nullptr) return Status::NotFound("view not found: " + name);
+  if (!view->materialized_table.empty()) {
+    ViewDef updated = *view;
+    updated.cache_mode = mode;
+    VDM_RETURN_NOT_OK(catalog_.ReplaceView(std::move(updated)));
+    return RefreshMaterializedView(name);
+  }
+  ViewDef updated = *view;
+  updated.materialized_table = "__scv_" + ToLower(name);
+  updated.cache_mode = mode;
+  return BuildSnapshot(std::move(updated), /*replace_existing=*/false);
+}
+
+Status Database::RefreshMaterializedView(const std::string& name) {
+  const ViewDef* view = catalog_.FindView(name);
+  if (view == nullptr) return Status::NotFound("view not found: " + name);
+  if (view->materialized_table.empty()) {
+    return Status::InvalidArgument("view is not materialized: " + name);
+  }
+  return BuildSnapshot(*view, /*replace_existing=*/true);
+}
+
+Status Database::BuildSnapshot(ViewDef view, bool replace_existing) {
+  // Rebind with materialization temporarily disabled so the definition —
+  // not a stale snapshot — is evaluated.
+  std::string table_name = view.materialized_table;
+  ViewDef transparent = view;
+  transparent.materialized_table.clear();
+  VDM_RETURN_NOT_OK(catalog_.ReplaceView(transparent));
+  Binder binder(&catalog_);
+  Result<PlanRef> bound =
+      transparent.bound_plan ? Result<PlanRef>(transparent.bound_plan)
+                             : binder.BindSql(transparent.sql);
+  if (!bound.ok()) return bound.status();
+  Result<Chunk> snapshot = ExecutePlan(OptimizePlan(*bound));
+  if (!snapshot.ok()) return snapshot.status();
+
+  // Record base-table dependencies (for DCV staleness checks).
+  view.snapshot_dependencies.clear();
+  VisitPlan(*bound, [&](const PlanRef& node) {
+    if (node->kind() != OpKind::kScan) return;
+    const std::string& table = static_cast<const ScanOp&>(*node).table_name();
+    const Table* t = storage_.FindTable(table);
+    if (t == nullptr) return;
+    for (const auto& [existing, version] : view.snapshot_dependencies) {
+      if (EqualsIgnoreCase(existing, table)) return;
+    }
+    view.snapshot_dependencies.emplace_back(table, t->version());
+  });
+
+  if (replace_existing) {
+    VDM_RETURN_NOT_OK(storage_.DropTable(table_name));
+    VDM_RETURN_NOT_OK(catalog_.DropTable(table_name));
+  }
+  TableSchema schema = SnapshotSchema(table_name, *snapshot);
+  VDM_RETURN_NOT_OK(catalog_.RegisterTable(schema));
+  VDM_RETURN_NOT_OK(storage_.CreateTable(schema));
+  VDM_RETURN_NOT_OK(InsertChunk(storage_.FindTable(table_name), *snapshot));
+  return catalog_.ReplaceView(std::move(view));
+}
+
+Status Database::DematerializeView(const std::string& name) {
+  const ViewDef* view = catalog_.FindView(name);
+  if (view == nullptr) return Status::NotFound("view not found: " + name);
+  if (view->materialized_table.empty()) return Status::OK();
+  ViewDef updated = *view;
+  std::string table_name = updated.materialized_table;
+  updated.materialized_table.clear();
+  updated.snapshot_dependencies.clear();
+  VDM_RETURN_NOT_OK(catalog_.ReplaceView(std::move(updated)));
+  VDM_RETURN_NOT_OK(catalog_.DropTable(table_name));
+  return storage_.DropTable(table_name);
+}
+
+Status Database::EnsureFreshCaches() {
+  for (const std::string& name : catalog_.ViewNames()) {
+    const ViewDef* view = catalog_.FindView(name);
+    if (view == nullptr || view->materialized_table.empty() ||
+        view->cache_mode != ViewDef::CacheMode::kDynamic) {
+      continue;
+    }
+    bool stale = false;
+    for (const auto& [table, version] : view->snapshot_dependencies) {
+      const Table* t = storage_.FindTable(table);
+      if (t == nullptr || t->version() != version) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      VDM_RETURN_NOT_OK(RefreshMaterializedView(name));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> Database::VerifyDeclaredUnique(
+    const std::string& table, const std::vector<std::string>& columns) const {
+  const Table* t = storage_.FindTable(table);
+  if (t == nullptr) return Status::NotFound("unknown table: " + table);
+  return t->VerifyUnique(columns);
+}
+
+void Database::MergeAllDeltas() {
+  for (const std::string& name : catalog_.TableNames()) {
+    Table* t = storage_.FindTable(name);
+    if (t != nullptr) t->MergeDelta();
+  }
+  AnalyzeTables();
+}
+
+void Database::AnalyzeTables() {
+  for (const std::string& name : catalog_.TableNames()) {
+    const Table* t = storage_.FindTable(name);
+    if (t != nullptr) {
+      catalog_.SetTableStats(name, TableStats{t->NumRows()});
+    }
+  }
+}
+
+}  // namespace vdm

@@ -1,0 +1,125 @@
+// Database facade: catalog + storage + binder + optimizer + executor.
+//
+// This is the public entry point a downstream user works with:
+//
+//   vdm::Database db;
+//   db.Execute("create table t (k int primary key, v varchar)");
+//   db.Insert("t", {{Value::Int64(1), Value::String("x")}});
+//   auto result = db.Query("select * from t");
+//   std::cout << result->ToString();
+//
+// Query optimization runs under a configurable capability profile (see
+// optimizer.h); Explain() shows the optimized plan, ExplainRaw() the plan
+// as bound (all views inlined, nothing removed — the paper's Fig. 3 form).
+#ifndef VDMQO_ENGINE_DATABASE_H_
+#define VDMQO_ENGINE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+#include "types/column.h"
+
+namespace vdm {
+
+class Database {
+ public:
+  Database() : optimizer_config_(ConfigForProfile(SystemProfile::kHana)) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  StorageManager& storage() { return storage_; }
+  const StorageManager& storage() const { return storage_; }
+
+  /// Sets the optimizer capability profile for subsequent queries.
+  void SetProfile(SystemProfile profile) {
+    optimizer_config_ = ConfigForProfile(profile);
+  }
+  void SetOptimizerConfig(OptimizerConfig config) {
+    optimizer_config_ = std::move(config);
+  }
+  const OptimizerConfig& optimizer_config() const {
+    return optimizer_config_;
+  }
+
+  /// Executes a DDL or query statement. For SELECT, returns the result
+  /// chunk; for DDL, returns an empty chunk.
+  Result<Chunk> Execute(const std::string& sql);
+
+  /// Executes a SELECT and returns its result. Refreshes any stale
+  /// dynamic cached views first (DCV semantics, §3).
+  Result<Chunk> Query(const std::string& sql,
+                      ExecMetrics* metrics = nullptr);
+
+  /// Appends rows to a table (storage delta fragment).
+  Status Insert(const std::string& table,
+                const std::vector<std::vector<Value>>& rows);
+
+  /// Binds a SELECT without optimizing (the raw inlined plan, Fig. 3).
+  Result<PlanRef> BindQuery(const std::string& sql) const;
+  /// Binds and optimizes under the current profile.
+  Result<PlanRef> PlanQuery(const std::string& sql) const;
+  /// Optimizes an already-bound plan under the current profile.
+  PlanRef OptimizePlan(const PlanRef& plan) const;
+  /// Executes an arbitrary plan directly.
+  Result<Chunk> ExecutePlan(const PlanRef& plan,
+                            ExecMetrics* metrics = nullptr) const;
+
+  /// Rendered optimized plan.
+  Result<std::string> Explain(const std::string& sql) const;
+  /// Rendered raw (bound, unoptimized) plan.
+  Result<std::string> ExplainRaw(const std::string& sql) const;
+
+  /// Registers a programmatically built view plan (VDM generator path).
+  Status RegisterViewPlan(const std::string& name, PlanRef plan,
+                          VdmLayer layer = VdmLayer::kPlain,
+                          const std::string& dac_filter_sql = "");
+
+  /// Cached views (paper §3): materializes the view's current result into
+  /// a hidden table; subsequent queries read the snapshot. kStatic (SCV)
+  /// snapshots are stale until RefreshMaterializedView; kDynamic (DCV)
+  /// snapshots are refreshed automatically when a Query() observes that a
+  /// base table changed. (The paper's DCV is incrementally maintained;
+  /// refresh-on-read is the observably equivalent simplification.)
+  Status MaterializeView(
+      const std::string& name,
+      ViewDef::CacheMode mode = ViewDef::CacheMode::kStatic);
+  /// Recomputes the snapshot from current data.
+  Status RefreshMaterializedView(const std::string& name);
+  /// Returns the view to on-the-fly evaluation.
+  Status DematerializeView(const std::string& name);
+  /// Refreshes every stale dynamic cached view (called by Query()).
+  Status EnsureFreshCaches();
+
+  /// §7.3 tool: verifies a declared join-cardinality / unique-key claim
+  /// against the actual data.
+  Result<bool> VerifyDeclaredUnique(const std::string& table,
+                                    const std::vector<std::string>& columns)
+      const;
+
+  /// Merges all delta fragments into main (dictionary-compressed) storage
+  /// and refreshes table statistics.
+  void MergeAllDeltas();
+
+  /// Refreshes catalog row-count statistics from storage (the ANALYZE
+  /// equivalent; feeds join ordering).
+  void AnalyzeTables();
+
+ private:
+  Status BuildSnapshot(ViewDef view, bool replace_existing);
+
+  Catalog catalog_;
+  StorageManager storage_;
+  OptimizerConfig optimizer_config_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_ENGINE_DATABASE_H_

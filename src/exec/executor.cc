@@ -1,0 +1,620 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+#include "expr/fold.h"
+
+namespace vdm {
+
+namespace {
+
+/// Appends a hash-key encoding of column[row] to *out (length-prefixed,
+/// null-marked — collision-free across rows).
+void AppendKeyBytes(const ColumnData& col, size_t row, std::string* out) {
+  if (col.IsNull(row)) {
+    out->push_back('\x00');
+    return;
+  }
+  out->push_back('\x01');
+  if (col.type().id == TypeId::kString) {
+    const std::string& s = col.strings()[row];
+    uint32_t len = static_cast<uint32_t>(s.size());
+    out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out->append(s);
+  } else if (col.type().id == TypeId::kDouble) {
+    double v = col.doubles()[row];
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  } else {
+    int64_t v = col.ints()[row];
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+}
+
+Chunk GatherChunk(const Chunk& input, const std::vector<size_t>& rows) {
+  Chunk out;
+  out.names = input.names;
+  out.columns.reserve(input.columns.size());
+  for (const ColumnData& col : input.columns) {
+    out.columns.push_back(col.Gather(rows));
+  }
+  return out;
+}
+
+class ExecutorImpl {
+ public:
+  ExecutorImpl(const StorageManager* storage, ExecMetrics* metrics)
+      : storage_(storage), metrics_(metrics) {}
+
+  Result<Chunk> Run(const PlanRef& plan) {
+    if (metrics_ != nullptr) ++metrics_->operators_executed;
+    switch (plan->kind()) {
+      case OpKind::kScan:
+        return RunScan(static_cast<const ScanOp&>(*plan));
+      case OpKind::kFilter:
+        return RunFilter(static_cast<const FilterOp&>(*plan));
+      case OpKind::kProject:
+        return RunProject(static_cast<const ProjectOp&>(*plan));
+      case OpKind::kJoin:
+        return RunJoin(static_cast<const JoinOp&>(*plan));
+      case OpKind::kAggregate:
+        return RunAggregate(static_cast<const AggregateOp&>(*plan));
+      case OpKind::kUnionAll:
+        return RunUnionAll(static_cast<const UnionAllOp&>(*plan));
+      case OpKind::kSort:
+        return RunSort(static_cast<const SortOp&>(*plan));
+      case OpKind::kLimit:
+        return RunLimit(static_cast<const LimitOp&>(*plan));
+      case OpKind::kDistinct:
+        return RunDistinct(static_cast<const DistinctOp&>(*plan));
+    }
+    return Status::Internal("unknown operator");
+  }
+
+ private:
+  Result<Chunk> RunScan(const ScanOp& scan) {
+    const Table* table = storage_->FindTable(scan.table_name());
+    if (table == nullptr) {
+      return Status::NotFound("no storage for table " + scan.table_name());
+    }
+    Chunk out;
+    for (size_t schema_idx : scan.column_indexes()) {
+      out.names.push_back(scan.QualifiedName(schema_idx));
+      out.columns.push_back(table->ScanColumn(schema_idx));
+    }
+    if (out.columns.empty()) {
+      return Status::Internal("scan with no columns: " + scan.table_name());
+    }
+    if (metrics_ != nullptr) metrics_->rows_scanned += out.NumRows();
+    return out;
+  }
+
+  Result<Chunk> RunFilter(const FilterOp& filter) {
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(filter.child(0)));
+    VDM_ASSIGN_OR_RETURN(ColumnData mask,
+                         EvalExpr(filter.predicate(), input));
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < mask.size(); ++i) {
+      if (!mask.IsNull(i) && mask.ints()[i] != 0) rows.push_back(i);
+    }
+    return GatherChunk(input, rows);
+  }
+
+  Result<Chunk> RunProject(const ProjectOp& project) {
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(project.child(0)));
+    Chunk out;
+    for (const ProjectOp::Item& item : project.items()) {
+      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(item.expr, input));
+      // A literal over an empty input evaluates to zero rows already.
+      out.names.push_back(item.name);
+      out.columns.push_back(std::move(col));
+    }
+    return out;
+  }
+
+  Result<Chunk> RunJoin(const JoinOp& join) {
+    VDM_ASSIGN_OR_RETURN(Chunk left, Run(join.left()));
+    VDM_ASSIGN_OR_RETURN(Chunk right, Run(join.right()));
+    bool left_outer = join.join_type() == JoinType::kLeftOuter;
+
+    // Split the condition into equi pairs and residual conjuncts.
+    std::vector<std::pair<int, int>> key_cols;  // (left idx, right idx)
+    std::vector<ExprRef> residual;
+    for (const ExprRef& conjunct : SplitConjuncts(join.condition())) {
+      if (IsAlwaysTrue(conjunct)) continue;
+      std::optional<ColumnPair> pair = MatchColumnEqColumn(conjunct);
+      if (pair.has_value()) {
+        int l = left.FindColumn(pair->left);
+        int r = right.FindColumn(pair->right);
+        if (l < 0 && r < 0) {
+          l = left.FindColumn(pair->right);
+          r = right.FindColumn(pair->left);
+        }
+        if (l >= 0 && r >= 0) {
+          key_cols.emplace_back(l, r);
+          continue;
+        }
+      }
+      residual.push_back(conjunct);
+    }
+
+    if (metrics_ != nullptr) {
+      metrics_->rows_build_input += right.NumRows();
+      metrics_->rows_probe_input += left.NumRows();
+    }
+
+    std::vector<size_t> left_rows, right_rows;
+    if (!key_cols.empty()) {
+      // Hash join: build on the right (augmenter) side.
+      std::unordered_map<std::string, std::vector<size_t>> table;
+      table.reserve(right.NumRows() * 2);
+      std::string key;
+      for (size_t r = 0; r < right.NumRows(); ++r) {
+        key.clear();
+        bool has_null = false;
+        for (const auto& [lc, rc] : key_cols) {
+          if (right.columns[static_cast<size_t>(rc)].IsNull(r)) {
+            has_null = true;
+            break;
+          }
+          AppendKeyBytes(right.columns[static_cast<size_t>(rc)], r, &key);
+        }
+        if (!has_null) table[key].push_back(r);
+      }
+      for (size_t l = 0; l < left.NumRows(); ++l) {
+        key.clear();
+        bool has_null = false;
+        for (const auto& [lc, rc] : key_cols) {
+          if (left.columns[static_cast<size_t>(lc)].IsNull(l)) {
+            has_null = true;
+            break;
+          }
+          AppendKeyBytes(left.columns[static_cast<size_t>(lc)], l, &key);
+        }
+        bool matched = false;
+        if (!has_null) {
+          auto it = table.find(key);
+          if (it != table.end()) {
+            for (size_t r : it->second) {
+              left_rows.push_back(l);
+              right_rows.push_back(r);
+              matched = true;
+            }
+          }
+        }
+        if (!matched && left_outer) {
+          left_rows.push_back(l);
+          right_rows.push_back(ColumnData::kInvalidIndex);
+        }
+      }
+    } else {
+      // Nested-loop join (no equi keys).
+      for (size_t l = 0; l < left.NumRows(); ++l) {
+        bool matched = false;
+        for (size_t r = 0; r < right.NumRows(); ++r) {
+          left_rows.push_back(l);
+          right_rows.push_back(r);
+          matched = true;
+        }
+        if (!matched && left_outer) {
+          left_rows.push_back(l);
+          right_rows.push_back(ColumnData::kInvalidIndex);
+        }
+      }
+    }
+
+    Chunk combined;
+    combined.names = left.names;
+    combined.names.insert(combined.names.end(), right.names.begin(),
+                          right.names.end());
+    for (const ColumnData& col : left.columns) {
+      combined.columns.push_back(col.Gather(left_rows));
+    }
+    for (const ColumnData& col : right.columns) {
+      combined.columns.push_back(col.Gather(right_rows));
+    }
+
+    if (residual.empty()) return combined;
+
+    // Apply residual conjuncts; for LEFT OUTER the residual is part of the
+    // join condition, so failing inner matches revert to null extension.
+    VDM_ASSIGN_OR_RETURN(ColumnData mask,
+                         EvalExpr(AndAll(residual), combined));
+    if (!left_outer) {
+      std::vector<size_t> keep;
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (!mask.IsNull(i) && mask.ints()[i] != 0) keep.push_back(i);
+      }
+      return GatherChunk(combined, keep);
+    }
+    // LEFT OUTER with residual: group rows by left row id; if no surviving
+    // match for a left row, emit one null-extended row.
+    std::vector<size_t> keep;
+    std::unordered_set<size_t> left_matched;
+    for (size_t i = 0; i < mask.size(); ++i) {
+      bool inner = right_rows[i] != ColumnData::kInvalidIndex;
+      bool pass = !mask.IsNull(i) && mask.ints()[i] != 0;
+      if (inner && pass) {
+        keep.push_back(i);
+        left_matched.insert(left_rows[i]);
+      }
+    }
+    // Emit null-extended rows for left rows with no surviving match, in
+    // left order. Build a combined row list: we need original left order;
+    // simplest is to re-emit per left row.
+    std::vector<size_t> final_left, final_right;
+    size_t keep_pos = 0;
+    for (size_t l = 0; l < left.NumRows(); ++l) {
+      bool any = false;
+      while (keep_pos < keep.size() && left_rows[keep[keep_pos]] == l) {
+        final_left.push_back(left_rows[keep[keep_pos]]);
+        final_right.push_back(right_rows[keep[keep_pos]]);
+        ++keep_pos;
+        any = true;
+      }
+      if (!any) {
+        final_left.push_back(l);
+        final_right.push_back(ColumnData::kInvalidIndex);
+      }
+    }
+    Chunk out;
+    out.names = combined.names;
+    for (size_t c = 0; c < left.columns.size(); ++c) {
+      out.columns.push_back(left.columns[c].Gather(final_left));
+    }
+    for (size_t c = 0; c < right.columns.size(); ++c) {
+      out.columns.push_back(right.columns[c].Gather(final_right));
+    }
+    return out;
+  }
+
+  Result<Chunk> RunAggregate(const AggregateOp& agg) {
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(agg.child(0)));
+    size_t n = input.NumRows();
+    if (metrics_ != nullptr) metrics_->rows_aggregated += n;
+
+    // Evaluate group expressions.
+    std::vector<ColumnData> group_cols;
+    for (const AggregateOp::GroupItem& g : agg.group_by()) {
+      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(g.expr, input));
+      group_cols.push_back(std::move(col));
+    }
+
+    // Collect the distinct aggregate nodes across all items.
+    std::vector<ExprRef> agg_nodes;
+    std::function<void(const ExprRef&)> collect = [&](const ExprRef& e) {
+      if (e->kind() == ExprKind::kAggregate) {
+        for (const ExprRef& existing : agg_nodes) {
+          if (existing->Equals(*e)) return;
+        }
+        agg_nodes.push_back(e);
+        return;
+      }
+      for (const ExprRef& child : e->children()) collect(child);
+    };
+    for (const AggregateOp::AggItem& item : agg.aggregates()) {
+      collect(item.expr);
+    }
+
+    // Evaluate aggregate arguments.
+    std::vector<ColumnData> arg_cols(agg_nodes.size());
+    for (size_t k = 0; k < agg_nodes.size(); ++k) {
+      const auto& a = static_cast<const AggregateExpr&>(*agg_nodes[k]);
+      if (a.has_arg()) {
+        VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(a.arg(), input));
+        arg_cols[k] = std::move(col);
+      }
+    }
+
+    // Group rows.
+    std::unordered_map<std::string, size_t> groups;
+    std::vector<std::vector<size_t>> group_rows;
+    std::vector<size_t> first_row;
+    bool global = agg.group_by().empty();
+    if (global) {
+      group_rows.emplace_back();
+      group_rows[0].reserve(n);
+      for (size_t i = 0; i < n; ++i) group_rows[0].push_back(i);
+      first_row.push_back(0);
+    } else {
+      std::string key;
+      for (size_t i = 0; i < n; ++i) {
+        key.clear();
+        for (const ColumnData& col : group_cols) {
+          AppendKeyBytes(col, i, &key);
+        }
+        auto [it, inserted] = groups.emplace(key, group_rows.size());
+        if (inserted) {
+          group_rows.emplace_back();
+          first_row.push_back(i);
+        }
+        group_rows[it->second].push_back(i);
+      }
+    }
+    size_t n_groups = group_rows.size();
+
+    // Compute one column per aggregate node.
+    std::vector<ColumnData> agg_results;
+    TypeEnv env;
+    for (size_t c = 0; c < input.names.size(); ++c) {
+      env[input.names[c]] = input.columns[c].type();
+    }
+    for (size_t k = 0; k < agg_nodes.size(); ++k) {
+      const auto& a = static_cast<const AggregateExpr&>(*agg_nodes[k]);
+      VDM_ASSIGN_OR_RETURN(DataType result_type,
+                           InferType(agg_nodes[k], env));
+      ColumnData out(result_type);
+      out.Reserve(n_groups);
+      for (size_t g = 0; g < n_groups; ++g) {
+        const std::vector<size_t>& rows = group_rows[g];
+        switch (a.agg()) {
+          case AggKind::kCountStar: {
+            if (a.distinct()) {
+              return Status::ExecutionError("count(distinct *) unsupported");
+            }
+            out.AppendInt(static_cast<int64_t>(rows.size()));
+            break;
+          }
+          case AggKind::kCount: {
+            const ColumnData& arg = arg_cols[k];
+            if (a.distinct()) {
+              std::unordered_set<std::string> seen;
+              std::string key;
+              for (size_t r : rows) {
+                if (arg.IsNull(r)) continue;
+                key.clear();
+                AppendKeyBytes(arg, r, &key);
+                seen.insert(key);
+              }
+              out.AppendInt(static_cast<int64_t>(seen.size()));
+            } else {
+              int64_t count = 0;
+              for (size_t r : rows) {
+                if (!arg.IsNull(r)) ++count;
+              }
+              out.AppendInt(count);
+            }
+            break;
+          }
+          case AggKind::kSum: {
+            const ColumnData& arg = arg_cols[k];
+            bool any = false;
+            if (result_type.id == TypeId::kDouble) {
+              double sum = 0.0;
+              for (size_t r : rows) {
+                if (arg.IsNull(r)) continue;
+                any = true;
+                sum += arg.type().id == TypeId::kDouble
+                           ? arg.doubles()[r]
+                           : arg.GetValue(r).ToDouble();
+              }
+              if (any) {
+                out.AppendDouble(sum);
+              } else {
+                out.AppendNull();
+              }
+            } else {
+              int64_t sum = 0;
+              for (size_t r : rows) {
+                if (arg.IsNull(r)) continue;
+                any = true;
+                sum += arg.ints()[r];
+              }
+              if (any) {
+                out.AppendInt(sum);
+              } else {
+                out.AppendNull();
+              }
+            }
+            break;
+          }
+          case AggKind::kAvg: {
+            const ColumnData& arg = arg_cols[k];
+            double sum = 0.0;
+            int64_t count = 0;
+            for (size_t r : rows) {
+              if (arg.IsNull(r)) continue;
+              sum += arg.GetValue(r).ToDouble();
+              ++count;
+            }
+            if (count == 0) {
+              out.AppendNull();
+            } else {
+              out.AppendDouble(sum / static_cast<double>(count));
+            }
+            break;
+          }
+          case AggKind::kMin:
+          case AggKind::kMax: {
+            const ColumnData& arg = arg_cols[k];
+            bool any = false;
+            Value best;
+            for (size_t r : rows) {
+              if (arg.IsNull(r)) continue;
+              Value v = arg.GetValue(r);
+              if (!any) {
+                best = v;
+                any = true;
+              } else {
+                int cmp = v.Compare(best);
+                if ((a.agg() == AggKind::kMin && cmp < 0) ||
+                    (a.agg() == AggKind::kMax && cmp > 0)) {
+                  best = v;
+                }
+              }
+            }
+            if (any) {
+              out.AppendValue(best);
+            } else {
+              out.AppendNull();
+            }
+            break;
+          }
+        }
+      }
+      agg_results.push_back(std::move(out));
+    }
+
+    // Intermediate chunk: group columns + aggregate slots.
+    Chunk interim;
+    for (size_t gi = 0; gi < agg.group_by().size(); ++gi) {
+      interim.names.push_back(agg.group_by()[gi].name);
+      ColumnData col(group_cols[gi].type());
+      col.Reserve(n_groups);
+      for (size_t g = 0; g < n_groups; ++g) {
+        col.AppendFrom(group_cols[gi], first_row[g]);
+      }
+      interim.columns.push_back(std::move(col));
+    }
+    for (size_t k = 0; k < agg_nodes.size(); ++k) {
+      interim.names.push_back(StrFormat("__agg_%zu", k));
+      interim.columns.push_back(std::move(agg_results[k]));
+    }
+
+    // Final output: group items, then aggregate items (which may be scalar
+    // expressions over aggregates — §7.2 expression macros rely on this).
+    Chunk out;
+    for (size_t gi = 0; gi < agg.group_by().size(); ++gi) {
+      out.names.push_back(agg.group_by()[gi].name);
+      out.columns.push_back(interim.columns[gi]);
+    }
+    for (const AggregateOp::AggItem& item : agg.aggregates()) {
+      ExprRef rewritten =
+          TransformExpr(item.expr, [&](const ExprRef& node) -> ExprRef {
+            if (node->kind() != ExprKind::kAggregate) return nullptr;
+            for (size_t k = 0; k < agg_nodes.size(); ++k) {
+              if (node->Equals(*agg_nodes[k])) {
+                return Col(StrFormat("__agg_%zu", k));
+              }
+            }
+            return nullptr;
+          });
+      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(rewritten, interim));
+      out.names.push_back(item.name);
+      out.columns.push_back(std::move(col));
+    }
+    return out;
+  }
+
+  Result<Chunk> RunUnionAll(const UnionAllOp& u) {
+    Chunk out;
+    bool first = true;
+    for (const PlanRef& child : u.children()) {
+      VDM_ASSIGN_OR_RETURN(Chunk chunk, Run(child));
+      if (first) {
+        out.names = u.output_names();
+        for (const ColumnData& col : chunk.columns) {
+          out.columns.emplace_back(col.type());
+        }
+        first = false;
+      }
+      if (chunk.columns.size() != out.columns.size()) {
+        return Status::ExecutionError("UNION ALL arity mismatch");
+      }
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        ColumnData& dst = out.columns[c];
+        const ColumnData& src = chunk.columns[c];
+        if (dst.type().id == src.type().id) {
+          for (size_t r = 0; r < src.size(); ++r) dst.AppendFrom(src, r);
+        } else {
+          // Slow path with per-value coercion.
+          for (size_t r = 0; r < src.size(); ++r) {
+            dst.AppendValue(src.GetValue(r));
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Shared by RunSort and the top-k fusion in RunLimit. When
+  /// `top_k >= 0`, only the first top_k positions need to be ordered
+  /// (std::partial_sort — note: not stable, which SQL does not require
+  /// in the presence of LIMIT).
+  Result<Chunk> SortChunk(const SortOp& sort, Chunk input,
+                          int64_t top_k = -1) {
+    std::vector<ColumnData> key_cols;
+    for (const SortOp::SortKey& key : sort.keys()) {
+      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(key.expr, input));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<size_t> order(input.NumRows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    auto less = [&](size_t a, size_t b) {
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        int cmp = key_cols[k].GetValue(a).Compare(key_cols[k].GetValue(b));
+        if (cmp != 0) return sort.keys()[k].ascending ? cmp < 0 : cmp > 0;
+      }
+      // Break ties on the input position to keep the order stable.
+      return a < b;
+    };
+    if (top_k >= 0 && static_cast<size_t>(top_k) < order.size()) {
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<ptrdiff_t>(top_k),
+                        order.end(), less);
+      order.resize(static_cast<size_t>(top_k));
+    } else {
+      std::sort(order.begin(), order.end(), less);
+    }
+    return GatherChunk(input, order);
+  }
+
+  Result<Chunk> RunSort(const SortOp& sort) {
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(sort.child(0)));
+    return SortChunk(sort, std::move(input));
+  }
+
+  Result<Chunk> RunLimit(const LimitOp& limit) {
+    // Top-k fusion: LIMIT directly above SORT orders only the first
+    // offset+limit positions instead of the whole input.
+    Chunk input;
+    if (limit.child(0)->kind() == OpKind::kSort) {
+      const auto& sort = static_cast<const SortOp&>(*limit.child(0));
+      VDM_ASSIGN_OR_RETURN(Chunk sort_input, Run(sort.child(0)));
+      VDM_ASSIGN_OR_RETURN(
+          input, SortChunk(sort, std::move(sort_input),
+                           limit.offset() + limit.limit()));
+    } else {
+      VDM_ASSIGN_OR_RETURN(input, Run(limit.child(0)));
+    }
+    std::vector<size_t> rows;
+    int64_t start = limit.offset();
+    int64_t end = start + limit.limit();
+    for (int64_t i = start; i < end && i < static_cast<int64_t>(input.NumRows());
+         ++i) {
+      rows.push_back(static_cast<size_t>(i));
+    }
+    return GatherChunk(input, rows);
+  }
+
+  Result<Chunk> RunDistinct(const DistinctOp& distinct) {
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(distinct.child(0)));
+    std::unordered_set<std::string> seen;
+    std::vector<size_t> rows;
+    std::string key;
+    for (size_t i = 0; i < input.NumRows(); ++i) {
+      key.clear();
+      for (const ColumnData& col : input.columns) {
+        AppendKeyBytes(col, i, &key);
+      }
+      if (seen.insert(key).second) rows.push_back(i);
+    }
+    return GatherChunk(input, rows);
+  }
+
+  const StorageManager* storage_;
+  ExecMetrics* metrics_;
+};
+
+}  // namespace
+
+Result<Chunk> Executor::Execute(const PlanRef& plan,
+                                ExecMetrics* metrics) const {
+  ExecutorImpl impl(storage_, metrics);
+  return impl.Run(plan);
+}
+
+}  // namespace vdm

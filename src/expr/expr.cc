@@ -1,0 +1,327 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vdm {
+
+namespace {
+
+const char* BinaryOpName(BinaryOpKind op) {
+  switch (op) {
+    case BinaryOpKind::kAdd:
+      return "+";
+    case BinaryOpKind::kSub:
+      return "-";
+    case BinaryOpKind::kMul:
+      return "*";
+    case BinaryOpKind::kDiv:
+      return "/";
+    case BinaryOpKind::kEq:
+      return "=";
+    case BinaryOpKind::kNotEq:
+      return "<>";
+    case BinaryOpKind::kLess:
+      return "<";
+    case BinaryOpKind::kLessEq:
+      return "<=";
+    case BinaryOpKind::kGreater:
+      return ">";
+    case BinaryOpKind::kGreaterEq:
+      return ">=";
+    case BinaryOpKind::kAnd:
+      return "AND";
+    case BinaryOpKind::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggName(AggKind agg) {
+  switch (agg) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  // Compare node-local attributes via ToString of the head; cheap and
+  // sufficient because attributes are embedded in the rendering.
+  if (children_.size() != other.children_.size()) return false;
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return static_cast<const ColumnRefExpr&>(*this).name() ==
+             static_cast<const ColumnRefExpr&>(other).name();
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(*this).value() ==
+             static_cast<const LiteralExpr&>(other).value();
+    case ExprKind::kBinary:
+      if (static_cast<const BinaryExpr&>(*this).op() !=
+          static_cast<const BinaryExpr&>(other).op()) {
+        return false;
+      }
+      break;
+    case ExprKind::kUnary:
+      if (static_cast<const UnaryExpr&>(*this).op() !=
+          static_cast<const UnaryExpr&>(other).op()) {
+        return false;
+      }
+      break;
+    case ExprKind::kFunction:
+      if (static_cast<const FunctionExpr&>(*this).name() !=
+          static_cast<const FunctionExpr&>(other).name()) {
+        return false;
+      }
+      break;
+    case ExprKind::kAggregate: {
+      const auto& a = static_cast<const AggregateExpr&>(*this);
+      const auto& b = static_cast<const AggregateExpr&>(other);
+      if (a.agg() != b.agg() || a.distinct() != b.distinct()) return false;
+      break;
+    }
+    case ExprKind::kIsNull:
+      if (static_cast<const IsNullExpr&>(*this).negated() !=
+          static_cast<const IsNullExpr&>(other).negated()) {
+        return false;
+      }
+      break;
+    case ExprKind::kMacroRef:
+      return static_cast<const MacroRefExpr&>(*this).name() ==
+             static_cast<const MacroRefExpr&>(other).name();
+    case ExprKind::kCase:
+      break;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprRef ColumnRefExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.empty());
+  (void)children;
+  return std::make_shared<ColumnRefExpr>(name_);
+}
+
+std::string LiteralExpr::ToString() const {
+  if (!value_.is_null() && value_.type().id == TypeId::kString) {
+    return "'" + value_.ToString() + "'";
+  }
+  return value_.ToString();
+}
+
+ExprRef LiteralExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.empty());
+  (void)children;
+  return std::make_shared<LiteralExpr>(value_);
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left()->ToString() + " " + BinaryOpName(op_) + " " +
+         right()->ToString() + ")";
+}
+
+ExprRef BinaryExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.size() == 2);
+  return std::make_shared<BinaryExpr>(op_, std::move(children[0]),
+                                      std::move(children[1]));
+}
+
+std::string UnaryExpr::ToString() const {
+  return std::string(op_ == UnaryOpKind::kNot ? "NOT " : "-") +
+         operand()->ToString();
+}
+
+ExprRef UnaryExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.size() == 1);
+  return std::make_shared<UnaryExpr>(op_, std::move(children[0]));
+}
+
+std::string FunctionExpr::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+ExprRef FunctionExpr::WithChildren(std::vector<ExprRef> children) const {
+  return std::make_shared<FunctionExpr>(name_, std::move(children));
+}
+
+std::string AggregateExpr::ToString() const {
+  if (agg_ == AggKind::kCountStar) return "count(*)";
+  std::string out = AggName(agg_);
+  out += "(";
+  if (distinct_) out += "DISTINCT ";
+  out += arg()->ToString();
+  out += ")";
+  if (allow_precision_loss_) out = "allow_precision_loss(" + out + ")";
+  return out;
+}
+
+ExprRef AggregateExpr::WithChildren(std::vector<ExprRef> children) const {
+  ExprRef arg = children.empty() ? nullptr : std::move(children[0]);
+  return std::make_shared<AggregateExpr>(agg_, std::move(arg), distinct_,
+                                         allow_precision_loss_);
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (size_t i = 0; i < NumBranches(); ++i) {
+    out += " WHEN " + When(i)->ToString() + " THEN " + Then(i)->ToString();
+  }
+  out += " ELSE " + Else()->ToString() + " END";
+  return out;
+}
+
+ExprRef CaseExpr::WithChildren(std::vector<ExprRef> children) const {
+  return std::make_shared<CaseExpr>(std::move(children));
+}
+
+std::string IsNullExpr::ToString() const {
+  return operand()->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+ExprRef IsNullExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.size() == 1);
+  return std::make_shared<IsNullExpr>(std::move(children[0]), negated_);
+}
+
+std::string MacroRefExpr::ToString() const {
+  return "EXPRESSION_MACRO(" + name_ + ")";
+}
+
+ExprRef MacroRefExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.empty());
+  (void)children;
+  return std::make_shared<MacroRefExpr>(name_);
+}
+
+// ---------------------------------------------------------------------------
+
+ExprRef Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprRef Lit(Value value) {
+  return std::make_shared<LiteralExpr>(std::move(value));
+}
+ExprRef LitInt(int64_t v) { return Lit(Value::Int64(v)); }
+ExprRef LitStr(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprRef LitBool(bool v) { return Lit(Value::Bool(v)); }
+ExprRef Bin(BinaryOpKind op, ExprRef l, ExprRef r) {
+  return std::make_shared<BinaryExpr>(op, std::move(l), std::move(r));
+}
+ExprRef Eq(ExprRef l, ExprRef r) {
+  return Bin(BinaryOpKind::kEq, std::move(l), std::move(r));
+}
+ExprRef And(ExprRef l, ExprRef r) {
+  return Bin(BinaryOpKind::kAnd, std::move(l), std::move(r));
+}
+ExprRef AndAll(std::vector<ExprRef> conjuncts) {
+  if (conjuncts.empty()) return LitBool(true);
+  ExprRef out = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = And(std::move(out), conjuncts[i]);
+  }
+  return out;
+}
+ExprRef Not(ExprRef e) {
+  return std::make_shared<UnaryExpr>(UnaryOpKind::kNot, std::move(e));
+}
+ExprRef Func(std::string name, std::vector<ExprRef> args) {
+  return std::make_shared<FunctionExpr>(std::move(name), std::move(args));
+}
+ExprRef Agg(AggKind agg, ExprRef arg) {
+  return std::make_shared<AggregateExpr>(agg, std::move(arg));
+}
+ExprRef CountStar() {
+  return std::make_shared<AggregateExpr>(AggKind::kCountStar, nullptr);
+}
+
+void CollectColumnRefs(const ExprRef& expr, std::vector<std::string>* out) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    const std::string& name =
+        static_cast<const ColumnRefExpr&>(*expr).name();
+    if (std::find(out->begin(), out->end(), name) == out->end()) {
+      out->push_back(name);
+    }
+    return;
+  }
+  for (const ExprRef& child : expr->children()) {
+    CollectColumnRefs(child, out);
+  }
+}
+
+bool ReferencesAny(const ExprRef& expr,
+                   const std::vector<std::string>& names) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const std::string& ref : refs) {
+    if (std::find(names.begin(), names.end(), ref) != names.end()) return true;
+  }
+  return false;
+}
+
+bool ReferencesOnly(const ExprRef& expr,
+                    const std::vector<std::string>& names) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const std::string& ref : refs) {
+    if (std::find(names.begin(), names.end(), ref) == names.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ExprRef TransformExpr(const ExprRef& expr,
+                      const std::function<ExprRef(const ExprRef&)>& fn) {
+  std::vector<ExprRef> new_children;
+  bool changed = false;
+  new_children.reserve(expr->children().size());
+  for (const ExprRef& child : expr->children()) {
+    ExprRef transformed = TransformExpr(child, fn);
+    changed |= (transformed != child);
+    new_children.push_back(std::move(transformed));
+  }
+  ExprRef rebuilt =
+      changed ? expr->WithChildren(std::move(new_children)) : expr;
+  ExprRef replaced = fn(rebuilt);
+  return replaced ? replaced : rebuilt;
+}
+
+ExprRef RemapColumns(
+    const ExprRef& expr,
+    const std::function<ExprRef(const std::string&)>& mapping) {
+  return TransformExpr(expr, [&](const ExprRef& node) -> ExprRef {
+    if (node->kind() != ExprKind::kColumnRef) return nullptr;
+    return mapping(static_cast<const ColumnRefExpr&>(*node).name());
+  });
+}
+
+bool ContainsAggregate(const ExprRef& expr) {
+  if (expr->kind() == ExprKind::kAggregate) return true;
+  for (const ExprRef& child : expr->children()) {
+    if (ContainsAggregate(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace vdm

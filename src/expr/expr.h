@@ -1,0 +1,268 @@
+// Scalar and aggregate expression trees.
+//
+// Expressions are immutable and shared (ExprRef = shared_ptr<const Expr>);
+// rewrites construct new nodes. Column references are name-based: the binder
+// produces unique, alias-qualified output names per operator, and the
+// evaluator resolves names to column indexes against the input chunk.
+#ifndef VDMQO_EXPR_EXPR_H_
+#define VDMQO_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace vdm {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kUnary,
+  kFunction,    // scalar function: round, coalesce, abs, concat, ...
+  kAggregate,   // sum, count, min, max, avg — valid inside Aggregate ops
+  kCase,
+  kIsNull,
+  kMacroRef,    // EXPRESSION_MACRO(name) — expanded by the binder (§7.2)
+};
+
+enum class BinaryOpKind {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOpKind {
+  kNot,
+  kNegate,
+};
+
+enum class AggKind {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  virtual std::string ToString() const = 0;
+  /// Structural equality (used for predicate subsumption checks).
+  bool Equals(const Expr& other) const;
+
+  const std::vector<ExprRef>& children() const { return children_; }
+
+  /// Rebuilds this node with new children (same kind/attributes).
+  virtual ExprRef WithChildren(std::vector<ExprRef> children) const = 0;
+
+ protected:
+  ExprKind kind_;
+  std::vector<ExprRef> children_;
+};
+
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+  std::string ToString() const override { return name_; }
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+  const Value& value() const { return value_; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  Value value_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOpKind op, ExprRef left, ExprRef right)
+      : Expr(ExprKind::kBinary), op_(op) {
+    children_ = {std::move(left), std::move(right)};
+  }
+  BinaryOpKind op() const { return op_; }
+  const ExprRef& left() const { return children_[0]; }
+  const ExprRef& right() const { return children_[1]; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  BinaryOpKind op_;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOpKind op, ExprRef operand)
+      : Expr(ExprKind::kUnary), op_(op) {
+    children_ = {std::move(operand)};
+  }
+  UnaryOpKind op() const { return op_; }
+  const ExprRef& operand() const { return children_[0]; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  UnaryOpKind op_;
+};
+
+class FunctionExpr : public Expr {
+ public:
+  FunctionExpr(std::string name, std::vector<ExprRef> args)
+      : Expr(ExprKind::kFunction), name_(std::move(name)) {
+    children_ = std::move(args);
+  }
+  /// Lower-cased function name: round, coalesce, abs, concat, ...
+  const std::string& name() const { return name_; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  std::string name_;
+};
+
+class AggregateExpr : public Expr {
+ public:
+  AggregateExpr(AggKind agg, ExprRef arg, bool distinct = false,
+                bool allow_precision_loss = false)
+      : Expr(ExprKind::kAggregate),
+        agg_(agg),
+        distinct_(distinct),
+        allow_precision_loss_(allow_precision_loss) {
+    if (arg) children_ = {std::move(arg)};
+  }
+  AggKind agg() const { return agg_; }
+  bool distinct() const { return distinct_; }
+  /// §7.1: user opted into interchanging rounding and addition.
+  bool allow_precision_loss() const { return allow_precision_loss_; }
+  const ExprRef& arg() const { return children_[0]; }
+  bool has_arg() const { return !children_.empty(); }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  AggKind agg_;
+  bool distinct_;
+  bool allow_precision_loss_;
+};
+
+class CaseExpr : public Expr {
+ public:
+  /// children = [when1, then1, when2, then2, ..., else]; else required.
+  explicit CaseExpr(std::vector<ExprRef> children) : Expr(ExprKind::kCase) {
+    children_ = std::move(children);
+  }
+  size_t NumBranches() const { return children_.size() / 2; }
+  const ExprRef& When(size_t i) const { return children_[2 * i]; }
+  const ExprRef& Then(size_t i) const { return children_[2 * i + 1]; }
+  const ExprRef& Else() const { return children_.back(); }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprRef operand, bool negated)
+      : Expr(ExprKind::kIsNull), negated_(negated) {
+    children_ = {std::move(operand)};
+  }
+  bool negated() const { return negated_; }
+  const ExprRef& operand() const { return children_[0]; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  bool negated_;
+};
+
+class MacroRefExpr : public Expr {
+ public:
+  explicit MacroRefExpr(std::string name)
+      : Expr(ExprKind::kMacroRef), name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction helpers
+
+ExprRef Col(std::string name);
+ExprRef Lit(Value value);
+ExprRef LitInt(int64_t v);
+ExprRef LitStr(std::string v);
+ExprRef LitBool(bool v);
+ExprRef Bin(BinaryOpKind op, ExprRef l, ExprRef r);
+ExprRef Eq(ExprRef l, ExprRef r);
+ExprRef And(ExprRef l, ExprRef r);
+/// AND-combines a list (empty → TRUE literal, single → itself).
+ExprRef AndAll(std::vector<ExprRef> conjuncts);
+ExprRef Not(ExprRef e);
+ExprRef Func(std::string name, std::vector<ExprRef> args);
+ExprRef Agg(AggKind agg, ExprRef arg);
+ExprRef CountStar();
+
+// ---------------------------------------------------------------------------
+// Traversal utilities
+
+/// Collects the distinct column names referenced anywhere in the tree.
+void CollectColumnRefs(const ExprRef& expr, std::vector<std::string>* out);
+
+/// True if the expression references any column from `names`.
+bool ReferencesAny(const ExprRef& expr,
+                   const std::vector<std::string>& names);
+
+/// True if every column the expression references is in `names`.
+bool ReferencesOnly(const ExprRef& expr,
+                    const std::vector<std::string>& names);
+
+/// Applies fn bottom-up, rebuilding nodes whose children changed.
+/// fn may return nullptr to keep the (rebuilt) node unchanged.
+ExprRef TransformExpr(const ExprRef& expr,
+                      const std::function<ExprRef(const ExprRef&)>& fn);
+
+/// Replaces column references according to the mapping (old name → new
+/// expression). Names not present are left untouched.
+ExprRef RemapColumns(
+    const ExprRef& expr,
+    const std::function<ExprRef(const std::string&)>& mapping);
+
+/// True if the tree contains any aggregate function node.
+bool ContainsAggregate(const ExprRef& expr);
+
+}  // namespace vdm
+
+#endif  // VDMQO_EXPR_EXPR_H_

@@ -1,0 +1,156 @@
+#include "expr/fold.h"
+
+#include "expr/eval.h"
+
+namespace vdm {
+
+namespace {
+
+bool IsLiteral(const ExprRef& e) { return e->kind() == ExprKind::kLiteral; }
+
+const Value& LitValue(const ExprRef& e) {
+  return static_cast<const LiteralExpr&>(*e).value();
+}
+
+bool IsLiteralBool(const ExprRef& e, bool expected) {
+  if (!IsLiteral(e)) return false;
+  const Value& v = LitValue(e);
+  return !v.is_null() && v.type().id == TypeId::kBool &&
+         v.AsBool() == expected;
+}
+
+/// Evaluates a literal-only expression to a Value (via a 1-row dummy chunk).
+std::optional<Value> EvalConstant(const ExprRef& expr) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  if (!refs.empty() || ContainsAggregate(expr)) return std::nullopt;
+  Chunk dummy;
+  dummy.names.push_back("__dummy");
+  ColumnData col(DataType::Int64());
+  col.AppendInt(0);
+  dummy.columns.push_back(std::move(col));
+  Result<Value> v = EvalExprOnRow(expr, dummy, 0);
+  if (!v.ok()) return std::nullopt;
+  return std::move(v).value();
+}
+
+}  // namespace
+
+std::optional<Value> EvaluateConstantExpr(const ExprRef& expr) {
+  return EvalConstant(expr);
+}
+
+std::vector<ExprRef> SplitConjuncts(const ExprRef& predicate) {
+  std::vector<ExprRef> out;
+  if (predicate->kind() == ExprKind::kBinary &&
+      static_cast<const BinaryExpr&>(*predicate).op() == BinaryOpKind::kAnd) {
+    const auto& bin = static_cast<const BinaryExpr&>(*predicate);
+    std::vector<ExprRef> left = SplitConjuncts(bin.left());
+    std::vector<ExprRef> right = SplitConjuncts(bin.right());
+    out.insert(out.end(), left.begin(), left.end());
+    out.insert(out.end(), right.begin(), right.end());
+    return out;
+  }
+  out.push_back(predicate);
+  return out;
+}
+
+ExprRef FoldConstants(const ExprRef& expr) {
+  return TransformExpr(expr, [](const ExprRef& node) -> ExprRef {
+    if (node->kind() == ExprKind::kBinary) {
+      const auto& bin = static_cast<const BinaryExpr&>(*node);
+      if (bin.op() == BinaryOpKind::kAnd) {
+        if (IsLiteralBool(bin.left(), true)) return bin.right();
+        if (IsLiteralBool(bin.right(), true)) return bin.left();
+        if (IsLiteralBool(bin.left(), false) ||
+            IsLiteralBool(bin.right(), false)) {
+          return LitBool(false);
+        }
+        return nullptr;
+      }
+      if (bin.op() == BinaryOpKind::kOr) {
+        if (IsLiteralBool(bin.left(), false)) return bin.right();
+        if (IsLiteralBool(bin.right(), false)) return bin.left();
+        if (IsLiteralBool(bin.left(), true) ||
+            IsLiteralBool(bin.right(), true)) {
+          return LitBool(true);
+        }
+        return nullptr;
+      }
+      if (IsLiteral(bin.left()) && IsLiteral(bin.right())) {
+        std::optional<Value> v = EvalConstant(node);
+        if (v.has_value()) return Lit(*v);
+      }
+      return nullptr;
+    }
+    if (node->kind() == ExprKind::kUnary) {
+      const auto& un = static_cast<const UnaryExpr&>(*node);
+      if (un.op() == UnaryOpKind::kNot) {
+        if (IsLiteralBool(un.operand(), true)) return LitBool(false);
+        if (IsLiteralBool(un.operand(), false)) return LitBool(true);
+      }
+      return nullptr;
+    }
+    return nullptr;
+  });
+}
+
+bool IsAlwaysFalse(const ExprRef& predicate) {
+  ExprRef folded = FoldConstants(predicate);
+  if (!IsLiteral(folded)) return false;
+  const Value& v = LitValue(folded);
+  // NULL predicates select nothing, same as FALSE.
+  return v.is_null() || (v.type().id == TypeId::kBool && !v.AsBool());
+}
+
+bool IsAlwaysTrue(const ExprRef& predicate) {
+  return IsLiteralBool(FoldConstants(predicate), true);
+}
+
+std::optional<ColumnConstant> MatchColumnEqConstant(const ExprRef& conjunct) {
+  if (conjunct->kind() != ExprKind::kBinary) return std::nullopt;
+  const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+  if (bin.op() != BinaryOpKind::kEq) return std::nullopt;
+  const ExprRef& l = bin.left();
+  const ExprRef& r = bin.right();
+  if (l->kind() == ExprKind::kColumnRef && IsLiteral(r)) {
+    return ColumnConstant{static_cast<const ColumnRefExpr&>(*l).name(),
+                          LitValue(r)};
+  }
+  if (r->kind() == ExprKind::kColumnRef && IsLiteral(l)) {
+    return ColumnConstant{static_cast<const ColumnRefExpr&>(*r).name(),
+                          LitValue(l)};
+  }
+  return std::nullopt;
+}
+
+std::optional<ColumnPair> MatchColumnEqColumn(const ExprRef& conjunct) {
+  if (conjunct->kind() != ExprKind::kBinary) return std::nullopt;
+  const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+  if (bin.op() != BinaryOpKind::kEq) return std::nullopt;
+  if (bin.left()->kind() != ExprKind::kColumnRef ||
+      bin.right()->kind() != ExprKind::kColumnRef) {
+    return std::nullopt;
+  }
+  return ColumnPair{
+      static_cast<const ColumnRefExpr&>(*bin.left()).name(),
+      static_cast<const ColumnRefExpr&>(*bin.right()).name()};
+}
+
+bool ConjunctsSubsume(const std::vector<ExprRef>& stronger,
+                      const std::vector<ExprRef>& weaker) {
+  for (const ExprRef& w : weaker) {
+    if (IsAlwaysTrue(w)) continue;
+    bool found = false;
+    for (const ExprRef& s : stronger) {
+      if (s->Equals(*w)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace vdm

@@ -1,0 +1,58 @@
+// Predicate analysis utilities used by the optimizer:
+//  * conjunct splitting / recombination
+//  * constant folding and always-true / always-false detection (AJ 2b)
+//  * column = constant extraction (AJ 2a-3 constant pinning)
+//  * structural predicate subsumption (ASJ, Fig. 10(c))
+#ifndef VDMQO_EXPR_FOLD_H_
+#define VDMQO_EXPR_FOLD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace vdm {
+
+/// Splits a predicate into top-level AND conjuncts.
+std::vector<ExprRef> SplitConjuncts(const ExprRef& predicate);
+
+/// Simplifies literal subtrees: arithmetic/comparisons on literals,
+/// AND/OR/NOT with constant operands. Returns a (possibly) new tree.
+ExprRef FoldConstants(const ExprRef& expr);
+
+/// True iff the folded predicate is the literal FALSE (or NULL).
+bool IsAlwaysFalse(const ExprRef& predicate);
+
+/// True iff the folded predicate is the literal TRUE.
+bool IsAlwaysTrue(const ExprRef& predicate);
+
+/// If the conjunct has the shape `column = literal` (either order), returns
+/// the pair. Used to derive constant bindings.
+struct ColumnConstant {
+  std::string column;
+  Value value;
+};
+std::optional<ColumnConstant> MatchColumnEqConstant(const ExprRef& conjunct);
+
+/// If the conjunct has the shape `left_col = right_col`, returns the pair.
+struct ColumnPair {
+  std::string left;
+  std::string right;
+};
+std::optional<ColumnPair> MatchColumnEqColumn(const ExprRef& conjunct);
+
+/// Evaluates an expression containing no column references or aggregates
+/// to a Value. Returns nullopt for non-constant or failing expressions.
+std::optional<Value> EvaluateConstantExpr(const ExprRef& expr);
+
+/// True iff every conjunct of `weaker` appears structurally in `stronger`
+/// (i.e. stronger ⇒ weaker). This is the conservative subsumption test the
+/// ASJ rule needs: the augmenter predicate must be implied by the anchor's.
+bool ConjunctsSubsume(const std::vector<ExprRef>& stronger,
+                      const std::vector<ExprRef>& weaker);
+
+}  // namespace vdm
+
+#endif  // VDMQO_EXPR_FOLD_H_

@@ -1,0 +1,132 @@
+#include "optimizer/optimizer.h"
+
+namespace vdm {
+
+OptimizerConfig ConfigForProfile(SystemProfile profile) {
+  OptimizerConfig config;
+  switch (profile) {
+    case SystemProfile::kHana:
+      // Everything on (defaults).
+      break;
+    case SystemProfile::kPostgres:
+      // Table 1: Y on UAJ 1, 2, 3, 2a — base keys, group-by keys, constant
+      // pinning; no key propagation through joins or order/limit.
+      config.derivation.keys_through_joins = false;
+      config.derivation.keys_through_order_limit = false;
+      config.derivation.keys_through_union_all = false;
+      config.derivation.trust_declared_cardinality = false;
+      config.limit_pushdown_over_aj = false;
+      config.asj_elimination = false;
+      config.asj_union_all_anchor = false;
+      config.case_join = false;
+      config.agg_pushdown = false;
+      config.allow_precision_loss_rewrites = false;
+      break;
+    case SystemProfile::kSystemX:
+      // Table 1: no UAJ optimization at all.
+      config.uaj_elimination = false;
+      config.derivation.keys_through_union_all = false;
+      config.derivation.trust_declared_cardinality = false;
+      config.limit_pushdown_over_aj = false;
+      config.asj_elimination = false;
+      config.asj_union_all_anchor = false;
+      config.case_join = false;
+      config.agg_pushdown = false;
+      config.allow_precision_loss_rewrites = false;
+      break;
+    case SystemProfile::kSystemY:
+      // Table 1: Y on UAJ 1 and UAJ 3 only.
+      config.derivation.groupby_keys = false;
+      config.derivation.keys_through_joins = false;
+      config.derivation.keys_through_order_limit = false;
+      config.derivation.keys_through_union_all = false;
+      config.derivation.trust_declared_cardinality = false;
+      config.limit_pushdown_over_aj = false;
+      config.asj_elimination = false;
+      config.asj_union_all_anchor = false;
+      config.case_join = false;
+      config.agg_pushdown = false;
+      config.allow_precision_loss_rewrites = false;
+      break;
+    case SystemProfile::kSystemZ:
+      // Table 1: Y on everything except UAJ 1b.
+      config.derivation.keys_through_order_limit = false;
+      config.derivation.keys_through_union_all = false;
+      config.derivation.trust_declared_cardinality = false;
+      config.limit_pushdown_over_aj = false;
+      config.asj_elimination = false;
+      config.asj_union_all_anchor = false;
+      config.case_join = false;
+      config.agg_pushdown = false;
+      config.allow_precision_loss_rewrites = false;
+      break;
+    case SystemProfile::kNone:
+      config.constant_folding = false;
+      config.join_reordering = false;
+      config.filter_pushdown = false;
+      config.projection_pruning = false;
+      config.uaj_elimination = false;
+      config.limit_pushdown_over_aj = false;
+      config.asj_elimination = false;
+      config.asj_union_all_anchor = false;
+      config.case_join = false;
+      config.agg_pushdown = false;
+      config.allow_precision_loss_rewrites = false;
+      config.distinct_elimination = false;
+      break;
+  }
+  return config;
+}
+
+std::string ProfileName(SystemProfile profile) {
+  switch (profile) {
+    case SystemProfile::kHana:
+      return "HANA";
+    case SystemProfile::kPostgres:
+      return "Postgres";
+    case SystemProfile::kSystemX:
+      return "System X";
+    case SystemProfile::kSystemY:
+      return "System Y";
+    case SystemProfile::kSystemZ:
+      return "System Z";
+    case SystemProfile::kNone:
+      return "Unoptimized";
+  }
+  return "?";
+}
+
+PlanRef Optimizer::Optimize(const PlanRef& plan) const {
+  PlanRef current = plan;
+  for (int pass = 0; pass < config_.max_passes; ++pass) {
+    bool changed = false;
+    if (config_.constant_folding) {
+      current = PassConstantFolding(current, config_, &changed);
+    }
+    if (config_.filter_pushdown) {
+      current = PassFilterPushdown(current, config_, &changed);
+    }
+    if (config_.join_reordering) {
+      current = PassJoinOrder(current, config_, &changed);
+    }
+    if (config_.allow_precision_loss_rewrites || config_.agg_pushdown) {
+      current = PassAggregatePushdown(current, config_, &changed);
+    }
+    if (config_.asj_elimination) {
+      current = PassAsjElimination(current, config_, &changed);
+    }
+    if (config_.projection_pruning || config_.uaj_elimination) {
+      current = PassPruneAndEliminate(current, config_, &changed);
+    }
+    if (config_.distinct_elimination) {
+      current = PassDistinctElimination(current, config_, &changed);
+    }
+    if (config_.limit_pushdown_over_aj) {
+      current = PassLimitPushdown(current, config_, &changed);
+    }
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace vdm

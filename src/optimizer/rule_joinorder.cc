@@ -1,0 +1,301 @@
+// Greedy cost-based ordering of inner-join chains (the "Volcano-style
+// cost-based optimizer" substrate of §2.2, in miniature).
+//
+// Maximal chains of pure inner equi-joins are flattened, base cardinalities
+// are estimated from catalog statistics (filters discount them), and a
+// greedy left-deep order is built starting from the smallest relation,
+// always preferring a connected relation with the smallest estimated
+// result. Besides join ordering this fixes build sides: the executor
+// builds the hash table on the right input, so smaller relations gravitate
+// right. A projection on top restores the original column order.
+//
+// Joins with declared cardinalities or case-join intent are left alone —
+// their shape carries optimizer-relevant meaning (§6.3, §7.3).
+#include <algorithm>
+#include <set>
+
+#include "expr/fold.h"
+#include "optimizer/optimizer.h"
+
+namespace vdm {
+
+namespace {
+
+struct ChainRelation {
+  PlanRef plan;
+  std::set<std::string> outputs;
+  double estimated_rows;
+};
+
+/// True if this join may participate in a reorderable chain.
+bool IsReorderableJoin(const JoinOp& join) {
+  if (join.join_type() != JoinType::kInner) return false;
+  if (join.is_case_join()) return false;
+  if (join.declared_cardinality() != DeclaredCardinality::kNone) return false;
+  return true;
+}
+
+double EstimateRows(const PlanRef& plan, const Catalog* catalog) {
+  switch (plan->kind()) {
+    case OpKind::kScan: {
+      const auto& scan = static_cast<const ScanOp&>(*plan);
+      if (catalog != nullptr) {
+        const TableStats* stats = catalog->FindTableStats(scan.table_name());
+        if (stats != nullptr) return static_cast<double>(stats->row_count);
+      }
+      return 1000.0;
+    }
+    case OpKind::kFilter: {
+      const auto& filter = static_cast<const FilterOp&>(*plan);
+      double selectivity = 1.0;
+      for (size_t i = 0; i < SplitConjuncts(filter.predicate()).size(); ++i) {
+        selectivity *= 0.25;
+      }
+      return std::max(1.0, EstimateRows(plan->child(0), catalog) *
+                               selectivity);
+    }
+    case OpKind::kProject:
+    case OpKind::kSort:
+    case OpKind::kDistinct:
+      return EstimateRows(plan->child(0), catalog);
+    case OpKind::kLimit: {
+      const auto& limit = static_cast<const LimitOp&>(*plan);
+      return std::min(EstimateRows(plan->child(0), catalog),
+                      static_cast<double>(limit.limit()));
+    }
+    case OpKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateOp&>(*plan);
+      double input = EstimateRows(plan->child(0), catalog);
+      return agg.group_by().empty() ? 1.0 : std::max(1.0, input * 0.1);
+    }
+    case OpKind::kUnionAll: {
+      double total = 0;
+      for (const PlanRef& child : plan->children()) {
+        total += EstimateRows(child, catalog);
+      }
+      return total;
+    }
+    case OpKind::kJoin: {
+      const auto& join = static_cast<const JoinOp&>(*plan);
+      double left = EstimateRows(join.left(), catalog);
+      double right = EstimateRows(join.right(), catalog);
+      // Assume a key join: the larger side bounds the result.
+      return join.join_type() == JoinType::kLeftOuter
+                 ? left
+                 : std::max(left, right);
+    }
+  }
+  return 1000.0;
+}
+
+/// Flattens a maximal inner-join chain into relations + conjuncts.
+void Flatten(const PlanRef& plan, const Catalog* catalog,
+             std::vector<ChainRelation>* relations,
+             std::vector<ExprRef>* conjuncts) {
+  if (plan->kind() == OpKind::kJoin) {
+    const auto& join = static_cast<const JoinOp&>(*plan);
+    if (IsReorderableJoin(join)) {
+      Flatten(join.left(), catalog, relations, conjuncts);
+      Flatten(join.right(), catalog, relations, conjuncts);
+      for (const ExprRef& conjunct : SplitConjuncts(join.condition())) {
+        if (!IsAlwaysTrue(conjunct)) conjuncts->push_back(conjunct);
+      }
+      return;
+    }
+  }
+  ChainRelation relation;
+  relation.plan = plan;
+  std::vector<std::string> names = plan->OutputNames();
+  relation.outputs.insert(names.begin(), names.end());
+  relation.estimated_rows = EstimateRows(plan, catalog);
+  relations->push_back(std::move(relation));
+}
+
+bool RefsAvailable(const ExprRef& expr, const std::set<std::string>& have) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const std::string& ref : refs) {
+    if (have.count(ref) == 0) return false;
+  }
+  return true;
+}
+
+/// True if the conjunct connects the current set with the relation.
+bool Connects(const ExprRef& conjunct, const std::set<std::string>& have,
+              const ChainRelation& relation) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(conjunct, &refs);
+  bool uses_have = false, uses_rel = false, uses_other = false;
+  for (const std::string& ref : refs) {
+    if (relation.outputs.count(ref) > 0) {
+      uses_rel = true;
+    } else if (have.count(ref) > 0) {
+      uses_have = true;
+    } else {
+      uses_other = true;
+    }
+  }
+  return uses_have && uses_rel && !uses_other;
+}
+
+PlanRef TransformBelowChain(const PlanRef& plan,
+                            const OptimizerConfig& config, bool* changed);
+
+PlanRef ReorderChain(const std::shared_ptr<const JoinOp>& top,
+                     const OptimizerConfig& config, bool* changed) {
+  std::vector<ChainRelation> relations;
+  std::vector<ExprRef> conjuncts;
+  Flatten(top, config.stats_catalog, &relations, &conjuncts);
+  if (relations.size() < 2) return nullptr;
+
+  // Greedy order: start from the smallest relation; repeatedly append the
+  // connected relation with the smallest estimate (falling back to the
+  // smallest overall if nothing connects).
+  std::vector<size_t> order;
+  std::vector<bool> used(relations.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < relations.size(); ++i) {
+    if (relations[i].estimated_rows < relations[first].estimated_rows) {
+      first = i;
+    }
+  }
+  order.push_back(first);
+  used[first] = true;
+  std::set<std::string> have = relations[first].outputs;
+  while (order.size() < relations.size()) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < relations.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (const ExprRef& conjunct : conjuncts) {
+        if (Connects(conjunct, have, relations[i])) {
+          connected = true;
+          break;
+        }
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           relations[i].estimated_rows <
+               relations[static_cast<size_t>(best)].estimated_rows)) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    order.push_back(static_cast<size_t>(best));
+    used[static_cast<size_t>(best)] = true;
+    const auto& outs = relations[static_cast<size_t>(best)].outputs;
+    have.insert(outs.begin(), outs.end());
+  }
+
+  // The executor builds the hash table on the right side: within the
+  // greedy left-deep order, larger relations should come first. If the
+  // chosen order equals the original relation order, leave the plan alone.
+  bool same = true;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) {
+      same = false;
+      break;
+    }
+  }
+  if (same) return nullptr;
+
+  // Rebuild left-deep, attaching each conjunct at the first join where all
+  // its references are available.
+  std::vector<bool> conjunct_used(conjuncts.size(), false);
+  PlanRef current = relations[order[0]].plan;
+  std::set<std::string> available = relations[order[0]].outputs;
+  for (size_t step = 1; step < order.size(); ++step) {
+    const ChainRelation& next = relations[order[step]];
+    std::set<std::string> combined = available;
+    combined.insert(next.outputs.begin(), next.outputs.end());
+    std::vector<ExprRef> here;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (conjunct_used[c]) continue;
+      if (RefsAvailable(conjuncts[c], combined)) {
+        here.push_back(conjuncts[c]);
+        conjunct_used[c] = true;
+      }
+    }
+    current = std::make_shared<JoinOp>(std::move(current), next.plan,
+                                       JoinType::kInner,
+                                       AndAll(std::move(here)));
+    available = std::move(combined);
+  }
+  // Any conjunct not yet placed (shouldn't happen) becomes a filter.
+  std::vector<ExprRef> leftover;
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (!conjunct_used[c]) leftover.push_back(conjuncts[c]);
+  }
+  if (!leftover.empty()) {
+    current =
+        std::make_shared<FilterOp>(std::move(current), AndAll(leftover));
+  }
+  // Restore the original column order.
+  std::vector<ProjectOp::Item> items;
+  for (const std::string& name : top->OutputNames()) {
+    items.push_back({Col(name), name});
+  }
+  *changed = true;
+  return std::make_shared<ProjectOp>(std::move(current), std::move(items));
+}
+
+PlanRef Reorder(const PlanRef& plan, const OptimizerConfig& config,
+                bool* changed) {
+  if (plan->kind() == OpKind::kJoin) {
+    const auto& join = static_cast<const JoinOp&>(*plan);
+    if (IsReorderableJoin(join)) {
+      PlanRef reordered = ReorderChain(
+          std::static_pointer_cast<const JoinOp>(plan), config, changed);
+      PlanRef chain = reordered ? reordered : plan;
+      // Recurse into the chain's relations (below the reordered joins).
+      return TransformBelowChain(chain, config, changed);
+    }
+  }
+  std::vector<PlanRef> children;
+  bool any = false;
+  for (const PlanRef& child : plan->children()) {
+    PlanRef transformed = Reorder(child, config, changed);
+    any |= (transformed != child);
+    children.push_back(std::move(transformed));
+  }
+  return any ? plan->WithChildren(std::move(children)) : plan;
+}
+
+/// Recurses into the leaf relations of a (possibly reordered) chain
+/// without re-flattening the chain's own joins.
+PlanRef TransformBelowChain(const PlanRef& plan,
+                            const OptimizerConfig& config, bool* changed) {
+  if (plan->kind() == OpKind::kJoin &&
+      IsReorderableJoin(static_cast<const JoinOp&>(*plan))) {
+    const auto& join = static_cast<const JoinOp&>(*plan);
+    PlanRef left = TransformBelowChain(join.left(), config, changed);
+    PlanRef right = TransformBelowChain(join.right(), config, changed);
+    if (left == join.left() && right == join.right()) return plan;
+    return plan->WithChildren({std::move(left), std::move(right)});
+  }
+  if (plan->kind() == OpKind::kProject || plan->kind() == OpKind::kFilter) {
+    PlanRef child = TransformBelowChain(plan->child(0), config, changed);
+    if (child == plan->child(0)) return plan;
+    return plan->WithChildren({child});
+  }
+  // A non-chain node: resume the normal recursion.
+  std::vector<PlanRef> children;
+  bool any = false;
+  for (const PlanRef& child : plan->children()) {
+    PlanRef transformed = Reorder(child, config, changed);
+    any |= (transformed != child);
+    children.push_back(std::move(transformed));
+  }
+  return any ? plan->WithChildren(std::move(children)) : plan;
+}
+
+}  // namespace
+
+PlanRef PassJoinOrder(const PlanRef& plan, const OptimizerConfig& config,
+                      bool* changed) {
+  if (!config.join_reordering) return plan;
+  return Reorder(plan, config, changed);
+}
+
+}  // namespace vdm

@@ -1,0 +1,349 @@
+#include "plan/logical_plan.h"
+
+#include <atomic>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace vdm {
+
+uint64_t LogicalOp::NextId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+// ---------------------------------------------------------------------------
+// ScanOp
+
+ScanOp::ScanOp(TableSchema schema, std::string alias,
+               std::vector<size_t> columns)
+    : LogicalOp(OpKind::kScan),
+      schema_(std::move(schema)),
+      alias_(std::move(alias)),
+      columns_(std::move(columns)) {
+  if (alias_.empty()) alias_ = schema_.name();
+  if (columns_.empty()) {
+    columns_.resize(schema_.NumColumns());
+    for (size_t i = 0; i < columns_.size(); ++i) columns_[i] = i;
+  }
+}
+
+std::string ScanOp::QualifiedName(size_t schema_column_index) const {
+  return alias_ + "." + schema_.column(schema_column_index).name;
+}
+
+PlanRef ScanOp::WithColumns(std::vector<size_t> columns) const {
+  auto copy = std::make_shared<ScanOp>(schema_, alias_, std::move(columns));
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+std::vector<std::string> ScanOp::OutputNames() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (size_t c : columns_) out.push_back(QualifiedName(c));
+  return out;
+}
+
+std::string ScanOp::Describe() const {
+  std::string out = "Scan " + schema_.name();
+  if (alias_ != schema_.name()) out += " AS " + alias_;
+  out += StrFormat(" [%zu/%zu cols]", columns_.size(), schema_.NumColumns());
+  return out;
+}
+
+PlanRef ScanOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.empty());
+  (void)children;
+  auto copy = std::make_shared<ScanOp>(schema_, alias_, columns_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp
+
+FilterOp::FilterOp(PlanRef input, ExprRef predicate)
+    : LogicalOp(OpKind::kFilter), predicate_(std::move(predicate)) {
+  children_ = {std::move(input)};
+}
+
+std::vector<std::string> FilterOp::OutputNames() const {
+  return children_[0]->OutputNames();
+}
+
+std::string FilterOp::Describe() const {
+  return "Filter " + predicate_->ToString();
+}
+
+PlanRef FilterOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 1);
+  auto copy = std::make_shared<FilterOp>(std::move(children[0]), predicate_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// ProjectOp
+
+ProjectOp::ProjectOp(PlanRef input, std::vector<Item> items)
+    : LogicalOp(OpKind::kProject), items_(std::move(items)) {
+  children_ = {std::move(input)};
+}
+
+std::vector<std::string> ProjectOp::OutputNames() const {
+  std::vector<std::string> out;
+  out.reserve(items_.size());
+  for (const Item& item : items_) out.push_back(item.name);
+  return out;
+}
+
+std::string ProjectOp::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(items_.size());
+  for (const Item& item : items_) {
+    std::string rendered = item.expr->ToString();
+    if (rendered == item.name) {
+      parts.push_back(rendered);
+    } else {
+      parts.push_back(rendered + " AS " + item.name);
+    }
+  }
+  std::string joined = Join(parts, ", ");
+  if (joined.size() > 120) joined = joined.substr(0, 117) + "...";
+  return "Project [" + joined + "]";
+}
+
+PlanRef ProjectOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 1);
+  auto copy = std::make_shared<ProjectOp>(std::move(children[0]), items_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// JoinOp
+
+JoinOp::JoinOp(PlanRef left, PlanRef right, JoinType join_type,
+               ExprRef condition, DeclaredCardinality cardinality,
+               bool is_case_join)
+    : LogicalOp(OpKind::kJoin),
+      join_type_(join_type),
+      condition_(std::move(condition)),
+      cardinality_(cardinality),
+      case_join_(is_case_join) {
+  children_ = {std::move(left), std::move(right)};
+}
+
+std::vector<std::string> JoinOp::OutputNames() const {
+  std::vector<std::string> out = children_[0]->OutputNames();
+  std::vector<std::string> right = children_[1]->OutputNames();
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string JoinOp::Describe() const {
+  std::string out =
+      join_type_ == JoinType::kInner ? "Join INNER" : "Join LEFT OUTER";
+  if (cardinality_ == DeclaredCardinality::kAtMostOne) out += " MANY-TO-ONE";
+  if (cardinality_ == DeclaredCardinality::kExactOne) {
+    out += " MANY-TO-EXACT-ONE";
+  }
+  if (case_join_) out += " (CASE JOIN)";
+  out += " ON " + condition_->ToString();
+  return out;
+}
+
+PlanRef JoinOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 2);
+  auto copy = std::make_shared<JoinOp>(std::move(children[0]),
+                                       std::move(children[1]), join_type_,
+                                       condition_, cardinality_, case_join_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// AggregateOp
+
+AggregateOp::AggregateOp(PlanRef input, std::vector<GroupItem> group_by,
+                         std::vector<AggItem> aggregates)
+    : LogicalOp(OpKind::kAggregate),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  children_ = {std::move(input)};
+}
+
+std::vector<std::string> AggregateOp::OutputNames() const {
+  std::vector<std::string> out;
+  out.reserve(group_by_.size() + aggregates_.size());
+  for (const GroupItem& g : group_by_) out.push_back(g.name);
+  for (const AggItem& a : aggregates_) out.push_back(a.name);
+  return out;
+}
+
+std::string AggregateOp::Describe() const {
+  std::vector<std::string> parts;
+  for (const GroupItem& g : group_by_) parts.push_back(g.expr->ToString());
+  std::string out = "Aggregate";
+  if (!parts.empty()) out += " GROUP BY [" + Join(parts, ", ") + "]";
+  parts.clear();
+  for (const AggItem& a : aggregates_) {
+    parts.push_back(a.expr->ToString() + " AS " + a.name);
+  }
+  out += " [" + Join(parts, ", ") + "]";
+  if (out.size() > 140) out = out.substr(0, 137) + "...";
+  return out;
+}
+
+PlanRef AggregateOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 1);
+  auto copy = std::make_shared<AggregateOp>(std::move(children[0]), group_by_,
+                                            aggregates_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// UnionAllOp
+
+UnionAllOp::UnionAllOp(std::vector<PlanRef> inputs,
+                       std::vector<std::string> output_names,
+                       int branch_id_column, std::string logical_table)
+    : LogicalOp(OpKind::kUnionAll),
+      output_names_(std::move(output_names)),
+      branch_id_column_(branch_id_column),
+      logical_table_(std::move(logical_table)) {
+  children_ = std::move(inputs);
+  VDM_CHECK(!children_.empty());
+  for (const PlanRef& child : children_) {
+    VDM_CHECK(child->OutputNames().size() == output_names_.size());
+  }
+}
+
+std::vector<std::string> UnionAllOp::OutputNames() const {
+  return output_names_;
+}
+
+std::string UnionAllOp::Describe() const {
+  std::string out = StrFormat("UnionAll [%zu children]", children_.size());
+  if (branch_id_column_ >= 0) {
+    out += " branch_id=" + output_names_[static_cast<size_t>(
+                               branch_id_column_)];
+  }
+  return out;
+}
+
+PlanRef UnionAllOp::WithChildren(std::vector<PlanRef> children) const {
+  auto copy = std::make_shared<UnionAllOp>(std::move(children), output_names_,
+                                           branch_id_column_, logical_table_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// SortOp / LimitOp / DistinctOp
+
+SortOp::SortOp(PlanRef input, std::vector<SortKey> keys)
+    : LogicalOp(OpKind::kSort), keys_(std::move(keys)) {
+  children_ = {std::move(input)};
+}
+
+std::vector<std::string> SortOp::OutputNames() const {
+  return children_[0]->OutputNames();
+}
+
+std::string SortOp::Describe() const {
+  std::vector<std::string> parts;
+  for (const SortKey& key : keys_) {
+    parts.push_back(key.expr->ToString() + (key.ascending ? "" : " DESC"));
+  }
+  return "Sort [" + Join(parts, ", ") + "]";
+}
+
+PlanRef SortOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 1);
+  auto copy = std::make_shared<SortOp>(std::move(children[0]), keys_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+LimitOp::LimitOp(PlanRef input, int64_t limit, int64_t offset)
+    : LogicalOp(OpKind::kLimit), limit_(limit), offset_(offset) {
+  children_ = {std::move(input)};
+}
+
+std::vector<std::string> LimitOp::OutputNames() const {
+  return children_[0]->OutputNames();
+}
+
+std::string LimitOp::Describe() const {
+  std::string out = StrFormat("Limit %lld", static_cast<long long>(limit_));
+  if (offset_ > 0) {
+    out += StrFormat(" OFFSET %lld", static_cast<long long>(offset_));
+  }
+  return out;
+}
+
+PlanRef LimitOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 1);
+  auto copy = std::make_shared<LimitOp>(std::move(children[0]), limit_,
+                                        offset_);
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+DistinctOp::DistinctOp(PlanRef input) : LogicalOp(OpKind::kDistinct) {
+  children_ = {std::move(input)};
+}
+
+std::vector<std::string> DistinctOp::OutputNames() const {
+  return children_[0]->OutputNames();
+}
+
+std::string DistinctOp::Describe() const { return "Distinct"; }
+
+PlanRef DistinctOp::WithChildren(std::vector<PlanRef> children) const {
+  VDM_CHECK(children.size() == 1);
+  auto copy = std::make_shared<DistinctOp>(std::move(children[0]));
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+
+PlanRef TransformPlan(const PlanRef& plan,
+                      const std::function<PlanRef(const PlanRef&)>& fn) {
+  std::vector<PlanRef> new_children;
+  bool changed = false;
+  new_children.reserve(plan->NumChildren());
+  for (const PlanRef& child : plan->children()) {
+    PlanRef transformed = TransformPlan(child, fn);
+    changed |= (transformed != child);
+    new_children.push_back(std::move(transformed));
+  }
+  PlanRef rebuilt =
+      changed ? plan->WithChildren(std::move(new_children)) : plan;
+  PlanRef replaced = fn(rebuilt);
+  return replaced ? replaced : rebuilt;
+}
+
+void VisitPlan(const PlanRef& plan,
+               const std::function<void(const PlanRef&)>& fn) {
+  fn(plan);
+  for (const PlanRef& child : plan->children()) VisitPlan(child, fn);
+}
+
+std::shared_ptr<const ScanOp> FindScanById(const PlanRef& plan, uint64_t id) {
+  if (plan->kind() == OpKind::kScan && plan->id() == id) {
+    return std::static_pointer_cast<const ScanOp>(plan);
+  }
+  for (const PlanRef& child : plan->children()) {
+    std::shared_ptr<const ScanOp> found = FindScanById(child, id);
+    if (found) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace vdm

@@ -1,0 +1,284 @@
+// Logical query plan operators.
+//
+// Plans are shared_ptr trees of immutable nodes (rewrites build new nodes).
+// Every operator exposes a flat list of named output columns; scans qualify
+// column names with their alias ("o.o_orderkey") so that self-joins — the
+// heart of the paper's ASJ pattern — are unambiguous.
+//
+// JoinOp carries the paper-specific attributes:
+//  * declared join cardinality (§7.3 `left outer many to one join`)
+//  * the case-join flag (§6.3): an explicit declaration that this join is an
+//    augmentation self-join whose augmenter may be a UNION ALL, instructing
+//    the optimizer to preserve the augmenter subtree and attempt ASJ
+//    elimination even across UNION ALL on both sides.
+#ifndef VDMQO_PLAN_LOGICAL_PLAN_H_
+#define VDMQO_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "expr/expr.h"
+
+namespace vdm {
+
+class LogicalOp;
+using PlanRef = std::shared_ptr<const LogicalOp>;
+
+enum class OpKind {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kUnionAll,
+  kSort,
+  kLimit,
+  kDistinct,
+};
+
+enum class JoinType {
+  kInner,
+  kLeftOuter,
+};
+
+/// Declared join cardinality of the *right* side relative to the left
+/// (paper §7.3). kExactOne means 1..1 (many-to-exact-one), kAtMostOne means
+/// 0..1 (many-to-one). Unenforced; trusted by the optimizer.
+enum class DeclaredCardinality {
+  kNone,
+  kAtMostOne,   // "many to one"
+  kExactOne,    // "many to exact one"
+};
+
+class LogicalOp : public std::enable_shared_from_this<LogicalOp> {
+ public:
+  explicit LogicalOp(OpKind kind) : kind_(kind), id_(NextId()) {}
+  virtual ~LogicalOp() = default;
+
+  OpKind kind() const { return kind_; }
+  /// Unique node id, stable across shallow copies that preserve identity
+  /// semantics (scan instances are identified by id for provenance).
+  uint64_t id() const { return id_; }
+
+  const std::vector<PlanRef>& children() const { return children_; }
+  const PlanRef& child(size_t i) const { return children_[i]; }
+  size_t NumChildren() const { return children_.size(); }
+
+  /// Names of the output columns, in order.
+  virtual std::vector<std::string> OutputNames() const = 0;
+
+  /// Single-line description (without children) for plan printing.
+  virtual std::string Describe() const = 0;
+
+  /// Rebuilds this node with new children, preserving attributes AND the
+  /// node id (rewrites replace subtrees but keep the node's identity).
+  virtual PlanRef WithChildren(std::vector<PlanRef> children) const = 0;
+
+ protected:
+  static uint64_t NextId();
+
+  void CopyIdFrom(const LogicalOp& other) { id_ = other.id_; }
+
+  OpKind kind_;
+  uint64_t id_;
+  std::vector<PlanRef> children_;
+};
+
+// ---------------------------------------------------------------------------
+
+class ScanOp : public LogicalOp {
+ public:
+  /// Scans `schema` under `alias`; output columns are "alias.column" for
+  /// each entry of `columns` (indexes into the schema).
+  ScanOp(TableSchema schema, std::string alias, std::vector<size_t> columns);
+
+  const TableSchema& table_schema() const { return schema_; }
+  const std::string& table_name() const { return schema_.name(); }
+  const std::string& alias() const { return alias_; }
+  const std::vector<size_t>& column_indexes() const { return columns_; }
+
+  /// Qualified name for schema column index c: "alias.colname".
+  std::string QualifiedName(size_t schema_column_index) const;
+  /// The schema column index behind output position i.
+  size_t SchemaIndexOfOutput(size_t output_index) const {
+    return columns_[output_index];
+  }
+
+  /// New scan node (same identity) restricted to the given schema columns.
+  PlanRef WithColumns(std::vector<size_t> columns) const;
+
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  TableSchema schema_;
+  std::string alias_;
+  std::vector<size_t> columns_;
+};
+
+class FilterOp : public LogicalOp {
+ public:
+  FilterOp(PlanRef input, ExprRef predicate);
+  const ExprRef& predicate() const { return predicate_; }
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  ExprRef predicate_;
+};
+
+class ProjectOp : public LogicalOp {
+ public:
+  struct Item {
+    ExprRef expr;
+    std::string name;
+  };
+  ProjectOp(PlanRef input, std::vector<Item> items);
+  const std::vector<Item>& items() const { return items_; }
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  std::vector<Item> items_;
+};
+
+class JoinOp : public LogicalOp {
+ public:
+  JoinOp(PlanRef left, PlanRef right, JoinType join_type, ExprRef condition,
+         DeclaredCardinality cardinality = DeclaredCardinality::kNone,
+         bool is_case_join = false);
+
+  JoinType join_type() const { return join_type_; }
+  const ExprRef& condition() const { return condition_; }
+  DeclaredCardinality declared_cardinality() const { return cardinality_; }
+  bool is_case_join() const { return case_join_; }
+
+  const PlanRef& left() const { return children_[0]; }
+  const PlanRef& right() const { return children_[1]; }
+
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  JoinType join_type_;
+  ExprRef condition_;
+  DeclaredCardinality cardinality_;
+  bool case_join_;
+};
+
+class AggregateOp : public LogicalOp {
+ public:
+  struct GroupItem {
+    ExprRef expr;  // usually a column ref
+    std::string name;
+  };
+  struct AggItem {
+    ExprRef expr;  // an AggregateExpr, possibly wrapped in scalar exprs
+    std::string name;
+  };
+  AggregateOp(PlanRef input, std::vector<GroupItem> group_by,
+              std::vector<AggItem> aggregates);
+
+  const std::vector<GroupItem>& group_by() const { return group_by_; }
+  const std::vector<AggItem>& aggregates() const { return aggregates_; }
+
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  std::vector<GroupItem> group_by_;
+  std::vector<AggItem> aggregates_;
+};
+
+class UnionAllOp : public LogicalOp {
+ public:
+  /// All children must produce the same column count; `output_names` names
+  /// the union's columns. If `branch_id_column` >= 0, that output position
+  /// is a literal branch discriminator distinct per child (paper Fig. 12(b)),
+  /// which lets the optimizer derive composite-key uniqueness.
+  UnionAllOp(std::vector<PlanRef> inputs,
+             std::vector<std::string> output_names,
+             int branch_id_column = -1, std::string logical_table = "");
+
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+  int branch_id_column() const { return branch_id_column_; }
+  /// Name of the logical table this union represents (e.g. the draft/active
+  /// pattern of Fig. 11(b), where Active ∪ Draft acts as one table from the
+  /// application's perspective). Empty when the union is not table-like.
+  const std::string& logical_table() const { return logical_table_; }
+
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  std::vector<std::string> output_names_;
+  int branch_id_column_;
+  std::string logical_table_;
+};
+
+class SortOp : public LogicalOp {
+ public:
+  struct SortKey {
+    ExprRef expr;
+    bool ascending = true;
+  };
+  SortOp(PlanRef input, std::vector<SortKey> keys);
+  const std::vector<SortKey>& keys() const { return keys_; }
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+class LimitOp : public LogicalOp {
+ public:
+  LimitOp(PlanRef input, int64_t limit, int64_t offset = 0);
+  int64_t limit() const { return limit_; }
+  int64_t offset() const { return offset_; }
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+
+ private:
+  int64_t limit_;
+  int64_t offset_;
+};
+
+class DistinctOp : public LogicalOp {
+ public:
+  explicit DistinctOp(PlanRef input);
+  std::vector<std::string> OutputNames() const override;
+  std::string Describe() const override;
+  PlanRef WithChildren(std::vector<PlanRef> children) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+
+/// Applies fn bottom-up; fn may return a replacement node or nullptr to
+/// keep the (possibly rebuilt) node.
+PlanRef TransformPlan(const PlanRef& plan,
+                      const std::function<PlanRef(const PlanRef&)>& fn);
+
+/// Pre-order visit.
+void VisitPlan(const PlanRef& plan,
+               const std::function<void(const PlanRef&)>& fn);
+
+/// Finds the (unique) scan node with the given node id, or nullptr.
+std::shared_ptr<const ScanOp> FindScanById(const PlanRef& plan, uint64_t id);
+
+}  // namespace vdm
+
+#endif  // VDMQO_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,83 @@
+#include "plan/plan_builder.h"
+
+#include "common/macros.h"
+
+namespace vdm {
+
+PlanBuilder PlanBuilder::Scan(const Catalog& catalog,
+                              const std::string& table,
+                              const std::string& alias) {
+  const TableSchema* schema = catalog.FindTable(table);
+  VDM_CHECK(schema != nullptr);
+  return ScanSchema(*schema, alias);
+}
+
+PlanBuilder PlanBuilder::ScanSchema(TableSchema schema,
+                                    const std::string& alias) {
+  return PlanBuilder(
+      std::make_shared<ScanOp>(std::move(schema), alias,
+                               std::vector<size_t>{}));
+}
+
+PlanBuilder PlanBuilder::Filter(ExprRef predicate) const {
+  return PlanBuilder(std::make_shared<FilterOp>(plan_, std::move(predicate)));
+}
+
+PlanBuilder PlanBuilder::Project(std::vector<ProjectOp::Item> items) const {
+  return PlanBuilder(std::make_shared<ProjectOp>(plan_, std::move(items)));
+}
+
+PlanBuilder PlanBuilder::ProjectColumns(
+    const std::vector<std::string>& inputs,
+    std::vector<std::string> outputs) const {
+  VDM_CHECK(outputs.empty() || outputs.size() == inputs.size());
+  std::vector<ProjectOp::Item> items;
+  items.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    items.push_back(
+        {Col(inputs[i]), outputs.empty() ? inputs[i] : outputs[i]});
+  }
+  return Project(std::move(items));
+}
+
+PlanBuilder PlanBuilder::Join(const PlanBuilder& right, JoinType join_type,
+                              ExprRef condition,
+                              DeclaredCardinality cardinality,
+                              bool case_join) const {
+  return PlanBuilder(std::make_shared<JoinOp>(plan_, right.plan_, join_type,
+                                              std::move(condition),
+                                              cardinality, case_join));
+}
+
+PlanBuilder PlanBuilder::Aggregate(
+    std::vector<AggregateOp::GroupItem> group_by,
+    std::vector<AggregateOp::AggItem> aggregates) const {
+  return PlanBuilder(std::make_shared<AggregateOp>(plan_, std::move(group_by),
+                                                   std::move(aggregates)));
+}
+
+PlanBuilder PlanBuilder::UnionAll(const std::vector<PlanBuilder>& inputs,
+                                  std::vector<std::string> output_names,
+                                  int branch_id_column,
+                                  std::string logical_table) {
+  std::vector<PlanRef> children;
+  children.reserve(inputs.size());
+  for (const PlanBuilder& b : inputs) children.push_back(b.plan_);
+  return PlanBuilder(std::make_shared<UnionAllOp>(
+      std::move(children), std::move(output_names), branch_id_column,
+      std::move(logical_table)));
+}
+
+PlanBuilder PlanBuilder::Sort(std::vector<SortOp::SortKey> keys) const {
+  return PlanBuilder(std::make_shared<SortOp>(plan_, std::move(keys)));
+}
+
+PlanBuilder PlanBuilder::Limit(int64_t limit, int64_t offset) const {
+  return PlanBuilder(std::make_shared<LimitOp>(plan_, limit, offset));
+}
+
+PlanBuilder PlanBuilder::Distinct() const {
+  return PlanBuilder(std::make_shared<DistinctOp>(plan_));
+}
+
+}  // namespace vdm

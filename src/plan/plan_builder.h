@@ -1,0 +1,54 @@
+// Fluent construction of logical plans without going through SQL.
+// Used by tests, benchmarks, and the programmatic VDM view generator.
+#ifndef VDMQO_PLAN_PLAN_BUILDER_H_
+#define VDMQO_PLAN_PLAN_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace vdm {
+
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(PlanRef plan) : plan_(std::move(plan)) {}
+
+  /// Scans a catalog table; output names are "alias.column".
+  static PlanBuilder Scan(const Catalog& catalog, const std::string& table,
+                          const std::string& alias = "");
+  /// Scans from an explicit schema (no catalog needed).
+  static PlanBuilder ScanSchema(TableSchema schema,
+                                const std::string& alias = "");
+
+  PlanBuilder Filter(ExprRef predicate) const;
+  PlanBuilder Project(std::vector<ProjectOp::Item> items) const;
+  /// Projects the named child columns 1:1 under the given output names
+  /// (same-length lists); empty outputs keep the input names.
+  PlanBuilder ProjectColumns(const std::vector<std::string>& inputs,
+                             std::vector<std::string> outputs = {}) const;
+  PlanBuilder Join(const PlanBuilder& right, JoinType join_type,
+                   ExprRef condition,
+                   DeclaredCardinality cardinality = DeclaredCardinality::kNone,
+                   bool case_join = false) const;
+  PlanBuilder Aggregate(std::vector<AggregateOp::GroupItem> group_by,
+                        std::vector<AggregateOp::AggItem> aggregates) const;
+  static PlanBuilder UnionAll(const std::vector<PlanBuilder>& inputs,
+                              std::vector<std::string> output_names,
+                              int branch_id_column = -1,
+                              std::string logical_table = "");
+  PlanBuilder Sort(std::vector<SortOp::SortKey> keys) const;
+  PlanBuilder Limit(int64_t limit, int64_t offset = 0) const;
+  PlanBuilder Distinct() const;
+
+  const PlanRef& plan() const { return plan_; }
+  PlanRef Build() const { return plan_; }
+
+ private:
+  PlanRef plan_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_PLAN_PLAN_BUILDER_H_

@@ -1,0 +1,83 @@
+#include "plan/plan_printer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+namespace {
+
+void PrintRec(const PlanRef& plan, size_t depth, std::string* out) {
+  out->append(depth * 2, ' ');
+  out->append(plan->Describe());
+  out->append("\n");
+  for (const PlanRef& child : plan->children()) {
+    PrintRec(child, depth + 1, out);
+  }
+}
+
+void StatsRec(const PlanRef& plan, size_t depth, PlanStats* stats) {
+  stats->max_depth = std::max(stats->max_depth, depth);
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      ++stats->table_instances;
+      break;
+    case OpKind::kJoin: {
+      ++stats->joins;
+      const auto& join = static_cast<const JoinOp&>(*plan);
+      if (join.join_type() == JoinType::kLeftOuter) {
+        ++stats->left_outer_joins;
+      }
+      break;
+    }
+    case OpKind::kUnionAll:
+      ++stats->union_alls;
+      stats->union_all_children += plan->NumChildren();
+      break;
+    case OpKind::kAggregate:
+      ++stats->aggregates;
+      break;
+    case OpKind::kDistinct:
+      ++stats->distincts;
+      break;
+    case OpKind::kFilter:
+      ++stats->filters;
+      break;
+    case OpKind::kProject:
+      ++stats->projects;
+      break;
+    case OpKind::kLimit:
+      ++stats->limits;
+      break;
+    case OpKind::kSort:
+      break;
+  }
+  for (const PlanRef& child : plan->children()) {
+    StatsRec(child, depth + 1, stats);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const PlanRef& plan) {
+  std::string out;
+  PrintRec(plan, 0, &out);
+  return out;
+}
+
+std::string PlanStats::ToString() const {
+  return StrFormat(
+      "tables=%zu joins=%zu (loj=%zu) unions=%zu aggs=%zu distincts=%zu "
+      "filters=%zu projects=%zu limits=%zu depth=%zu",
+      table_instances, joins, left_outer_joins, union_alls, aggregates,
+      distincts, filters, projects, limits, max_depth);
+}
+
+PlanStats ComputePlanStats(const PlanRef& plan) {
+  PlanStats stats;
+  StatsRec(plan, 0, &stats);
+  return stats;
+}
+
+}  // namespace vdm

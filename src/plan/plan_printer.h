@@ -1,0 +1,37 @@
+// Plan rendering and plan-shape statistics (the measurements behind the
+// paper's Fig. 3 / Fig. 4 discussion: table instances, join count, union
+// count, nesting depth).
+#ifndef VDMQO_PLAN_PLAN_PRINTER_H_
+#define VDMQO_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/logical_plan.h"
+
+namespace vdm {
+
+/// Indented tree rendering of a plan.
+std::string PrintPlan(const PlanRef& plan);
+
+/// Structural statistics of a plan.
+struct PlanStats {
+  size_t table_instances = 0;
+  size_t joins = 0;
+  size_t left_outer_joins = 0;
+  size_t union_alls = 0;
+  size_t union_all_children = 0;
+  size_t aggregates = 0;
+  size_t distincts = 0;
+  size_t filters = 0;
+  size_t projects = 0;
+  size_t limits = 0;
+  size_t max_depth = 0;
+
+  std::string ToString() const;
+};
+
+PlanStats ComputePlanStats(const PlanRef& plan);
+
+}  // namespace vdm
+
+#endif  // VDMQO_PLAN_PLAN_PRINTER_H_

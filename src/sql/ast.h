@@ -1,0 +1,94 @@
+// SQL abstract syntax. Expressions reuse the engine's Expr tree with
+// unresolved (possibly qualified) column names; the binder resolves them.
+#ifndef VDMQO_SQL_AST_H_
+#define VDMQO_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+
+namespace vdm {
+
+struct SelectStmt;
+
+struct SelectItem {
+  ExprRef expr;        // null when star
+  std::string alias;   // empty = derive from expression
+  bool star = false;   // SELECT *
+};
+
+struct TableRef {
+  enum class Kind { kNamed, kSubquery } kind = Kind::kNamed;
+  std::string name;    // table or view name (kNamed)
+  std::string alias;   // empty = use name
+  std::shared_ptr<SelectStmt> subquery;  // kSubquery
+};
+
+struct JoinClause {
+  JoinType join_type = JoinType::kInner;
+  DeclaredCardinality cardinality = DeclaredCardinality::kNone;
+  bool case_join = false;
+  TableRef ref;
+  ExprRef condition;  // null = CROSS-like TRUE condition
+};
+
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  bool has_from = false;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprRef where;                  // may be null
+  std::vector<ExprRef> group_by;  // empty = no grouping
+  ExprRef having;                 // may be null
+};
+
+struct OrderItem {
+  ExprRef expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  std::vector<SelectCore> cores;  // >1 = UNION ALL chain
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;   // -1 = none
+  int64_t offset = 0;
+};
+
+struct CreateTableStmt {
+  TableSchema schema;
+};
+
+struct CreateViewStmt {
+  std::string name;
+  std::shared_ptr<SelectStmt> select;
+  std::string select_sql;  // original text of the defining query
+  std::vector<ExpressionMacro> macros;
+  std::vector<AssociationDef> associations;
+  bool or_replace = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  /// Explicit target columns; empty = schema order.
+  std::vector<std::string> columns;
+  /// One expression list per row; expressions must be constant.
+  std::vector<std::vector<ExprRef>> rows;
+};
+
+struct Statement {
+  enum class Kind { kSelect, kCreateTable, kCreateView, kInsert } kind;
+  std::shared_ptr<SelectStmt> select;
+  std::shared_ptr<CreateTableStmt> create_table;
+  std::shared_ptr<CreateViewStmt> create_view;
+  std::shared_ptr<InsertStmt> insert;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_SQL_AST_H_

@@ -1,0 +1,65 @@
+// The binder: resolves an AST against the catalog and produces a logical
+// plan. This is where the paper's VDM machinery happens:
+//  * views are inlined on every reference (nested views unfold into one
+//    plan, the raw form of Fig. 3),
+//  * data-access-control filters attached to a view are injected on top of
+//    the inlined plan (§3),
+//  * expression macros are expanded at the aggregation site (§7.2),
+//  * scans qualify output columns with their alias, keeping self-joins
+//    (the ASJ pattern) unambiguous.
+#ifndef VDMQO_SQL_BINDER_H_
+#define VDMQO_SQL_BINDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace vdm {
+
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds a SELECT statement to a logical plan. Output column names are
+  /// the select-list names.
+  Result<PlanRef> BindSelect(const SelectStmt& stmt);
+
+  /// Parses and binds a SELECT in one step.
+  Result<PlanRef> BindSql(const std::string& sql);
+
+ private:
+  struct Scope;
+
+  /// Binds one select core. When `order_by` is non-null and the core is a
+  /// simple (non-grouped, non-distinct) select, the sort is applied inside
+  /// — which allows ordering by columns that are not projected — and
+  /// *order_handled is set.
+  Result<PlanRef> BindCore(const SelectCore& core,
+                           std::vector<std::string>* output_names,
+                           const std::vector<OrderItem>* order_by = nullptr,
+                           bool* order_handled = nullptr);
+  struct BoundRef {
+    PlanRef plan;
+    std::string alias;
+    std::vector<std::string> output_names;  // alias-qualified
+    const ViewDef* view = nullptr;          // macro source, if a view
+  };
+  Result<BoundRef> BindTableRef(const TableRef& ref);
+  Result<ExprRef> BindExpr(const ExprRef& expr, const Scope& scope);
+
+  /// Resolves a CDS path expression "alias.assoc[.assoc...].column" by
+  /// injecting the associations' LEFT OUTER joins into *plan and extending
+  /// *scope (paper §2.3). Unknown segments are left for normal resolution
+  /// to report.
+  Status ResolvePathRef(const std::string& ref, Scope* scope, PlanRef* plan);
+
+  const Catalog* catalog_;
+  int view_depth_ = 0;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_SQL_BINDER_H_

@@ -1,0 +1,111 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_' || sql[i] == '$')) {
+        ++i;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool has_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!has_dot && sql[i] == '.' && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(sql[i + 1]))))) {
+        if (sql[i] == '.') has_dot = true;
+        ++i;
+      }
+      token.kind = has_dot ? TokenKind::kDecimal : TokenKind::kInteger;
+      token.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu",
+                      token.offset));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char operators.
+    static const char* kTwoChar[] = {"<>", "<=", ">=", "!=", "||"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && i + 1 < n && sql[i + 1] == op[1]) {
+        token.kind = TokenKind::kSymbol;
+        token.text = op;
+        tokens.push_back(std::move(token));
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingle = "()+-*/=<>,.;";
+    if (kSingle.find(c) != std::string::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace vdm

@@ -1,0 +1,34 @@
+// SQL tokenizer. Keywords are not reserved at the lexer level: the parser
+// matches identifiers case-insensitively, which keeps the keyword set
+// extensible (MANY TO ONE, CASE JOIN, EXPRESSION MACROS, ...).
+#ifndef VDMQO_SQL_LEXER_H_
+#define VDMQO_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vdm {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kDecimal,   // numeric literal with a fractional part
+  kString,    // 'quoted'
+  kSymbol,    // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (original case) / literal text / symbol
+  size_t offset = 0;  // byte offset in the input (for error messages)
+};
+
+/// Tokenizes SQL text. Comments (-- to end of line) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace vdm
+
+#endif  // VDMQO_SQL_LEXER_H_

@@ -1,0 +1,33 @@
+// Recursive-descent SQL parser for the engine's dialect:
+//   SELECT [DISTINCT] items FROM refs joins [WHERE] [GROUP BY] [HAVING]
+//   ... UNION ALL ... [ORDER BY] [LIMIT n [OFFSET m]]
+//   CREATE TABLE name (cols, PRIMARY KEY.., UNIQUE.. [NOT ENFORCED],
+//                      FOREIGN KEY .. REFERENCES ..)
+//   CREATE [OR REPLACE] VIEW name AS select
+//       [WITH EXPRESSION MACROS (expr AS name, ...)]
+//
+// Paper-specific extensions:
+//   * join cardinality (§7.3):  LEFT [OUTER] MANY TO [EXACT] ONE JOIN
+//   * case join (§6.3):         [LEFT [OUTER]] CASE JOIN
+//   * ALLOW_PRECISION_LOSS(aggregate_expr)   (§7.1)
+//   * EXPRESSION_MACRO(name)                 (§7.2)
+#ifndef VDMQO_SQL_PARSER_H_
+#define VDMQO_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace vdm {
+
+/// Parses a single SQL statement (trailing ';' optional).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a standalone scalar expression (used for DAC filters and macro
+/// bodies).
+Result<ExprRef> ParseExpression(const std::string& sql);
+
+}  // namespace vdm
+
+#endif  // VDMQO_SQL_PARSER_H_

@@ -1,0 +1,267 @@
+#include "storage/table.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  main_.resize(schema_.NumColumns());
+  delta_.names.reserve(schema_.NumColumns());
+  delta_.columns.reserve(schema_.NumColumns());
+  for (const ColumnDef& col : schema_.columns()) {
+    delta_.names.push_back(col.name);
+    delta_.columns.emplace_back(col.type);
+  }
+}
+
+Status Table::CheckRow(const std::vector<Value>& row) const {
+  for (size_t i = 0; i < schema_.NumColumns(); ++i) {
+    const ColumnDef& col = schema_.column(i);
+    if (row[i].is_null() && !col.nullable) {
+      return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                         col.name + " of " + schema_.name());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Table::SerializeKey(const UniqueKeyDef& key,
+                                const std::vector<Value>& row) const {
+  std::string out;
+  for (const std::string& kc : key.columns) {
+    int idx = schema_.FindColumn(kc);
+    VDM_CHECK(idx >= 0);
+    out += row[static_cast<size_t>(idx)].ToString();
+    out += '\x1f';
+  }
+  return out;
+}
+
+void Table::BuildKeySets() {
+  key_sets_.clear();
+  size_t enforced = 0;
+  for (const UniqueKeyDef& key : schema_.unique_keys()) {
+    if (key.enforced) ++enforced;
+  }
+  key_sets_.resize(enforced);
+  // Replay existing rows.
+  size_t n = NumRows();
+  if (n == 0) {
+    key_sets_built_ = true;
+    return;
+  }
+  std::vector<ColumnData> all;
+  all.reserve(schema_.NumColumns());
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    all.push_back(ScanColumn(c));
+  }
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Value> row;
+    row.reserve(all.size());
+    for (const ColumnData& col : all) row.push_back(col.GetValue(r));
+    size_t ki = 0;
+    for (const UniqueKeyDef& key : schema_.unique_keys()) {
+      if (!key.enforced) continue;
+      key_sets_[ki][SerializeKey(key, row)] = r;
+      ++ki;
+    }
+  }
+  key_sets_built_ = true;
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu for table %s", row.size(),
+                  schema_.NumColumns(), schema_.name().c_str()));
+  }
+  if (enforce_constraints_) {
+    VDM_RETURN_NOT_OK(CheckRow(row));
+    if (!key_sets_built_) BuildKeySets();
+    size_t ki = 0;
+    for (const UniqueKeyDef& key : schema_.unique_keys()) {
+      if (!key.enforced) continue;
+      std::string serialized = SerializeKey(key, row);
+      auto [it, inserted] = key_sets_[ki].emplace(serialized, NumRows());
+      if (!inserted) {
+        return Status::ConstraintViolation("duplicate key in table " +
+                                           schema_.name());
+      }
+      ++ki;
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    delta_.columns[i].AppendValue(row[i]);
+  }
+  ++version_;
+  return Status::OK();
+}
+
+void Table::MergeDelta() {
+  size_t delta_rows = delta_.NumRows();
+  if (delta_rows == 0) return;
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    MainColumn& main = main_[c];
+    const ColumnData& delta = delta_.columns[c];
+    const DataType& type = schema_.column(c).type;
+    bool has_nulls = delta.HasNulls() || !main.validity.empty();
+    if (has_nulls && main.validity.empty()) {
+      main.validity.assign(main_rows_, 1);
+    }
+    if (type.id == TypeId::kString) {
+      // Re-encode delta strings into the dictionary.
+      std::unordered_map<std::string, uint32_t> lookup;
+      lookup.reserve(main.dictionary.size() + delta_rows);
+      for (uint32_t i = 0; i < main.dictionary.size(); ++i) {
+        lookup.emplace(main.dictionary[i], i);
+      }
+      for (size_t r = 0; r < delta_rows; ++r) {
+        if (delta.IsNull(r)) {
+          main.codes.push_back(MainColumn::kNullCode);
+          if (has_nulls) main.validity.push_back(0);
+          continue;
+        }
+        const std::string& s = delta.strings()[r];
+        auto [it, inserted] =
+            lookup.emplace(s, static_cast<uint32_t>(main.dictionary.size()));
+        if (inserted) main.dictionary.push_back(s);
+        main.codes.push_back(it->second);
+        if (has_nulls) main.validity.push_back(1);
+      }
+    } else if (type.id == TypeId::kDouble) {
+      for (size_t r = 0; r < delta_rows; ++r) {
+        main.doubles.push_back(delta.IsNull(r) ? 0.0 : delta.doubles()[r]);
+        if (has_nulls) main.validity.push_back(delta.IsNull(r) ? 0 : 1);
+      }
+    } else {
+      for (size_t r = 0; r < delta_rows; ++r) {
+        main.ints.push_back(delta.IsNull(r) ? 0 : delta.ints()[r]);
+        if (has_nulls) main.validity.push_back(delta.IsNull(r) ? 0 : 1);
+      }
+    }
+  }
+  main_rows_ += delta_rows;
+  // Reset the delta fragment.
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    delta_.columns[c] = ColumnData(schema_.column(c).type);
+  }
+}
+
+ColumnData Table::ScanColumn(size_t column_index) const {
+  VDM_CHECK(column_index < schema_.NumColumns());
+  const DataType& type = schema_.column(column_index).type;
+  const MainColumn& main = main_[column_index];
+  ColumnData out(type);
+  out.Reserve(NumRows());
+  // Decode main fragment.
+  if (type.id == TypeId::kString) {
+    for (size_t r = 0; r < main_rows_; ++r) {
+      uint32_t code = main.codes[r];
+      if (code == MainColumn::kNullCode) {
+        out.AppendNull();
+      } else {
+        out.AppendString(main.dictionary[code]);
+      }
+    }
+  } else if (type.id == TypeId::kDouble) {
+    for (size_t r = 0; r < main_rows_; ++r) {
+      if (!main.validity.empty() && main.validity[r] == 0) {
+        out.AppendNull();
+      } else {
+        out.AppendDouble(main.doubles[r]);
+      }
+    }
+  } else {
+    for (size_t r = 0; r < main_rows_; ++r) {
+      if (!main.validity.empty() && main.validity[r] == 0) {
+        out.AppendNull();
+      } else {
+        out.AppendInt(main.ints[r]);
+      }
+    }
+  }
+  // Append delta fragment.
+  const ColumnData& delta = delta_.columns[column_index];
+  for (size_t r = 0; r < delta.size(); ++r) {
+    out.AppendFrom(delta, r);
+  }
+  return out;
+}
+
+Result<Chunk> Table::Scan(const std::vector<std::string>& column_names) const {
+  Chunk out;
+  if (column_names.empty()) {
+    for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+      out.names.push_back(schema_.column(c).name);
+      out.columns.push_back(ScanColumn(c));
+    }
+    return out;
+  }
+  for (const std::string& name : column_names) {
+    int idx = schema_.FindColumn(name);
+    if (idx < 0) {
+      return Status::NotFound("column " + name + " not in table " +
+                              schema_.name());
+    }
+    out.names.push_back(schema_.column(static_cast<size_t>(idx)).name);
+    out.columns.push_back(ScanColumn(static_cast<size_t>(idx)));
+  }
+  return out;
+}
+
+Result<bool> Table::VerifyUnique(
+    const std::vector<std::string>& columns) const {
+  std::vector<ColumnData> cols;
+  for (const std::string& name : columns) {
+    int idx = schema_.FindColumn(name);
+    if (idx < 0) {
+      return Status::NotFound("column " + name + " not in table " +
+                              schema_.name());
+    }
+    cols.push_back(ScanColumn(static_cast<size_t>(idx)));
+  }
+  std::unordered_map<std::string, size_t> seen;
+  size_t n = NumRows();
+  seen.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    std::string key;
+    for (const ColumnData& col : cols) {
+      key += col.GetValue(r).ToString();
+      key += '\x1f';
+    }
+    auto [it, inserted] = seen.emplace(std::move(key), r);
+    if (!inserted) return false;
+  }
+  return true;
+}
+
+Status StorageManager::CreateTable(TableSchema schema) {
+  VDM_RETURN_NOT_OK(schema.Validate());
+  std::string key = ToLower(schema.name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + schema.name());
+  }
+  tables_.emplace(std::move(key), Table(std::move(schema)));
+  return Status::OK();
+}
+
+Table* StorageManager::FindTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table* StorageManager::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Status StorageManager::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace vdm

@@ -1,0 +1,108 @@
+// In-memory columnar table with a HANA-style two-fragment layout (§2.2 of
+// the paper): a read-optimized, dictionary-compressed *main* fragment and a
+// write-optimized, append-only *delta* fragment. MergeDelta() folds the
+// delta into the main, re-encoding dictionaries.
+//
+// Scans decode both fragments into ColumnData vectors; the executor never
+// sees fragments. Constraint enforcement is optional per table — the paper
+// (§4.5, §7.3) stresses that SAP applications avoid enforced constraints,
+// so enforcement defaults off and a separate verifier checks declared keys.
+#ifndef VDMQO_STORAGE_TABLE_H_
+#define VDMQO_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "types/column.h"
+#include "types/value.h"
+
+namespace vdm {
+
+/// One column of the main fragment. Strings are dictionary-encoded;
+/// integer-backed and double columns are stored as plain vectors.
+struct MainColumn {
+  // For string columns: dictionary + codes (code kNullCode = NULL).
+  static constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+  std::vector<std::string> dictionary;
+  std::vector<uint32_t> codes;
+  // For non-string columns.
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint8_t> validity;  // empty = all valid
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  /// Monotonic modification counter; bumped on every append. Used by
+  /// dynamic cached views to detect staleness.
+  uint64_t version() const { return version_; }
+  size_t NumRows() const { return main_rows_ + delta_.NumRows(); }
+  size_t NumMainRows() const { return main_rows_; }
+  size_t NumDeltaRows() const { return delta_.NumRows(); }
+
+  /// When enabled, AppendRow validates enforced unique keys and NOT NULL.
+  void SetEnforceConstraints(bool enforce) { enforce_constraints_ = enforce; }
+
+  /// Appends one row (into the delta fragment). Values must match the
+  /// schema's column count and types.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Folds the delta into the main fragment (dictionary re-encode).
+  void MergeDelta();
+
+  /// Materializes one column (both fragments) by schema index.
+  ColumnData ScanColumn(size_t column_index) const;
+
+  /// Materializes the named columns; empty list means all columns.
+  Result<Chunk> Scan(const std::vector<std::string>& column_names) const;
+
+  /// Checks an arbitrary column set for uniqueness against the data —
+  /// the §7.3 verification tool for declared join cardinalities.
+  Result<bool> VerifyUnique(const std::vector<std::string>& columns) const;
+
+ private:
+  Status CheckRow(const std::vector<Value>& row) const;
+
+  TableSchema schema_;
+  bool enforce_constraints_ = false;
+  uint64_t version_ = 0;
+
+  size_t main_rows_ = 0;
+  std::vector<MainColumn> main_;
+  Chunk delta_;  // plain ColumnData per column
+
+  // Uniqueness enforcement state: one hash set per enforced key, keyed by
+  // serialized key tuples. Only maintained when enforcement is on.
+  mutable std::vector<std::unordered_map<std::string, size_t>> key_sets_;
+  bool key_sets_built_ = false;
+  void BuildKeySets();
+  std::string SerializeKey(const UniqueKeyDef& key,
+                           const std::vector<Value>& row) const;
+};
+
+/// Name → Table registry; the executor's data source.
+class StorageManager {
+ public:
+  StorageManager() = default;
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  Status CreateTable(TableSchema schema);
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+ private:
+  std::unordered_map<std::string, Table> tables_;  // lower-cased name
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_STORAGE_TABLE_H_

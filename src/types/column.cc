@@ -1,0 +1,156 @@
+#include "types/column.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+void ColumnData::Reserve(size_t n) {
+  if (type_.id == TypeId::kString) {
+    strings_.reserve(n);
+  } else if (type_.id == TypeId::kDouble) {
+    doubles_.reserve(n);
+  } else {
+    ints_.reserve(n);
+  }
+}
+
+void ColumnData::AppendNull() {
+  EnsureValidity();
+  if (type_.id == TypeId::kString) {
+    strings_.emplace_back();
+  } else if (type_.id == TypeId::kDouble) {
+    doubles_.push_back(0.0);
+  } else {
+    ints_.push_back(0);
+  }
+  validity_.push_back(0);
+  ++size_;
+}
+
+void ColumnData::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_.id) {
+    case TypeId::kBool:
+      AppendInt(v.AsBool() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      AppendInt(v.AsInt64());
+      break;
+    case TypeId::kDecimal:
+      if (v.type().id == TypeId::kDecimal) {
+        VDM_DCHECK(v.type().scale == type_.scale);
+        AppendInt(v.AsUnscaled());
+      } else {
+        // Promote integers to this decimal's scale.
+        AppendInt(v.AsInt64() * DecimalPow10(type_.scale));
+      }
+      break;
+    case TypeId::kDouble:
+      AppendDouble(v.ToDouble());
+      break;
+    case TypeId::kString:
+      AppendString(v.AsString());
+      break;
+  }
+}
+
+Value ColumnData::GetValue(size_t i) const {
+  VDM_DCHECK(i < size_);
+  if (IsNull(i)) return Value::Null();
+  switch (type_.id) {
+    case TypeId::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case TypeId::kInt64:
+      return Value::Int64(ints_[i]);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[i]);
+    case TypeId::kDecimal:
+      return Value::Decimal(ints_[i], type_.scale);
+    case TypeId::kString:
+      return Value::String(strings_[i]);
+    case TypeId::kDate:
+      return Value::Date(ints_[i]);
+  }
+  return Value::Null();
+}
+
+void ColumnData::AppendFrom(const ColumnData& other, size_t i) {
+  VDM_DCHECK(type_.id == other.type_.id);
+  if (other.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  if (type_.id == TypeId::kString) {
+    AppendString(other.strings_[i]);
+  } else if (type_.id == TypeId::kDouble) {
+    AppendDouble(other.doubles_[i]);
+  } else {
+    AppendInt(other.ints_[i]);
+  }
+}
+
+ColumnData ColumnData::Gather(const std::vector<size_t>& row_indexes) const {
+  ColumnData out(type_);
+  out.Reserve(row_indexes.size());
+  for (size_t idx : row_indexes) {
+    if (idx == kInvalidIndex) {
+      out.AppendNull();
+    } else {
+      out.AppendFrom(*this, idx);
+    }
+  }
+  return out;
+}
+
+ColumnData ColumnData::Nulls(DataType type, size_t n) {
+  ColumnData out(type);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.AppendNull();
+  return out;
+}
+
+int Chunk::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Chunk::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(names.size());
+  size_t rows = std::min(NumRows(), max_rows);
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < names.size(); ++c) widths[c] = names[c].size();
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(names.size());
+    for (size_t c = 0; c < names.size(); ++c) {
+      cells[r][c] = columns[c].GetValue(r).ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < names.size(); ++c) {
+    out += names[c];
+    out.append(widths[c] - names[c].size() + 2, ' ');
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < names.size(); ++c) {
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size() + 2, ' ');
+    }
+    out += "\n";
+  }
+  if (NumRows() > rows) {
+    out += StrFormat("... (%zu rows total)\n", NumRows());
+  }
+  return out;
+}
+
+}  // namespace vdm

@@ -1,0 +1,112 @@
+// ColumnData: a materialized column vector with validity (null) tracking.
+// This is the unit of data flow in the executor: every operator consumes and
+// produces vectors of ColumnData.
+#ifndef VDMQO_TYPES_COLUMN_H_
+#define VDMQO_TYPES_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace vdm {
+
+class ColumnData {
+ public:
+  ColumnData() : type_(DataType::Int64()) {}
+  explicit ColumnData(DataType type) : type_(type) {}
+
+  const DataType& type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void Reserve(size_t n);
+
+  /// Raw storage accessors. Integer-backed types (bool/int64/decimal/date)
+  /// use ints(); double uses doubles(); string uses strings().
+  std::vector<int64_t>& ints() { return ints_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  std::vector<double>& doubles() { return doubles_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  std::vector<std::string>& strings() { return strings_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  bool IsNull(size_t i) const {
+    VDM_DCHECK(i < size_);
+    return !validity_.empty() && validity_[i] == 0;
+  }
+  bool HasNulls() const { return !validity_.empty(); }
+
+  /// Appends a raw non-null integer-backed value.
+  void AppendInt(int64_t v) {
+    VDM_DCHECK(type_.IsIntegerBacked());
+    ints_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+    ++size_;
+  }
+  void AppendDouble(double v) {
+    VDM_DCHECK(type_.id == TypeId::kDouble);
+    doubles_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+    ++size_;
+  }
+  void AppendString(std::string v) {
+    VDM_DCHECK(type_.id == TypeId::kString);
+    strings_.push_back(std::move(v));
+    if (!validity_.empty()) validity_.push_back(1);
+    ++size_;
+  }
+  /// Appends a NULL (materializing the validity vector lazily).
+  void AppendNull();
+
+  /// Appends any Value of a compatible type (slow path; tests/builders).
+  void AppendValue(const Value& v);
+
+  /// Reads element i as a Value (slow path; tests/printing/grouping).
+  Value GetValue(size_t i) const;
+
+  /// Appends element i of other (same type) to this column.
+  void AppendFrom(const ColumnData& other, size_t i);
+
+  /// Gathers rows by index into a new column; index kInvalidIndex appends
+  /// NULL (used for the null-extended side of outer joins).
+  static constexpr size_t kInvalidIndex = static_cast<size_t>(-1);
+  ColumnData Gather(const std::vector<size_t>& row_indexes) const;
+
+  /// A column of n NULLs of the given type.
+  static ColumnData Nulls(DataType type, size_t n);
+
+ private:
+  void EnsureValidity() {
+    if (validity_.empty()) validity_.assign(size_, 1);
+  }
+
+  DataType type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  // Empty means "all valid"; otherwise 1 = valid, 0 = null.
+  std::vector<uint8_t> validity_;
+};
+
+/// A batch of equal-length columns: the executor's table representation.
+struct Chunk {
+  std::vector<std::string> names;
+  std::vector<ColumnData> columns;
+
+  size_t NumRows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t NumColumns() const { return columns.size(); }
+
+  /// Index of a column by name; returns -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Renders the chunk as an aligned text table (debugging/examples).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_TYPES_COLUMN_H_

@@ -1,0 +1,72 @@
+#include "types/date_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace vdm {
+
+CivilDate CivilFromDays(int64_t days_since_epoch) {
+  int64_t z = days_since_epoch + 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  int64_t doe = z - era * 146097;
+  int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t y = yoe + era * 400;
+  int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  int64_t mp = (5 * doy + 2) / 153;
+  int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  int64_t m = mp < 10 ? mp + 3 : mp - 9;
+  CivilDate date;
+  date.year = m <= 2 ? y + 1 : y;
+  date.month = static_cast<int>(m);
+  date.day = static_cast<int>(d);
+  return date;
+}
+
+int64_t DaysFromCivil(const CivilDate& date) {
+  int64_t y = date.year;
+  int64_t m = date.month;
+  int64_t d = date.day;
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  int64_t yoe = y - era * 400;
+  int64_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+std::string FormatDate(int64_t days_since_epoch) {
+  CivilDate date = CivilFromDays(days_since_epoch);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02d-%02d",
+                static_cast<long long>(date.year), date.month, date.day);
+  return buf;
+}
+
+std::optional<int64_t> ParseDate(const std::string& text) {
+  // Strict ISO: YYYY-MM-DD (4-digit year).
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return std::nullopt;
+  }
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return std::nullopt;
+    }
+  }
+  CivilDate date;
+  date.year = std::stoll(text.substr(0, 4));
+  date.month = std::stoi(text.substr(5, 2));
+  date.day = std::stoi(text.substr(8, 2));
+  if (date.month < 1 || date.month > 12 || date.day < 1 || date.day > 31) {
+    return std::nullopt;
+  }
+  // Round-trip check rejects impossible days (e.g. Feb 30).
+  int64_t days = DaysFromCivil(date);
+  CivilDate back = CivilFromDays(days);
+  if (back.year != date.year || back.month != date.month ||
+      back.day != date.day) {
+    return std::nullopt;
+  }
+  return days;
+}
+
+}  // namespace vdm

@@ -1,0 +1,29 @@
+// Civil-calendar conversions for the DATE type (days since 1970-01-01),
+// using Howard Hinnant's days-from-civil algorithms.
+#ifndef VDMQO_TYPES_DATE_UTIL_H_
+#define VDMQO_TYPES_DATE_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vdm {
+
+struct CivilDate {
+  int64_t year = 1970;
+  int month = 1;  // 1-12
+  int day = 1;    // 1-31
+};
+
+CivilDate CivilFromDays(int64_t days_since_epoch);
+int64_t DaysFromCivil(const CivilDate& date);
+
+/// Renders as ISO "YYYY-MM-DD".
+std::string FormatDate(int64_t days_since_epoch);
+
+/// Parses ISO "YYYY-MM-DD"; returns nullopt on malformed input.
+std::optional<int64_t> ParseDate(const std::string& text);
+
+}  // namespace vdm
+
+#endif  // VDMQO_TYPES_DATE_UTIL_H_

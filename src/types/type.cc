@@ -1,0 +1,33 @@
+#include "types/type.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace vdm {
+
+std::string DataType::ToString() const {
+  switch (id) {
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt64:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kDecimal:
+      return StrFormat("DECIMAL(%d)", static_cast<int>(scale));
+    case TypeId::kString:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int64_t DecimalPow10(uint8_t scale) {
+  VDM_CHECK(scale <= 18);
+  int64_t p = 1;
+  for (uint8_t i = 0; i < scale; ++i) p *= 10;
+  return p;
+}
+
+}  // namespace vdm

@@ -1,0 +1,66 @@
+// Logical data types of the engine.
+//
+// The engine supports the types that the paper's workloads need: booleans,
+// 64-bit integers, doubles, fixed-point decimals (the paper's §7.1 rounding
+// discussion requires exact decimal semantics), strings, and dates.
+#ifndef VDMQO_TYPES_TYPE_H_
+#define VDMQO_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vdm {
+
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt64,
+  kDouble,
+  kDecimal,  // fixed-point: int64 unscaled value + scale
+  kString,
+  kDate,  // days since 1970-01-01, stored as int64
+};
+
+/// A logical type: a TypeId plus, for decimals, the scale (digits after the
+/// decimal point). Precision is not enforced; scale drives arithmetic.
+struct DataType {
+  TypeId id = TypeId::kInt64;
+  uint8_t scale = 0;  // meaningful for kDecimal only
+
+  DataType() = default;
+  explicit DataType(TypeId type_id, uint8_t decimal_scale = 0)
+      : id(type_id), scale(decimal_scale) {}
+
+  static DataType Bool() { return DataType(TypeId::kBool); }
+  static DataType Int64() { return DataType(TypeId::kInt64); }
+  static DataType Double() { return DataType(TypeId::kDouble); }
+  static DataType Decimal(uint8_t scale) {
+    return DataType(TypeId::kDecimal, scale);
+  }
+  static DataType String() { return DataType(TypeId::kString); }
+  static DataType Date() { return DataType(TypeId::kDate); }
+
+  bool operator==(const DataType& other) const {
+    return id == other.id && (id != TypeId::kDecimal || scale == other.scale);
+  }
+  bool operator!=(const DataType& other) const { return !(*this == other); }
+
+  /// True for types whose physical representation is an int64
+  /// (bool, int64, decimal, date).
+  bool IsIntegerBacked() const {
+    return id == TypeId::kBool || id == TypeId::kInt64 ||
+           id == TypeId::kDecimal || id == TypeId::kDate;
+  }
+  bool IsNumeric() const {
+    return id == TypeId::kInt64 || id == TypeId::kDouble ||
+           id == TypeId::kDecimal;
+  }
+
+  std::string ToString() const;
+};
+
+/// Power of ten for decimal scaling; scale must be <= 18.
+int64_t DecimalPow10(uint8_t scale);
+
+}  // namespace vdm
+
+#endif  // VDMQO_TYPES_TYPE_H_

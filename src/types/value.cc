@@ -1,0 +1,99 @@
+#include "types/value.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+#include "types/date_util.h"
+
+namespace vdm {
+
+double Value::ToDouble() const {
+  if (is_null_) return 0.0;
+  switch (type_.id) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return static_cast<double>(int_);
+    case TypeId::kDouble:
+      return double_;
+    case TypeId::kDecimal:
+      return static_cast<double>(int_) /
+             static_cast<double>(DecimalPow10(type_.scale));
+    case TypeId::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null_ || other.is_null_) return false;
+  if (type_.id == TypeId::kString || other.type_.id == TypeId::kString) {
+    return type_.id == other.type_.id && string_ == other.string_;
+  }
+  if (type_ == other.type_) {
+    if (type_.id == TypeId::kDouble) return double_ == other.double_;
+    return int_ == other.int_;
+  }
+  // Mixed numeric comparison via double.
+  return ToDouble() == other.ToDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null_ && other.is_null_) return 0;
+  if (is_null_) return -1;
+  if (other.is_null_) return 1;
+  if (type_.id == TypeId::kString && other.type_.id == TypeId::kString) {
+    return string_.compare(other.string_) < 0
+               ? -1
+               : (string_ == other.string_ ? 0 : 1);
+  }
+  if (type_ == other.type_ && type_.id != TypeId::kDouble) {
+    return int_ < other.int_ ? -1 : (int_ == other.int_ ? 0 : 1);
+  }
+  double a = ToDouble();
+  double b = other.ToDouble();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  if (is_null_) return 0x9E3779B9u;
+  switch (type_.id) {
+    case TypeId::kString:
+      return std::hash<std::string>{}(string_);
+    case TypeId::kDouble:
+      return std::hash<double>{}(double_);
+    default:
+      return std::hash<int64_t>{}(int_) ^
+             (static_cast<size_t>(type_.id) << 1);
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_.id) {
+    case TypeId::kBool:
+      return int_ ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(int_);
+    case TypeId::kDouble:
+      return StrFormat("%g", double_);
+    case TypeId::kDecimal: {
+      int64_t p = DecimalPow10(type_.scale);
+      int64_t whole = int_ / p;
+      int64_t frac = int_ % p;
+      if (frac < 0) frac = -frac;
+      if (type_.scale == 0) return std::to_string(whole);
+      std::string fracs = std::to_string(frac);
+      fracs.insert(0, type_.scale - fracs.size(), '0');
+      std::string sign = (int_ < 0 && whole == 0) ? "-" : "";
+      return sign + std::to_string(whole) + "." + fracs;
+    }
+    case TypeId::kString:
+      return string_;
+    case TypeId::kDate:
+      return FormatDate(int_);
+  }
+  return "?";
+}
+
+}  // namespace vdm

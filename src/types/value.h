@@ -1,0 +1,96 @@
+// Null-aware scalar value. Used for literals, constant folding, row access
+// in tests, and grouping keys. Columnar execution does not go through Value
+// in hot loops; it operates on ColumnData vectors directly.
+#ifndef VDMQO_TYPES_VALUE_H_
+#define VDMQO_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "types/type.h"
+
+namespace vdm {
+
+class Value {
+ public:
+  /// Default-constructed Value is NULL (untyped).
+  Value() : is_null_(true), type_(DataType::Int64()) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) {
+    Value out(DataType::Bool());
+    out.int_ = v ? 1 : 0;
+    return out;
+  }
+  static Value Int64(int64_t v) {
+    Value out(DataType::Int64());
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out(DataType::Double());
+    out.double_ = v;
+    return out;
+  }
+  /// Decimal from an unscaled integer, e.g. Decimal(1319, 2) == 13.19.
+  static Value Decimal(int64_t unscaled, uint8_t scale) {
+    Value out(DataType::Decimal(scale));
+    out.int_ = unscaled;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out(DataType::String());
+    out.string_ = std::move(v);
+    return out;
+  }
+  static Value Date(int64_t days_since_epoch) {
+    Value out(DataType::Date());
+    out.int_ = days_since_epoch;
+    return out;
+  }
+
+  bool is_null() const { return is_null_; }
+  const DataType& type() const { return type_; }
+
+  bool AsBool() const { return int_ != 0; }
+  int64_t AsInt64() const { return int_; }
+  double AsDouble() const { return double_; }
+  int64_t AsUnscaled() const { return int_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Numeric view as double regardless of backing type (decimal is scaled
+  /// down). Null yields 0.0; callers should check is_null() first.
+  double ToDouble() const;
+
+  /// SQL-style equality of non-null values; NULL never equals anything.
+  bool Equals(const Value& other) const;
+
+  /// Total ordering for sorting: NULLs first, then by value. Comparable
+  /// numeric types are compared numerically; strings lexicographically.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (numeric types hash via double when mixed).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const {
+    if (is_null_ && other.is_null_) return true;
+    if (is_null_ != other.is_null_) return false;
+    return Equals(other);
+  }
+
+ private:
+  explicit Value(DataType type) : is_null_(false), type_(type) {}
+
+  bool is_null_;
+  DataType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_TYPES_VALUE_H_

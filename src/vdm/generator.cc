@@ -1,0 +1,228 @@
+#include "vdm/generator.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace vdm {
+
+namespace {
+
+Status Exec(Database* db, const std::string& sql) {
+  Result<Chunk> result = db->Execute(sql);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + "\nSQL: " + sql);
+  }
+  return Status::OK();
+}
+
+std::string BaseName(int i, bool draft) {
+  return StrFormat("vbase%02d_%s", i, draft ? "d" : "a");
+}
+
+std::string DimName(int i) { return StrFormat("vdim%02d", i); }
+
+constexpr int kBaseFields = 6;  // f1..f6
+constexpr int kDimRefs = 3;     // dref1..dref3
+
+}  // namespace
+
+Status CreateSyntheticVdmSchema(Database* db,
+                                const SyntheticVdmOptions& options) {
+  for (int i = 0; i < options.base_tables; ++i) {
+    for (bool draft : {false, true}) {
+      std::string sql = StrFormat(
+          "create table %s (k int primary key", BaseName(i, draft).c_str());
+      for (int f = 1; f <= kBaseFields; ++f) {
+        sql += StrFormat(", f%d %s", f,
+                         f % 3 == 0 ? "decimal(12,2)"
+                                    : (f % 3 == 1 ? "int" : "varchar(20)"));
+      }
+      for (int d = 1; d <= kDimRefs; ++d) {
+        sql += StrFormat(", dref%d int not null", d);
+      }
+      // The customer-added custom field (§5).
+      sql += ", ext1 varchar(20))";
+      VDM_RETURN_NOT_OK(Exec(db, sql));
+    }
+  }
+  for (int i = 0; i < options.num_dims; ++i) {
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat(
+        "create table %s ("
+        "  dkey int primary key,"
+        "  dname varchar(30) not null,"
+        "  dattr varchar(20))",
+        DimName(i).c_str())));
+  }
+  return Status::OK();
+}
+
+Status LoadSyntheticVdmData(Database* db,
+                            const SyntheticVdmOptions& options) {
+  Rng rng(options.seed);
+  for (int i = 0; i < options.base_tables; ++i) {
+    std::vector<std::vector<Value>> active, draft;
+    for (int64_t k = 1; k <= options.base_rows; ++k) {
+      std::vector<Value> row;
+      row.push_back(Value::Int64(k));
+      for (int f = 1; f <= kBaseFields; ++f) {
+        if (f % 3 == 0) {
+          row.push_back(Value::Decimal(rng.Uniform(0, 1000000), 2));
+        } else if (f % 3 == 1) {
+          row.push_back(Value::Int64(rng.Uniform(0, 100000)));
+        } else {
+          row.push_back(Value::String(rng.NextString(8)));
+        }
+      }
+      for (int d = 1; d <= kDimRefs; ++d) {
+        row.push_back(Value::Int64(rng.Uniform(1, options.dim_rows)));
+      }
+      row.push_back(Value::String("EXT_" + rng.NextString(6)));
+      // ~3% of documents are in-progress drafts (Fig. 11(b)).
+      if (rng.Bernoulli(0.03)) {
+        draft.push_back(std::move(row));
+      } else {
+        active.push_back(std::move(row));
+      }
+    }
+    VDM_RETURN_NOT_OK(db->Insert(BaseName(i, false), active));
+    VDM_RETURN_NOT_OK(db->Insert(BaseName(i, true), draft));
+  }
+  for (int i = 0; i < options.num_dims; ++i) {
+    std::vector<std::vector<Value>> rows;
+    for (int64_t k = 1; k <= options.dim_rows; ++k) {
+      rows.push_back({Value::Int64(k),
+                      Value::String(StrFormat(
+                          "Dim%02d-%lld", i, static_cast<long long>(k))),
+                      Value::String(rng.NextString(6))});
+    }
+    VDM_RETURN_NOT_OK(db->Insert(DimName(i), rows));
+  }
+  db->MergeAllDeltas();
+  return Status::OK();
+}
+
+Result<std::vector<SyntheticViewSpec>> GenerateSyntheticViews(
+    Database* db, const SyntheticVdmOptions& options) {
+  Rng rng(options.seed + 1);
+  std::vector<SyntheticViewSpec> specs;
+  for (int v = 0; v < options.num_views; ++v) {
+    SyntheticViewSpec spec;
+    spec.view_name = StrFormat("v_fig14_%02d", v);
+    spec.draft_pattern = rng.Bernoulli(0.5);
+    int base = v % options.base_tables;
+    spec.base_active = BaseName(base, false);
+    if (spec.draft_pattern) spec.base_draft = BaseName(base, true);
+    spec.num_dims = static_cast<int>(
+        rng.Uniform(options.min_dims, options.max_dims));
+
+    // Base column projection: key (+bid for draft views) + a random subset
+    // of the payload fields — never ext1 (that is the extension's job).
+    std::vector<std::string> base_cols;
+    for (int f = 1; f <= kBaseFields; ++f) {
+      if (rng.Bernoulli(0.7)) base_cols.push_back(StrFormat("f%d", f));
+    }
+    if (base_cols.empty()) base_cols.push_back("f1");
+
+    std::string base_select = "select k, ";
+    std::string from;
+    spec.columns = {"k"};
+    if (spec.draft_pattern) {
+      // Fig. 11(b): Active ∪ Draft discriminated by bid.
+      spec.columns.push_back("bid");
+      std::string cols;
+      for (const std::string& c : base_cols) cols += ", " + c;
+      for (int d = 1; d <= kDimRefs; ++d) {
+        cols += StrFormat(", dref%d", d);
+      }
+      from = StrFormat(
+          "(select k, 1 as bid%s from %s "
+          " union all "
+          " select k, 2 as bid%s from %s) b",
+          cols.c_str(), spec.base_active.c_str(), cols.c_str(),
+          spec.base_draft.c_str());
+    } else {
+      from = spec.base_active + " b";
+    }
+
+    std::string select = "select b.k as k";
+    if (spec.draft_pattern) select += ", b.bid as bid";
+    for (const std::string& c : base_cols) {
+      select += StrFormat(", b.%s as %s", c.c_str(), c.c_str());
+      spec.columns.push_back(c);
+    }
+    std::string joins;
+    for (int d = 0; d < spec.num_dims; ++d) {
+      int dim = static_cast<int>(rng.Uniform(0, options.num_dims - 1));
+      int dref = 1 + d % kDimRefs;
+      std::string alias = StrFormat("dj%d", d);
+      joins += StrFormat(
+          " left outer join %s %s on b.dref%d = %s.dkey",
+          DimName(dim).c_str(), alias.c_str(), dref, alias.c_str());
+      std::string out = StrFormat("dname_%d", d);
+      select += StrFormat(", %s.dname as %s", alias.c_str(), out.c_str());
+      spec.columns.push_back(out);
+    }
+
+    std::string sql = StrFormat("create view %s as %s from %s%s",
+                                spec.view_name.c_str(), select.c_str(),
+                                from.c_str(), joins.c_str());
+    VDM_RETURN_NOT_OK(Exec(db, sql));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Status ExtendSyntheticView(Database* db, SyntheticViewSpec* spec,
+                           bool use_case_join) {
+  spec->ext_view_name = spec->view_name + "_x";
+  // Drop a previous variant, if any.
+  (void)db->catalog().DropView(spec->ext_view_name);
+
+  std::string select = "select ";
+  bool first = true;
+  for (const std::string& c : spec->columns) {
+    if (!first) select += ", ";
+    first = false;
+    select += StrFormat("v.%s as %s", c.c_str(), c.c_str());
+  }
+  select += ", e.ext1 as ext1";
+
+  std::string join_kind = use_case_join ? "left outer case join"
+                                        : "left outer join";
+  std::string sql;
+  if (spec->draft_pattern) {
+    sql = StrFormat(
+        "create view %s as %s from %s v %s "
+        "(select k, 1 as bid, ext1 from %s "
+        " union all "
+        " select k, 2 as bid, ext1 from %s) e "
+        "on v.bid = e.bid and v.k = e.k",
+        spec->ext_view_name.c_str(), select.c_str(),
+        spec->view_name.c_str(), join_kind.c_str(),
+        spec->base_active.c_str(), spec->base_draft.c_str());
+  } else {
+    sql = StrFormat(
+        "create view %s as %s from %s v %s %s e on v.k = e.k",
+        spec->ext_view_name.c_str(), select.c_str(),
+        spec->view_name.c_str(), join_kind.c_str(),
+        spec->base_active.c_str());
+  }
+  return Exec(db, sql);
+}
+
+std::string SyntheticPagingQuery(const SyntheticViewSpec& spec,
+                                 bool extended, int64_t limit) {
+  std::string cols;
+  for (const std::string& c : spec.columns) {
+    if (!cols.empty()) cols += ", ";
+    cols += c;
+  }
+  if (extended) cols += ", ext1";
+  return StrFormat("select %s from %s limit %lld", cols.c_str(),
+                   extended ? spec.ext_view_name.c_str()
+                            : spec.view_name.c_str(),
+                   static_cast<long long>(limit));
+}
+
+}  // namespace vdm

@@ -1,0 +1,80 @@
+// Synthetic VDM view generator and the custom-fields extension machinery
+// (paper §5, §6.3, Fig. 14).
+//
+// Generates a population of VDM-style views over document base tables:
+//  * ~half follow the draft/active pattern (Fig. 11(b)): the base is a
+//    UNION ALL of an Active and a Draft table discriminated by a branch id,
+//  * the rest read a single base table,
+//  * each view augments its base with a random number of many-to-one
+//    LEFT OUTER dimension joins and projects a subset of fields — but never
+//    the base table's custom field `ext1`.
+//
+// ExtendSyntheticView() then performs SAP's upgrade-safe extension (Fig. 8):
+// it redefines the consumption view as the original view re-joined with its
+// base table(s) on the key to expose ext1 — an augmentation self-join. For
+// draft-pattern views the augmenter is itself a UNION ALL, i.e. the
+// Fig. 13(b) shape, and the join is emitted as a `case join` when requested.
+#ifndef VDMQO_VDM_GENERATOR_H_
+#define VDMQO_VDM_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdm {
+
+struct SyntheticVdmOptions {
+  int num_views = 100;
+  /// Pool of document base tables; each has an _a (active) and _d (draft)
+  /// variant. Views pick one round-robin.
+  int base_tables = 10;
+  int64_t base_rows = 50000;
+  /// Dimension joins per view are drawn from [min_dims, max_dims].
+  int min_dims = 2;
+  int max_dims = 8;
+  /// Number of dimension tables in the pool (vdim01..).
+  int num_dims = 12;
+  int64_t dim_rows = 500;
+  uint64_t seed = 99;
+};
+
+struct SyntheticViewSpec {
+  std::string view_name;
+  std::string ext_view_name;  // filled by ExtendSyntheticView
+  bool draft_pattern = false;
+  std::string base_active;
+  std::string base_draft;  // empty unless draft_pattern
+  int num_dims = 0;
+  /// Output columns of the view (and, plus "ext1", of the extension view).
+  std::vector<std::string> columns;
+};
+
+/// Creates base and dimension tables for the synthetic views.
+Status CreateSyntheticVdmSchema(Database* db,
+                                const SyntheticVdmOptions& options = {});
+
+/// Loads deterministic data and merges deltas.
+Status LoadSyntheticVdmData(Database* db,
+                            const SyntheticVdmOptions& options = {});
+
+/// Generates the view population ("v_fig14_00" ...).
+Result<std::vector<SyntheticViewSpec>> GenerateSyntheticViews(
+    Database* db, const SyntheticVdmOptions& options = {});
+
+/// Builds the extension view "<view>_x" exposing ext1 via an augmentation
+/// self-join; uses `case join` syntax when use_case_join is set. Fills
+/// spec->ext_view_name. Re-entrant: replaces any previous extension view.
+Status ExtendSyntheticView(Database* db, SyntheticViewSpec* spec,
+                           bool use_case_join);
+
+/// The paging query the paper measures ("select * from V limit 10",
+/// spelled with explicit columns).
+std::string SyntheticPagingQuery(const SyntheticViewSpec& spec,
+                                 bool extended, int64_t limit = 10);
+
+}  // namespace vdm
+
+#endif  // VDMQO_VDM_GENERATOR_H_

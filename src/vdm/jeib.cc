@@ -1,0 +1,207 @@
+#include "vdm/jeib.h"
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+namespace {
+
+Status Exec(Database* db, const std::string& sql) {
+  Result<Chunk> result = db->Execute(sql);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + "\nSQL: " + sql);
+  }
+  return Status::OK();
+}
+
+Status SetLayer(Database* db, const std::string& name, VdmLayer layer) {
+  const ViewDef* view = db->catalog().FindView(name);
+  if (view == nullptr) return Status::NotFound("view not found: " + name);
+  ViewDef copy = *view;
+  copy.layer = layer;
+  return db->catalog().ReplaceView(std::move(copy));
+}
+
+}  // namespace
+
+Status BuildJournalEntryItemBrowser(Database* db) {
+  // ----- Basic layer: business-named views close to the tables. ----------
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_customer as "
+      "select k.kunnr as customer, k.name1 as customername, "
+      "       k.land1 as customercountrykey, c.landx as customercountryname "
+      "from kna1 k left outer join t005 c on k.land1 = c.land1"));
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_supplier as "
+      "select s.lifnr as supplier, s.name1 as suppliername, "
+      "       s.land1 as suppliercountrykey, c.landx as suppliercountryname "
+      "from lfa1 s left outer join t005 c on s.land1 = c.land1"));
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_glaccount as "
+      "select saknr as glaccount, txt50 as glaccountname from ska1"));
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_costcenter as "
+      "select kostl as costcenter, ktext as costcentername from csks"));
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_profitcenter as "
+      "select prctr as profitcenter, ltext as profitcentername from cepc"));
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_country as "
+      "select land1 as country, landx as countryname from t005"));
+  for (int k = 1; k <= 39; ++k) {
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat(
+        "create view i_dim%02d as "
+        "select dkey as k, dname as name, dattr as attr, dnum as num "
+        "from dim%02d",
+        k, k)));
+    VDM_RETURN_NOT_OK(SetLayer(db, StrFormat("i_dim%02d", k),
+                               VdmLayer::kBasic));
+  }
+  for (const char* name :
+       {"i_customer", "i_supplier", "i_glaccount", "i_costcenter",
+        "i_profitcenter", "i_country"}) {
+    VDM_RETURN_NOT_OK(SetLayer(db, name, VdmLayer::kBasic));
+  }
+
+  // ----- Composite layer. -------------------------------------------------
+  // The 3-way interface view over ACDOCA (paper: "the core of this view").
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_journalentryitem as "
+      "select a.rldnr, a.rbukrs, a.gjahr, a.belnr, a.docln, a.racct, "
+      "       a.kunnr, a.lifnr, a.kostl, a.prctr, a.land1, a.budat, "
+      "       a.hsl, a.wsl, a.kursf, a.drcrk, "
+      "       t.butxt as companyname, t.waers as currency, "
+      "       l.name as ledgername "
+      "from acdoca a "
+      "join t001 t on a.rbukrs = t.bukrs "
+      "join fins_ledger l on a.rldnr = l.rldnr"));
+
+  // The 5-way UNION ALL business-partner view (Fig. 11(c) subclass
+  // pattern): five entity tables consolidated, discriminated by ptype.
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_businesspartner as "
+      "select kunnr as pkey, name1 as pname, 1 as ptype from kna1 "
+      "union all "
+      "select lifnr as pkey, name1 as pname, 2 as ptype from lfa1 "
+      "union all "
+      "select dkey as pkey, dname as pname, 3 as ptype from dim22 "
+      "union all "
+      "select dkey as pkey, dname as pname, 4 as ptype from dim23 "
+      "union all "
+      "select dkey as pkey, dname as pname, 5 as ptype from dim24"));
+
+  // Per-document totals (the GROUP BY augmenter).
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_documenttotal as "
+      "select rldnr, rbukrs, gjahr, belnr, "
+      "       sum(hsl) as documenttotal, count(*) as documentlines "
+      "from acdoca group by rldnr, rbukrs, gjahr, belnr"));
+
+  // The DISTINCT augmenter.
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view i_usedcountry as "
+      "select distinct land1 as ucountry from t005"));
+
+  // Nested dimension chains: five 3-table chains (two nesting levels) and
+  // five 2-table chains. These model the long tail of nested composite
+  // views that make the raw plan expansive (§4.1).
+  for (int c = 0; c < 5; ++c) {
+    int base = 25 + c * 3;
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat(
+        "create view i_chain3mid_%d as "
+        "select a.k as k, a.name as name, b.name as bname "
+        "from i_dim%02d a left outer join i_dim%02d b on a.k = b.k",
+        c, base, base + 1)));
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat(
+        "create view i_chain3_%d as "
+        "select m.k as k, m.name as name, m.bname as bname, "
+        "       x.name as cname "
+        "from i_chain3mid_%d m left outer join i_dim%02d x on m.k = x.k",
+        c, c, base + 2)));
+  }
+  for (int c = 0; c < 5; ++c) {
+    int base = 12 + c * 2;
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat(
+        "create view i_chain2_%d as "
+        "select a.k as k, a.name as name, b.name as bname "
+        "from i_dim%02d a left outer join i_dim%02d b on a.k = b.k",
+        c, base, base + 1)));
+  }
+  for (const char* name :
+       {"i_journalentryitem", "i_businesspartner", "i_documenttotal",
+        "i_usedcountry"}) {
+    VDM_RETURN_NOT_OK(SetLayer(db, name, VdmLayer::kComposite));
+  }
+
+  // ----- Consumption layer: 30 LEFT OUTER augmentation joins. ------------
+  std::string sql =
+      "create view journalentryitembrowser as "
+      "select j.rldnr, j.rbukrs, j.gjahr, j.belnr, j.docln, j.racct, "
+      "       j.kunnr, j.lifnr, j.kostl, j.prctr, j.land1, j.budat, "
+      "       j.hsl, j.wsl, j.kursf, j.drcrk, "
+      "       j.companyname, j.currency, j.ledgername, "
+      "       cu.customername, cu.customercountrykey, "
+      "       cu.customercountryname, "
+      "       su.suppliername, su.suppliercountrykey, "
+      "       su.suppliercountryname, "
+      "       gl.glaccountname, cc.costcentername, pc.profitcentername, "
+      "       co.countryname, bp.pname as partnername, "
+      "       dt.documenttotal, dt.documentlines, uc.ucountry";
+  for (int c = 0; c < 5; ++c) {
+    sql += StrFormat(", c3_%d.name as chain3name_%d"
+                     ", c3_%d.cname as chain3attr_%d",
+                     c, c, c, c);
+  }
+  for (int c = 0; c < 5; ++c) {
+    sql += StrFormat(", c2_%d.name as chain2name_%d", c, c);
+  }
+  for (int k = 1; k <= 11; ++k) {
+    sql += StrFormat(", d%02d.name as dimname_%02d", k, k);
+  }
+  sql +=
+      " from i_journalentryitem j "
+      "left outer join i_customer cu on j.kunnr = cu.customer "
+      "left outer join i_supplier su on j.lifnr = su.supplier "
+      "left outer join i_glaccount gl on j.racct = gl.glaccount "
+      "left outer join i_costcenter cc on j.kostl = cc.costcenter "
+      "left outer join i_profitcenter pc on j.prctr = pc.profitcenter "
+      "left outer join i_country co on j.land1 = co.country "
+      "left outer join i_businesspartner bp "
+      "  on j.kunnr = bp.pkey and bp.ptype = 1 "
+      "left outer join i_documenttotal dt "
+      "  on j.rldnr = dt.rldnr and j.rbukrs = dt.rbukrs "
+      " and j.gjahr = dt.gjahr and j.belnr = dt.belnr "
+      "left outer join i_usedcountry uc on j.land1 = uc.ucountry ";
+  const char* join_fields[] = {"racct", "kostl", "prctr"};
+  for (int c = 0; c < 5; ++c) {
+    sql += StrFormat("left outer join i_chain3_%d c3_%d on j.%s = c3_%d.k ",
+                     c, c, join_fields[c % 3], c);
+  }
+  for (int c = 0; c < 5; ++c) {
+    sql += StrFormat("left outer join i_chain2_%d c2_%d on j.%s = c2_%d.k ",
+                     c, c, join_fields[(c + 1) % 3], c);
+  }
+  for (int k = 1; k <= 11; ++k) {
+    sql += StrFormat("left outer join i_dim%02d d%02d on j.%s = d%02d.k ",
+                     k, k, join_fields[k % 3], k);
+  }
+  VDM_RETURN_NOT_OK(Exec(db, sql));
+
+  // Record-wise data access control (§3): restrict by customer/supplier
+  // country. These predicates keep the KNA1 and LFA1 joins alive even in
+  // the count(*) plan (Fig. 4).
+  {
+    const ViewDef* view = db->catalog().FindView(JeibViewName());
+    VDM_CHECK(view != nullptr);
+    ViewDef copy = *view;
+    copy.layer = VdmLayer::kConsumption;
+    copy.dac_filter_sql =
+        "coalesce(customercountrykey, 0) < 63 "
+        "and coalesce(suppliercountrykey, 0) < 63";
+    VDM_RETURN_NOT_OK(db->catalog().ReplaceView(std::move(copy)));
+  }
+  return Status::OK();
+}
+
+}  // namespace vdm

@@ -1,0 +1,38 @@
+// Builder for the synthetic JournalEntryItemBrowser VDM view stack
+// (paper §3, Figs. 3 and 4).
+//
+// The generated stack mirrors the structure the paper describes:
+//  * a 3-way interface view over ACDOCA + company (T001) + ledger,
+//  * 30 many-to-one LEFT OUTER augmentation joins on the consumption view,
+//    several of them nested views with their own internal joins (nesting
+//    depth ≥ 6),
+//  * one 5-way UNION ALL augmenter following the subclass pattern of
+//    Fig. 11(c) (a "business partner" view over five entity tables),
+//  * one GROUP BY augmenter (per-document totals over ACDOCA),
+//  * one DISTINCT augmenter,
+//  * a record-wise data access control filter over customer/supplier
+//    country fields, which keeps exactly the KNA1 and LFA1 joins alive in
+//    the optimized count(*) plan (Fig. 4).
+//
+// Note: the engine's plans are trees, not DAGs, so plan-shape statistics
+// correspond to the paper's *unshared* counting (the paper reports 47
+// shared / 62 unshared table instances and 49 joins).
+#ifndef VDMQO_VDM_JEIB_H_
+#define VDMQO_VDM_JEIB_H_
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdm {
+
+/// Registers the whole JournalEntryItemBrowser view stack. Requires the S4
+/// schema (workload/s4.h) to exist. The top-level consumption view is named
+/// "journalentryitembrowser".
+Status BuildJournalEntryItemBrowser(Database* db);
+
+/// Name of the consumption view.
+inline const char* JeibViewName() { return "journalentryitembrowser"; }
+
+}  // namespace vdm
+
+#endif  // VDMQO_VDM_JEIB_H_

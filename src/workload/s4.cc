@@ -1,0 +1,231 @@
+#include "workload/s4.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace vdm {
+
+namespace {
+
+constexpr int64_t kCompanies = 20;
+constexpr int64_t kLedgers = 4;
+
+Status Exec(Database* db, const std::string& sql) {
+  Result<Chunk> result = db->Execute(sql);
+  if (!result.ok()) return result.status();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string GenericDimName(int k) { return StrFormat("dim%02d", k); }
+
+Status CreateS4Schema(Database* db, const S4Options& options) {
+  // ACDOCA: the universal journal, line-item grain.
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table acdoca ("
+      "  rldnr varchar(2) not null,"      // ledger
+      "  rbukrs varchar(4) not null,"     // company code
+      "  gjahr int not null,"             // fiscal year
+      "  belnr int not null,"             // document number
+      "  docln int not null,"             // document line
+      "  racct int not null,"             // G/L account
+      "  kunnr int,"                      // customer (nullable)
+      "  lifnr int,"                      // supplier (nullable)
+      "  kostl int,"                      // cost center
+      "  prctr int,"                      // profit center
+      "  land1 int,"                      // country key
+      "  budat date,"                     // posting date
+      "  hsl decimal(15,2),"              // amount in local currency
+      "  wsl decimal(15,2),"              // amount in transaction currency
+      "  kursf decimal(9,5),"             // exchange rate
+      "  drcrk varchar(1),"               // debit/credit flag
+      "  primary key (rldnr, rbukrs, gjahr, belnr, docln))"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table t001 ("                // companies
+      "  bukrs varchar(4) primary key,"
+      "  butxt varchar(30) not null,"
+      "  land1 int not null,"
+      "  waers varchar(3) not null)"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table fins_ledger ("
+      "  rldnr varchar(2) primary key,"
+      "  name varchar(30) not null,"
+      "  is_leading bool)"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table kna1 ("                // customers
+      "  kunnr int primary key,"
+      "  name1 varchar(35) not null,"
+      "  land1 int not null,"
+      "  ktokd varchar(4))"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table lfa1 ("                // suppliers
+      "  lifnr int primary key,"
+      "  name1 varchar(35) not null,"
+      "  land1 int not null,"
+      "  ktokk varchar(4))"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table ska1 ("                // G/L accounts
+      "  saknr int primary key,"
+      "  ktopl varchar(4) not null,"
+      "  txt50 varchar(50))"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table csks ("                // cost centers
+      "  kostl int primary key,"
+      "  ktext varchar(40),"
+      "  verak varchar(20))"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table cepc ("                // profit centers
+      "  prctr int primary key,"
+      "  ltext varchar(40))"));
+
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create table t005 ("                // countries
+      "  land1 int primary key,"
+      "  landx varchar(30) not null,"
+      "  waers varchar(3))"));
+
+  for (int k = 1; k <= options.generic_dimensions; ++k) {
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat(
+        "create table %s ("
+        "  dkey int primary key,"
+        "  dname varchar(30) not null,"
+        "  dattr varchar(20),"
+        "  dnum decimal(10,2))",
+        GenericDimName(k).c_str())));
+  }
+  return Status::OK();
+}
+
+Status LoadS4Data(Database* db, const S4Options& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<Value>> rows;
+
+  for (int64_t i = 1; i <= kCompanies; ++i) {
+    rows.push_back({Value::String(StrFormat("C%03lld",
+                                            static_cast<long long>(i))),
+                    Value::String("Company " + std::to_string(i)),
+                    Value::Int64(rng.Uniform(1, 64)),
+                    Value::String(i % 3 == 0 ? "USD" : "EUR")});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("t001", rows));
+
+  rows.clear();
+  for (int64_t i = 0; i < kLedgers; ++i) {
+    rows.push_back({Value::String(StrFormat("%lldL",
+                                            static_cast<long long>(i))),
+                    Value::String("Ledger " + std::to_string(i)),
+                    Value::Bool(i == 0)});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("fins_ledger", rows));
+
+  const int64_t dim_rows = options.dimension_rows;
+  rows.clear();
+  for (int64_t i = 1; i <= dim_rows; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("Customer " + std::to_string(i)),
+                    Value::Int64(rng.Uniform(1, 64)),
+                    Value::String("KD01")});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("kna1", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= dim_rows; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("Supplier " + std::to_string(i)),
+                    Value::Int64(rng.Uniform(1, 64)),
+                    Value::String("KK01")});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("lfa1", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= dim_rows; ++i) {
+    rows.push_back({Value::Int64(i), Value::String("CHART"),
+                    Value::String("Account " + std::to_string(i))});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("ska1", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= dim_rows; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("CostCenter " + std::to_string(i)),
+                    Value::String("Resp " + std::to_string(i % 17))});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("csks", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= dim_rows; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("ProfitCenter " + std::to_string(i))});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("cepc", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= 64; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("Country " + std::to_string(i)),
+                    Value::String(i % 2 == 0 ? "EUR" : "USD")});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("t005", rows));
+
+  for (int k = 1; k <= options.generic_dimensions; ++k) {
+    rows.clear();
+    for (int64_t i = 1; i <= dim_rows; ++i) {
+      rows.push_back({Value::Int64(i),
+                      Value::String(StrFormat("D%02d-%lld", k,
+                                              static_cast<long long>(i))),
+                      Value::String(rng.NextString(6)),
+                      Value::Decimal(rng.Uniform(0, 100000), 2)});
+    }
+    VDM_RETURN_NOT_OK(db->Insert(GenericDimName(k), rows));
+  }
+
+  // ACDOCA journal lines.
+  rows.clear();
+  rows.reserve(static_cast<size_t>(options.acdoca_rows));
+  int64_t belnr = 1;
+  int64_t docln = 1;
+  for (int64_t i = 0; i < options.acdoca_rows; ++i) {
+    if (docln > rng.Uniform(2, 8)) {
+      ++belnr;
+      docln = 1;
+    }
+    int64_t amount = rng.Uniform(-5000000, 5000000);
+    rows.push_back({
+        Value::String(StrFormat("%lldL",
+                                static_cast<long long>(rng.Uniform(0, 3)))),
+        Value::String(StrFormat(
+            "C%03lld", static_cast<long long>(rng.Uniform(1, kCompanies)))),
+        Value::Int64(rng.Uniform(2020, 2025)),
+        Value::Int64(belnr),
+        Value::Int64(docln),
+        Value::Int64(rng.Uniform(1, dim_rows)),
+        rng.Bernoulli(0.6) ? Value::Int64(rng.Uniform(1, dim_rows))
+                           : Value::Null(),
+        rng.Bernoulli(0.4) ? Value::Int64(rng.Uniform(1, dim_rows))
+                           : Value::Null(),
+        Value::Int64(rng.Uniform(1, dim_rows)),
+        Value::Int64(rng.Uniform(1, dim_rows)),
+        Value::Int64(rng.Uniform(1, 64)),
+        Value::Date(rng.Uniform(18263, 20089)),  // 2020..2024
+        Value::Decimal(amount, 2),
+        Value::Decimal(amount * 100 / rng.Uniform(80, 120), 2),
+        Value::Decimal(rng.Uniform(80000, 120000), 5),
+        Value::String(amount >= 0 ? "S" : "H"),
+    });
+    ++docln;
+  }
+  VDM_RETURN_NOT_OK(db->Insert("acdoca", rows));
+
+  db->MergeAllDeltas();
+  return Status::OK();
+}
+
+}  // namespace vdm

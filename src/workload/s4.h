@@ -1,0 +1,42 @@
+// Synthetic S/4HANA-like financial schema (paper §3).
+//
+// Centered on ACDOCA, the "universal journal" line-item table, with the
+// company (T001) and ledger tables forming the 3-way core of the
+// JournalEntryItemBrowser interface view, the classic master-data
+// dimensions (KNA1 customers, LFA1 suppliers, SKA1 G/L accounts, CSKS cost
+// centers, ...), and a family of generic dimension tables that stand in
+// for the long tail of augmentation joins the real VDM performs.
+#ifndef VDMQO_WORKLOAD_S4_H_
+#define VDMQO_WORKLOAD_S4_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdm {
+
+struct S4Options {
+  /// Journal line items in ACDOCA.
+  int64_t acdoca_rows = 50000;
+  /// Rows per master-data dimension table.
+  int64_t dimension_rows = 500;
+  /// Number of generic dimension tables (dim01..dimNN) created. The
+  /// JournalEntryItemBrowser stack (vdm/jeib.h) uses 39 of them.
+  int generic_dimensions = 40;
+  uint64_t seed = 7;
+};
+
+/// Creates all tables of the synthetic S/4 schema.
+Status CreateS4Schema(Database* db, const S4Options& options = {});
+
+/// Loads deterministic data and merges deltas.
+Status LoadS4Data(Database* db, const S4Options& options = {});
+
+/// Name of the k-th generic dimension table ("dim01", ...).
+std::string GenericDimName(int k);
+
+}  // namespace vdm
+
+#endif  // VDMQO_WORKLOAD_S4_H_

@@ -1,0 +1,391 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace vdm {
+
+namespace {
+
+const char* kSchemaSql[] = {
+    "create table region ("
+    "  r_regionkey int primary key,"
+    "  r_name varchar(25) not null)",
+
+    "create table nation ("
+    "  n_nationkey int primary key,"
+    "  n_name varchar(25) not null,"
+    "  n_regionkey int not null)",
+
+    "create table supplier ("
+    "  s_suppkey int primary key,"
+    "  s_name varchar(25) not null,"
+    "  s_nationkey int not null,"
+    "  s_acctbal decimal(12,2))",
+
+    "create table customer ("
+    "  c_custkey int primary key,"
+    "  c_name varchar(25) not null,"
+    "  c_nationkey int not null,"
+    "  c_acctbal decimal(12,2),"
+    "  c_mktsegment varchar(10))",
+
+    "create table part ("
+    "  p_partkey int primary key,"
+    "  p_name varchar(55) not null,"
+    "  p_brand varchar(10),"
+    "  p_retailprice decimal(12,2))",
+
+    "create table partsupp ("
+    "  ps_partkey int not null,"
+    "  ps_suppkey int not null,"
+    "  ps_availqty int,"
+    "  ps_supplycost decimal(12,2),"
+    "  primary key (ps_partkey, ps_suppkey))",
+
+    "create table orders ("
+    "  o_orderkey int primary key,"
+    "  o_custkey int not null,"
+    "  o_orderstatus varchar(1),"
+    "  o_totalprice decimal(12,2),"
+    "  o_orderdate date)",
+
+    "create table lineitem ("
+    "  l_orderkey int not null,"
+    "  l_linenumber int not null,"
+    "  l_partkey int not null,"
+    "  l_suppkey int not null,"
+    "  l_quantity int,"
+    "  l_extendedprice decimal(12,2),"
+    "  l_discount decimal(4,2),"
+    "  l_tax decimal(4,2),"
+    "  l_shipdate date,"
+    "  primary key (l_orderkey, l_linenumber))",
+
+    // Draft/active pair for the Fig. 11(b)/12(b) patterns.
+    "create table orders_active ("
+    "  o_orderkey int primary key,"
+    "  o_custkey int not null,"
+    "  o_totalprice decimal(12,2))",
+
+    "create table orders_draft ("
+    "  o_orderkey int primary key,"
+    "  o_custkey int not null,"
+    "  o_totalprice decimal(12,2))",
+};
+
+const char* kForeignKeySql[] = {
+    // Re-create orders/lineitem with foreign keys when requested.
+    "create table orders ("
+    "  o_orderkey int primary key,"
+    "  o_custkey int not null,"
+    "  o_orderstatus varchar(1),"
+    "  o_totalprice decimal(12,2),"
+    "  o_orderdate date,"
+    "  foreign key (o_custkey) references customer (c_custkey))",
+
+    "create table lineitem ("
+    "  l_orderkey int not null,"
+    "  l_linenumber int not null,"
+    "  l_partkey int not null,"
+    "  l_suppkey int not null,"
+    "  l_quantity int,"
+    "  l_extendedprice decimal(12,2),"
+    "  l_discount decimal(4,2),"
+    "  l_tax decimal(4,2),"
+    "  l_shipdate date,"
+    "  primary key (l_orderkey, l_linenumber),"
+    "  foreign key (l_orderkey) references orders (o_orderkey),"
+    "  foreign key (l_partkey) references part (p_partkey),"
+    "  foreign key (l_suppkey) references supplier (s_suppkey))",
+};
+
+constexpr const char* kStatuses[] = {"O", "F", "P"};
+constexpr const char* kSegments[] = {"AUTO", "BUILDING", "MACHINERY",
+                                     "FURNITURE", "HOUSEHOLD"};
+
+}  // namespace
+
+Status CreateTpchSchema(Database* db, const TpchOptions& options) {
+  for (const char* sql : kSchemaSql) {
+    bool is_orders_like =
+        options.with_foreign_keys &&
+        (std::string(sql).find("create table orders (") == 0 ||
+         std::string(sql).find("create table lineitem (") == 0);
+    if (is_orders_like) continue;
+    Result<Chunk> result = db->Execute(sql);
+    if (!result.ok()) return result.status();
+  }
+  if (options.with_foreign_keys) {
+    for (const char* sql : kForeignKeySql) {
+      Result<Chunk> result = db->Execute(sql);
+      if (!result.ok()) return result.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadTpchData(Database* db, const TpchOptions& options) {
+  Rng rng(options.seed);
+  auto scaled = [&](int64_t base) {
+    return static_cast<int64_t>(std::llround(base * options.scale));
+  };
+  const int64_t n_region = 5;
+  const int64_t n_nation = 25;
+  const int64_t n_supplier = std::max<int64_t>(scaled(100), 1);
+  const int64_t n_customer = std::max<int64_t>(scaled(1500), 1);
+  const int64_t n_part = std::max<int64_t>(scaled(2000), 1);
+  const int64_t n_orders = std::max<int64_t>(scaled(15000), 1);
+
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < n_region; ++i) {
+    rows.push_back({Value::Int64(i), Value::String("REGION_" +
+                                                   std::to_string(i))});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("region", rows));
+
+  rows.clear();
+  for (int64_t i = 0; i < n_nation; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("NATION_" + std::to_string(i)),
+                    Value::Int64(i % n_region)});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("nation", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= n_supplier; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("Supplier#" + std::to_string(i)),
+                    Value::Int64(rng.Uniform(0, n_nation - 1)),
+                    Value::Decimal(rng.Uniform(-99999, 999999), 2)});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("supplier", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= n_customer; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("Customer#" + std::to_string(i)),
+                    Value::Int64(rng.Uniform(0, n_nation - 1)),
+                    Value::Decimal(rng.Uniform(-99999, 999999), 2),
+                    Value::String(kSegments[rng.Uniform(0, 4)])});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("customer", rows));
+
+  rows.clear();
+  for (int64_t i = 1; i <= n_part; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("Part " + rng.NextString(12)),
+                    Value::String("Brand#" +
+                                  std::to_string(rng.Uniform(1, 5)) +
+                                  std::to_string(rng.Uniform(1, 5))),
+                    Value::Decimal(rng.Uniform(90000, 200000), 2)});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("part", rows));
+
+  rows.clear();
+  for (int64_t p = 1; p <= n_part; ++p) {
+    for (int64_t s = 0; s < 4; ++s) {
+      int64_t suppkey = 1 + ((p + s * 7) % n_supplier);
+      rows.push_back({Value::Int64(p), Value::Int64(suppkey),
+                      Value::Int64(rng.Uniform(1, 9999)),
+                      Value::Decimal(rng.Uniform(100, 100000), 2)});
+    }
+  }
+  VDM_RETURN_NOT_OK(db->Insert("partsupp", rows));
+
+  rows.clear();
+  std::vector<std::vector<Value>> line_rows;
+  for (int64_t o = 1; o <= n_orders; ++o) {
+    int64_t custkey = rng.Uniform(1, n_customer);
+    int64_t n_lines = rng.Uniform(1, 7);
+    int64_t total = 0;
+    int64_t orderdate = rng.Uniform(8766, 12784);  // 1994..2004 in days
+    for (int64_t l = 1; l <= n_lines; ++l) {
+      int64_t partkey = rng.Uniform(1, n_part);
+      int64_t suppkey = 1 + ((partkey + l * 7) % n_supplier);
+      int64_t qty = rng.Uniform(1, 50);
+      int64_t price = rng.Uniform(100, 10000000);
+      total += price;
+      line_rows.push_back({Value::Int64(o), Value::Int64(l),
+                           Value::Int64(partkey), Value::Int64(suppkey),
+                           Value::Int64(qty), Value::Decimal(price, 2),
+                           Value::Decimal(rng.Uniform(0, 10), 2),
+                           Value::Decimal(rng.Uniform(0, 8), 2),
+                           Value::Date(orderdate + rng.Uniform(1, 120))});
+    }
+    rows.push_back({Value::Int64(o), Value::Int64(custkey),
+                    Value::String(kStatuses[rng.Uniform(0, 2)]),
+                    Value::Decimal(total, 2), Value::Date(orderdate)});
+  }
+  VDM_RETURN_NOT_OK(db->Insert("orders", rows));
+  VDM_RETURN_NOT_OK(db->Insert("lineitem", line_rows));
+
+  // Draft/active: ~95% of a separate order population is active.
+  rows.clear();
+  std::vector<std::vector<Value>> draft_rows;
+  for (int64_t o = 1; o <= n_orders; ++o) {
+    std::vector<Value> row{Value::Int64(o),
+                           Value::Int64(rng.Uniform(1, n_customer)),
+                           Value::Decimal(rng.Uniform(100, 10000000), 2)};
+    if (rng.Bernoulli(0.95)) {
+      rows.push_back(std::move(row));
+    } else {
+      draft_rows.push_back(std::move(row));
+    }
+  }
+  VDM_RETURN_NOT_OK(db->Insert("orders_active", rows));
+  VDM_RETURN_NOT_OK(db->Insert("orders_draft", draft_rows));
+
+  db->MergeAllDeltas();
+  return Status::OK();
+}
+
+std::string UajQuerySql(UajQuery query) {
+  switch (query) {
+    case UajQuery::kUaj1:
+      return "select o.o_orderkey from orders o "
+             "left join customer c on o.o_custkey = c.c_custkey";
+    case UajQuery::kUaj2:
+      return "select o.o_orderkey from orders o left join "
+             "(select l_orderkey, sum(l_quantity) as qty from lineitem "
+             " group by l_orderkey) t "
+             "on o.o_orderkey = t.l_orderkey";
+    case UajQuery::kUaj3:
+      return "select o.o_orderkey from orders o left join "
+             "(select l_orderkey, l_extendedprice from lineitem "
+             " where l_linenumber = 1) t "
+             "on o.o_orderkey = t.l_orderkey";
+    case UajQuery::kUaj1a:
+      return "select o.o_orderkey from orders o left join "
+             "(select c_custkey, n_name from customer "
+             " join nation on c_nationkey = n_nationkey) t "
+             "on o.o_custkey = t.c_custkey";
+    case UajQuery::kUaj2a:
+      return "select o.o_orderkey from orders o left join "
+             "(select l_orderkey, sum(l_quantity) as qty from lineitem "
+             " join part on l_partkey = p_partkey "
+             " group by l_orderkey) t "
+             "on o.o_orderkey = t.l_orderkey";
+    case UajQuery::kUaj3a:
+      return "select o.o_orderkey from orders o left join "
+             "(select l_orderkey, p_name from lineitem "
+             " join part on l_partkey = p_partkey "
+             " where l_linenumber = 1) t "
+             "on o.o_orderkey = t.l_orderkey";
+    case UajQuery::kUaj1b:
+      return "select o.o_orderkey from orders o left join "
+             "(select c_custkey, c_name from customer "
+             " order by c_acctbal limit 100) t "
+             "on o.o_custkey = t.c_custkey";
+  }
+  return "";
+}
+
+std::string UajQueryName(UajQuery query) {
+  switch (query) {
+    case UajQuery::kUaj1:
+      return "UAJ 1";
+    case UajQuery::kUaj2:
+      return "UAJ 2";
+    case UajQuery::kUaj3:
+      return "UAJ 3";
+    case UajQuery::kUaj1a:
+      return "UAJ 1a";
+    case UajQuery::kUaj2a:
+      return "UAJ 2a";
+    case UajQuery::kUaj3a:
+      return "UAJ 3a";
+    case UajQuery::kUaj1b:
+      return "UAJ 1b";
+  }
+  return "?";
+}
+
+std::vector<UajQuery> AllUajQueries() {
+  return {UajQuery::kUaj1,  UajQuery::kUaj2,  UajQuery::kUaj3,
+          UajQuery::kUaj1a, UajQuery::kUaj2a, UajQuery::kUaj3a,
+          UajQuery::kUaj1b};
+}
+
+std::string PagingQuerySql(int64_t limit, int64_t offset) {
+  return StrFormat(
+      "select o.o_orderkey, o.o_totalprice, c.c_name "
+      "from orders o left join customer c on o.o_custkey = c.c_custkey "
+      "limit %lld offset %lld",
+      static_cast<long long>(limit), static_cast<long long>(offset));
+}
+
+std::string AsjQuerySql(AsjQuery query) {
+  switch (query) {
+    case AsjQuery::kFig10a:
+      return "select o.o_orderkey, t.o_totalprice from orders o "
+             "left join orders t on o.o_orderkey = t.o_orderkey";
+    case AsjQuery::kFig10b:
+      return "select v.k, v.c_name, t.o_totalprice from "
+             "(select o_orderkey as k, c_name from orders "
+             " join customer on o_custkey = c_custkey) v "
+             "left join orders t on v.k = t.o_orderkey";
+    case AsjQuery::kFig10c:
+      return "select v.k, t.o_totalprice from "
+             "(select o_orderkey as k from orders "
+             " where o_orderstatus = 'O') v "
+             "left join (select o_orderkey, o_totalprice from orders "
+             " where o_orderstatus = 'O') t "
+             "on v.k = t.o_orderkey";
+  }
+  return "";
+}
+
+std::string AsjQueryName(AsjQuery query) {
+  switch (query) {
+    case AsjQuery::kFig10a:
+      return "Fig. 10(a)";
+    case AsjQuery::kFig10b:
+      return "Fig. 10(b)";
+    case AsjQuery::kFig10c:
+      return "Fig. 10(c)";
+  }
+  return "?";
+}
+
+std::vector<AsjQuery> AllAsjQueries() {
+  return {AsjQuery::kFig10a, AsjQuery::kFig10b, AsjQuery::kFig10c};
+}
+
+std::string UnionUajQuerySql(UnionUajQuery query) {
+  switch (query) {
+    case UnionUajQuery::kFig12a:
+      return "select o.o_orderkey from orders o left join "
+             "(select c_custkey, c_name from customer where c_nationkey = 1 "
+             " union all "
+             " select c_custkey, c_name from customer where c_nationkey = 2"
+             ") t on o.o_custkey = t.c_custkey";
+    case UnionUajQuery::kFig12b:
+      return "select o.o_orderkey from orders o left join "
+             "(select o_orderkey as k, 1 as src, o_totalprice "
+             " from orders_active "
+             " union all "
+             " select o_orderkey as k, 2 as src, o_totalprice "
+             " from orders_draft"
+             ") t on o.o_orderkey = t.k and t.src = 1";
+  }
+  return "";
+}
+
+std::string UnionUajQueryName(UnionUajQuery query) {
+  switch (query) {
+    case UnionUajQuery::kFig12a:
+      return "Fig. 12(a)";
+    case UnionUajQuery::kFig12b:
+      return "Fig. 12(b)";
+  }
+  return "?";
+}
+
+std::vector<UnionUajQuery> AllUnionUajQueries() {
+  return {UnionUajQuery::kFig12a, UnionUajQuery::kFig12b};
+}
+
+}  // namespace vdm

@@ -1,0 +1,75 @@
+// Scaled-down deterministic TPC-H data generator (paper Fig. 5 context).
+//
+// The paper's seven UAJ micro-queries run on the TPC-H schema with primary
+// keys defined and optional foreign keys omitted (§4.3). A sizing of
+// scale=1 produces ~15k orders / ~60k lineitems — enough to make join
+// elimination measurable on a laptop while keeping test runtimes low.
+#ifndef VDMQO_WORKLOAD_TPCH_H_
+#define VDMQO_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdm {
+
+struct TpchOptions {
+  /// Multiplies the base row counts (base: 1500 customers, 15000 orders,
+  /// ~60000 lineitems, 2000 parts, 100 suppliers).
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// Also declare the benchmark's optional foreign keys (off per §4.3;
+  /// turned on to exercise AJ 1a FK-based elimination).
+  bool with_foreign_keys = false;
+};
+
+/// Creates the eight TPC-H tables (with primary keys) in the database.
+Status CreateTpchSchema(Database* db, const TpchOptions& options = {});
+
+/// Generates and loads deterministic data, then merges deltas.
+Status LoadTpchData(Database* db, const TpchOptions& options = {});
+
+/// The paper's seven UAJ micro-queries (Fig. 5).
+enum class UajQuery {
+  kUaj1,   // AJ 2a-1: LOJ on the augmenter's primary key
+  kUaj2,   // AJ 2a-2: LOJ on a GROUP BY key
+  kUaj3,   // AJ 2a-3: LOJ on a constant-pinned composite key
+  kUaj1a,  // UAJ 1 + non-duplicating join inside the augmenter
+  kUaj2a,  // UAJ 2 + non-duplicating join inside the augmenter
+  kUaj3a,  // UAJ 3 + non-duplicating join inside the augmenter
+  kUaj1b,  // UAJ 1 + ORDER BY / LIMIT on the augmenter
+};
+
+/// SQL text of a UAJ micro-query.
+std::string UajQuerySql(UajQuery query);
+std::string UajQueryName(UajQuery query);
+std::vector<UajQuery> AllUajQueries();
+
+/// The paper's Fig. 6 paging query (limit on augmentation join).
+std::string PagingQuerySql(int64_t limit, int64_t offset);
+
+/// The paper's Fig. 10 ASJ micro-queries over TPC-H.
+enum class AsjQuery {
+  kFig10a,  // bare self-join on key
+  kFig10b,  // anchor is a subquery (joins/projections above the scan)
+  kFig10c,  // selection on the augmenter, subsumed by the anchor
+};
+std::string AsjQuerySql(AsjQuery query);
+std::string AsjQueryName(AsjQuery query);
+std::vector<AsjQuery> AllAsjQueries();
+
+/// Fig. 12 UNION ALL + UAJ micro-queries.
+enum class UnionUajQuery {
+  kFig12a,  // disjoint subsets of one table under the union
+  kFig12b,  // branch-id union (draft/active style)
+};
+std::string UnionUajQuerySql(UnionUajQuery query);
+std::string UnionUajQueryName(UnionUajQuery query);
+std::vector<UnionUajQuery> AllUnionUajQueries();
+
+}  // namespace vdm
+
+#endif  // VDMQO_WORKLOAD_TPCH_H_

@@ -1,0 +1,201 @@
+// Unit tests for the binder: name resolution, star expansion, view
+// inlining, DAC injection, macro expansion, aggregation shaping.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+#include "sql/binder.h"
+
+namespace vdm {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table t (a int primary key, b varchar, "
+                            "c decimal(10,2))")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("create table u (a int primary key, d varchar)")
+                    .ok());
+    ASSERT_TRUE(db_.Insert("t", {{Value::Int64(1), Value::String("x"),
+                                  Value::Decimal(100, 2)},
+                                 {Value::Int64(2), Value::String("y"),
+                                  Value::Decimal(200, 2)}})
+                    .ok());
+    ASSERT_TRUE(
+        db_.Insert("u", {{Value::Int64(1), Value::String("one")}}).ok());
+  }
+
+  Result<PlanRef> Bind(const std::string& sql) { return db_.BindQuery(sql); }
+
+  Database db_;
+};
+
+TEST_F(BinderTest, OutputNamesFollowSelectList) {
+  Result<PlanRef> plan = Bind("select a, b as bee, c + 1 from t");
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::string> names = (*plan)->OutputNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "bee");
+  // Unaliased expressions get their rendering as a name.
+  EXPECT_NE(names[2].find("+"), std::string::npos);
+}
+
+TEST_F(BinderTest, DuplicateNamesAreDisambiguated) {
+  Result<PlanRef> plan = Bind("select a, a from t");
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::string> names = (*plan)->OutputNames();
+  EXPECT_NE(names[0], names[1]);
+}
+
+TEST_F(BinderTest, StarExpandsQualifiedOnCollision) {
+  Result<PlanRef> plan =
+      Bind("select * from t join u on t.a = u.a");
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::string> names = (*plan)->OutputNames();
+  ASSERT_EQ(names.size(), 5u);
+  // "a" collides between t and u -> qualified names survive.
+  EXPECT_EQ(names[0], "t.a");
+  EXPECT_EQ(names[3], "u.a");
+  EXPECT_EQ(names[1], "b");  // unique names stay bare
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  Result<PlanRef> plan = Bind("select a from t join u on t.a = u.a");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, UnknownColumnAndTableRejected) {
+  EXPECT_FALSE(Bind("select nope from t").ok());
+  EXPECT_FALSE(Bind("select a from nonexistent").ok());
+}
+
+TEST_F(BinderTest, SelfJoinNeedsAliases) {
+  // Two instances of t are distinguishable through aliases.
+  Result<PlanRef> plan =
+      Bind("select x.a, y.b from t x join t y on x.a = y.a");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->OutputNames()[0], "a");
+}
+
+TEST_F(BinderTest, GroupByValidation) {
+  EXPECT_TRUE(Bind("select a, count(*) from t group by a").ok());
+  EXPECT_TRUE(Bind("select a + 1, count(*) from t group by a + 1").ok());
+  Result<PlanRef> bad = Bind("select b, count(*) from t group by a");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, HavingBecomesHiddenItemAndFilter) {
+  Result<PlanRef> plan =
+      Bind("select a from t group by a having count(*) > 1");
+  ASSERT_TRUE(plan.ok());
+  // Shape: Project over Filter over Aggregate; the final output hides
+  // the having column.
+  EXPECT_EQ((*plan)->OutputNames(), std::vector<std::string>{"a"});
+  PlanStats stats = ComputePlanStats(*plan);
+  EXPECT_EQ(stats.filters, 1u);
+  EXPECT_EQ(stats.aggregates, 1u);
+}
+
+TEST_F(BinderTest, UnionArityChecked) {
+  EXPECT_TRUE(Bind("select a from t union all select a from u").ok());
+  Result<PlanRef> bad = Bind("select a, b from t union all select a from u");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("arity"), std::string::npos);
+}
+
+TEST_F(BinderTest, ViewInliningIsTransparent) {
+  ASSERT_TRUE(db_.Execute("create view tv as select a, b from t").ok());
+  Result<Chunk> rows = db_.Query("select b from tv where a = 2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->NumRows(), 1u);
+  EXPECT_EQ(rows->columns[0].strings()[0], "y");
+}
+
+TEST_F(BinderTest, NestedViewsUnfold) {
+  ASSERT_TRUE(db_.Execute("create view v1 as select a, b from t").ok());
+  ASSERT_TRUE(db_.Execute("create view v2 as select a, b from v1").ok());
+  ASSERT_TRUE(db_.Execute("create view v3 as select a from v2").ok());
+  Result<PlanRef> plan = Bind("select * from v3");
+  ASSERT_TRUE(plan.ok());
+  // The fully inlined plan bottoms out at the base table.
+  bool found_scan = false;
+  VisitPlan(*plan, [&](const PlanRef& node) {
+    if (node->kind() == OpKind::kScan) {
+      found_scan = true;
+      EXPECT_EQ(static_cast<const ScanOp&>(*node).table_name(), "t");
+    }
+  });
+  EXPECT_TRUE(found_scan);
+}
+
+TEST_F(BinderTest, ViewCycleDetected) {
+  // A view that references a later-defined view of the same name can
+  // produce a cycle when created via ReplaceView; binding must not loop.
+  ASSERT_TRUE(db_.Execute("create view cyc as select a from t").ok());
+  ViewDef view = *db_.catalog().FindView("cyc");
+  view.sql = "select a from cyc";
+  ASSERT_TRUE(db_.catalog().ReplaceView(view).ok());
+  Result<PlanRef> plan = Bind("select * from cyc");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("nesting"), std::string::npos);
+}
+
+TEST_F(BinderTest, DacFilterAppliesPerReference) {
+  ASSERT_TRUE(db_.Execute("create view sec as select a, b from t").ok());
+  ViewDef view = *db_.catalog().FindView("sec");
+  view.dac_filter_sql = "a = 1";
+  ASSERT_TRUE(db_.catalog().ReplaceView(view).ok());
+  Result<Chunk> rows = db_.Query("select count(*) from sec");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->columns[0].ints()[0], 1);
+}
+
+TEST_F(BinderTest, MacroExpansion) {
+  ASSERT_TRUE(db_.Execute("create view mv as select a, c from t "
+                          "with expression macros (sum(c) / count(*) "
+                          "as avg_c)")
+                  .ok());
+  Result<Chunk> rows =
+      db_.Query("select expression_macro(avg_c) as m from mv group by a");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->NumRows(), 2u);
+  // Unknown macro errors out cleanly.
+  Result<Chunk> bad =
+      db_.Query("select expression_macro(nope) from mv group by a");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(BinderTest, OrderByUnprojectedColumn) {
+  Result<Chunk> rows = db_.Query("select b from t order by c desc");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->NumRows(), 2u);
+  EXPECT_EQ(rows->columns[0].strings()[0], "y");  // c=2.00 first
+}
+
+TEST_F(BinderTest, OrderByOutputAliasAfterAggregation) {
+  Result<Chunk> rows = db_.Query(
+      "select a, count(*) as n from t group by a order by a desc");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->columns[0].ints()[0], 2);
+}
+
+TEST_F(BinderTest, SubqueryScopesAreIsolated) {
+  Result<PlanRef> plan = Bind(
+      "select s.total from "
+      "(select a, count(*) as total from t group by a) s where s.total > 0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Inner columns are not visible outside.
+  EXPECT_FALSE(Bind("select b from (select a from t) s").ok());
+}
+
+TEST_F(BinderTest, CaseInsensitiveResolution) {
+  EXPECT_TRUE(Bind("select A, B from T").ok());
+  EXPECT_TRUE(Bind("SELECT t.A FROM t").ok());
+}
+
+}  // namespace
+}  // namespace vdm

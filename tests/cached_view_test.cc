@@ -1,0 +1,108 @@
+// Tests for static cached views (paper §3: SCV — materialized in memory,
+// refreshed explicitly, serving a delayed snapshot).
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+
+namespace vdm {
+namespace {
+
+class CachedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table sales ("
+                            "id int primary key, region varchar, "
+                            "amount decimal(10,2))")
+                    .ok());
+    ASSERT_TRUE(Insert(1, "east", 100));
+    ASSERT_TRUE(Insert(2, "west", 200));
+    ASSERT_TRUE(Insert(3, "east", 300));
+    ASSERT_TRUE(db_.Execute("create view region_totals as "
+                            "select region, sum(amount) as total, "
+                            "count(*) as n from sales group by region")
+                    .ok());
+  }
+
+  bool Insert(int64_t id, const std::string& region, int64_t amount) {
+    return db_
+        .Insert("sales", {{Value::Int64(id), Value::String(region),
+                           Value::Decimal(amount * 100, 2)}})
+        .ok();
+  }
+
+  int64_t EastCount() {
+    Result<Chunk> rows =
+        db_.Query("select n from region_totals where region = 'east'");
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows->NumRows(), 1u);
+    return rows->columns[0].ints()[0];
+  }
+
+  Database db_;
+};
+
+TEST_F(CachedViewTest, MaterializeServesSnapshot) {
+  EXPECT_EQ(EastCount(), 2);
+  ASSERT_TRUE(db_.MaterializeView("region_totals").ok());
+  // The snapshot serves the same data...
+  EXPECT_EQ(EastCount(), 2);
+  // ...and the plan no longer contains the aggregation over sales.
+  Result<PlanRef> plan =
+      db_.PlanQuery("select region, total from region_totals");
+  ASSERT_TRUE(plan.ok());
+  bool scans_snapshot = false;
+  VisitPlan(*plan, [&](const PlanRef& node) {
+    if (node->kind() == OpKind::kScan &&
+        static_cast<const ScanOp&>(*node).table_name().rfind("__scv_", 0) ==
+            0) {
+      scans_snapshot = true;
+    }
+  });
+  EXPECT_TRUE(scans_snapshot) << PrintPlan(*plan);
+}
+
+TEST_F(CachedViewTest, SnapshotIsStaleUntilRefresh) {
+  ASSERT_TRUE(db_.MaterializeView("region_totals").ok());
+  ASSERT_TRUE(Insert(4, "east", 50));
+  // SCV semantics: the new row is not visible yet.
+  EXPECT_EQ(EastCount(), 2);
+  ASSERT_TRUE(db_.RefreshMaterializedView("region_totals").ok());
+  EXPECT_EQ(EastCount(), 3);
+}
+
+TEST_F(CachedViewTest, DematerializeReturnsToLiveView) {
+  ASSERT_TRUE(db_.MaterializeView("region_totals").ok());
+  ASSERT_TRUE(Insert(5, "east", 10));
+  EXPECT_EQ(EastCount(), 2);  // stale
+  ASSERT_TRUE(db_.DematerializeView("region_totals").ok());
+  EXPECT_EQ(EastCount(), 3);  // live again
+  // Idempotent on a non-materialized view.
+  EXPECT_TRUE(db_.DematerializeView("region_totals").ok());
+}
+
+TEST_F(CachedViewTest, MaterializeTwiceRefreshes) {
+  ASSERT_TRUE(db_.MaterializeView("region_totals").ok());
+  ASSERT_TRUE(Insert(6, "east", 10));
+  ASSERT_TRUE(db_.MaterializeView("region_totals").ok());  // acts as refresh
+  EXPECT_EQ(EastCount(), 3);
+}
+
+TEST_F(CachedViewTest, DacStillAppliesOverSnapshot) {
+  ASSERT_TRUE(db_.MaterializeView("region_totals").ok());
+  ViewDef view = *db_.catalog().FindView("region_totals");
+  view.dac_filter_sql = "region = 'west'";
+  ASSERT_TRUE(db_.catalog().ReplaceView(view).ok());
+  Result<Chunk> rows = db_.Query("select count(*) from region_totals");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->columns[0].ints()[0], 1);
+}
+
+TEST_F(CachedViewTest, Errors) {
+  EXPECT_EQ(db_.MaterializeView("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.RefreshMaterializedView("region_totals").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vdm

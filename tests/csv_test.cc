@@ -1,0 +1,125 @@
+// Tests for CSV import/export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engine/csv.h"
+
+namespace vdm {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table items ("
+                            "id int primary key, label varchar, "
+                            "price decimal(8,2), weight double, "
+                            "available bool, added date)")
+                    .ok());
+    path_ = ::testing::TempDir() + "/vdm_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  Database db_;
+  std::string path_;
+};
+
+TEST_F(CsvTest, ParseCsvLine) {
+  Result<std::vector<std::string>> fields =
+      ParseCsvLine("a,\"b,c\",\"say \"\"hi\"\"\",,d");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 5u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[1], "b,c");
+  EXPECT_EQ((*fields)[2], "say \"hi\"");
+  EXPECT_EQ((*fields)[3], "");
+  EXPECT_EQ((*fields)[4], "d");
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").ok());
+}
+
+TEST_F(CsvTest, CoerceValues) {
+  EXPECT_EQ(*CoerceCsvValue("42", DataType::Int64()), Value::Int64(42));
+  EXPECT_EQ(*CoerceCsvValue("-7", DataType::Int64()), Value::Int64(-7));
+  EXPECT_EQ(*CoerceCsvValue("3.25", DataType::Decimal(2)),
+            Value::Decimal(325, 2));
+  EXPECT_EQ(*CoerceCsvValue("3.256", DataType::Decimal(2)),
+            Value::Decimal(326, 2));  // rounded
+  EXPECT_EQ(*CoerceCsvValue("-1.5", DataType::Decimal(2)),
+            Value::Decimal(-150, 2));
+  EXPECT_EQ(*CoerceCsvValue("5", DataType::Decimal(2)),
+            Value::Decimal(500, 2));
+  EXPECT_EQ(*CoerceCsvValue("true", DataType::Bool()), Value::Bool(true));
+  EXPECT_EQ(*CoerceCsvValue("0", DataType::Bool()), Value::Bool(false));
+  EXPECT_TRUE(CoerceCsvValue("", DataType::Int64())->is_null());
+  EXPECT_FALSE(CoerceCsvValue("abc", DataType::Int64()).ok());
+  EXPECT_FALSE(CoerceCsvValue("1.2.3", DataType::Decimal(2)).ok());
+}
+
+TEST_F(CsvTest, ImportRoundTrip) {
+  WriteFile(
+      "id,label,price,weight,available,added\n"
+      "1,\"widget, large\",19.99,1.5,true,19000\n"
+      "2,nut,0.05,0.01,false,19001\n"
+      "3,,,,true,\n");
+  Result<size_t> imported = ImportCsv(&db_, "items", path_);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(*imported, 3u);
+  Result<Chunk> rows = db_.Query("select * from items order by id");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->NumRows(), 3u);
+  EXPECT_EQ(rows->columns[1].strings()[0], "widget, large");
+  EXPECT_EQ(rows->columns[2].GetValue(0), Value::Decimal(1999, 2));
+  EXPECT_TRUE(rows->columns[1].IsNull(2));
+  EXPECT_TRUE(rows->columns[5].IsNull(2));
+
+  // Export and re-import into a second table: contents must match.
+  ASSERT_TRUE(ExportCsv(*rows, path_).ok());
+  ASSERT_TRUE(db_.Execute("create table items2 ("
+                          "id int, label varchar, price decimal(8,2), "
+                          "weight double, available bool, added date)")
+                  .ok());
+  Result<size_t> again = ImportCsv(&db_, "items2", path_);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  Result<Chunk> rows2 = db_.Query("select * from items2 order by id");
+  ASSERT_TRUE(rows2.ok());
+  ASSERT_EQ(rows2->NumRows(), 3u);
+  for (size_t c = 0; c < rows->NumColumns(); ++c) {
+    for (size_t r = 0; r < rows->NumRows(); ++r) {
+      EXPECT_TRUE(rows->columns[c].GetValue(r) ==
+                  rows2->columns[c].GetValue(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST_F(CsvTest, PartialColumnList) {
+  WriteFile("label,id\nthing,9\n");
+  Result<size_t> imported = ImportCsv(&db_, "items", path_);
+  ASSERT_TRUE(imported.ok());
+  Result<Chunk> rows = db_.Query("select id, label, price from items");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->columns[0].ints()[0], 9);
+  EXPECT_TRUE(rows->columns[2].IsNull(0));
+}
+
+TEST_F(CsvTest, Errors) {
+  WriteFile("id,nonexistent\n1,2\n");
+  EXPECT_FALSE(ImportCsv(&db_, "items", path_).ok());
+  WriteFile("id\n1,2\n");
+  EXPECT_FALSE(ImportCsv(&db_, "items", path_).ok());  // arity mismatch
+  WriteFile("id\nabc\n");
+  Result<size_t> bad = ImportCsv(&db_, "items", path_);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ImportCsv(&db_, "nope", path_).ok());
+  EXPECT_FALSE(ImportCsv(&db_, "items", "/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace vdm

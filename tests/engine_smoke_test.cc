@@ -1,0 +1,226 @@
+// End-to-end smoke tests: DDL, inserts, queries, views, optimization.
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/plan_printer.h"
+
+namespace vdm {
+namespace {
+
+class EngineSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table customer ("
+                            "c_custkey int primary key,"
+                            "c_name varchar(25) not null,"
+                            "c_nationkey int not null)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("create table orders ("
+                            "o_orderkey int primary key,"
+                            "o_custkey int not null,"
+                            "o_total decimal(15,2))")
+                    .ok());
+    ASSERT_TRUE(db_.Insert("customer", {{Value::Int64(1),
+                                         Value::String("alice"),
+                                         Value::Int64(10)},
+                                        {Value::Int64(2),
+                                         Value::String("bob"),
+                                         Value::Int64(20)}})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("orders", {{Value::Int64(100), Value::Int64(1),
+                                       Value::Decimal(1050, 2)},
+                                      {Value::Int64(101), Value::Int64(1),
+                                       Value::Decimal(2550, 2)},
+                                      {Value::Int64(102), Value::Int64(2),
+                                       Value::Decimal(999, 2)}})
+                    .ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(EngineSmokeTest, SimpleSelect) {
+  Result<Chunk> result = db_.Query("select c_name from customer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 2u);
+  EXPECT_EQ(result->names[0], "c_name");
+  EXPECT_EQ(result->columns[0].strings()[0], "alice");
+}
+
+TEST_F(EngineSmokeTest, FilterAndProject) {
+  Result<Chunk> result = db_.Query(
+      "select o_orderkey, o_total from orders where o_custkey = 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 2u);
+}
+
+TEST_F(EngineSmokeTest, JoinQuery) {
+  Result<Chunk> result = db_.Query(
+      "select o.o_orderkey, c.c_name from orders o "
+      "join customer c on o.o_custkey = c.c_custkey "
+      "order by o.o_orderkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->NumRows(), 3u);
+  EXPECT_EQ(result->columns[1].strings()[0], "alice");
+  EXPECT_EQ(result->columns[1].strings()[2], "bob");
+}
+
+TEST_F(EngineSmokeTest, LeftOuterJoinKeepsUnmatched) {
+  ASSERT_TRUE(db_.Insert("orders", {{Value::Int64(103), Value::Int64(99),
+                                     Value::Decimal(100, 2)}})
+                  .ok());
+  Result<Chunk> result = db_.Query(
+      "select o.o_orderkey, c.c_name from orders o "
+      "left join customer c on o.o_custkey = c.c_custkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 4u);
+  // The unmatched order must carry a NULL name.
+  int nulls = 0;
+  for (size_t i = 0; i < result->NumRows(); ++i) {
+    if (result->columns[1].IsNull(i)) ++nulls;
+  }
+  EXPECT_EQ(nulls, 1);
+}
+
+TEST_F(EngineSmokeTest, AggregateWithGroupBy) {
+  Result<Chunk> result = db_.Query(
+      "select o_custkey, count(*) as n, sum(o_total) as total "
+      "from orders group by o_custkey order by o_custkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->NumRows(), 2u);
+  EXPECT_EQ(result->columns[1].ints()[0], 2);
+  // 10.50 + 25.50 = 36.00 at scale 2.
+  EXPECT_EQ(result->columns[2].ints()[0], 3600);
+}
+
+TEST_F(EngineSmokeTest, UajEliminatedInPlan) {
+  // The customer join is unused: the optimizer must remove it (UAJ 1).
+  Result<PlanRef> plan = db_.PlanQuery(
+      "select o.o_orderkey from orders o "
+      "left join customer c on o.o_custkey = c.c_custkey");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  PlanStats stats = ComputePlanStats(*plan);
+  EXPECT_EQ(stats.joins, 0u) << PrintPlan(*plan);
+  EXPECT_EQ(stats.table_instances, 1u);
+}
+
+TEST_F(EngineSmokeTest, UajKeptWhenUsed) {
+  Result<PlanRef> plan = db_.PlanQuery(
+      "select o.o_orderkey, c.c_name from orders o "
+      "left join customer c on o.o_custkey = c.c_custkey");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ComputePlanStats(*plan).joins, 1u);
+}
+
+TEST_F(EngineSmokeTest, UajNotEliminatedWithoutKey) {
+  // Joining on a non-unique column may duplicate rows: join must stay.
+  Result<PlanRef> plan = db_.PlanQuery(
+      "select o.o_orderkey from orders o "
+      "left join customer c on o.o_custkey = c.c_nationkey");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ComputePlanStats(*plan).joins, 1u) << PrintPlan(*plan);
+}
+
+TEST_F(EngineSmokeTest, ViewInliningAndQuery) {
+  ASSERT_TRUE(db_.Execute("create view order_info as "
+                          "select o.o_orderkey, o.o_total, c.c_name "
+                          "from orders o left join customer c "
+                          "on o.o_custkey = c.c_custkey")
+                  .ok());
+  Result<Chunk> result =
+      db_.Query("select o_orderkey from order_info order by o_orderkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 3u);
+  // Plan: the view's customer join must be optimized away.
+  Result<PlanRef> plan = db_.PlanQuery("select o_orderkey from order_info");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ComputePlanStats(*plan).joins, 0u) << PrintPlan(*plan);
+}
+
+TEST_F(EngineSmokeTest, CountStarOverView) {
+  ASSERT_TRUE(db_.Execute("create view order_info2 as "
+                          "select o.o_orderkey, c.c_name "
+                          "from orders o left join customer c "
+                          "on o.o_custkey = c.c_custkey")
+                  .ok());
+  Result<Chunk> result = db_.Query("select count(*) from order_info2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->NumRows(), 1u);
+  EXPECT_EQ(result->columns[0].ints()[0], 3);
+  Result<PlanRef> plan = db_.PlanQuery("select count(*) from order_info2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ComputePlanStats(*plan).joins, 0u) << PrintPlan(*plan);
+}
+
+TEST_F(EngineSmokeTest, ProfileChangesOptimization) {
+  db_.SetProfile(SystemProfile::kSystemX);
+  Result<PlanRef> plan = db_.PlanQuery(
+      "select o.o_orderkey from orders o "
+      "left join customer c on o.o_custkey = c.c_custkey");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ComputePlanStats(*plan).joins, 1u);
+  db_.SetProfile(SystemProfile::kHana);
+  plan = db_.PlanQuery(
+      "select o.o_orderkey from orders o "
+      "left join customer c on o.o_custkey = c.c_custkey");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ComputePlanStats(*plan).joins, 0u);
+}
+
+TEST_F(EngineSmokeTest, LimitOffsetAndOrder) {
+  Result<Chunk> result = db_.Query(
+      "select o_orderkey from orders order by o_orderkey desc limit 2 "
+      "offset 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->NumRows(), 2u);
+  EXPECT_EQ(result->columns[0].ints()[0], 101);
+  EXPECT_EQ(result->columns[0].ints()[1], 100);
+}
+
+TEST_F(EngineSmokeTest, UnionAllQuery) {
+  Result<Chunk> result = db_.Query(
+      "select o_orderkey from orders where o_custkey = 1 "
+      "union all "
+      "select o_orderkey from orders where o_custkey = 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 3u);
+}
+
+TEST_F(EngineSmokeTest, DistinctQuery) {
+  Result<Chunk> result =
+      db_.Query("select distinct o_custkey from orders");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 2u);
+}
+
+TEST_F(EngineSmokeTest, DacFilterInjected) {
+  ASSERT_TRUE(db_.Execute("create view all_orders as "
+                          "select o_orderkey, o_custkey from orders")
+                  .ok());
+  // Attach a DAC filter restricting to customer 1.
+  ViewDef view = *db_.catalog().FindView("all_orders");
+  view.dac_filter_sql = "o_custkey = 1";
+  ASSERT_TRUE(db_.catalog().ReplaceView(view).ok());
+  Result<Chunk> result = db_.Query("select count(*) from all_orders");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->columns[0].ints()[0], 2);
+}
+
+TEST_F(EngineSmokeTest, MergeDeltaPreservesData) {
+  db_.MergeAllDeltas();
+  Result<Chunk> result = db_.Query("select count(*) from orders");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns[0].ints()[0], 3);
+  // Insert post-merge rows (delta) and verify both fragments scan.
+  ASSERT_TRUE(
+      db_.Insert("orders", {{Value::Int64(200), Value::Int64(2),
+                             Value::Decimal(1, 2)}})
+          .ok());
+  result = db_.Query("select count(*) from orders");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns[0].ints()[0], 4);
+}
+
+}  // namespace
+}  // namespace vdm

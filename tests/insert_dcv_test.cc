@@ -1,0 +1,129 @@
+// Tests for INSERT statements and dynamic cached views (DCV, §3).
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace vdm {
+namespace {
+
+class InsertTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table t ("
+                            "k int primary key, name varchar, "
+                            "amount decimal(10,2), hit bool)")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(InsertTest, BasicInsert) {
+  ASSERT_TRUE(db_.Execute("insert into t values (1, 'a', 10.50, true)")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("insert into t values (2, 'b', 0.05, false), "
+                          "(3, null, 99.99, true)")
+                  .ok());
+  Result<Chunk> rows = db_.Query("select * from t order by k");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->NumRows(), 3u);
+  EXPECT_EQ(rows->columns[2].GetValue(0), Value::Decimal(1050, 2));
+  EXPECT_TRUE(rows->columns[1].IsNull(2));
+}
+
+TEST_F(InsertTest, ExplicitColumnsFillNulls) {
+  ASSERT_TRUE(
+      db_.Execute("insert into t (k, amount) values (7, 1.5)").ok());
+  Result<Chunk> rows = db_.Query("select name, amount, hit from t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->columns[0].IsNull(0));
+  EXPECT_TRUE(rows->columns[2].IsNull(0));
+  // 1.5 is rescaled to the column's scale 2.
+  EXPECT_EQ(rows->columns[1].GetValue(0), Value::Decimal(150, 2));
+}
+
+TEST_F(InsertTest, ConstantExpressionsAllowed) {
+  ASSERT_TRUE(db_.Execute("insert into t (k, amount) "
+                          "values (1 + 2, round(10.567, 2))")
+                  .ok());
+  Result<Chunk> rows = db_.Query("select k, amount from t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->columns[0].ints()[0], 3);
+  EXPECT_EQ(rows->columns[1].GetValue(0), Value::Decimal(1057, 2));
+}
+
+TEST_F(InsertTest, Errors) {
+  EXPECT_FALSE(db_.Execute("insert into nope values (1)").ok());
+  EXPECT_FALSE(db_.Execute("insert into t (k, zzz) values (1, 2)").ok());
+  EXPECT_FALSE(db_.Execute("insert into t (k) values (1, 2)").ok());
+  EXPECT_FALSE(
+      db_.Execute("insert into t (k) values (some_column)").ok());
+}
+
+class DcvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table events ("
+                            "id int primary key, kind varchar)")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Execute("insert into events values (1, 'a'), (2, 'b')").ok());
+    ASSERT_TRUE(db_.Execute("create view kind_counts as "
+                            "select kind, count(*) as n from events "
+                            "group by kind")
+                    .ok());
+  }
+  int64_t Total() {
+    Result<Chunk> rows = db_.Query("select sum(n) as t from kind_counts");
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows->columns[0].ints()[0];
+  }
+  Database db_;
+};
+
+TEST_F(DcvTest, DynamicCacheRefreshesOnRead) {
+  ASSERT_TRUE(
+      db_.MaterializeView("kind_counts", ViewDef::CacheMode::kDynamic)
+          .ok());
+  EXPECT_EQ(Total(), 2);
+  // New data: a DCV must serve the up-to-date snapshot on next read.
+  ASSERT_TRUE(db_.Execute("insert into events values (3, 'a')").ok());
+  EXPECT_EQ(Total(), 3);
+  // No change: no refresh needed; still consistent.
+  EXPECT_EQ(Total(), 3);
+}
+
+TEST_F(DcvTest, StaticCacheStaysStale) {
+  ASSERT_TRUE(
+      db_.MaterializeView("kind_counts", ViewDef::CacheMode::kStatic).ok());
+  ASSERT_TRUE(db_.Execute("insert into events values (3, 'a')").ok());
+  EXPECT_EQ(Total(), 2);  // SCV: stale by design
+  ASSERT_TRUE(db_.RefreshMaterializedView("kind_counts").ok());
+  EXPECT_EQ(Total(), 3);
+}
+
+TEST_F(DcvTest, SwitchingModes) {
+  ASSERT_TRUE(
+      db_.MaterializeView("kind_counts", ViewDef::CacheMode::kStatic).ok());
+  ASSERT_TRUE(db_.Execute("insert into events values (3, 'c')").ok());
+  EXPECT_EQ(Total(), 2);
+  // Re-materializing as dynamic refreshes and switches semantics.
+  ASSERT_TRUE(
+      db_.MaterializeView("kind_counts", ViewDef::CacheMode::kDynamic)
+          .ok());
+  EXPECT_EQ(Total(), 3);
+  ASSERT_TRUE(db_.Execute("insert into events values (4, 'c')").ok());
+  EXPECT_EQ(Total(), 4);
+}
+
+TEST_F(DcvTest, DependenciesRecorded) {
+  ASSERT_TRUE(
+      db_.MaterializeView("kind_counts", ViewDef::CacheMode::kDynamic)
+          .ok());
+  const ViewDef* view = db_.catalog().FindView("kind_counts");
+  ASSERT_NE(view, nullptr);
+  ASSERT_EQ(view->snapshot_dependencies.size(), 1u);
+  EXPECT_EQ(view->snapshot_dependencies[0].first, "events");
+}
+
+}  // namespace
+}  // namespace vdm

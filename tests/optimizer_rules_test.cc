@@ -1,0 +1,694 @@
+// Unit tests for individual optimizer passes, exercised on hand-built
+// plans: filter pushdown, projection/UAJ pruning, project merging, limit
+// sinking, distinct elimination, ASJ elimination (including the canonical
+// Fig. 13 union-all shapes), and aggregate merging/eager aggregation.
+#include <gtest/gtest.h>
+
+#include "expr/fold.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_printer.h"
+
+namespace vdm {
+namespace {
+
+TableSchema Fact() {
+  TableSchema schema("fact");
+  schema.AddColumn("id", DataType::Int64(), false)
+      .AddColumn("dim_key", DataType::Int64(), false)
+      .AddColumn("amount", DataType::Decimal(2))
+      .AddColumn("status", DataType::Int64());
+  schema.SetPrimaryKey({"id"});
+  return schema;
+}
+
+TableSchema Dim() {
+  TableSchema schema("dim");
+  schema.AddColumn("k", DataType::Int64(), false)
+      .AddColumn("name", DataType::String())
+      .AddColumn("attr", DataType::String());
+  schema.SetPrimaryKey({"k"});
+  return schema;
+}
+
+OptimizerConfig Full() { return ConfigForProfile(SystemProfile::kHana); }
+
+// --- filter pushdown --------------------------------------------------------
+
+TEST(FilterPushdownTest, SplitsAcrossInnerJoin) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kInner,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Filter(And(Eq(Col("f.status"), LitInt(1)),
+                      Eq(Col("d.name"), LitStr("x"))))
+          .Build();
+  bool changed = false;
+  PlanRef result = PassFilterPushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  // Both conjuncts moved below the join; no filter remains on top.
+  EXPECT_EQ(result->kind(), OpKind::kJoin);
+  EXPECT_EQ(result->child(0)->kind(), OpKind::kFilter);
+  EXPECT_EQ(result->child(1)->kind(), OpKind::kFilter);
+}
+
+TEST(FilterPushdownTest, RightConjunctStaysAboveLeftOuterJoin) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Filter(Eq(Col("d.name"), LitStr("x")))
+          .Build();
+  bool changed = false;
+  PlanRef result = PassFilterPushdown(plan, Full(), &changed);
+  // Pushing it into the right child would turn filtered matches into
+  // null-extended rows — must not happen.
+  EXPECT_EQ(result->kind(), OpKind::kFilter);
+  EXPECT_EQ(result->child(0)->kind(), OpKind::kJoin);
+  EXPECT_EQ(result->child(0)->child(1)->kind(), OpKind::kScan);
+}
+
+TEST(FilterPushdownTest, ThroughProjectSubstitutes) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Project({{Bin(BinaryOpKind::kAdd, Col("f.status"), LitInt(1)),
+                     "s1"}})
+          .Filter(Eq(Col("s1"), LitInt(2)))
+          .Build();
+  bool changed = false;
+  PlanRef result = PassFilterPushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(result->kind(), OpKind::kProject);
+  ASSERT_EQ(result->child(0)->kind(), OpKind::kFilter);
+  const auto& filter = static_cast<const FilterOp&>(*result->child(0));
+  // The predicate now references the base column.
+  EXPECT_TRUE(ReferencesOnly(filter.predicate(), {"f.status"}));
+}
+
+TEST(FilterPushdownTest, ThroughUnionAllRenames) {
+  PlanBuilder c1 = PlanBuilder::ScanSchema(Fact(), "a").ProjectColumns(
+      {"a.id", "a.status"}, {"id", "st"});
+  PlanBuilder c2 = PlanBuilder::ScanSchema(Fact(), "b").ProjectColumns(
+      {"b.id", "b.status"}, {"id", "st"});
+  PlanRef plan = PlanBuilder::UnionAll({c1, c2}, {"id", "st"})
+                     .Filter(Eq(Col("st"), LitInt(1)))
+                     .Build();
+  bool changed = false;
+  PlanRef result = PassFilterPushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  ASSERT_EQ(result->kind(), OpKind::kUnionAll);
+  EXPECT_EQ(result->child(0)->kind(), OpKind::kFilter);
+  EXPECT_EQ(result->child(1)->kind(), OpKind::kFilter);
+}
+
+// --- constant folding / project merge ---------------------------------------
+
+TEST(ConstantFoldingTest, RemovesAlwaysTrueFilter) {
+  PlanRef plan = PlanBuilder::ScanSchema(Fact(), "f")
+                     .Filter(Eq(LitInt(1), LitInt(1)))
+                     .Build();
+  bool changed = false;
+  PlanRef result = PassConstantFolding(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(result->kind(), OpKind::kScan);
+}
+
+TEST(ConstantFoldingTest, MergesProjectStacks) {
+  PlanRef plan = PlanBuilder::ScanSchema(Fact(), "f")
+                     .ProjectColumns({"f.id", "f.amount"}, {"a", "b"})
+                     .ProjectColumns({"a", "b"}, {"x", "y"})
+                     .ProjectColumns({"y"}, {"z"})
+                     .Build();
+  bool changed = false;
+  PlanRef result = PassConstantFolding(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  ASSERT_EQ(result->kind(), OpKind::kProject);
+  EXPECT_EQ(result->child(0)->kind(), OpKind::kScan);
+  EXPECT_EQ(result->OutputNames(), std::vector<std::string>{"z"});
+}
+
+TEST(ConstantFoldingTest, DoesNotDuplicateExpensiveExpressions) {
+  // The inner computed item is referenced twice above: no merge.
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Project({{Bin(BinaryOpKind::kMul, Col("f.amount"), Col("f.amount")),
+                     "sq"}})
+          .Project({{Bin(BinaryOpKind::kAdd, Col("sq"), Col("sq")), "dbl"}})
+          .Build();
+  bool changed = false;
+  PlanRef result = PassConstantFolding(plan, Full(), &changed);
+  ASSERT_EQ(result->kind(), OpKind::kProject);
+  EXPECT_EQ(result->child(0)->kind(), OpKind::kProject);
+}
+
+// --- prune & UAJ ------------------------------------------------------------
+
+TEST(PruneTest, ScansNarrowedToRequiredColumns) {
+  PlanRef plan = PlanBuilder::ScanSchema(Fact(), "f")
+                     .ProjectColumns({"f.id"}, {"id"})
+                     .Build();
+  bool changed = false;
+  PlanRef result = PassPruneAndEliminate(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  const auto& scan = static_cast<const ScanOp&>(*result->child(0));
+  EXPECT_EQ(scan.column_indexes().size(), 1u);
+}
+
+TEST(PruneTest, RootOutputsPreserved) {
+  PlanRef plan = PlanBuilder::ScanSchema(Fact(), "f").Build();
+  bool changed = false;
+  PlanRef result = PassPruneAndEliminate(plan, Full(), &changed);
+  // Root arity is not flexible: nothing may be pruned.
+  EXPECT_EQ(result->OutputNames().size(), 4u);
+}
+
+TEST(PruneTest, UajEliminationRequiresPurelyAugmenting) {
+  // LOJ on the dim's PK and unused -> removed.
+  PlanRef removable =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .ProjectColumns({"f.id"}, {"id"})
+          .Build();
+  bool changed = false;
+  PlanRef result = PassPruneAndEliminate(removable, Full(), &changed);
+  EXPECT_EQ(ComputePlanStats(result).joins, 0u);
+  // Same join as INNER (no FK): kept even though unused.
+  PlanRef kept =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kInner,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .ProjectColumns({"f.id"}, {"id"})
+          .Build();
+  changed = false;
+  result = PassPruneAndEliminate(kept, Full(), &changed);
+  EXPECT_EQ(ComputePlanStats(result).joins, 1u);
+}
+
+TEST(PruneTest, StackedUajsAllRemoved) {
+  PlanBuilder plan = PlanBuilder::ScanSchema(Fact(), "f");
+  for (int i = 0; i < 5; ++i) {
+    plan = plan.Join(
+        PlanBuilder::ScanSchema(Dim(), "d" + std::to_string(i)),
+        JoinType::kLeftOuter,
+        Eq(Col("f.dim_key"), Col("d" + std::to_string(i) + ".k")));
+  }
+  PlanRef built = plan.ProjectColumns({"f.id"}, {"id"}).Build();
+  bool changed = false;
+  PlanRef result = PassPruneAndEliminate(built, Full(), &changed);
+  EXPECT_EQ(ComputePlanStats(result).joins, 0u) << PrintPlan(result);
+}
+
+TEST(PruneTest, UnusedAggregateItemsDropped) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Aggregate({{Col("f.status"), "st"}},
+                     {{Agg(AggKind::kSum, Col("f.amount")), "total"},
+                      {CountStar(), "n"}})
+          .ProjectColumns({"st", "n"}, {"st", "n"})
+          .Build();
+  bool changed = false;
+  PlanRef result = PassPruneAndEliminate(plan, Full(), &changed);
+  const auto& agg = static_cast<const AggregateOp&>(*result->child(0));
+  ASSERT_EQ(agg.aggregates().size(), 1u);
+  EXPECT_EQ(agg.aggregates()[0].name, "n");
+}
+
+// --- limit pushdown ----------------------------------------------------------
+
+TEST(LimitPushdownTest, SinksThroughProjectAndAugmentingJoins) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .ProjectColumns({"f.id", "d.name"}, {"id", "name"})
+          .Limit(10, 5)
+          .Build();
+  bool changed = false;
+  PlanRef result = PassLimitPushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  // Limit lands directly above the fact scan.
+  ASSERT_EQ(result->kind(), OpKind::kProject);
+  ASSERT_EQ(result->child(0)->kind(), OpKind::kJoin);
+  ASSERT_EQ(result->child(0)->child(0)->kind(), OpKind::kLimit);
+  const auto& limit =
+      static_cast<const LimitOp&>(*result->child(0)->child(0));
+  EXPECT_EQ(limit.limit(), 10);
+  EXPECT_EQ(limit.offset(), 5);
+}
+
+TEST(LimitPushdownTest, DoesNotSinkPastNonAugmentingJoin) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kInner,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Limit(10)
+          .Build();
+  bool changed = false;
+  PlanRef result = PassLimitPushdown(plan, Full(), &changed);
+  EXPECT_EQ(result->kind(), OpKind::kLimit);
+}
+
+TEST(LimitPushdownTest, DistributesOverUnionAll) {
+  PlanBuilder c1 = PlanBuilder::ScanSchema(Fact(), "a").ProjectColumns(
+      {"a.id"}, {"id"});
+  PlanBuilder c2 = PlanBuilder::ScanSchema(Fact(), "b").ProjectColumns(
+      {"b.id"}, {"id"});
+  PlanRef plan =
+      PlanBuilder::UnionAll({c1, c2}, {"id"}).Limit(10, 3).Build();
+  bool changed = false;
+  PlanRef result = PassLimitPushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  ASSERT_EQ(result->kind(), OpKind::kLimit);  // outer limit remains
+  ASSERT_EQ(result->child(0)->kind(), OpKind::kUnionAll);
+  // Each branch limited to limit+offset with no offset.
+  for (const PlanRef& child : result->child(0)->children()) {
+    bool found_limit = false;
+    VisitPlan(child, [&](const PlanRef& node) {
+      if (node->kind() == OpKind::kLimit) {
+        found_limit = true;
+        EXPECT_EQ(static_cast<const LimitOp&>(*node).limit(), 13);
+        EXPECT_EQ(static_cast<const LimitOp&>(*node).offset(), 0);
+      }
+    });
+    EXPECT_TRUE(found_limit);
+  }
+  // Idempotent: a second application changes nothing.
+  bool changed_again = false;
+  PassLimitPushdown(result, Full(), &changed_again);
+  EXPECT_FALSE(changed_again);
+}
+
+TEST(LimitPushdownTest, GatedByProfile) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Limit(10)
+          .Build();
+  bool changed = false;
+  PlanRef result = PassLimitPushdown(
+      plan, ConfigForProfile(SystemProfile::kPostgres), &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(result, plan);
+}
+
+// --- distinct elimination ----------------------------------------------------
+
+TEST(DistinctEliminationTest, DropsWhenInputUnique) {
+  PlanRef unique = PlanBuilder::ScanSchema(Fact(), "f")
+                       .ProjectColumns({"f.id", "f.status"}, {"id", "st"})
+                       .Distinct()
+                       .Build();
+  bool changed = false;
+  PlanRef result = PassDistinctElimination(unique, Full(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(ComputePlanStats(result).distincts, 0u);
+
+  PlanRef not_unique = PlanBuilder::ScanSchema(Fact(), "f")
+                           .ProjectColumns({"f.status"}, {"st"})
+                           .Distinct()
+                           .Build();
+  changed = false;
+  result = PassDistinctElimination(not_unique, Full(), &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(ComputePlanStats(result).distincts, 1u);
+}
+
+// --- ASJ on hand-built plans (canonical Fig. 13 shapes) ----------------------
+
+TEST(AsjTest, SelfJoinOnKeyRewired) {
+  // V = projection of fact without amount; ASJ re-exposes it.
+  PlanBuilder anchor = PlanBuilder::ScanSchema(Fact(), "v").ProjectColumns(
+      {"v.id", "v.status"}, {"id", "st"});
+  PlanBuilder augmenter = PlanBuilder::ScanSchema(Fact(), "e");
+  PlanRef plan = anchor
+                     .Join(augmenter, JoinType::kLeftOuter,
+                           Eq(Col("id"), Col("e.id")))
+                     .Build();
+  bool changed = false;
+  PlanRef result = PassAsjElimination(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(ComputePlanStats(result).joins, 0u) << PrintPlan(result);
+  EXPECT_EQ(ComputePlanStats(result).table_instances, 1u);
+  // The output names are unchanged.
+  EXPECT_EQ(result->OutputNames(), plan->OutputNames());
+}
+
+TEST(AsjTest, SubsumptionRequired) {
+  // Anchor restricted to status=1, augmenter restricted to status=2:
+  // NOT removable (Fig. 10(c) failing case).
+  PlanBuilder anchor = PlanBuilder::ScanSchema(Fact(), "v")
+                           .Filter(Eq(Col("v.status"), LitInt(1)))
+                           .ProjectColumns({"v.id"}, {"id"});
+  PlanBuilder augmenter = PlanBuilder::ScanSchema(Fact(), "e")
+                              .Filter(Eq(Col("e.status"), LitInt(2)));
+  PlanRef plan = anchor
+                     .Join(augmenter, JoinType::kLeftOuter,
+                           Eq(Col("id"), Col("e.id")))
+                     .Build();
+  bool changed = false;
+  PassAsjElimination(plan, Full(), &changed);
+  EXPECT_FALSE(changed);
+
+  // Matching restriction: removable.
+  PlanBuilder anchor2 = PlanBuilder::ScanSchema(Fact(), "v")
+                            .Filter(Eq(Col("v.status"), LitInt(1)))
+                            .ProjectColumns({"v.id"}, {"id"});
+  PlanBuilder augmenter2 = PlanBuilder::ScanSchema(Fact(), "e")
+                               .Filter(Eq(Col("e.status"), LitInt(1)));
+  PlanRef plan2 = anchor2
+                      .Join(augmenter2, JoinType::kLeftOuter,
+                            Eq(Col("id"), Col("e.id")))
+                      .Build();
+  changed = false;
+  PlanRef result = PassAsjElimination(plan2, Full(), &changed);
+  EXPECT_TRUE(changed) << PrintPlan(plan2);
+  EXPECT_EQ(ComputePlanStats(result).joins, 0u);
+}
+
+TEST(AsjTest, AggregateInAnchorBlocksExposure) {
+  // The augmenter column cannot be wired through an aggregation.
+  PlanBuilder anchor =
+      PlanBuilder::ScanSchema(Fact(), "v")
+          .Aggregate({{Col("v.dim_key"), "dk"}}, {{CountStar(), "n"}});
+  PlanBuilder augmenter = PlanBuilder::ScanSchema(Dim(), "e");
+  PlanRef plan = anchor
+                     .Join(augmenter, JoinType::kLeftOuter,
+                           Eq(Col("dk"), Col("e.k")))
+                     .Build();
+  bool changed = false;
+  PassAsjElimination(plan, Full(), &changed);
+  // Not a self join at all (different tables) — must stay.
+  EXPECT_FALSE(changed);
+}
+
+TEST(AsjTest, UnionAnchorFig13a) {
+  TableSchema t = Fact();
+  PlanBuilder c1 = PlanBuilder::ScanSchema(t, "x")
+                       .Filter(Eq(Col("x.status"), LitInt(1)))
+                       .ProjectColumns({"x.id"}, {"id"});
+  PlanBuilder c2 = PlanBuilder::ScanSchema(t, "y")
+                       .Filter(Eq(Col("y.status"), LitInt(2)))
+                       .ProjectColumns({"y.id"}, {"id"});
+  PlanBuilder anchor = PlanBuilder::UnionAll({c1, c2}, {"id"});
+  PlanBuilder augmenter = PlanBuilder::ScanSchema(t, "e");
+  PlanRef plan = anchor
+                     .Join(augmenter, JoinType::kLeftOuter,
+                           Eq(Col("id"), Col("e.id")))
+                     .Build();
+  bool changed = false;
+  PlanRef result = PassAsjElimination(plan, Full(), &changed);
+  EXPECT_TRUE(changed) << PrintPlan(plan);
+  EXPECT_EQ(ComputePlanStats(result).joins, 0u) << PrintPlan(result);
+  // Both branch scans remain; the augmenter scan is gone.
+  EXPECT_EQ(ComputePlanStats(result).table_instances, 2u);
+}
+
+TEST(AsjTest, UnionAnchorGatedByConfig) {
+  TableSchema t = Fact();
+  PlanBuilder c1 = PlanBuilder::ScanSchema(t, "x")
+                       .Filter(Eq(Col("x.status"), LitInt(1)))
+                       .ProjectColumns({"x.id"}, {"id"});
+  PlanBuilder c2 = PlanBuilder::ScanSchema(t, "y")
+                       .Filter(Eq(Col("y.status"), LitInt(2)))
+                       .ProjectColumns({"y.id"}, {"id"});
+  PlanRef plan = PlanBuilder::UnionAll({c1, c2}, {"id"})
+                     .Join(PlanBuilder::ScanSchema(t, "e"),
+                           JoinType::kLeftOuter, Eq(Col("id"), Col("e.id")))
+                     .Build();
+  OptimizerConfig config = Full();
+  config.asj_union_all_anchor = false;
+  bool changed = false;
+  PassAsjElimination(plan, config, &changed);
+  EXPECT_FALSE(changed);
+}
+
+TEST(AsjTest, CaseJoinFig13bCanonical) {
+  TableSchema active("doc_a");
+  active.AddColumn("k", DataType::Int64(), false)
+      .AddColumn("payload", DataType::String())
+      .AddColumn("ext", DataType::String());
+  active.SetPrimaryKey({"k"});
+  TableSchema draft("doc_d");
+  draft.AddColumn("k", DataType::Int64(), false)
+      .AddColumn("payload", DataType::String())
+      .AddColumn("ext", DataType::String());
+  draft.SetPrimaryKey({"k"});
+
+  auto make_anchor_child = [](const TableSchema& schema, const char* alias,
+                              int bid) {
+    return PlanBuilder::ScanSchema(schema, alias)
+        .Project({{Col(std::string(alias) + ".k"), "k"},
+                  {LitInt(bid), "bid"},
+                  {Col(std::string(alias) + ".payload"), "payload"}});
+  };
+  auto make_aug_child = [](const TableSchema& schema, const char* alias,
+                           int bid) {
+    return PlanBuilder::ScanSchema(schema, alias)
+        .Project({{Col(std::string(alias) + ".k"), "k"},
+                  {LitInt(bid), "bid"},
+                  {Col(std::string(alias) + ".ext"), "ext"}});
+  };
+  PlanBuilder anchor = PlanBuilder::UnionAll(
+      {make_anchor_child(active, "a", 1), make_anchor_child(draft, "d", 2)},
+      {"k", "bid", "payload"}, 1, "doc");
+  PlanBuilder augmenter = PlanBuilder::UnionAll(
+      {make_aug_child(active, "ea", 1), make_aug_child(draft, "ed", 2)},
+      {"k", "bid", "ext"}, 1, "doc");
+  // Anchor outputs are k/bid/payload; the augmenter's outputs would
+  // collide, so wrap it in a rename.
+  PlanBuilder wrapped_aug = augmenter.ProjectColumns(
+      {"k", "bid", "ext"}, {"e_k", "e_bid", "e_ext"});
+  PlanRef with_intent =
+      anchor
+          .Join(wrapped_aug, JoinType::kLeftOuter,
+                And(Eq(Col("bid"), Col("e_bid")), Eq(Col("k"), Col("e_k"))),
+                DeclaredCardinality::kNone, /*case_join=*/true)
+          .Build();
+  bool changed = false;
+  PlanRef result = PassAsjElimination(with_intent, Full(), &changed);
+  EXPECT_TRUE(changed) << PrintPlan(with_intent);
+  PlanStats stats = ComputePlanStats(result);
+  EXPECT_EQ(stats.joins, 0u) << PrintPlan(result);
+  EXPECT_EQ(stats.table_instances, 2u);
+  EXPECT_EQ(result->OutputNames(), with_intent->OutputNames());
+
+  // The same plan *without* the case-join intent: the fragile recognizer
+  // rejects it (augmenter branches are not bare scans).
+  PlanRef without_intent =
+      anchor
+          .Join(wrapped_aug, JoinType::kLeftOuter,
+                And(Eq(Col("bid"), Col("e_bid")), Eq(Col("k"), Col("e_k"))),
+                DeclaredCardinality::kNone, /*case_join=*/false)
+          .Build();
+  changed = false;
+  PassAsjElimination(without_intent, Full(), &changed);
+  EXPECT_FALSE(changed);
+}
+
+// --- aggregate merging / eager aggregation -----------------------------------
+
+TEST(AggMergeTest, SumOverSumMergesUnconditionally) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Aggregate({{Col("f.id"), "id"}, {Col("f.status"), "st"}},
+                     {{Agg(AggKind::kSum, Col("f.amount")), "subtotal"}})
+          .Aggregate({{Col("st"), "st"}},
+                     {{Agg(AggKind::kSum, Col("subtotal")), "total"}})
+          .Build();
+  bool changed = false;
+  PlanRef result = PassAggregatePushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(ComputePlanStats(result).aggregates, 1u) << PrintPlan(result);
+}
+
+TEST(AggMergeTest, RoundBetweenLevelsNeedsOptIn) {
+  auto build = [&](bool allow) {
+    ExprRef tax = Func(
+        "round", {Agg(AggKind::kSum, Col("f.amount")), LitInt(0)});
+    ExprRef outer_sum = std::make_shared<AggregateExpr>(
+        AggKind::kSum, Col("tax"), false, allow);
+    return PlanBuilder::ScanSchema(Fact(), "f")
+        .Aggregate({{Col("f.id"), "id"}, {Col("f.status"), "st"}},
+                   {{tax, "tax"}})
+        .Aggregate({{Col("st"), "st"}}, {{outer_sum, "total"}})
+        .Build();
+  };
+  bool changed = false;
+  PlanRef strict = PassAggregatePushdown(build(false), Full(), &changed);
+  EXPECT_EQ(ComputePlanStats(strict).aggregates, 2u);
+  changed = false;
+  PlanRef relaxed = PassAggregatePushdown(build(true), Full(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(ComputePlanStats(relaxed).aggregates, 1u) << PrintPlan(relaxed);
+}
+
+TEST(EagerAggregationTest, SplitsBelowAugmentingJoin) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Aggregate({{Col("d.name"), "name"}},
+                     {{Agg(AggKind::kSum, Col("f.amount")), "total"}})
+          .Build();
+  bool changed = false;
+  PlanRef result = PassAggregatePushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  // Two aggregates now: a partial below the join, the final above.
+  PlanStats stats = ComputePlanStats(result);
+  EXPECT_EQ(stats.aggregates, 2u) << PrintPlan(result);
+  // Reapplication is guarded.
+  bool changed_again = false;
+  PassAggregatePushdown(result, Full(), &changed_again);
+  EXPECT_FALSE(changed_again);
+}
+
+TEST(EagerAggregationTest, NotAppliedWhenArgsUseAugmenter) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Aggregate({{Col("d.name"), "name"}},
+                     {{Agg(AggKind::kCount, Col("d.attr")), "n"}})
+          .Build();
+  bool changed = false;
+  PassAggregatePushdown(plan, Full(), &changed);
+  EXPECT_FALSE(changed);
+}
+
+
+// --- filter through aggregate -------------------------------------------------
+
+TEST(FilterPushdownTest, GroupKeyConjunctsSinkBelowAggregate) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Aggregate({{Col("f.status"), "st"}},
+                     {{Agg(AggKind::kSum, Col("f.amount")), "total"}})
+          .Filter(And(Eq(Col("st"), LitInt(1)),
+                      Bin(BinaryOpKind::kGreater, Col("total"), LitInt(5))))
+          .Build();
+  bool changed = false;
+  PlanRef result = PassFilterPushdown(plan, Full(), &changed);
+  EXPECT_TRUE(changed);
+  // Shape: Filter(total>5) over Aggregate over Filter(status=1) over scan.
+  ASSERT_EQ(result->kind(), OpKind::kFilter);
+  ASSERT_EQ(result->child(0)->kind(), OpKind::kAggregate);
+  ASSERT_EQ(result->child(0)->child(0)->kind(), OpKind::kFilter);
+  const auto& pushed =
+      static_cast<const FilterOp&>(*result->child(0)->child(0));
+  EXPECT_TRUE(ReferencesOnly(pushed.predicate(), {"f.status"}));
+}
+
+TEST(FilterPushdownTest, AggregateOnlyConjunctsStayAbove) {
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Aggregate({{Col("f.status"), "st"}}, {{CountStar(), "n"}})
+          .Filter(Bin(BinaryOpKind::kGreater, Col("n"), LitInt(1)))
+          .Build();
+  bool changed = false;
+  PlanRef result = PassFilterPushdown(plan, Full(), &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(result->kind(), OpKind::kFilter);
+}
+
+
+// --- join ordering -----------------------------------------------------------
+
+TEST(JoinOrderTest, ReordersByEstimatedSize) {
+  // Catalog stats: big has 100k rows, small has 10.
+  Catalog catalog;
+  TableSchema big("big");
+  big.AddColumn("k", DataType::Int64(), false)
+      .AddColumn("payload", DataType::String());
+  TableSchema small("small");
+  small.AddColumn("k", DataType::Int64(), false)
+      .AddColumn("tag", DataType::String());
+  ASSERT_TRUE(catalog.RegisterTable(big).ok());
+  ASSERT_TRUE(catalog.RegisterTable(small).ok());
+  catalog.SetTableStats("big", TableStats{100000});
+  catalog.SetTableStats("small", TableStats{10});
+
+  PlanRef plan = PlanBuilder::ScanSchema(big, "b")
+                     .Join(PlanBuilder::ScanSchema(small, "s"),
+                           JoinType::kInner, Eq(Col("b.k"), Col("s.k")))
+                     .Build();
+  OptimizerConfig config = Full();
+  config.stats_catalog = &catalog;
+  bool changed = false;
+  PlanRef result = PassJoinOrder(plan, config, &changed);
+  EXPECT_TRUE(changed);
+  // The small relation moves left (probe side grows right-to-left in
+  // greedy order; the big relation becomes the right/build... probe).
+  ASSERT_EQ(result->kind(), OpKind::kProject);
+  const auto& join = static_cast<const JoinOp&>(*result->child(0));
+  EXPECT_EQ(static_cast<const ScanOp&>(*join.left()).table_name(), "small");
+  // Output names and order are preserved by the restoring projection.
+  EXPECT_EQ(result->OutputNames(), plan->OutputNames());
+  // Idempotent.
+  bool changed_again = false;
+  PassJoinOrder(result, config, &changed_again);
+  EXPECT_FALSE(changed_again);
+}
+
+TEST(JoinOrderTest, LeftOuterAndDeclaredJoinsUntouched) {
+  Catalog catalog;
+  catalog.SetTableStats("fact", TableStats{100000});
+  catalog.SetTableStats("dim", TableStats{10});
+  PlanRef loj = PlanBuilder::ScanSchema(Fact(), "f")
+                    .Join(PlanBuilder::ScanSchema(Dim(), "d"),
+                          JoinType::kLeftOuter,
+                          Eq(Col("f.dim_key"), Col("d.k")))
+                    .Build();
+  OptimizerConfig config = Full();
+  config.stats_catalog = &catalog;
+  bool changed = false;
+  PassJoinOrder(loj, config, &changed);
+  EXPECT_FALSE(changed);
+  PlanRef declared = PlanBuilder::ScanSchema(Fact(), "f")
+                         .Join(PlanBuilder::ScanSchema(Dim(), "d"),
+                               JoinType::kInner,
+                               Eq(Col("f.dim_key"), Col("d.k")),
+                               DeclaredCardinality::kExactOne)
+                         .Build();
+  changed = false;
+  PassJoinOrder(declared, config, &changed);
+  EXPECT_FALSE(changed);
+}
+
+TEST(JoinOrderTest, ChainPrefersConnectedRelations) {
+  Catalog catalog;
+  TableSchema a("ta"), b("tb"), c("tc");
+  a.AddColumn("x", DataType::Int64(), false);
+  b.AddColumn("x", DataType::Int64(), false)
+      .AddColumn("y", DataType::Int64(), false);
+  c.AddColumn("y", DataType::Int64(), false);
+  catalog.SetTableStats("ta", TableStats{1000});
+  catalog.SetTableStats("tb", TableStats{100000});
+  catalog.SetTableStats("tc", TableStats{10});
+  PlanRef plan =
+      PlanBuilder::ScanSchema(a, "a")
+          .Join(PlanBuilder::ScanSchema(b, "b"), JoinType::kInner,
+                Eq(Col("a.x"), Col("b.x")))
+          .Join(PlanBuilder::ScanSchema(c, "c"), JoinType::kInner,
+                Eq(Col("b.y"), Col("c.y")))
+          .Build();
+  OptimizerConfig config = Full();
+  config.stats_catalog = &catalog;
+  bool changed = false;
+  PlanRef result = PassJoinOrder(plan, config, &changed);
+  EXPECT_TRUE(changed);
+  // Greedy starts from tc (smallest); the only connected relation is tb;
+  // ta joins last: ((c ⋈ b) ⋈ a). No cross joins appear.
+  bool has_true_condition = false;
+  VisitPlan(result, [&](const PlanRef& node) {
+    if (node->kind() == OpKind::kJoin) {
+      const auto& join = static_cast<const JoinOp&>(*node);
+      if (IsAlwaysTrue(join.condition())) has_true_condition = true;
+    }
+  });
+  EXPECT_FALSE(has_true_condition) << PrintPlan(result);
+}
+
+}  // namespace
+}  // namespace vdm

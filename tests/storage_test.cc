@@ -1,0 +1,213 @@
+// Unit tests for the columnar storage layer: delta/main fragments,
+// dictionary compression, merge, constraint enforcement, uniqueness
+// verification.
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "storage/table.h"
+
+namespace vdm {
+namespace {
+
+TableSchema MakeSchema() {
+  TableSchema schema("t");
+  schema.AddColumn("k", DataType::Int64(), /*nullable=*/false)
+      .AddColumn("name", DataType::String())
+      .AddColumn("amount", DataType::Decimal(2))
+      .AddColumn("score", DataType::Double());
+  schema.SetPrimaryKey({"k"});
+  return schema;
+}
+
+std::vector<Value> Row(int64_t k, const std::string& name, int64_t cents,
+                       double score) {
+  return {Value::Int64(k), Value::String(name), Value::Decimal(cents, 2),
+          Value::Double(score)};
+}
+
+TEST(TableTest, AppendAndScan) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow(Row(1, "a", 100, 0.5)).ok());
+  ASSERT_TRUE(table.AppendRow(Row(2, "b", 200, 1.5)).ok());
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.NumDeltaRows(), 2u);
+  EXPECT_EQ(table.NumMainRows(), 0u);
+  ColumnData names = table.ScanColumn(1);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names.strings()[0], "a");
+  EXPECT_EQ(names.strings()[1], "b");
+}
+
+TEST(TableTest, MergeMovesDeltaToMain) {
+  Table table(MakeSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.AppendRow(Row(i, "n" + std::to_string(i % 3), i, i))
+                    .ok());
+  }
+  table.MergeDelta();
+  EXPECT_EQ(table.NumMainRows(), 10u);
+  EXPECT_EQ(table.NumDeltaRows(), 0u);
+  EXPECT_EQ(table.NumRows(), 10u);
+  // Scans decode dictionary-compressed strings correctly.
+  ColumnData names = table.ScanColumn(1);
+  EXPECT_EQ(names.strings()[4], "n1");
+  EXPECT_EQ(names.strings()[9], "n0");
+}
+
+TEST(TableTest, ScanSpansBothFragments) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow(Row(1, "main", 1, 1)).ok());
+  table.MergeDelta();
+  ASSERT_TRUE(table.AppendRow(Row(2, "delta", 2, 2)).ok());
+  ColumnData names = table.ScanColumn(1);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names.strings()[0], "main");
+  EXPECT_EQ(names.strings()[1], "delta");
+}
+
+TEST(TableTest, RepeatedMergesAreIdempotent) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow(Row(1, "x", 1, 1)).ok());
+  table.MergeDelta();
+  table.MergeDelta();  // no-op
+  EXPECT_EQ(table.NumRows(), 1u);
+  ASSERT_TRUE(table.AppendRow(Row(2, "y", 2, 2)).ok());
+  table.MergeDelta();
+  EXPECT_EQ(table.NumMainRows(), 2u);
+}
+
+TEST(TableTest, NullsSurviveMerge) {
+  TableSchema schema("n");
+  schema.AddColumn("k", DataType::Int64())
+      .AddColumn("s", DataType::String());
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({Value::Int64(1), Value::Null()}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Null(), Value::String("x")}).ok());
+  table.MergeDelta();
+  ColumnData k = table.ScanColumn(0);
+  ColumnData s = table.ScanColumn(1);
+  EXPECT_FALSE(k.IsNull(0));
+  EXPECT_TRUE(k.IsNull(1));
+  EXPECT_TRUE(s.IsNull(0));
+  EXPECT_FALSE(s.IsNull(1));
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table table(MakeSchema());
+  Status status = table.AppendRow({Value::Int64(1)});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, EnforcedConstraints) {
+  Table table(MakeSchema());
+  table.SetEnforceConstraints(true);
+  ASSERT_TRUE(table.AppendRow(Row(1, "a", 1, 1)).ok());
+  // Duplicate primary key.
+  Status dup = table.AppendRow(Row(1, "b", 2, 2));
+  EXPECT_EQ(dup.code(), StatusCode::kConstraintViolation);
+  // NULL in NOT NULL column.
+  Status null_pk = table.AppendRow(
+      {Value::Null(), Value::String("c"), Value::Decimal(1, 2),
+       Value::Double(1)});
+  EXPECT_EQ(null_pk.code(), StatusCode::kConstraintViolation);
+  // Enforcement can be preloaded: existing rows are replayed.
+  Table late(MakeSchema());
+  ASSERT_TRUE(late.AppendRow(Row(7, "x", 1, 1)).ok());
+  late.SetEnforceConstraints(true);
+  EXPECT_EQ(late.AppendRow(Row(7, "y", 2, 2)).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, UnenforcedByDefault) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow(Row(1, "a", 1, 1)).ok());
+  // Paper §4.5: applications avoid constraint enforcement; duplicates are
+  // accepted unless enforcement is explicitly enabled.
+  EXPECT_TRUE(table.AppendRow(Row(1, "b", 2, 2)).ok());
+}
+
+TEST(TableTest, VerifyUnique) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow(Row(1, "a", 1, 1)).ok());
+  ASSERT_TRUE(table.AppendRow(Row(2, "a", 2, 2)).ok());
+  Result<bool> k_unique = table.VerifyUnique({"k"});
+  ASSERT_TRUE(k_unique.ok());
+  EXPECT_TRUE(*k_unique);
+  Result<bool> name_unique = table.VerifyUnique({"name"});
+  ASSERT_TRUE(name_unique.ok());
+  EXPECT_FALSE(*name_unique);
+  Result<bool> composite = table.VerifyUnique({"name", "amount"});
+  ASSERT_TRUE(composite.ok());
+  EXPECT_TRUE(*composite);
+  EXPECT_FALSE(table.VerifyUnique({"missing"}).ok());
+}
+
+TEST(TableTest, ScanByNames) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow(Row(1, "a", 1, 1)).ok());
+  Result<Chunk> chunk = table.Scan({"name", "k"});
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->names[0], "name");
+  EXPECT_EQ(chunk->names[1], "k");
+  EXPECT_FALSE(table.Scan({"nope"}).ok());
+  Result<Chunk> all = table.Scan({});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->NumColumns(), 4u);
+}
+
+TEST(StorageManagerTest, CreateFindDrop) {
+  StorageManager storage;
+  ASSERT_TRUE(storage.CreateTable(MakeSchema()).ok());
+  EXPECT_NE(storage.FindTable("t"), nullptr);
+  EXPECT_NE(storage.FindTable("T"), nullptr);  // case-insensitive
+  EXPECT_EQ(storage.FindTable("missing"), nullptr);
+  EXPECT_EQ(storage.CreateTable(MakeSchema()).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(storage.DropTable("t").ok());
+  EXPECT_EQ(storage.FindTable("t"), nullptr);
+  EXPECT_EQ(storage.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidationCatchesErrors) {
+  TableSchema no_name;
+  EXPECT_FALSE(no_name.Validate().ok());
+
+  TableSchema dup("d");
+  dup.AddColumn("a", DataType::Int64()).AddColumn("A", DataType::Int64());
+  EXPECT_FALSE(dup.Validate().ok());
+
+  TableSchema bad_key("b");
+  bad_key.AddColumn("a", DataType::Int64());
+  bad_key.AddUniqueKey({"missing"});
+  EXPECT_FALSE(bad_key.Validate().ok());
+
+  TableSchema bad_fk("f");
+  bad_fk.AddColumn("a", DataType::Int64());
+  bad_fk.AddForeignKey({"a"}, "other", {"x", "y"});
+  EXPECT_FALSE(bad_fk.Validate().ok());
+}
+
+TEST(SchemaTest, PrimaryKeyImpliesNotNull) {
+  TableSchema schema("p");
+  schema.AddColumn("k", DataType::Int64(), /*nullable=*/true);
+  schema.SetPrimaryKey({"k"});
+  EXPECT_FALSE(schema.column(0).nullable);
+  EXPECT_EQ(schema.PrimaryKey(), std::vector<std::string>{"k"});
+}
+
+TEST(SchemaTest, DeclaredKeysAreNotEnforced) {
+  TableSchema schema("d");
+  schema.AddColumn("k", DataType::Int64());
+  schema.AddDeclaredUniqueKey({"k"});
+  ASSERT_EQ(schema.unique_keys().size(), 1u);
+  EXPECT_FALSE(schema.unique_keys()[0].enforced);
+  Table table(schema);
+  table.SetEnforceConstraints(true);
+  ASSERT_TRUE(table.AppendRow({Value::Int64(1)}).ok());
+  // Declared (unenforced) keys never reject rows.
+  EXPECT_TRUE(table.AppendRow({Value::Int64(1)}).ok());
+}
+
+}  // namespace
+}  // namespace vdm

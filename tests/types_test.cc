@@ -1,0 +1,195 @@
+// Unit tests for the type system: DataType, Value, ColumnData.
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "types/column.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace vdm {
+namespace {
+
+TEST(DataTypeTest, EqualityIncludesDecimalScale) {
+  EXPECT_EQ(DataType::Int64(), DataType::Int64());
+  EXPECT_EQ(DataType::Decimal(2), DataType::Decimal(2));
+  EXPECT_NE(DataType::Decimal(2), DataType::Decimal(3));
+  EXPECT_NE(DataType::Int64(), DataType::Double());
+}
+
+TEST(DataTypeTest, IntegerBackedClassification) {
+  EXPECT_TRUE(DataType::Bool().IsIntegerBacked());
+  EXPECT_TRUE(DataType::Int64().IsIntegerBacked());
+  EXPECT_TRUE(DataType::Decimal(4).IsIntegerBacked());
+  EXPECT_TRUE(DataType::Date().IsIntegerBacked());
+  EXPECT_FALSE(DataType::Double().IsIntegerBacked());
+  EXPECT_FALSE(DataType::String().IsIntegerBacked());
+}
+
+TEST(DataTypeTest, ToStringRendering) {
+  EXPECT_EQ(DataType::Decimal(2).ToString(), "DECIMAL(2)");
+  EXPECT_EQ(DataType::String().ToString(), "VARCHAR");
+  EXPECT_EQ(DataType::Int64().ToString(), "BIGINT");
+}
+
+TEST(DecimalPow10Test, Powers) {
+  EXPECT_EQ(DecimalPow10(0), 1);
+  EXPECT_EQ(DecimalPow10(1), 10);
+  EXPECT_EQ(DecimalPow10(5), 100000);
+  EXPECT_EQ(DecimalPow10(18), 1000000000000000000LL);
+}
+
+TEST(ValueTest, NullBehaviour) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(null.Equals(Value::Int64(0)));
+  EXPECT_FALSE(Value::Int64(0).Equals(null));
+  // operator== treats two NULLs as identical (catalog/test usage).
+  EXPECT_TRUE(null == Value::Null());
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int64(5).Equals(Value::Double(5.0)));
+  EXPECT_TRUE(Value::Decimal(500, 2).Equals(Value::Int64(5)));
+  EXPECT_TRUE(Value::Decimal(550, 2).Equals(Value::Double(5.5)));
+  EXPECT_FALSE(Value::Decimal(550, 2).Equals(Value::Int64(5)));
+}
+
+TEST(ValueTest, CompareOrdersNullsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_GT(Value::Int64(-100).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareStringsLexicographically) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, DecimalToString) {
+  EXPECT_EQ(Value::Decimal(1319, 2).ToString(), "13.19");
+  EXPECT_EQ(Value::Decimal(-1319, 2).ToString(), "-13.19");
+  EXPECT_EQ(Value::Decimal(5, 2).ToString(), "0.05");
+  EXPECT_EQ(Value::Decimal(-5, 2).ToString(), "-0.05");
+  EXPECT_EQ(Value::Decimal(100, 0).ToString(), "100");
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ColumnDataTest, AppendAndGet) {
+  ColumnData col(DataType::Int64());
+  col.AppendInt(1);
+  col.AppendNull();
+  col.AppendInt(3);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(0), Value::Int64(1));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+  EXPECT_EQ(col.GetValue(2), Value::Int64(3));
+}
+
+TEST(ColumnDataTest, LazyValidityMaterialization) {
+  ColumnData col(DataType::String());
+  col.AppendString("a");
+  EXPECT_FALSE(col.HasNulls());
+  col.AppendNull();
+  EXPECT_TRUE(col.HasNulls());
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+}
+
+TEST(ColumnDataTest, GatherWithInvalidIndexYieldsNull) {
+  ColumnData col(DataType::Int64());
+  col.AppendInt(10);
+  col.AppendInt(20);
+  ColumnData gathered =
+      col.Gather({1, ColumnData::kInvalidIndex, 0, 0});
+  ASSERT_EQ(gathered.size(), 4u);
+  EXPECT_EQ(gathered.GetValue(0), Value::Int64(20));
+  EXPECT_TRUE(gathered.IsNull(1));
+  EXPECT_EQ(gathered.GetValue(2), Value::Int64(10));
+}
+
+TEST(ColumnDataTest, AppendValuePromotesIntToDecimal) {
+  ColumnData col(DataType::Decimal(2));
+  col.AppendValue(Value::Int64(5));
+  EXPECT_EQ(col.GetValue(0), Value::Decimal(500, 2));
+}
+
+TEST(ColumnDataTest, NullsFactory) {
+  ColumnData nulls = ColumnData::Nulls(DataType::Double(), 4);
+  ASSERT_EQ(nulls.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(nulls.IsNull(i));
+}
+
+TEST(ChunkTest, FindColumn) {
+  Chunk chunk;
+  chunk.names = {"a", "b"};
+  chunk.columns.emplace_back(DataType::Int64());
+  chunk.columns.emplace_back(DataType::Int64());
+  EXPECT_EQ(chunk.FindColumn("a"), 0);
+  EXPECT_EQ(chunk.FindColumn("b"), 1);
+  EXPECT_EQ(chunk.FindColumn("c"), -1);
+}
+
+// --- decimal rounding (§7.1 relies on exact semantics) --------------------
+
+struct RoundCase {
+  int64_t unscaled;
+  uint8_t from;
+  uint8_t to;
+  int64_t expected;
+};
+
+class RoundUnscaledTest : public ::testing::TestWithParam<RoundCase> {};
+
+TEST_P(RoundUnscaledTest, HalfAwayFromZero) {
+  const RoundCase& c = GetParam();
+  EXPECT_EQ(RoundUnscaled(c.unscaled, c.from, c.to), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rounding, RoundUnscaledTest,
+    ::testing::Values(
+        RoundCase{131945, 4, 2, 1319},   // 13.1945 -> 13.19 (paper example)
+        RoundCase{13195, 3, 2, 1320},    // 13.195 -> 13.20 (half up)
+        RoundCase{-13195, 3, 2, -1320},  // symmetric for negatives
+        RoundCase{13, 1, 0, 1},          // 1.3 -> 1
+        RoundCase{24, 1, 0, 2},          // 2.4 -> 2
+        RoundCase{37, 1, 0, 4},          // 1.3 + 2.4 -> 3.7 -> 4
+        RoundCase{25, 1, 0, 3},          // 2.5 -> 3 (away from zero)
+        RoundCase{-25, 1, 0, -3},        // -2.5 -> -3
+        RoundCase{7, 0, 2, 700},         // upscaling
+        RoundCase{0, 3, 1, 0}));
+
+// --- calendar functions ----------------------------------------------------
+
+TEST(DateFunctionsTest, EpochIsJan1st1970) {
+  EXPECT_EQ(YearFromDays(0), 1970);
+  EXPECT_EQ(MonthFromDays(0), 1);
+}
+
+TEST(DateFunctionsTest, KnownDates) {
+  // 2000-03-01 is day 11017.
+  EXPECT_EQ(YearFromDays(11017), 2000);
+  EXPECT_EQ(MonthFromDays(11017), 3);
+  // 1999-12-31 is day 10956.
+  EXPECT_EQ(YearFromDays(10956), 1999);
+  EXPECT_EQ(MonthFromDays(10956), 12);
+  // Leap day 2024-02-29 is day 19782.
+  EXPECT_EQ(YearFromDays(19782), 2024);
+  EXPECT_EQ(MonthFromDays(19782), 2);
+}
+
+TEST(DateFunctionsTest, PreEpochDates) {
+  // 1969-12-31.
+  EXPECT_EQ(YearFromDays(-1), 1969);
+  EXPECT_EQ(MonthFromDays(-1), 12);
+}
+
+}  // namespace
+}  // namespace vdm

@@ -1,0 +1,217 @@
+// vdmsql — interactive SQL shell for the vdmqo engine.
+//
+//   $ ./tools/vdmsql
+//   vdmsql> .load tpch 1
+//   vdmsql> select count(*) from lineitem;
+//   vdmsql> .profile postgres
+//   vdmsql> .explain select o_orderkey from orders o left join customer c
+//           on o.o_custkey = c.c_custkey;
+//
+// Dot-commands:
+//   .help                  this text
+//   .tables / .views       list catalog objects
+//   .profile <name>        hana | postgres | systemx | systemy | systemz | none
+//   .explain <sql>         optimized plan
+//   .explainraw <sql>      bound plan before optimization (Fig. 3 form)
+//   .timing on|off         print execution time per query
+//   .load tpch [scale]     create + load the TPC-H workload
+//   .load s4               create + load the S/4-like schema + JEIB stack
+//   .import <table> <csv>  append CSV rows to a table
+//   .export <csv> <sql>    run a query and write the result as CSV
+//   .materialize <view> [dynamic]   cache a view (SCV / DCV)
+//   .refresh <view>        refresh a static cached view
+//   .quit
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/csv.h"
+#include "engine/database.h"
+#include "plan/plan_printer.h"
+#include "vdm/jeib.h"
+#include "workload/s4.h"
+#include "workload/tpch.h"
+
+using namespace vdm;
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream stream(line);
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+void PrintStatus(const Status& status) {
+  if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+}
+
+bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
+  std::vector<std::string> words = SplitWords(line);
+  if (words.empty()) return true;
+  const std::string& cmd = words[0];
+
+  if (cmd == ".quit" || cmd == ".exit") return false;
+  if (cmd == ".help") {
+    std::printf(
+        ".tables .views .profile <p> .explain <sql> .explainraw <sql>\n"
+        ".timing on|off  .load tpch [scale] | s4  .import <table> <csv>\n"
+        ".export <csv> <sql>  .materialize <view> [dynamic]  "
+        ".refresh <view>  .quit\n");
+    return true;
+  }
+  if (cmd == ".tables") {
+    for (const std::string& name : db->catalog().TableNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return true;
+  }
+  if (cmd == ".views") {
+    for (const std::string& name : db->catalog().ViewNames()) {
+      const ViewDef* view = db->catalog().FindView(name);
+      std::printf("%s%s\n", name.c_str(),
+                  view != nullptr && !view->materialized_table.empty()
+                      ? " [cached]"
+                      : "");
+    }
+    return true;
+  }
+  if (cmd == ".profile" && words.size() >= 2) {
+    std::string p = ToLower(words[1]);
+    if (p == "hana") db->SetProfile(SystemProfile::kHana);
+    else if (p == "postgres") db->SetProfile(SystemProfile::kPostgres);
+    else if (p == "systemx") db->SetProfile(SystemProfile::kSystemX);
+    else if (p == "systemy") db->SetProfile(SystemProfile::kSystemY);
+    else if (p == "systemz") db->SetProfile(SystemProfile::kSystemZ);
+    else if (p == "none") db->SetProfile(SystemProfile::kNone);
+    else {
+      std::printf("unknown profile: %s\n", p.c_str());
+      return true;
+    }
+    std::printf("profile set to %s\n", p.c_str());
+    return true;
+  }
+  if (cmd == ".timing" && words.size() >= 2) {
+    *timing = EqualsIgnoreCase(words[1], "on");
+    return true;
+  }
+  if (cmd == ".explain" || cmd == ".explainraw") {
+    std::string sql = line.substr(cmd.size());
+    Result<std::string> plan = cmd == ".explain" ? db->Explain(sql)
+                                                 : db->ExplainRaw(sql);
+    if (plan.ok()) {
+      std::printf("%s", plan->c_str());
+    } else {
+      PrintStatus(plan.status());
+    }
+    return true;
+  }
+  if (cmd == ".load" && words.size() >= 2) {
+    if (EqualsIgnoreCase(words[1], "tpch")) {
+      TpchOptions options;
+      if (words.size() >= 3) options.scale = std::stod(words[2]);
+      PrintStatus(CreateTpchSchema(db, options));
+      PrintStatus(LoadTpchData(db, options));
+      std::printf("TPC-H loaded at scale %.2f\n", options.scale);
+    } else if (EqualsIgnoreCase(words[1], "s4")) {
+      S4Options options;
+      PrintStatus(CreateS4Schema(db, options));
+      PrintStatus(LoadS4Data(db, options));
+      PrintStatus(BuildJournalEntryItemBrowser(db));
+      std::printf("S/4-like schema + journalentryitembrowser loaded\n");
+    } else {
+      std::printf("unknown workload: %s\n", words[1].c_str());
+    }
+    return true;
+  }
+  if (cmd == ".import" && words.size() >= 3) {
+    Result<size_t> imported = ImportCsv(db, words[1], words[2]);
+    if (imported.ok()) {
+      std::printf("imported %zu rows into %s\n", *imported,
+                  words[1].c_str());
+    } else {
+      PrintStatus(imported.status());
+    }
+    return true;
+  }
+  if (cmd == ".export" && words.size() >= 3) {
+    size_t sql_start = line.find(words[1]) + words[1].size();
+    std::string sql = line.substr(sql_start);
+    Result<Chunk> result = db->Query(sql);
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      return true;
+    }
+    PrintStatus(ExportCsv(*result, words[1]));
+    std::printf("wrote %zu rows to %s\n", result->NumRows(),
+                words[1].c_str());
+    return true;
+  }
+  if (cmd == ".materialize" && words.size() >= 2) {
+    ViewDef::CacheMode mode =
+        words.size() >= 3 && EqualsIgnoreCase(words[2], "dynamic")
+            ? ViewDef::CacheMode::kDynamic
+            : ViewDef::CacheMode::kStatic;
+    PrintStatus(db->MaterializeView(words[1], mode));
+    return true;
+  }
+  if (cmd == ".refresh" && words.size() >= 2) {
+    PrintStatus(db->RefreshMaterializedView(words[1]));
+    return true;
+  }
+  std::printf("unknown command (try .help)\n");
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  bool timing = false;
+  std::printf("vdmsql — VDM/HTAP engine shell (.help for commands)\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "vdmsql> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Dot-commands are single-line.
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (!HandleDotCommand(&db, line, &timing)) break;
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Execute on ';'.
+    size_t semi = buffer.find(';');
+    if (semi == std::string::npos) continue;
+    std::string sql = buffer.substr(0, semi);
+    buffer.clear();
+    if (sql.find_first_not_of(" \t\n") == std::string::npos) continue;
+    auto start = std::chrono::steady_clock::now();
+    Result<Chunk> result = db.Execute(sql);
+    auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      continue;
+    }
+    if (result->NumColumns() > 0) {
+      std::printf("%s", result->ToString(50).c_str());
+      std::printf("(%zu rows)\n", result->NumRows());
+    } else {
+      std::printf("ok\n");
+    }
+    if (timing) {
+      std::printf("elapsed: %.3f ms\n",
+                  std::chrono::duration<double, std::milli>(end - start)
+                      .count());
+    }
+  }
+  return 0;
+}

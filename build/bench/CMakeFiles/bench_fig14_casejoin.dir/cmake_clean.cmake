@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_casejoin.dir/bench_fig14_casejoin.cc.o"
+  "CMakeFiles/bench_fig14_casejoin.dir/bench_fig14_casejoin.cc.o.d"
+  "bench_fig14_casejoin"
+  "bench_fig14_casejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_casejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fig4_jeib.dir/bench_fig3_fig4_jeib.cc.o"
+  "CMakeFiles/bench_fig3_fig4_jeib.dir/bench_fig3_fig4_jeib.cc.o.d"
+  "bench_fig3_fig4_jeib"
+  "bench_fig3_fig4_jeib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig4_jeib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

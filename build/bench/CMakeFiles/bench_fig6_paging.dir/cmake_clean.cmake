@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_paging.dir/bench_fig6_paging.cc.o"
+  "CMakeFiles/bench_fig6_paging.dir/bench_fig6_paging.cc.o.d"
+  "bench_fig6_paging"
+  "bench_fig6_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

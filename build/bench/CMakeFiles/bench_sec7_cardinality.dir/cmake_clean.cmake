@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_cardinality.dir/bench_sec7_cardinality.cc.o"
+  "CMakeFiles/bench_sec7_cardinality.dir/bench_sec7_cardinality.cc.o.d"
+  "bench_sec7_cardinality"
+  "bench_sec7_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_macros.dir/bench_sec7_macros.cc.o"
+  "CMakeFiles/bench_sec7_macros.dir/bench_sec7_macros.cc.o.d"
+  "bench_sec7_macros"
+  "bench_sec7_macros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_macros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

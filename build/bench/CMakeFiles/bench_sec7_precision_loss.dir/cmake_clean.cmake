@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_precision_loss.dir/bench_sec7_precision_loss.cc.o"
+  "CMakeFiles/bench_sec7_precision_loss.dir/bench_sec7_precision_loss.cc.o.d"
+  "bench_sec7_precision_loss"
+  "bench_sec7_precision_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_precision_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_uaj.dir/bench_table1_uaj.cc.o"
+  "CMakeFiles/bench_table1_uaj.dir/bench_table1_uaj.cc.o.d"
+  "bench_table1_uaj"
+  "bench_table1_uaj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_uaj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

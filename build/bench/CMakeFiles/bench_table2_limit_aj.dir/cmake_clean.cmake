@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_limit_aj.dir/bench_table2_limit_aj.cc.o"
+  "CMakeFiles/bench_table2_limit_aj.dir/bench_table2_limit_aj.cc.o.d"
+  "bench_table2_limit_aj"
+  "bench_table2_limit_aj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_limit_aj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_asj.dir/bench_table3_asj.cc.o"
+  "CMakeFiles/bench_table3_asj.dir/bench_table3_asj.cc.o.d"
+  "bench_table3_asj"
+  "bench_table3_asj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_asj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_unionall.dir/bench_table4_unionall.cc.o"
+  "CMakeFiles/bench_table4_unionall.dir/bench_table4_unionall.cc.o.d"
+  "bench_table4_unionall"
+  "bench_table4_unionall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_unionall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fields.dir/custom_fields.cpp.o"
+  "CMakeFiles/custom_fields.dir/custom_fields.cpp.o.d"
+  "custom_fields"
+  "custom_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_analytics.dir/embedded_analytics.cpp.o"
+  "CMakeFiles/embedded_analytics.dir/embedded_analytics.cpp.o.d"
+  "embedded_analytics"
+  "embedded_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_catalog.dir/catalog.cc.o"
+  "CMakeFiles/vdm_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/vdm_catalog.dir/schema.cc.o"
+  "CMakeFiles/vdm_catalog.dir/schema.cc.o.d"
+  "libvdm_catalog.a"
+  "libvdm_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

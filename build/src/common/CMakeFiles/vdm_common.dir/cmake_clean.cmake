@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_common.dir/status.cc.o"
+  "CMakeFiles/vdm_common.dir/status.cc.o.d"
+  "CMakeFiles/vdm_common.dir/string_util.cc.o"
+  "CMakeFiles/vdm_common.dir/string_util.cc.o.d"
+  "libvdm_common.a"
+  "libvdm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_engine.dir/csv.cc.o"
+  "CMakeFiles/vdm_engine.dir/csv.cc.o.d"
+  "CMakeFiles/vdm_engine.dir/database.cc.o"
+  "CMakeFiles/vdm_engine.dir/database.cc.o.d"
+  "libvdm_engine.a"
+  "libvdm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_exec.dir/executor.cc.o"
+  "CMakeFiles/vdm_exec.dir/executor.cc.o.d"
+  "libvdm_exec.a"
+  "libvdm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

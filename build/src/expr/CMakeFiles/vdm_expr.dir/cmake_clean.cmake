@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_expr.dir/eval.cc.o"
+  "CMakeFiles/vdm_expr.dir/eval.cc.o.d"
+  "CMakeFiles/vdm_expr.dir/expr.cc.o"
+  "CMakeFiles/vdm_expr.dir/expr.cc.o.d"
+  "CMakeFiles/vdm_expr.dir/fold.cc.o"
+  "CMakeFiles/vdm_expr.dir/fold.cc.o.d"
+  "libvdm_expr.a"
+  "libvdm_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/properties.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/properties.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/properties.cc.o.d"
+  "/root/repo/src/optimizer/rule_agg.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_agg.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_agg.cc.o.d"
+  "/root/repo/src/optimizer/rule_asj.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_asj.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_asj.cc.o.d"
+  "/root/repo/src/optimizer/rule_joinorder.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_joinorder.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_joinorder.cc.o.d"
+  "/root/repo/src/optimizer/rule_limit.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_limit.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_limit.cc.o.d"
+  "/root/repo/src/optimizer/rule_prune.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_prune.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rule_prune.cc.o.d"
+  "/root/repo/src/optimizer/rules_basic.cc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rules_basic.cc.o" "gcc" "src/optimizer/CMakeFiles/vdm_optimizer.dir/rules_basic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/vdm_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/vdm_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdm_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

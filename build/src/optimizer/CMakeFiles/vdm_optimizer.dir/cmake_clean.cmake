@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/properties.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/properties.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/rule_agg.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/rule_agg.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/rule_asj.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/rule_asj.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/rule_joinorder.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/rule_joinorder.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/rule_limit.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/rule_limit.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/rule_prune.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/rule_prune.cc.o.d"
+  "CMakeFiles/vdm_optimizer.dir/rules_basic.cc.o"
+  "CMakeFiles/vdm_optimizer.dir/rules_basic.cc.o.d"
+  "libvdm_optimizer.a"
+  "libvdm_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/logical_plan.cc" "src/plan/CMakeFiles/vdm_plan.dir/logical_plan.cc.o" "gcc" "src/plan/CMakeFiles/vdm_plan.dir/logical_plan.cc.o.d"
+  "/root/repo/src/plan/plan_builder.cc" "src/plan/CMakeFiles/vdm_plan.dir/plan_builder.cc.o" "gcc" "src/plan/CMakeFiles/vdm_plan.dir/plan_builder.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/plan/CMakeFiles/vdm_plan.dir/plan_printer.cc.o" "gcc" "src/plan/CMakeFiles/vdm_plan.dir/plan_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/vdm_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdm_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/vdm_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/vdm_plan.dir/plan_builder.cc.o"
+  "CMakeFiles/vdm_plan.dir/plan_builder.cc.o.d"
+  "CMakeFiles/vdm_plan.dir/plan_printer.cc.o"
+  "CMakeFiles/vdm_plan.dir/plan_printer.cc.o.d"
+  "libvdm_plan.a"
+  "libvdm_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

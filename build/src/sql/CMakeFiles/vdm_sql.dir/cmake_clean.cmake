@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_sql.dir/binder.cc.o"
+  "CMakeFiles/vdm_sql.dir/binder.cc.o.d"
+  "CMakeFiles/vdm_sql.dir/lexer.cc.o"
+  "CMakeFiles/vdm_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/vdm_sql.dir/parser.cc.o"
+  "CMakeFiles/vdm_sql.dir/parser.cc.o.d"
+  "libvdm_sql.a"
+  "libvdm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

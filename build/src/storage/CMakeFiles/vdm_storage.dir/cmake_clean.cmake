@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_storage.dir/table.cc.o"
+  "CMakeFiles/vdm_storage.dir/table.cc.o.d"
+  "libvdm_storage.a"
+  "libvdm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/column.cc" "src/types/CMakeFiles/vdm_types.dir/column.cc.o" "gcc" "src/types/CMakeFiles/vdm_types.dir/column.cc.o.d"
+  "/root/repo/src/types/date_util.cc" "src/types/CMakeFiles/vdm_types.dir/date_util.cc.o" "gcc" "src/types/CMakeFiles/vdm_types.dir/date_util.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/types/CMakeFiles/vdm_types.dir/type.cc.o" "gcc" "src/types/CMakeFiles/vdm_types.dir/type.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/types/CMakeFiles/vdm_types.dir/value.cc.o" "gcc" "src/types/CMakeFiles/vdm_types.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

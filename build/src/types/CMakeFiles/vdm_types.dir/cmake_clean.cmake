@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_types.dir/column.cc.o"
+  "CMakeFiles/vdm_types.dir/column.cc.o.d"
+  "CMakeFiles/vdm_types.dir/date_util.cc.o"
+  "CMakeFiles/vdm_types.dir/date_util.cc.o.d"
+  "CMakeFiles/vdm_types.dir/type.cc.o"
+  "CMakeFiles/vdm_types.dir/type.cc.o.d"
+  "CMakeFiles/vdm_types.dir/value.cc.o"
+  "CMakeFiles/vdm_types.dir/value.cc.o.d"
+  "libvdm_types.a"
+  "libvdm_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_vdm.dir/generator.cc.o"
+  "CMakeFiles/vdm_vdm.dir/generator.cc.o.d"
+  "CMakeFiles/vdm_vdm.dir/jeib.cc.o"
+  "CMakeFiles/vdm_vdm.dir/jeib.cc.o.d"
+  "libvdm_vdm.a"
+  "libvdm_vdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_vdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_workload.dir/s4.cc.o"
+  "CMakeFiles/vdm_workload.dir/s4.cc.o.d"
+  "CMakeFiles/vdm_workload.dir/tpch.cc.o"
+  "CMakeFiles/vdm_workload.dir/tpch.cc.o.d"
+  "libvdm_workload.a"
+  "libvdm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_view_test.dir/cached_view_test.cc.o"
+  "CMakeFiles/cached_view_test.dir/cached_view_test.cc.o.d"
+  "cached_view_test"
+  "cached_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insert_dcv_test.dir/insert_dcv_test.cc.o"
+  "CMakeFiles/insert_dcv_test.dir/insert_dcv_test.cc.o.d"
+  "insert_dcv_test"
+  "insert_dcv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insert_dcv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

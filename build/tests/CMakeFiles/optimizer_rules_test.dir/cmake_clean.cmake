@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_rules_test.dir/optimizer_rules_test.cc.o"
+  "CMakeFiles/optimizer_rules_test.dir/optimizer_rules_test.cc.o.d"
+  "optimizer_rules_test"
+  "optimizer_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

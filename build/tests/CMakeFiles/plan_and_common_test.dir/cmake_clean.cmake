@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_and_common_test.dir/plan_and_common_test.cc.o"
+  "CMakeFiles/plan_and_common_test.dir/plan_and_common_test.cc.o.d"
+  "plan_and_common_test"
+  "plan_and_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_and_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

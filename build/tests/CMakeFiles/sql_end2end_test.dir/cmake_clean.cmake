@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_end2end_test.dir/sql_end2end_test.cc.o"
+  "CMakeFiles/sql_end2end_test.dir/sql_end2end_test.cc.o.d"
+  "sql_end2end_test"
+  "sql_end2end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_end2end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

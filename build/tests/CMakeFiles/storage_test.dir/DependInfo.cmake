@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/storage_test.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/vdm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vdm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdm/CMakeFiles/vdm_vdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vdm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/vdm_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vdm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/vdm_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/vdm_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdm_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

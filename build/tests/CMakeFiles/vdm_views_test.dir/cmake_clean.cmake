@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdm_views_test.dir/vdm_views_test.cc.o"
+  "CMakeFiles/vdm_views_test.dir/vdm_views_test.cc.o.d"
+  "vdm_views_test"
+  "vdm_views_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdm_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

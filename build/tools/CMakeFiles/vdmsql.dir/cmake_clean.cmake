@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdmsql.dir/vdmsql.cc.o"
+  "CMakeFiles/vdmsql.dir/vdmsql.cc.o.d"
+  "vdmsql"
+  "vdmsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdmsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

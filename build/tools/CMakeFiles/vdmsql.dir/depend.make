@@ -1,0 +1,2 @@
+# Empty dependencies file for vdmsql.
+# This may be replaced when dependencies are built.

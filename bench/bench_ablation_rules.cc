@@ -89,6 +89,29 @@ int main() {
   }
   table.Print();
 
+  // --- verification overhead. ----------------------------------------------
+  // What does auditing every rewrite (plan invariants + root-schema identity
+  // + key cross-check, rewrite_auditor.h) cost at plan time? Relevant for
+  // leaving verify_rewrites on outside of tests.
+  std::printf("\n== Rewrite-audit overhead (optimization time only) ==\n");
+  TablePrinter audit({"configuration", "plan latency"});
+  for (bool verify : {false, true}) {
+    OptimizerConfig config = ConfigForProfile(SystemProfile::kHana);
+    config.verify_rewrites = verify;
+    db.SetOptimizerConfig(config);
+    double plan_ms = MedianMillis(
+        [&] {
+          for (const char* sql : kQueries) {
+            Result<PlanRef> plan = db.PlanQuery(sql);
+            VDM_CHECK(plan.ok());
+          }
+        },
+        5);
+    audit.AddRow({verify ? "verify_rewrites on" : "verify_rewrites off",
+                  Ms(plan_ms)});
+  }
+  audit.Print();
+
   // --- SCV comparison (§3). ------------------------------------------------
   std::printf("\n== Static cached view (SCV) vs on-the-fly ==\n");
   db.SetProfile(SystemProfile::kHana);

@@ -93,7 +93,7 @@ void BM_OptimizeUajQuery(benchmark::State& state) {
   VDM_CHECK(bound.ok());
   db->SetProfile(SystemProfile::kHana);
   for (auto _ : state) {
-    PlanRef optimized = db->OptimizePlan(*bound);
+    PlanRef optimized = db->OptimizePlan(*bound).value();
     benchmark::DoNotOptimize(optimized.get());
   }
 }
@@ -116,7 +116,7 @@ void BM_OptimizeJeibCountStar(benchmark::State& state) {
   VDM_CHECK(bound.ok());
   db->SetProfile(SystemProfile::kHana);
   for (auto _ : state) {
-    PlanRef optimized = db->OptimizePlan(*bound);
+    PlanRef optimized = db->OptimizePlan(*bound).value();
     benchmark::DoNotOptimize(optimized.get());
   }
 }

@@ -1,0 +1,484 @@
+#include "analysis/plan_verifier.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "expr/fold.h"
+#include "plan/plan_printer.h"
+
+namespace vdm {
+
+namespace {
+
+/// Path segment for one operator: kind name, plus the alias for scans.
+std::string Segment(const LogicalOp& op) {
+  std::string out = OpKindName(op.kind());
+  if (op.kind() == OpKind::kScan) {
+    out += "(" + static_cast<const ScanOp&>(op).alias() + ")";
+  }
+  return out;
+}
+
+Status Fail(const std::string& path, const LogicalOp& op, std::string msg) {
+  return Status::InvalidArgument(path + " [" + op.Describe() +
+                                 "]: " + std::move(msg));
+}
+
+bool ContainsMacroRef(const ExprRef& expr) {
+  if (expr->kind() == ExprKind::kMacroRef) return true;
+  for (const ExprRef& child : expr->children()) {
+    if (ContainsMacroRef(child)) return true;
+  }
+  return false;
+}
+
+bool IsNullLiteral(const ExprRef& expr) {
+  return expr->kind() == ExprKind::kLiteral &&
+         static_cast<const LiteralExpr&>(*expr).value().is_null();
+}
+
+/// Both numeric; unions and rewrites may shift between these freely.
+bool NumericId(TypeId id) {
+  return id == TypeId::kInt64 || id == TypeId::kDouble ||
+         id == TypeId::kDecimal;
+}
+
+bool CompatibleIds(TypeId a, TypeId b) {
+  return a == b || (NumericId(a) && NumericId(b));
+}
+
+/// Every column reference must resolve — uniquely — in `schema`, and macro
+/// references must have been expanded by the binder.
+Status CheckResolves(const ExprRef& expr, const VerifiedSchema& schema,
+                     const std::string& path, const LogicalOp& op,
+                     const char* what) {
+  if (ContainsMacroRef(expr)) {
+    return Fail(path, op,
+                std::string(what) + " contains an unexpanded macro: " +
+                    expr->ToString());
+  }
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const std::string& ref : refs) {
+    if (schema.types.find(ref) == schema.types.end()) {
+      return Fail(path, op,
+                  std::string(what) + " references unknown column '" + ref +
+                      "' (in " + expr->ToString() + ")");
+    }
+    if (schema.ambiguous.count(ref) > 0) {
+      return Fail(path, op,
+                  std::string(what) + " references column '" + ref +
+                      "' which is duplicated with conflicting types (in " +
+                      expr->ToString() + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckNoAggregate(const ExprRef& expr, const std::string& path,
+                        const LogicalOp& op, const char* what) {
+  if (ContainsAggregate(expr)) {
+    return Fail(path, op,
+                std::string(what) +
+                    " must not contain an aggregate: " + expr->ToString());
+  }
+  return Status::OK();
+}
+
+/// Aggregate items are evaluated per group: aggregate-function arguments see
+/// the child's rows, everything outside an aggregate sees only the group-by
+/// output columns (the executor's interim chunk). Mirror that split here.
+Status CheckAggItemRefs(const ExprRef& expr,
+                        const std::set<std::string>& group_names,
+                        const VerifiedSchema& in, const std::string& path,
+                        const LogicalOp& op, const char* what) {
+  if (expr->kind() == ExprKind::kMacroRef) {
+    return Fail(path, op,
+                std::string(what) + " contains an unexpanded macro: " +
+                    expr->ToString());
+  }
+  if (expr->kind() == ExprKind::kAggregate) {
+    const auto& agg = static_cast<const AggregateExpr&>(*expr);
+    if (agg.has_arg()) {
+      VDM_RETURN_NOT_OK(CheckResolves(agg.arg(), in, path, op, what));
+      VDM_RETURN_NOT_OK(CheckNoAggregate(agg.arg(), path, op, what));
+    }
+    return Status::OK();
+  }
+  if (expr->kind() == ExprKind::kColumnRef) {
+    const std::string& name =
+        static_cast<const ColumnRefExpr&>(*expr).name();
+    if (group_names.count(name) == 0) {
+      return Fail(path, op,
+                  std::string(what) + " references column '" + name +
+                      "' outside an aggregate; only group-by outputs are "
+                      "visible there");
+    }
+    return Status::OK();
+  }
+  for (const ExprRef& child : expr->children()) {
+    VDM_RETURN_NOT_OK(
+        CheckAggItemRefs(child, group_names, in, path, op, what));
+  }
+  return Status::OK();
+}
+
+/// Predicates must infer to Bool; a bare NULL literal (a folded-away
+/// predicate) is also accepted.
+Status CheckBooleanPredicate(const ExprRef& expr, const VerifiedSchema& in,
+                             const std::string& path, const LogicalOp& op,
+                             const char* what) {
+  if (IsNullLiteral(expr)) return Status::OK();
+  Result<DataType> type = InferType(expr, in.types);
+  if (!type.ok()) {
+    return Fail(path, op,
+                std::string(what) + " does not type-check: " +
+                    type.status().message() + " (in " + expr->ToString() +
+                    ")");
+  }
+  if (type->id != TypeId::kBool) {
+    return Fail(path, op,
+                std::string(what) + " is not boolean (" + expr->ToString() +
+                    " : " + type->ToString() + ")");
+  }
+  return Status::OK();
+}
+
+/// §6.3: a case join is an explicit augmentation-self-join declaration. Its
+/// condition must be a conjunction of column=column / column=constant
+/// equalities (literal TRUE conjuncts allowed) with at least one equi pair
+/// across the two sides — the shape the robust ASJ matcher relies on.
+Status CheckCaseJoinShape(const JoinOp& join, const VerifiedSchema& left,
+                          const VerifiedSchema& right,
+                          const std::string& path) {
+  bool cross_pair = false;
+  for (const ExprRef& conjunct : SplitConjuncts(join.condition())) {
+    if (IsAlwaysTrue(conjunct)) continue;
+    if (MatchColumnEqConstant(conjunct).has_value()) continue;
+    std::optional<ColumnPair> pair = MatchColumnEqColumn(conjunct);
+    if (!pair.has_value()) {
+      return Fail(path, join,
+                  "case join condition has a non-equality conjunct: " +
+                      conjunct->ToString());
+    }
+    bool lr = left.types.count(pair->left) > 0 &&
+              right.types.count(pair->right) > 0;
+    bool rl = right.types.count(pair->left) > 0 &&
+              left.types.count(pair->right) > 0;
+    if (lr || rl) cross_pair = true;
+  }
+  if (!cross_pair) {
+    return Fail(path, join,
+                "case join condition has no cross-side equi pair: " +
+                    join.condition()->ToString());
+  }
+  return Status::OK();
+}
+
+VerifiedSchema MakeSchema(std::vector<std::string> names,
+                          std::vector<DataType> types) {
+  VerifiedSchema schema;
+  schema.names = std::move(names);
+  for (size_t i = 0; i < schema.names.size(); ++i) {
+    const std::string& name = schema.names[i];
+    auto [it, inserted] = schema.types.emplace(name, types[i]);
+    // Duplicates resolve to the first occurrence (engine semantics); only
+    // a type conflict between occurrences makes the name unreferencable.
+    if (!inserted && !CompatibleIds(it->second.id, types[i].id)) {
+      schema.ambiguous.insert(name);
+    }
+  }
+  return schema;
+}
+
+Result<VerifiedSchema> VerifyNode(const PlanRef& plan,
+                                  const std::string& parent_path);
+
+Result<VerifiedSchema> VerifyChildren(const PlanRef& plan,
+                                      const std::string& path, size_t arity,
+                                      std::vector<VerifiedSchema>* out) {
+  if (plan->NumChildren() != arity) {
+    return Fail(path, *plan,
+                StrFormat("expected %zu child(ren), found %zu", arity,
+                          plan->NumChildren()));
+  }
+  for (const PlanRef& child : plan->children()) {
+    VDM_ASSIGN_OR_RETURN(VerifiedSchema schema, VerifyNode(child, path));
+    out->push_back(std::move(schema));
+  }
+  // The caller consumes *out; the returned value is unused.
+  return VerifiedSchema{};
+}
+
+Result<VerifiedSchema> VerifyNode(const PlanRef& plan,
+                                  const std::string& parent_path) {
+  const std::string path = parent_path + "/" + Segment(*plan);
+  switch (plan->kind()) {
+    case OpKind::kScan: {
+      const auto& scan = static_cast<const ScanOp&>(*plan);
+      if (!plan->children().empty()) {
+        return Fail(path, *plan, "scan must be a leaf");
+      }
+      if (scan.alias().empty()) {
+        return Fail(path, *plan, "scan has an empty alias");
+      }
+      std::vector<std::string> names;
+      std::vector<DataType> types;
+      for (size_t c : scan.column_indexes()) {
+        if (c >= scan.table_schema().NumColumns()) {
+          return Fail(path, *plan,
+                      StrFormat("column index %zu out of range (table has "
+                                "%zu columns)",
+                                c, scan.table_schema().NumColumns()));
+        }
+        names.push_back(scan.QualifiedName(c));
+        types.push_back(scan.table_schema().column(c).type);
+      }
+      return MakeSchema(std::move(names), std::move(types));
+    }
+    case OpKind::kFilter: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 1, &in);
+        if (!r.ok()) return r.status();
+      }
+      const auto& filter = static_cast<const FilterOp&>(*plan);
+      VDM_RETURN_NOT_OK(CheckResolves(filter.predicate(), in[0], path, *plan,
+                                      "filter predicate"));
+      VDM_RETURN_NOT_OK(CheckNoAggregate(filter.predicate(), path, *plan,
+                                         "filter predicate"));
+      VDM_RETURN_NOT_OK(CheckBooleanPredicate(filter.predicate(), in[0], path,
+                                              *plan, "filter predicate"));
+      return in[0];
+    }
+    case OpKind::kProject: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 1, &in);
+        if (!r.ok()) return r.status();
+      }
+      const auto& project = static_cast<const ProjectOp&>(*plan);
+      std::vector<std::string> names;
+      std::vector<DataType> types;
+      for (const ProjectOp::Item& item : project.items()) {
+        if (item.name.empty()) {
+          return Fail(path, *plan, "projection item has an empty name");
+        }
+        VDM_RETURN_NOT_OK(CheckResolves(item.expr, in[0], path, *plan,
+                                        "projection expression"));
+        VDM_RETURN_NOT_OK(CheckNoAggregate(item.expr, path, *plan,
+                                           "projection expression"));
+        Result<DataType> type = InferType(item.expr, in[0].types);
+        if (!type.ok()) {
+          return Fail(path, *plan,
+                      "projection '" + item.name + "' does not type-check: " +
+                          type.status().message());
+        }
+        names.push_back(item.name);
+        types.push_back(*type);
+      }
+      return MakeSchema(std::move(names), std::move(types));
+    }
+    case OpKind::kJoin: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 2, &in);
+        if (!r.ok()) return r.status();
+      }
+      const auto& join = static_cast<const JoinOp&>(*plan);
+      // The condition resolves against the concatenated child schemas.
+      std::vector<std::string> names = in[0].names;
+      std::vector<DataType> types;
+      for (const std::string& name : in[0].names) {
+        types.push_back(in[0].types.at(name));
+      }
+      for (const std::string& name : in[1].names) {
+        names.push_back(name);
+        types.push_back(in[1].types.at(name));
+      }
+      VerifiedSchema schema = MakeSchema(std::move(names), std::move(types));
+      VDM_RETURN_NOT_OK(CheckResolves(join.condition(), schema, path, *plan,
+                                      "join condition"));
+      VDM_RETURN_NOT_OK(CheckNoAggregate(join.condition(), path, *plan,
+                                         "join condition"));
+      VDM_RETURN_NOT_OK(CheckBooleanPredicate(join.condition(), schema, path,
+                                              *plan, "join condition"));
+      if (join.is_case_join()) {
+        VDM_RETURN_NOT_OK(CheckCaseJoinShape(join, in[0], in[1], path));
+      }
+      return schema;
+    }
+    case OpKind::kAggregate: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 1, &in);
+        if (!r.ok()) return r.status();
+      }
+      const auto& agg = static_cast<const AggregateOp&>(*plan);
+      std::vector<std::string> names;
+      std::vector<DataType> types;
+      std::set<std::string> group_names;
+      TypeEnv item_env = in[0].types;
+      for (const AggregateOp::GroupItem& item : agg.group_by()) {
+        if (item.name.empty()) {
+          return Fail(path, *plan, "group-by item has an empty name");
+        }
+        VDM_RETURN_NOT_OK(CheckResolves(item.expr, in[0], path, *plan,
+                                        "group-by expression"));
+        VDM_RETURN_NOT_OK(CheckNoAggregate(item.expr, path, *plan,
+                                           "group-by expression"));
+        Result<DataType> type = InferType(item.expr, in[0].types);
+        if (!type.ok()) {
+          return Fail(path, *plan,
+                      "group-by '" + item.name + "' does not type-check: " +
+                          type.status().message());
+        }
+        names.push_back(item.name);
+        types.push_back(*type);
+        group_names.insert(item.name);
+        item_env[item.name] = *type;
+      }
+      for (const AggregateOp::AggItem& item : agg.aggregates()) {
+        if (item.name.empty()) {
+          return Fail(path, *plan, "aggregate item has an empty name");
+        }
+        VDM_RETURN_NOT_OK(CheckAggItemRefs(item.expr, group_names, in[0],
+                                           path, *plan, "aggregate item"));
+        Result<DataType> type = InferType(item.expr, item_env);
+        if (!type.ok()) {
+          return Fail(path, *plan,
+                      "aggregate '" + item.name + "' does not type-check: " +
+                          type.status().message());
+        }
+        names.push_back(item.name);
+        types.push_back(*type);
+      }
+      if (names.empty()) {
+        return Fail(path, *plan, "aggregate produces no columns");
+      }
+      return MakeSchema(std::move(names), std::move(types));
+    }
+    case OpKind::kUnionAll: {
+      const auto& u = static_cast<const UnionAllOp&>(*plan);
+      if (plan->NumChildren() == 0) {
+        return Fail(path, *plan, "union all has no children");
+      }
+      const size_t arity = u.output_names().size();
+      std::vector<DataType> types;
+      for (size_t i = 0; i < plan->NumChildren(); ++i) {
+        VDM_ASSIGN_OR_RETURN(VerifiedSchema child,
+                             VerifyNode(plan->child(i), path));
+        if (child.names.size() != arity) {
+          return Fail(path, *plan,
+                      StrFormat("child %zu has %zu columns, union declares "
+                                "%zu",
+                                i, child.names.size(), arity));
+        }
+        for (size_t c = 0; c < arity; ++c) {
+          DataType type = child.types.at(child.names[c]);
+          if (i == 0) {
+            types.push_back(type);
+          } else if (!CompatibleIds(types[c].id, type.id)) {
+            return Fail(path, *plan,
+                        StrFormat("child %zu column %zu ('%s') has "
+                                  "incompatible type across branches",
+                                  i, c, u.output_names()[c].c_str()));
+          }
+        }
+      }
+      if (u.branch_id_column() >= 0 &&
+          static_cast<size_t>(u.branch_id_column()) >= arity) {
+        return Fail(path, *plan,
+                    StrFormat("branch id column %d out of range (%zu "
+                              "columns)",
+                              u.branch_id_column(), arity));
+      }
+      return MakeSchema(u.output_names(), std::move(types));
+    }
+    case OpKind::kSort: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 1, &in);
+        if (!r.ok()) return r.status();
+      }
+      const auto& sort = static_cast<const SortOp&>(*plan);
+      if (sort.keys().empty()) {
+        return Fail(path, *plan, "sort has no keys");
+      }
+      for (const SortOp::SortKey& key : sort.keys()) {
+        VDM_RETURN_NOT_OK(
+            CheckResolves(key.expr, in[0], path, *plan, "sort key"));
+        VDM_RETURN_NOT_OK(
+            CheckNoAggregate(key.expr, path, *plan, "sort key"));
+        Result<DataType> type = InferType(key.expr, in[0].types);
+        if (!type.ok()) {
+          return Fail(path, *plan, "sort key does not type-check: " +
+                                       type.status().message());
+        }
+      }
+      return in[0];
+    }
+    case OpKind::kLimit: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 1, &in);
+        if (!r.ok()) return r.status();
+      }
+      const auto& limit = static_cast<const LimitOp&>(*plan);
+      if (limit.limit() < 0 || limit.offset() < 0) {
+        return Fail(path, *plan,
+                    StrFormat("negative limit/offset (%lld, %lld)",
+                              static_cast<long long>(limit.limit()),
+                              static_cast<long long>(limit.offset())));
+      }
+      return in[0];
+    }
+    case OpKind::kDistinct: {
+      std::vector<VerifiedSchema> in;
+      {
+        auto r = VerifyChildren(plan, path, 1, &in);
+        if (!r.ok()) return r.status();
+      }
+      return in[0];
+    }
+  }
+  return Fail(path, *plan, "unknown operator kind");
+}
+
+}  // namespace
+
+Status PlanVerifier::Verify(const PlanRef& plan) {
+  Result<VerifiedSchema> schema = VerifySchema(plan);
+  return schema.ok() ? Status::OK() : schema.status();
+}
+
+Result<VerifiedSchema> PlanVerifier::VerifySchema(const PlanRef& plan) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("plan is null");
+  }
+  return VerifyNode(plan, "root");
+}
+
+Status PlanVerifier::VerifySameOutputSchema(const PlanRef& before,
+                                            const PlanRef& after) {
+  VDM_ASSIGN_OR_RETURN(VerifiedSchema was, VerifySchema(before));
+  VDM_ASSIGN_OR_RETURN(VerifiedSchema now, VerifySchema(after));
+  if (was.names != now.names) {
+    return Status::InvalidArgument(
+        "root output columns changed: [" + Join(was.names, ", ") + "] -> [" +
+        Join(now.names, ", ") + "]");
+  }
+  for (const std::string& name : was.names) {
+    TypeId a = was.types.at(name).id;
+    TypeId b = now.types.at(name).id;
+    if (!CompatibleIds(a, b)) {
+      return Status::InvalidArgument(
+          "root output column '" + name + "' changed type: " +
+          was.types.at(name).ToString() + " -> " +
+          now.types.at(name).ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vdm

@@ -1,0 +1,57 @@
+// Structural and semantic invariant checking over logical plans.
+//
+// Every optimizer rewrite must leave the plan well-formed: column references
+// resolve (unambiguously) against the child's output schema, predicates
+// type-check to booleans, aggregates appear only inside Aggregate items,
+// case-join and declared-cardinality annotations sit on legal join shapes
+// (§6.3 / §7.3), and operator arities are sane. PlanVerifier checks all of
+// that in one bottom-up walk and reports the path to the failing operator.
+//
+// This is the foundation the RewriteAuditor (rewrite_auditor.h) builds on;
+// it deliberately depends only on plan/expr/catalog, not on the optimizer.
+#ifndef VDMQO_ANALYSIS_PLAN_VERIFIER_H_
+#define VDMQO_ANALYSIS_PLAN_VERIFIER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/eval.h"
+#include "plan/logical_plan.h"
+
+namespace vdm {
+
+/// The verified output schema of a plan: ordered names plus a name → type
+/// environment. Duplicate names are legal — the binder emits them in
+/// augmentation-self-join shapes and the executor resolves references to the
+/// first occurrence (Chunk::FindColumn) — so `types` records the first
+/// occurrence's type. A name is `ambiguous` only when a later occurrence has
+/// an incompatible type: there first-match value resolution and the
+/// executor's last-wins TypeEnv disagree, so referencing it is an error.
+struct VerifiedSchema {
+  std::vector<std::string> names;
+  TypeEnv types;
+  std::set<std::string> ambiguous;
+};
+
+class PlanVerifier {
+ public:
+  /// Full invariant check; OK or an error naming the failing operator path
+  /// (e.g. "root/Limit/Join[1]/Scan(c)") and the violated invariant.
+  static Status Verify(const PlanRef& plan);
+
+  /// Verify + return the root schema (names and inferred types).
+  static Result<VerifiedSchema> VerifySchema(const PlanRef& plan);
+
+  /// The optimizer must never change what a query returns: root output
+  /// names (ordered) and column types must be identical before and after.
+  /// Decimal scales may legitimately shift under precision-loss rewrites
+  /// (§7.1), so types are compared by TypeId.
+  static Status VerifySameOutputSchema(const PlanRef& before,
+                                       const PlanRef& after);
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_ANALYSIS_PLAN_VERIFIER_H_

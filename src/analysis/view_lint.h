@@ -1,0 +1,74 @@
+// vdmlint: static analysis over VDM view stacks (paper §5/§6).
+//
+// The paper's central tension is that VDM views are written for reuse, not
+// for the optimizer: deep stacking, wide field lists, augmentation joins
+// whose eliminability hinges on metadata the application never declared.
+// LintView inspects one view's expanded plan and reports:
+//  * shape metrics — nesting depth, field count, joins / unions / scans,
+//  * findings — augmentation joins that are statically eliminable in
+//    principle but lack a provable key or declared cardinality (§7.3), and
+//    self-join-over-UNION-ALL patterns not declared as case joins (§6.3),
+//  * a profile-by-profile probe — which optimizer passes fire, and whether
+//    the augmentation joins disappear, under each SystemProfile.
+//
+// Depends on catalog + sql (binding) + optimizer (probing); not on engine.
+#ifndef VDMQO_ANALYSIS_VIEW_LINT_H_
+#define VDMQO_ANALYSIS_VIEW_LINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_printer.h"
+
+namespace vdm {
+
+struct ViewLintFinding {
+  /// Stable machine-readable code: "undeclared-cardinality",
+  /// "asj-no-case-join".
+  std::string code;
+  std::string message;
+};
+
+/// Result of optimizing a narrow paging probe (first column + LIMIT) of the
+/// view under one capability profile.
+struct ProfileRewriteProbe {
+  SystemProfile profile = SystemProfile::kNone;
+  size_t joins_before = 0;
+  size_t joins_after = 0;
+  /// Optimizer pass name → number of times it fired.
+  std::map<std::string, int> passes_fired;
+  bool converged = true;
+};
+
+struct ViewLintReport {
+  std::string view;
+  VdmLayer layer = VdmLayer::kPlain;
+  size_t nesting_depth = 0;
+  size_t field_count = 0;
+  PlanStats stats;
+  std::vector<ViewLintFinding> findings;
+  std::vector<ProfileRewriteProbe> profiles;
+
+  std::string ToString() const;
+};
+
+/// Lints one view from the catalog (binding its SQL, or reusing its bound
+/// plan). Rewrites during the profile probe run under a RewriteAuditor, so
+/// an unsound rewrite surfaces as an error here too.
+Result<ViewLintReport> LintView(const Catalog& catalog,
+                                const std::string& view_name);
+
+/// Paper-style Y/- matrix: one row per report, one column per profile;
+/// 'Y' when the probe removed at least one join under that profile.
+std::string RenderRewriteMatrix(const std::vector<ViewLintReport>& reports);
+
+/// Human-readable layer name ("basic", "composite", ...).
+const char* VdmLayerName(VdmLayer layer);
+
+}  // namespace vdm
+
+#endif  // VDMQO_ANALYSIS_VIEW_LINT_H_

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include "analysis/rewrite_auditor.h"
 #include "common/string_util.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
@@ -119,11 +120,20 @@ Result<PlanRef> Database::PlanQuery(const std::string& sql) const {
   return OptimizePlan(plan);
 }
 
-PlanRef Database::OptimizePlan(const PlanRef& plan) const {
+Result<PlanRef> Database::OptimizePlan(const PlanRef& plan) const {
   OptimizerConfig config = optimizer_config_;
   config.stats_catalog = &catalog_;
+  if (config.verify_rewrites && config.verification_hook == nullptr) {
+    RewriteAuditor::Options options;
+    options.derivation = config.derivation;
+    if (config.verify_rewrites_exec) options.storage = &storage_;
+    RewriteAuditor auditor(options);
+    config.verification_hook = &auditor;
+    Optimizer optimizer(config);
+    return optimizer.OptimizeChecked(plan);
+  }
   Optimizer optimizer(config);
-  return optimizer.Optimize(plan);
+  return optimizer.OptimizeChecked(plan);
 }
 
 Result<Chunk> Database::ExecutePlan(const PlanRef& plan,
@@ -216,7 +226,9 @@ Status Database::BuildSnapshot(ViewDef view, bool replace_existing) {
       transparent.bound_plan ? Result<PlanRef>(transparent.bound_plan)
                              : binder.BindSql(transparent.sql);
   if (!bound.ok()) return bound.status();
-  Result<Chunk> snapshot = ExecutePlan(OptimizePlan(*bound));
+  Result<PlanRef> optimized = OptimizePlan(*bound);
+  if (!optimized.ok()) return optimized.status();
+  Result<Chunk> snapshot = ExecutePlan(*optimized);
   if (!snapshot.ok()) return snapshot.status();
 
   // Record base-table dependencies (for DCV staleness checks).

@@ -66,8 +66,10 @@ class Database {
   Result<PlanRef> BindQuery(const std::string& sql) const;
   /// Binds and optimizes under the current profile.
   Result<PlanRef> PlanQuery(const std::string& sql) const;
-  /// Optimizes an already-bound plan under the current profile.
-  PlanRef OptimizePlan(const PlanRef& plan) const;
+  /// Optimizes an already-bound plan under the current profile. When the
+  /// config enables verify_rewrites (and no hook is installed already), a
+  /// RewriteAuditor checks every rewrite; audit failures surface here.
+  Result<PlanRef> OptimizePlan(const PlanRef& plan) const;
   /// Executes an arbitrary plan directly.
   Result<Chunk> ExecutePlan(const PlanRef& plan,
                             ExecMetrics* metrics = nullptr) const;

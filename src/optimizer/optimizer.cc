@@ -1,5 +1,8 @@
 #include "optimizer/optimizer.h"
 
+#include <cstdio>
+#include <string_view>
+
 namespace vdm {
 
 OptimizerConfig ConfigForProfile(SystemProfile profile) {
@@ -96,35 +99,87 @@ std::string ProfileName(SystemProfile profile) {
   return "?";
 }
 
+namespace {
+
+/// Fault injection for the rewrite auditor tests: projects away the last
+/// output column, a schema-drift bug a sound pass can never introduce.
+PlanRef DropLastColumnForTesting(const PlanRef& plan) {
+  std::vector<std::string> names = plan->OutputNames();
+  if (names.size() <= 1) return plan;
+  std::vector<ProjectOp::Item> items;
+  items.reserve(names.size() - 1);
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    items.push_back({Col(names[i]), names[i]});
+  }
+  return std::make_shared<ProjectOp>(plan, std::move(items));
+}
+
+}  // namespace
+
 PlanRef Optimizer::Optimize(const PlanRef& plan) const {
+  Result<PlanRef> checked = OptimizeChecked(plan);
+  if (!checked.ok()) {
+    std::fprintf(stderr, "Optimizer::Optimize: %s\n",
+                 checked.status().ToString().c_str());
+    std::abort();
+  }
+  return *checked;
+}
+
+Result<PlanRef> Optimizer::OptimizeChecked(const PlanRef& plan) const {
+  using PassFn = PlanRef (*)(const PlanRef&, const OptimizerConfig&, bool*);
+  struct PassDef {
+    const char* name;
+    bool enabled;
+    PassFn fn;
+  };
+  // Pass order matters; keep in sync with the headers' pass descriptions.
+  const PassDef passes[] = {
+      {"constant_folding", config_.constant_folding, &PassConstantFolding},
+      {"filter_pushdown", config_.filter_pushdown, &PassFilterPushdown},
+      {"join_order", config_.join_reordering, &PassJoinOrder},
+      {"aggregate_pushdown",
+       config_.allow_precision_loss_rewrites || config_.agg_pushdown,
+       &PassAggregatePushdown},
+      {"asj_elimination", config_.asj_elimination, &PassAsjElimination},
+      {"prune_and_eliminate",
+       config_.projection_pruning || config_.uaj_elimination,
+       &PassPruneAndEliminate},
+      {"distinct_elimination", config_.distinct_elimination,
+       &PassDistinctElimination},
+      {"limit_pushdown", config_.limit_pushdown_over_aj, &PassLimitPushdown},
+  };
+  const bool verify =
+      config_.verify_rewrites && config_.verification_hook != nullptr;
   PlanRef current = plan;
+  last_converged_ = false;
   for (int pass = 0; pass < config_.max_passes; ++pass) {
     bool changed = false;
-    if (config_.constant_folding) {
-      current = PassConstantFolding(current, config_, &changed);
+    for (const PassDef& def : passes) {
+      if (!def.enabled) continue;
+      bool fired = false;
+      PlanRef before = current;
+      current = def.fn(current, config_, &fired);
+      if (!fired) continue;
+      changed = true;
+      if (config_.debug_corrupt_pass != nullptr &&
+          std::string_view(config_.debug_corrupt_pass) == def.name) {
+        current = DropLastColumnForTesting(current);
+      }
+      if (verify) {
+        Status audit =
+            config_.verification_hook->AfterPass(def.name, before, current);
+        if (!audit.ok()) {
+          return Status(audit.code(), "rewrite audit failed in pass '" +
+                                          std::string(def.name) +
+                                          "': " + audit.message());
+        }
+      }
     }
-    if (config_.filter_pushdown) {
-      current = PassFilterPushdown(current, config_, &changed);
+    if (!changed) {
+      last_converged_ = true;
+      return current;
     }
-    if (config_.join_reordering) {
-      current = PassJoinOrder(current, config_, &changed);
-    }
-    if (config_.allow_precision_loss_rewrites || config_.agg_pushdown) {
-      current = PassAggregatePushdown(current, config_, &changed);
-    }
-    if (config_.asj_elimination) {
-      current = PassAsjElimination(current, config_, &changed);
-    }
-    if (config_.projection_pruning || config_.uaj_elimination) {
-      current = PassPruneAndEliminate(current, config_, &changed);
-    }
-    if (config_.distinct_elimination) {
-      current = PassDistinctElimination(current, config_, &changed);
-    }
-    if (config_.limit_pushdown_over_aj) {
-      current = PassLimitPushdown(current, config_, &changed);
-    }
-    if (!changed) break;
   }
   return current;
 }

@@ -11,10 +11,25 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/status.h"
 #include "optimizer/properties.h"
 #include "plan/logical_plan.h"
 
 namespace vdm {
+
+/// Observer interface the optimizer driver calls after every pass that
+/// reported a change (see OptimizerConfig::verify_rewrites). Implemented by
+/// analysis/RewriteAuditor; declared here so the optimizer does not depend
+/// on the analysis library. Returning an error aborts optimization and is
+/// surfaced through Optimizer::OptimizeChecked.
+class PlanVerificationHook {
+ public:
+  virtual ~PlanVerificationHook() = default;
+  /// `pass_name` identifies the rewrite pass; `before`/`after` are the plan
+  /// going into and coming out of the pass.
+  virtual Status AfterPass(const std::string& pass_name,
+                           const PlanRef& before, const PlanRef& after) = 0;
+};
 
 struct OptimizerConfig {
   // --- generic rewrites (implemented by every evaluated system) ---
@@ -52,6 +67,21 @@ struct OptimizerConfig {
   bool distinct_elimination = true;
   /// Fixpoint iteration cap.
   int max_passes = 10;
+
+  // --- rewrite verification (src/analysis/) ---
+  /// Run the verification hook after every pass that changed the plan.
+  /// Database::OptimizePlan installs a RewriteAuditor automatically when
+  /// this is set and no hook is given.
+  bool verify_rewrites = false;
+  /// When additionally set, the auditor executes before/after plans against
+  /// real data and diffs the results (slow; small data sets only).
+  bool verify_rewrites_exec = false;
+  /// The hook itself; not owned. Only consulted when verify_rewrites is on.
+  PlanVerificationHook* verification_hook = nullptr;
+  /// Test-only fault injection: after the named pass first fires, the driver
+  /// deliberately corrupts the plan (drops the last output column) so tests
+  /// can prove the auditor catches broken rewrites. Never set in production.
+  const char* debug_corrupt_pass = nullptr;
 };
 
 /// Capability presets named after the paper's Table 1–4 columns.
@@ -76,10 +106,22 @@ class Optimizer {
   const OptimizerConfig& config() const { return config_; }
 
   /// Rewrites the plan to fixpoint (bounded by config.max_passes).
+  /// Aborts on verification-hook failure; use OptimizeChecked when a hook
+  /// is installed.
   PlanRef Optimize(const PlanRef& plan) const;
+
+  /// Like Optimize, but surfaces verification-hook failures as a Status.
+  /// With verification off the behaviour is identical to Optimize().
+  Result<PlanRef> OptimizeChecked(const PlanRef& plan) const;
+
+  /// True if the last Optimize/OptimizeChecked call reached a fixpoint
+  /// before exhausting config.max_passes. False means the returned plan may
+  /// be under-optimized (more passes would have changed it further).
+  bool last_run_converged() const { return last_converged_; }
 
  private:
   OptimizerConfig config_;
+  mutable bool last_converged_ = true;
 };
 
 // ---------------------------------------------------------------------------

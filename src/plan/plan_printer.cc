@@ -60,6 +60,30 @@ void StatsRec(const PlanRef& plan, size_t depth, PlanStats* stats) {
 
 }  // namespace
 
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kAggregate:
+      return "Aggregate";
+    case OpKind::kUnionAll:
+      return "UnionAll";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kLimit:
+      return "Limit";
+    case OpKind::kDistinct:
+      return "Distinct";
+  }
+  return "?";
+}
+
 std::string PrintPlan(const PlanRef& plan) {
   std::string out;
   PrintRec(plan, 0, &out);

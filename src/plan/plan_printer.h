@@ -13,6 +13,10 @@ namespace vdm {
 /// Indented tree rendering of a plan.
 std::string PrintPlan(const PlanRef& plan);
 
+/// Stable operator-kind name ("Scan", "Join", ...) for diagnostics such as
+/// the plan verifier's failing-op paths.
+const char* OpKindName(OpKind kind);
+
 /// Structural statistics of a plan.
 struct PlanStats {
   size_t table_instances = 0;

@@ -690,5 +690,51 @@ TEST(JoinOrderTest, ChainPrefersConnectedRelations) {
   EXPECT_FALSE(has_true_condition) << PrintPlan(result);
 }
 
+// --- fixpoint convergence ---------------------------------------------------
+
+TEST(ConvergenceTest, TruncatedRunIsReportedAsNotConverged) {
+  // A plan with work for several passes: a pushable filter, prunable
+  // columns, and a removable UAJ. One pass changes the plan, so the run
+  // cannot witness a no-change iteration within max_passes = 1.
+  PlanRef plan =
+      PlanBuilder::ScanSchema(Fact(), "f")
+          .Join(PlanBuilder::ScanSchema(Dim(), "d"), JoinType::kLeftOuter,
+                Eq(Col("f.dim_key"), Col("d.k")))
+          .Filter(Eq(Col("f.status"), LitInt(1)))
+          .Project({{Col("f.id"), "id"}})
+          .Build();
+  OptimizerConfig truncated = Full();
+  truncated.max_passes = 1;
+  Optimizer one_pass(truncated);
+  PlanRef partial = one_pass.Optimize(plan);
+  EXPECT_FALSE(one_pass.last_run_converged()) << PrintPlan(partial);
+
+  // With the default budget the same plan reaches a fixpoint.
+  Optimizer full(Full());
+  PlanRef done = full.Optimize(plan);
+  EXPECT_TRUE(full.last_run_converged()) << PrintPlan(done);
+  // And the fixpoint is at least as reduced as the truncated plan.
+  EXPECT_EQ(ComputePlanStats(done).joins, 0u) << PrintPlan(done);
+}
+
+TEST(ConvergenceTest, ConvergedStateResetsPerRun) {
+  Optimizer optimizer([] {
+    OptimizerConfig config = Full();
+    config.max_passes = 1;
+    return config;
+  }());
+  PlanRef trivial = PlanBuilder::ScanSchema(Fact(), "f").Build();
+  optimizer.Optimize(trivial);
+  EXPECT_TRUE(optimizer.last_run_converged());
+  PlanRef busy = PlanBuilder::ScanSchema(Fact(), "f")
+                     .Join(PlanBuilder::ScanSchema(Dim(), "d"),
+                           JoinType::kLeftOuter,
+                           Eq(Col("f.dim_key"), Col("d.k")))
+                     .Project({{Col("f.id"), "id"}})
+                     .Build();
+  optimizer.Optimize(busy);
+  EXPECT_FALSE(optimizer.last_run_converged());
+}
+
 }  // namespace
 }  // namespace vdm

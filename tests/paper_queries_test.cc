@@ -40,11 +40,19 @@ class PaperQueriesTest : public ::testing::Test {
     db_ = nullptr;
   }
 
+  /// Activates `profile` with every rewrite audited (rewrite_auditor.h); a
+  /// pass producing an ill-formed or schema-drifting plan fails the query.
+  static void SetVerifiedProfile(SystemProfile profile) {
+    OptimizerConfig config = ConfigForProfile(profile);
+    config.verify_rewrites = true;
+    db_->SetOptimizerConfig(config);
+  }
+
   /// True if the optimizer under `profile` fully removes the augmentation
   /// join(s) of the query, leaving `expected_joins` joins.
   static bool JoinsReducedTo(const std::string& sql, SystemProfile profile,
                              size_t expected_joins) {
-    db_->SetProfile(profile);
+    SetVerifiedProfile(profile);
     Result<PlanRef> plan = db_->PlanQuery(sql);
     EXPECT_TRUE(plan.ok()) << plan.status().ToString() << "\n" << sql;
     if (!plan.ok()) return false;
@@ -53,10 +61,10 @@ class PaperQueriesTest : public ::testing::Test {
 
   /// Results under the given profile must match the unoptimized results.
   static void ExpectSameResults(const std::string& sql) {
-    db_->SetProfile(SystemProfile::kNone);
+    SetVerifiedProfile(SystemProfile::kNone);
     Result<Chunk> raw = db_->Query(sql);
     ASSERT_TRUE(raw.ok()) << raw.status().ToString() << "\n" << sql;
-    db_->SetProfile(SystemProfile::kHana);
+    SetVerifiedProfile(SystemProfile::kHana);
     Result<Chunk> optimized = db_->Query(sql);
     ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
     EXPECT_EQ(RowMultiset(*raw), RowMultiset(*optimized)) << sql;
@@ -111,7 +119,7 @@ TEST_F(PaperQueriesTest, Table1ResultsPreserved) {
 // The eliminated plans must reduce to a bare scan + projection (the paper:
 // "all seven queries can be optimized into a single projection").
 TEST_F(PaperQueriesTest, Table1HanaPlansAreBareScans) {
-  db_->SetProfile(SystemProfile::kHana);
+  SetVerifiedProfile(SystemProfile::kHana);
   for (UajQuery query : AllUajQueries()) {
     Result<PlanRef> plan = db_->PlanQuery(UajQuerySql(query));
     ASSERT_TRUE(plan.ok());
@@ -148,7 +156,7 @@ TEST_F(PaperQueriesTest, Table2LimitPushdown) {
       {SystemProfile::kSystemZ, false},
   };
   for (const Expectation& e : expectations) {
-    db_->SetProfile(e.profile);
+    SetVerifiedProfile(e.profile);
     Result<PlanRef> plan = db_->PlanQuery(sql);
     ASSERT_TRUE(plan.ok());
     EXPECT_EQ(LimitBelowJoin(*plan), e.pushed)
@@ -268,7 +276,7 @@ TEST_F(PaperQueriesTest, ForeignKeyInnerJoinEliminated) {
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(ComputePlanStats(*plan).joins, 0u) << PrintPlan(*plan);
   // Without the FK declaration the inner join must stay (it may filter).
-  db_->SetProfile(SystemProfile::kHana);
+  SetVerifiedProfile(SystemProfile::kHana);
   Result<PlanRef> kept = db_->PlanQuery(
       "select o.o_orderkey from orders o "
       "join customer c on o.o_custkey = c.c_custkey");

@@ -178,8 +178,13 @@ TEST_P(RandomQueryTest, AllProfilesAgree) {
     std::vector<std::string> expected = Rows(*baseline);
     for (SystemProfile profile :
          {SystemProfile::kHana, SystemProfile::kPostgres,
-          SystemProfile::kSystemY, SystemProfile::kSystemZ}) {
-      db_->SetProfile(profile);
+          SystemProfile::kSystemX, SystemProfile::kSystemY,
+          SystemProfile::kSystemZ}) {
+      // Every rewrite any profile performs is audited (plan invariants +
+      // root-schema identity + key cross-check, see rewrite_auditor.h).
+      OptimizerConfig config = ConfigForProfile(profile);
+      config.verify_rewrites = true;
+      db_->SetOptimizerConfig(config);
       Result<Chunk> actual = db_->Query(sql);
       ASSERT_TRUE(actual.ok()) << sql << "\n" << actual.status().ToString();
       EXPECT_EQ(expected, Rows(*actual))

@@ -1,0 +1,146 @@
+// Tests for the vdmlint analysis pass (view_lint.h): shape metrics,
+// findings, and the profile-by-profile rewrite probe, on the synthetic
+// custom-fields view population of §5/§6.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/view_lint.h"
+#include "engine/database.h"
+#include "vdm/generator.h"
+
+namespace vdm {
+namespace {
+
+class ViewLintTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    SyntheticVdmOptions options;
+    options.num_views = 4;
+    options.base_rows = 100;
+    options.dim_rows = 20;
+    ASSERT_TRUE(CreateSyntheticVdmSchema(db_, options).ok());
+    ASSERT_TRUE(LoadSyntheticVdmData(db_, options).ok());
+    Result<std::vector<SyntheticViewSpec>> specs =
+        GenerateSyntheticViews(db_, options);
+    ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+    specs_ = new std::vector<SyntheticViewSpec>(std::move(*specs));
+  }
+  static void TearDownTestSuite() {
+    delete specs_;
+    specs_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static SyntheticViewSpec* FindDraftSpec() {
+    for (SyntheticViewSpec& spec : *specs_) {
+      if (spec.draft_pattern) return &spec;
+    }
+    return nullptr;
+  }
+
+  static Database* db_;
+  static std::vector<SyntheticViewSpec>* specs_;
+};
+
+Database* ViewLintTest::db_ = nullptr;
+std::vector<SyntheticViewSpec>* ViewLintTest::specs_ = nullptr;
+
+TEST_F(ViewLintTest, ReportsShapeMetrics) {
+  const SyntheticViewSpec& spec = (*specs_)[0];
+  Result<ViewLintReport> report = LintView(db_->catalog(), spec.view_name);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->view, spec.view_name);
+  EXPECT_GE(report->nesting_depth, 3u);
+  EXPECT_EQ(report->field_count, spec.columns.size());
+  EXPECT_EQ(report->stats.joins, static_cast<size_t>(spec.num_dims));
+  // One probe per capability profile, each starting from the same plan.
+  EXPECT_EQ(report->profiles.size(), 5u);
+  for (const ProfileRewriteProbe& probe : report->profiles) {
+    EXPECT_EQ(probe.joins_before, report->stats.joins);
+    EXPECT_TRUE(probe.converged);
+  }
+  std::string text = report->ToString();
+  EXPECT_NE(text.find(spec.view_name), std::string::npos);
+  EXPECT_NE(text.find("depth"), std::string::npos);
+}
+
+TEST_F(ViewLintTest, ProfilesDifferOnPagingProbe) {
+  // The dimension joins of the base view are all key-covered LOJs: full
+  // derivation prunes them, the crippled System X profile does not.
+  const SyntheticViewSpec& spec = (*specs_)[0];
+  Result<ViewLintReport> report = LintView(db_->catalog(), spec.view_name);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  size_t hana_after = 0, system_x_after = 0;
+  for (const ProfileRewriteProbe& probe : report->profiles) {
+    if (probe.profile == SystemProfile::kHana) hana_after = probe.joins_after;
+    if (probe.profile == SystemProfile::kSystemX) {
+      system_x_after = probe.joins_after;
+    }
+  }
+  EXPECT_EQ(hana_after, 0u);
+  EXPECT_EQ(system_x_after, report->stats.joins);
+}
+
+TEST_F(ViewLintTest, UndeclaredAsjOverUnionAllIsFlagged) {
+  SyntheticViewSpec* spec = FindDraftSpec();
+  ASSERT_NE(spec, nullptr) << "generator produced no draft-pattern view";
+
+  // Extension without the §6.3 case-join declaration: flagged.
+  ASSERT_TRUE(ExtendSyntheticView(db_, spec, /*use_case_join=*/false).ok());
+  Result<ViewLintReport> plain = LintView(db_->catalog(), spec->ext_view_name);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  bool flagged = std::any_of(
+      plain->findings.begin(), plain->findings.end(),
+      [](const ViewLintFinding& f) { return f.code == "asj-no-case-join"; });
+  EXPECT_TRUE(flagged) << plain->ToString();
+
+  // Redefined with the declaration: clean.
+  ASSERT_TRUE(ExtendSyntheticView(db_, spec, /*use_case_join=*/true).ok());
+  Result<ViewLintReport> declared =
+      LintView(db_->catalog(), spec->ext_view_name);
+  ASSERT_TRUE(declared.ok()) << declared.status().ToString();
+  for (const ViewLintFinding& finding : declared->findings) {
+    EXPECT_NE(finding.code, "asj-no-case-join") << finding.message;
+  }
+}
+
+TEST_F(ViewLintTest, UndeclaredCardinalityJoinIsFlagged) {
+  // A hand-registered view joining on a non-key dimension column: the LOJ
+  // is an augmentation join in shape, but no key or declared cardinality
+  // makes it eliminable — exactly what §7.3 asks applications to declare.
+  ASSERT_TRUE(db_->Execute("create view lint_nokey_v as select b.k, d.dattr "
+                           "from vbase01_a b left outer join vdim01 d "
+                           "on b.f2 = d.dattr")
+                  .ok());
+  Result<ViewLintReport> report = LintView(db_->catalog(), "lint_nokey_v");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  bool flagged = std::any_of(report->findings.begin(),
+                             report->findings.end(),
+                             [](const ViewLintFinding& f) {
+                               return f.code == "undeclared-cardinality";
+                             });
+  EXPECT_TRUE(flagged) << report->ToString();
+}
+
+TEST_F(ViewLintTest, RenderMatrixMarksProfiles) {
+  const SyntheticViewSpec& spec = (*specs_)[0];
+  Result<ViewLintReport> report = LintView(db_->catalog(), spec.view_name);
+  ASSERT_TRUE(report.ok());
+  std::string matrix = RenderRewriteMatrix({*report});
+  EXPECT_NE(matrix.find(spec.view_name), std::string::npos);
+  EXPECT_NE(matrix.find("HANA"), std::string::npos);
+  // HANA removes joins (Y); System X removes none (-).
+  EXPECT_NE(matrix.find("Y"), std::string::npos);
+  EXPECT_NE(matrix.find("-"), std::string::npos);
+}
+
+TEST_F(ViewLintTest, UnknownViewIsNotFound) {
+  Result<ViewLintReport> report = LintView(db_->catalog(), "no_such_view");
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace vdm

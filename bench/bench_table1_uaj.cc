@@ -11,12 +11,14 @@
 #include "workload/tpch.h"
 
 using namespace vdm;
+using bench::JsonReporter;
 using bench::MedianMillis;
 using bench::Ms;
 using bench::TablePrinter;
 
 int main() {
   Database db;
+  db.SetExecOptions(bench::ExecOptionsFromEnv());
   TpchOptions options;
   options.scale = 2.0;  // ~30k orders, ~120k lineitems
   VDM_CHECK(CreateTpchSchema(&db, options).ok());
@@ -33,6 +35,7 @@ int main() {
   TablePrinter timing({"", "HANA", "Postgres", "System X", "System Y",
                        "System Z", "unoptimized"});
 
+  JsonReporter json("table1_uaj");
   for (UajQuery query : AllUajQueries()) {
     std::string sql = UajQuerySql(query);
     std::vector<std::string> row{UajQueryName(query)};
@@ -48,14 +51,25 @@ int main() {
         VDM_CHECK(r.ok());
       });
       trow.push_back(Ms(ms));
+      ExecMetrics metrics;
+      Result<Chunk> r = db.ExecutePlan(*plan, &metrics);
+      VDM_CHECK(r.ok());
+      json.Add(std::string(UajQueryName(query)) + "/" + ProfileName(profile),
+               ms, r->NumRows(), &metrics);
     }
     db.SetProfile(SystemProfile::kNone);
     Result<PlanRef> raw = db.PlanQuery(sql);
     VDM_CHECK(raw.ok());
-    trow.push_back(Ms(MedianMillis([&] {
+    double raw_ms = MedianMillis([&] {
       Result<Chunk> r = db.ExecutePlan(*raw);
       VDM_CHECK(r.ok());
-    })));
+    });
+    trow.push_back(Ms(raw_ms));
+    ExecMetrics raw_metrics;
+    Result<Chunk> raw_result = db.ExecutePlan(*raw, &raw_metrics);
+    VDM_CHECK(raw_result.ok());
+    json.Add(std::string(UajQueryName(query)) + "/unoptimized", raw_ms,
+             raw_result->NumRows(), &raw_metrics);
     matrix.AddRow(std::move(row));
     timing.AddRow(std::move(trow));
   }
@@ -66,5 +80,6 @@ int main() {
       "\nPaper reference (Table 1): HANA Y on all seven; Postgres Y on "
       "UAJ 1/2/3/2a; System X none; System Y UAJ 1/3; System Z all but "
       "1b.\n");
+  json.Write();
   return 0;
 }

@@ -1,16 +1,20 @@
 // Shared helpers for the reproduction benchmarks: wall-clock timing with
-// warmup + median-of-N, and tabular output matching the paper's tables.
+// warmup + median-of-N, tabular output matching the paper's tables, and a
+// machine-readable JSON report (BENCH_<name>.json) for regression
+// tracking across commits.
 #ifndef VDMQO_BENCH_BENCH_UTIL_H_
 #define VDMQO_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
+#include "exec/executor.h"
 
 namespace vdm::bench {
 
@@ -76,6 +80,126 @@ inline std::string Ms(double ms) {
   std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
   return buf;
 }
+
+/// Executor options from the environment: VDM_NUM_THREADS (0 = hardware
+/// concurrency, 1 = serial) and VDM_MORSEL_SIZE. Lets one binary measure
+/// thread-count scaling without a rebuild.
+inline ExecOptions ExecOptionsFromEnv() {
+  ExecOptions options;
+  if (const char* v = std::getenv("VDM_NUM_THREADS");
+      v != nullptr && *v != '\0') {
+    options.num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("VDM_MORSEL_SIZE");
+      v != nullptr && *v != '\0') {
+    size_t morsel = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    if (morsel > 0) options.morsel_size = morsel;
+  }
+  return options;
+}
+
+/// Collects per-case benchmark measurements and writes them as
+/// BENCH_<benchmark>.json (into $VDM_BENCH_JSON_DIR, default the current
+/// directory). One entry per case: ns/op, rows/s, and the ExecMetrics of
+/// one representative execution.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  /// Records one case. `median_ms` is the per-operation latency,
+  /// `output_rows` the result cardinality (rows/s = rows / latency).
+  void Add(const std::string& name, double median_ms, size_t output_rows,
+           const ExecMetrics* metrics = nullptr) {
+    Case c;
+    c.name = name;
+    c.ns_per_op = median_ms * 1e6;
+    c.rows = output_rows;
+    c.rows_per_sec =
+        median_ms > 0.0 ? static_cast<double>(output_rows) / (median_ms / 1e3)
+                        : 0.0;
+    if (metrics != nullptr) {
+      c.has_metrics = true;
+      c.metrics = *metrics;
+    }
+    cases_.push_back(std::move(c));
+  }
+
+  /// Writes BENCH_<benchmark>.json; returns the path (empty on failure).
+  std::string Write() const {
+    const char* dir = std::getenv("VDM_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0')
+                           ? std::string(dir) + "/BENCH_" + benchmark_ + ".json"
+                           : "BENCH_" + benchmark_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [",
+                 JsonEscaped(benchmark_).c_str());
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      const Case& c = cases_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                   "\"rows\": %llu, \"rows_per_sec\": %.1f",
+                   i == 0 ? "" : ",", JsonEscaped(c.name).c_str(),
+                   c.ns_per_op, static_cast<unsigned long long>(c.rows),
+                   c.rows_per_sec);
+      if (c.has_metrics) {
+        const ExecMetrics& m = c.metrics;
+        std::fprintf(
+            f,
+            ", \"metrics\": {\"rows_scanned\": %llu, "
+            "\"rows_build_input\": %llu, \"rows_probe_input\": %llu, "
+            "\"rows_aggregated\": %llu, \"operators_executed\": %llu, "
+            "\"morsels_scanned\": %llu, \"morsels_probed\": %llu, "
+            "\"peak_hash_table_entries\": %llu, \"limit_early_exits\": %llu, "
+            "\"op_wall_ns\": {",
+            Ull(m.rows_scanned), Ull(m.rows_build_input),
+            Ull(m.rows_probe_input), Ull(m.rows_aggregated),
+            Ull(m.operators_executed), Ull(m.morsels_scanned),
+            Ull(m.morsels_probed), Ull(m.peak_hash_table_entries),
+            Ull(m.limit_early_exits));
+        bool first = true;
+        for (const auto& [op, ns] : m.op_wall_ns) {
+          std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",
+                       JsonEscaped(op).c_str(), Ull(ns));
+          first = false;
+        }
+        std::fprintf(f, "}}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    double ns_per_op = 0.0;
+    double rows_per_sec = 0.0;
+    size_t rows = 0;
+    bool has_metrics = false;
+    ExecMetrics metrics;
+  };
+
+  static unsigned long long Ull(uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  }
+  static std::string JsonEscaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::vector<Case> cases_;
+};
 
 }  // namespace vdm::bench
 

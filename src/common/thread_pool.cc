@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+namespace vdm {
+
+size_t ThreadPool::DefaultThreads() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunTasks(Batch* batch) {
+  while (true) {
+    size_t index = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch->total) break;
+    (*batch->fn)(index);
+    batch->done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = current_;
+      ++batch->active;  // adopted under mu_: the caller cannot retire the
+                        // batch until we drop back to zero
+    }
+    RunTasks(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --batch->active;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks,
+                             const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  // Inline fast paths: single-threaded pool or a single task.
+  if (num_threads_ == 1 || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.total = num_tasks;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_ != nullptr) {
+      // Nested ParallelFor (issued from inside a task): run inline rather
+      // than deadlocking on the single in-flight batch slot.
+      lock.unlock();
+      for (size_t i = 0; i < num_tasks; ++i) fn(i);
+      return;
+    }
+    current_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunTasks(&batch);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.done.load(std::memory_order_acquire) == batch.total &&
+             batch.active == 0;
+    });
+    current_ = nullptr;
+  }
+}
+
+}  // namespace vdm

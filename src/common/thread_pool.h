@@ -1,0 +1,73 @@
+// A small persistent worker pool used by the morsel-driven executor.
+//
+// The pool is deliberately minimal: its only scheduling primitive is
+// ParallelFor, which runs fn(task_index) for every index in [0, n) across
+// the workers *and* the calling thread, with dynamic (atomic-counter) task
+// stealing so uneven morsels balance out. A pool of size 1 never spawns a
+// thread and runs everything inline on the caller — that is what makes
+// `ExecOptions::num_threads = 1` byte-for-byte identical to the legacy
+// single-threaded executor.
+#ifndef VDMQO_COMMON_THREAD_POOL_H_
+#define VDMQO_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vdm {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on `num_threads` threads total (the
+  /// caller counts as one; num_threads - 1 workers are spawned). 0 is
+  /// clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total number of threads that participate in ParallelFor (including
+  /// the caller).
+  size_t size() const { return num_threads_; }
+
+  /// Hardware concurrency, never 0.
+  static size_t DefaultThreads();
+
+  /// Runs fn(task_index) for every index in [0, num_tasks). Tasks are
+  /// claimed dynamically in increasing index order; the call returns once
+  /// all tasks have finished. fn must not throw, and must synchronize its
+  /// own writes (distinct output slots per task index are the intended
+  /// pattern). Reentrant ParallelFor (from inside fn) runs inline.
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    size_t total = 0;
+    std::atomic<size_t> done{0};
+    size_t active = 0;  // workers inside RunTasks; guarded by ThreadPool::mu_
+  };
+
+  void WorkerLoop();
+  static void RunTasks(Batch* batch);
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // caller waits for completion
+  Batch* current_ = nullptr;          // guarded by mu_ for hand-off
+  uint64_t generation_ = 0;           // bumped per batch so workers re-check
+  bool shutdown_ = false;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_COMMON_THREAD_POOL_H_

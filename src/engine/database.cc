@@ -138,7 +138,14 @@ Result<PlanRef> Database::OptimizePlan(const PlanRef& plan) const {
 
 Result<Chunk> Database::ExecutePlan(const PlanRef& plan,
                                     ExecMetrics* metrics) const {
-  Executor executor(&storage_);
+  size_t threads = exec_options_.num_threads == 0
+                       ? ThreadPool::DefaultThreads()
+                       : exec_options_.num_threads;
+  if (threads > 1 && exec_pool_ == nullptr) {
+    exec_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  Executor executor(&storage_, exec_options_,
+                    threads > 1 ? exec_pool_.get() : nullptr);
   return executor.Execute(plan, metrics);
 }
 

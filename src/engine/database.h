@@ -14,11 +14,13 @@
 #ifndef VDMQO_ENGINE_DATABASE_H_
 #define VDMQO_ENGINE_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
@@ -48,6 +50,15 @@ class Database {
   const OptimizerConfig& optimizer_config() const {
     return optimizer_config_;
   }
+
+  /// Sets executor options (thread count, morsel size, limit early-exit)
+  /// for subsequent queries. The worker pool is recreated lazily on the
+  /// next query.
+  void SetExecOptions(ExecOptions options) {
+    exec_options_ = options;
+    exec_pool_.reset();
+  }
+  const ExecOptions& exec_options() const { return exec_options_; }
 
   /// Executes a DDL or query statement. For SELECT, returns the result
   /// chunk; for DDL, returns an empty chunk.
@@ -120,6 +131,10 @@ class Database {
   Catalog catalog_;
   StorageManager storage_;
   OptimizerConfig optimizer_config_;
+  ExecOptions exec_options_;
+  // Shared worker pool, created on first parallel query and reused across
+  // ExecutePlan calls (thread spawn cost amortizes over the session).
+  mutable std::unique_ptr<ThreadPool> exec_pool_;
 };
 
 }  // namespace vdm

@@ -1,10 +1,15 @@
 #include "exec/executor.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <chrono>
+#include <functional>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "exec/hash_table.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
 
@@ -12,26 +17,37 @@ namespace vdm {
 
 namespace {
 
-/// Appends a hash-key encoding of column[row] to *out (length-prefixed,
-/// null-marked — collision-free across rows).
-void AppendKeyBytes(const ColumnData& col, size_t row, std::string* out) {
-  if (col.IsNull(row)) {
-    out->push_back('\x00');
-    return;
+constexpr int64_t kNoBudget = -1;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* OpKindLabel(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kAggregate:
+      return "Aggregate";
+    case OpKind::kUnionAll:
+      return "UnionAll";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kLimit:
+      return "Limit";
+    case OpKind::kDistinct:
+      return "Distinct";
   }
-  out->push_back('\x01');
-  if (col.type().id == TypeId::kString) {
-    const std::string& s = col.strings()[row];
-    uint32_t len = static_cast<uint32_t>(s.size());
-    out->append(reinterpret_cast<const char*>(&len), sizeof(len));
-    out->append(s);
-  } else if (col.type().id == TypeId::kDouble) {
-    double v = col.doubles()[row];
-    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-  } else {
-    int64_t v = col.ints()[row];
-    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
+  return "?";
 }
 
 Chunk GatherChunk(const Chunk& input, const std::vector<size_t>& rows) {
@@ -44,67 +60,246 @@ Chunk GatherChunk(const Chunk& input, const std::vector<size_t>& rows) {
   return out;
 }
 
+/// Collects a leaf pipeline: a stack of Filter/Project nodes over a Scan.
+/// On success `*chain` holds the nodes top-down (the Scan last).
+bool CollectPipeline(const LogicalOp* plan,
+                     std::vector<const LogicalOp*>* chain) {
+  chain->clear();
+  const LogicalOp* node = plan;
+  while (node->kind() == OpKind::kFilter || node->kind() == OpKind::kProject) {
+    chain->push_back(node);
+    node = node->child(0).get();
+  }
+  if (node->kind() != OpKind::kScan) return false;
+  chain->push_back(node);
+  return true;
+}
+
 class ExecutorImpl {
  public:
-  ExecutorImpl(const StorageManager* storage, ExecMetrics* metrics)
-      : storage_(storage), metrics_(metrics) {}
+  ExecutorImpl(const StorageManager* storage, ExecMetrics* metrics,
+               const ExecOptions& options, ThreadPool* pool)
+      : storage_(storage),
+        metrics_(metrics),
+        options_(options),
+        pool_(pool),
+        morsel_size_(std::max<size_t>(1, options.morsel_size)) {}
 
-  Result<Chunk> Run(const PlanRef& plan) {
+  /// `budget` is the number of output rows an ancestor LIMIT will keep
+  /// (offset + limit), or kNoBudget. Operators may stop producing once
+  /// they have that many rows, because everything they emit is a prefix
+  /// of the full result and the LimitOp truncates.
+  Result<Chunk> Run(const PlanRef& plan, int64_t budget) {
+    std::vector<const LogicalOp*> chain;
+    if (CollectPipeline(plan.get(), &chain)) {
+      if (metrics_ != nullptr) metrics_->operators_executed += chain.size();
+      const char* label = chain.size() > 1 ? "Pipeline" : "Scan";
+      return Timed(label, [&] { return RunPipeline(chain, budget); });
+    }
     if (metrics_ != nullptr) ++metrics_->operators_executed;
+    const char* label = OpKindLabel(plan->kind());
     switch (plan->kind()) {
       case OpKind::kScan:
-        return RunScan(static_cast<const ScanOp&>(*plan));
+        break;  // handled by the pipeline path above
       case OpKind::kFilter:
-        return RunFilter(static_cast<const FilterOp&>(*plan));
+        return Timed(label, [&] {
+          return RunFilter(static_cast<const FilterOp&>(*plan));
+        });
       case OpKind::kProject:
-        return RunProject(static_cast<const ProjectOp&>(*plan));
+        return Timed(label, [&] {
+          return RunProject(static_cast<const ProjectOp&>(*plan), budget);
+        });
       case OpKind::kJoin:
-        return RunJoin(static_cast<const JoinOp&>(*plan));
+        return Timed(label, [&] {
+          return RunJoin(static_cast<const JoinOp&>(*plan), budget);
+        });
       case OpKind::kAggregate:
-        return RunAggregate(static_cast<const AggregateOp&>(*plan));
+        return Timed(label, [&] {
+          return RunAggregate(static_cast<const AggregateOp&>(*plan));
+        });
       case OpKind::kUnionAll:
-        return RunUnionAll(static_cast<const UnionAllOp&>(*plan));
+        return Timed(label, [&] {
+          return RunUnionAll(static_cast<const UnionAllOp&>(*plan), budget);
+        });
       case OpKind::kSort:
-        return RunSort(static_cast<const SortOp&>(*plan));
+        return Timed(label, [&] {
+          return RunSort(static_cast<const SortOp&>(*plan));
+        });
       case OpKind::kLimit:
-        return RunLimit(static_cast<const LimitOp&>(*plan));
+        return Timed(label, [&] {
+          return RunLimit(static_cast<const LimitOp&>(*plan), budget);
+        });
       case OpKind::kDistinct:
-        return RunDistinct(static_cast<const DistinctOp&>(*plan));
+        return Timed(label, [&] {
+          return RunDistinct(static_cast<const DistinctOp&>(*plan), budget);
+        });
     }
     return Status::Internal("unknown operator");
   }
 
  private:
-  Result<Chunk> RunScan(const ScanOp& scan) {
+  /// Runs fn() and charges its exclusive wall time (total minus nested Run
+  /// calls) to op_wall_ns[label].
+  template <typename Fn>
+  Result<Chunk> Timed(const char* label, Fn&& fn) {
+    if (metrics_ == nullptr) return fn();
+    uint64_t saved_children = children_ns_;
+    children_ns_ = 0;
+    uint64_t start = NowNs();
+    Result<Chunk> result = fn();
+    uint64_t total = NowNs() - start;
+    uint64_t self = total > children_ns_ ? total - children_ns_ : 0;
+    metrics_->op_wall_ns[label] += self;
+    children_ns_ = saved_children + total;
+    return result;
+  }
+
+  size_t PoolThreads() const { return pool_ == nullptr ? 1 : pool_->size(); }
+
+  /// Runs fn(i) for i in [begin, begin + count) — on the pool when it
+  /// pays, inline otherwise.
+  void RunTasks(size_t begin, size_t count,
+                const std::function<void(size_t)>& fn) {
+    if (pool_ != nullptr && count > 1) {
+      pool_->ParallelFor(count, [&](size_t i) { fn(begin + i); });
+    } else {
+      for (size_t i = 0; i < count; ++i) fn(begin + i);
+    }
+  }
+
+  // -----------------------------------------------------------------------
+  // Leaf pipeline: Scan with any Filter/Project stack, morsel-at-a-time.
+
+  Result<Chunk> RunPipeline(const std::vector<const LogicalOp*>& chain,
+                            int64_t budget) {
+    const auto& scan = static_cast<const ScanOp&>(*chain.back());
     const Table* table = storage_->FindTable(scan.table_name());
     if (table == nullptr) {
       return Status::NotFound("no storage for table " + scan.table_name());
     }
-    Chunk out;
-    for (size_t schema_idx : scan.column_indexes()) {
-      out.names.push_back(scan.QualifiedName(schema_idx));
-      out.columns.push_back(table->ScanColumn(schema_idx));
-    }
-    if (out.columns.empty()) {
+    if (scan.column_indexes().empty()) {
       return Status::Internal("scan with no columns: " + scan.table_name());
     }
-    if (metrics_ != nullptr) metrics_->rows_scanned += out.NumRows();
+    size_t n = table->NumRows();
+    // Always process at least one (possibly empty) morsel so the output
+    // carries its column names/types even for empty tables.
+    size_t num_morsels = std::max<size_t>(1, (n + morsel_size_ - 1) / morsel_size_);
+
+    std::vector<Chunk> pieces(num_morsels);
+    std::vector<Status> errors(num_morsels);
+    auto process = [&](size_t m) {
+      size_t begin = std::min(n, m * morsel_size_);
+      size_t end = std::min(n, begin + morsel_size_);
+      Chunk chunk;
+      for (size_t schema_idx : scan.column_indexes()) {
+        chunk.names.push_back(scan.QualifiedName(schema_idx));
+        chunk.columns.push_back(table->ScanColumnRange(schema_idx, begin, end));
+      }
+      // Apply the Filter/Project stack bottom-up (chain is top-down).
+      for (size_t i = chain.size() - 1; i-- > 0;) {
+        const LogicalOp* op = chain[i];
+        if (op->kind() == OpKind::kFilter) {
+          const auto& filter = static_cast<const FilterOp&>(*op);
+          Result<ColumnData> mask = EvalExpr(filter.predicate(), chunk);
+          if (!mask.ok()) {
+            errors[m] = mask.status();
+            return;
+          }
+          SelectionVector sel;
+          for (size_t r = 0; r < mask->size(); ++r) {
+            if (!mask->IsNull(r) && mask->ints()[r] != 0) {
+              sel.push_back(static_cast<uint32_t>(r));
+            }
+          }
+          if (sel.size() != chunk.NumRows()) {
+            Chunk filtered;
+            filtered.names = chunk.names;
+            filtered.columns.reserve(chunk.columns.size());
+            for (const ColumnData& col : chunk.columns) {
+              filtered.columns.push_back(col.GatherSelection(sel));
+            }
+            chunk = std::move(filtered);
+          }
+        } else {
+          const auto& project = static_cast<const ProjectOp&>(*op);
+          Chunk projected;
+          for (const ProjectOp::Item& item : project.items()) {
+            Result<ColumnData> col = EvalExpr(item.expr, chunk);
+            if (!col.ok()) {
+              errors[m] = col.status();
+              return;
+            }
+            projected.names.push_back(item.name);
+            projected.columns.push_back(std::move(*col));
+          }
+          chunk = std::move(projected);
+        }
+      }
+      pieces[m] = std::move(chunk);
+    };
+
+    // Waves: with a LIMIT budget, schedule a couple of pool-widths of
+    // morsels at a time and stop as soon as enough output rows exist.
+    bool limit_aware = budget >= 0 && options_.enable_limit_early_exit;
+    size_t processed = 0;
+    uint64_t out_rows = 0;
+    bool early = false;
+    while (processed < num_morsels) {
+      size_t wave = num_morsels - processed;
+      if (limit_aware) {
+        wave = std::min(wave, std::max<size_t>(PoolThreads() * 2, 1));
+      }
+      RunTasks(processed, wave, process);
+      for (size_t i = 0; i < wave; ++i) {
+        if (!errors[processed + i].ok()) return errors[processed + i];
+        out_rows += pieces[processed + i].NumRows();
+      }
+      processed += wave;
+      if (limit_aware && out_rows >= static_cast<uint64_t>(budget) &&
+          processed < num_morsels) {
+        early = true;
+        break;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->rows_scanned += std::min(n, processed * morsel_size_);
+      metrics_->morsels_scanned += processed;
+      if (early) ++metrics_->limit_early_exits;
+    }
+    Chunk out = std::move(pieces[0]);
+    for (size_t m = 1; m < processed; ++m) {
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        out.columns[c].AppendColumn(std::move(pieces[m].columns[c]));
+      }
+    }
     return out;
   }
 
+  // -----------------------------------------------------------------------
+  // Non-fused Filter / Project (above joins, aggregates, ...).
+
   Result<Chunk> RunFilter(const FilterOp& filter) {
-    VDM_ASSIGN_OR_RETURN(Chunk input, Run(filter.child(0)));
-    VDM_ASSIGN_OR_RETURN(ColumnData mask,
-                         EvalExpr(filter.predicate(), input));
-    std::vector<size_t> rows;
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(filter.child(0), kNoBudget));
+    VDM_ASSIGN_OR_RETURN(ColumnData mask, EvalExpr(filter.predicate(), input));
+    SelectionVector sel;
     for (size_t i = 0; i < mask.size(); ++i) {
-      if (!mask.IsNull(i) && mask.ints()[i] != 0) rows.push_back(i);
+      if (!mask.IsNull(i) && mask.ints()[i] != 0) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
     }
-    return GatherChunk(input, rows);
+    if (sel.size() == input.NumRows()) return input;  // all rows pass
+    Chunk out;
+    out.names = input.names;
+    out.columns.resize(input.columns.size());
+    RunTasks(0, input.columns.size(), [&](size_t c) {
+      out.columns[c] = input.columns[c].GatherSelection(sel);
+    });
+    return out;
   }
 
-  Result<Chunk> RunProject(const ProjectOp& project) {
-    VDM_ASSIGN_OR_RETURN(Chunk input, Run(project.child(0)));
+  Result<Chunk> RunProject(const ProjectOp& project, int64_t budget) {
+    // Projection is row-preserving, so the LIMIT budget passes through.
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(project.child(0), budget));
     Chunk out;
     for (const ProjectOp::Item& item : project.items()) {
       VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(item.expr, input));
@@ -115,9 +310,12 @@ class ExecutorImpl {
     return out;
   }
 
-  Result<Chunk> RunJoin(const JoinOp& join) {
-    VDM_ASSIGN_OR_RETURN(Chunk left, Run(join.left()));
-    VDM_ASSIGN_OR_RETURN(Chunk right, Run(join.right()));
+  // -----------------------------------------------------------------------
+  // Hash join: typed build table, morsel-parallel probe, limit-aware waves.
+
+  Result<Chunk> RunJoin(const JoinOp& join, int64_t budget) {
+    VDM_ASSIGN_OR_RETURN(Chunk left, Run(join.left(), kNoBudget));
+    VDM_ASSIGN_OR_RETURN(Chunk right, Run(join.right(), kNoBudget));
     bool left_outer = join.join_type() == JoinType::kLeftOuter;
 
     // Split the condition into equi pairs and residual conjuncts.
@@ -141,54 +339,96 @@ class ExecutorImpl {
       residual.push_back(conjunct);
     }
 
-    if (metrics_ != nullptr) {
-      metrics_->rows_build_input += right.NumRows();
-      metrics_->rows_probe_input += left.NumRows();
+    // The probe loop may stop once the join has emitted `budget` rows:
+    // its output is a prefix (anchor order) of the full result, and the
+    // ancestor LimitOp truncates. The optimizer's limit hint covers plans
+    // where the LimitOp itself could not sink. Residual conjuncts filter
+    // *after* match emission, so they disable the early exit.
+    int64_t out_budget = budget;
+    int64_t hint = join.limit_hint();
+    if (hint >= 0 && (out_budget < 0 || hint < out_budget)) out_budget = hint;
+    if (!options_.enable_limit_early_exit || !residual.empty()) {
+      out_budget = kNoBudget;
     }
 
+    if (metrics_ != nullptr) metrics_->rows_build_input += right.NumRows();
+
     std::vector<size_t> left_rows, right_rows;
+    bool early = false;
+    size_t rows_probed = left.NumRows();
     if (!key_cols.empty()) {
-      // Hash join: build on the right (augmenter) side.
-      std::unordered_map<std::string, std::vector<size_t>> table;
-      table.reserve(right.NumRows() * 2);
-      std::string key;
-      for (size_t r = 0; r < right.NumRows(); ++r) {
-        key.clear();
-        bool has_null = false;
-        for (const auto& [lc, rc] : key_cols) {
-          if (right.columns[static_cast<size_t>(rc)].IsNull(r)) {
-            has_null = true;
-            break;
-          }
-          AppendKeyBytes(right.columns[static_cast<size_t>(rc)], r, &key);
-        }
-        if (!has_null) table[key].push_back(r);
+      // Typed hash join: build on the right (augmenter) side.
+      std::vector<const ColumnData*> build_ptrs, probe_ptrs;
+      build_ptrs.reserve(key_cols.size());
+      probe_ptrs.reserve(key_cols.size());
+      for (const auto& [lc, rc] : key_cols) {
+        probe_ptrs.push_back(&left.columns[static_cast<size_t>(lc)]);
+        build_ptrs.push_back(&right.columns[static_cast<size_t>(rc)]);
       }
-      for (size_t l = 0; l < left.NumRows(); ++l) {
-        key.clear();
-        bool has_null = false;
-        for (const auto& [lc, rc] : key_cols) {
-          if (left.columns[static_cast<size_t>(lc)].IsNull(l)) {
-            has_null = true;
-            break;
+      JoinHashTable ht(std::move(build_ptrs), std::move(probe_ptrs));
+      ht.Build(pool_);
+      if (metrics_ != nullptr) {
+        metrics_->peak_hash_table_entries =
+            std::max<uint64_t>(metrics_->peak_hash_table_entries,
+                               ht.num_entries());
+      }
+
+      size_t ln = left.NumRows();
+      size_t num_morsels = (ln + morsel_size_ - 1) / morsel_size_;
+      struct ProbeOut {
+        std::vector<size_t> lrows, rrows;
+      };
+      std::vector<ProbeOut> outs(num_morsels);
+      auto probe_morsel = [&](size_t m) {
+        size_t begin = m * morsel_size_;
+        size_t end = std::min(ln, begin + morsel_size_);
+        JoinHashTable::Prober prober(ht);
+        ProbeOut& o = outs[m];
+        o.lrows.reserve(end - begin);
+        o.rrows.reserve(end - begin);
+        std::vector<size_t> matches;
+        for (size_t l = begin; l < end; ++l) {
+          matches.clear();
+          size_t count = prober.ProbeRow(l, &matches);
+          for (size_t r : matches) {
+            o.lrows.push_back(l);
+            o.rrows.push_back(r);
           }
-          AppendKeyBytes(left.columns[static_cast<size_t>(lc)], l, &key);
-        }
-        bool matched = false;
-        if (!has_null) {
-          auto it = table.find(key);
-          if (it != table.end()) {
-            for (size_t r : it->second) {
-              left_rows.push_back(l);
-              right_rows.push_back(r);
-              matched = true;
-            }
+          if (count == 0 && left_outer) {
+            o.lrows.push_back(l);
+            o.rrows.push_back(ColumnData::kInvalidIndex);
           }
         }
-        if (!matched && left_outer) {
-          left_rows.push_back(l);
-          right_rows.push_back(ColumnData::kInvalidIndex);
+      };
+      size_t processed = 0;
+      uint64_t match_rows = 0;
+      while (processed < num_morsels) {
+        size_t wave = num_morsels - processed;
+        if (out_budget >= 0) {
+          wave = std::min(wave, std::max<size_t>(PoolThreads() * 2, 1));
         }
+        RunTasks(processed, wave, probe_morsel);
+        for (size_t i = 0; i < wave; ++i) {
+          match_rows += outs[processed + i].lrows.size();
+        }
+        processed += wave;
+        if (out_budget >= 0 &&
+            match_rows >= static_cast<uint64_t>(out_budget) &&
+            processed < num_morsels) {
+          early = true;
+          break;
+        }
+      }
+      rows_probed = std::min(ln, processed * morsel_size_);
+      if (metrics_ != nullptr) metrics_->morsels_probed += processed;
+
+      left_rows.reserve(match_rows);
+      right_rows.reserve(match_rows);
+      for (size_t m = 0; m < processed; ++m) {
+        left_rows.insert(left_rows.end(), outs[m].lrows.begin(),
+                         outs[m].lrows.end());
+        right_rows.insert(right_rows.end(), outs[m].rrows.begin(),
+                          outs[m].rrows.end());
       }
     } else {
       // Nested-loop join (no equi keys).
@@ -203,19 +443,40 @@ class ExecutorImpl {
           left_rows.push_back(l);
           right_rows.push_back(ColumnData::kInvalidIndex);
         }
+        if (out_budget >= 0 &&
+            left_rows.size() >= static_cast<size_t>(out_budget) &&
+            l + 1 < left.NumRows()) {
+          early = true;
+          rows_probed = l + 1;
+          break;
+        }
       }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->rows_probe_input += rows_probed;
+      if (early) ++metrics_->limit_early_exits;
     }
 
     Chunk combined;
     combined.names = left.names;
     combined.names.insert(combined.names.end(), right.names.begin(),
                           right.names.end());
+    size_t left_ncols = left.columns.size();
+    size_t ncols = left_ncols + right.columns.size();
+    combined.columns.reserve(ncols);
     for (const ColumnData& col : left.columns) {
-      combined.columns.push_back(col.Gather(left_rows));
+      combined.columns.emplace_back(col.type());
     }
     for (const ColumnData& col : right.columns) {
-      combined.columns.push_back(col.Gather(right_rows));
+      combined.columns.emplace_back(col.type());
     }
+    // Gather output columns in parallel — each task owns one column slot.
+    RunTasks(0, ncols, [&](size_t c) {
+      combined.columns[c] = c < left_ncols
+                                ? left.columns[c].Gather(left_rows)
+                                : right.columns[c - left_ncols].Gather(
+                                      right_rows);
+    });
 
     if (residual.empty()) return combined;
 
@@ -233,18 +494,13 @@ class ExecutorImpl {
     // LEFT OUTER with residual: group rows by left row id; if no surviving
     // match for a left row, emit one null-extended row.
     std::vector<size_t> keep;
-    std::unordered_set<size_t> left_matched;
     for (size_t i = 0; i < mask.size(); ++i) {
       bool inner = right_rows[i] != ColumnData::kInvalidIndex;
       bool pass = !mask.IsNull(i) && mask.ints()[i] != 0;
-      if (inner && pass) {
-        keep.push_back(i);
-        left_matched.insert(left_rows[i]);
-      }
+      if (inner && pass) keep.push_back(i);
     }
     // Emit null-extended rows for left rows with no surviving match, in
-    // left order. Build a combined row list: we need original left order;
-    // simplest is to re-emit per left row.
+    // left order.
     std::vector<size_t> final_left, final_right;
     size_t keep_pos = 0;
     for (size_t l = 0; l < left.NumRows(); ++l) {
@@ -271,8 +527,45 @@ class ExecutorImpl {
     return out;
   }
 
+  // -----------------------------------------------------------------------
+  // Aggregation: typed group table; parallel per-morsel partials when the
+  // aggregate set is order-insensitive.
+
+  /// Partial accumulator for one (aggregate, group) pair.
+  struct AggPartial {
+    int64_t count = 0;
+    int64_t sum = 0;
+    bool any = false;
+    Value best;
+  };
+
+  /// True when per-morsel partial aggregation merged in morsel order is
+  /// byte-for-byte identical to the serial loop: no DISTINCT, and no
+  /// accumulation whose result depends on addition order (double sums,
+  /// averages).
+  static bool ParallelAggEligible(
+      const std::vector<const AggregateExpr*>& aggs,
+      const std::vector<DataType>& result_types) {
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      if (aggs[k]->distinct()) return false;
+      switch (aggs[k]->agg()) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          break;
+        case AggKind::kSum:
+          if (result_types[k].id == TypeId::kDouble) return false;
+          break;
+        case AggKind::kAvg:
+          return false;
+      }
+    }
+    return true;
+  }
+
   Result<Chunk> RunAggregate(const AggregateOp& agg) {
-    VDM_ASSIGN_OR_RETURN(Chunk input, Run(agg.child(0)));
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(agg.child(0), kNoBudget));
     size_t n = input.NumRows();
     if (metrics_ != nullptr) metrics_->rows_aggregated += n;
 
@@ -299,57 +592,148 @@ class ExecutorImpl {
       collect(item.expr);
     }
 
-    // Evaluate aggregate arguments.
-    std::vector<ColumnData> arg_cols(agg_nodes.size());
-    for (size_t k = 0; k < agg_nodes.size(); ++k) {
-      const auto& a = static_cast<const AggregateExpr&>(*agg_nodes[k]);
-      if (a.has_arg()) {
-        VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(a.arg(), input));
-        arg_cols[k] = std::move(col);
-      }
-    }
-
-    // Group rows.
-    std::unordered_map<std::string, size_t> groups;
-    std::vector<std::vector<size_t>> group_rows;
-    std::vector<size_t> first_row;
-    bool global = agg.group_by().empty();
-    if (global) {
-      group_rows.emplace_back();
-      group_rows[0].reserve(n);
-      for (size_t i = 0; i < n; ++i) group_rows[0].push_back(i);
-      first_row.push_back(0);
-    } else {
-      std::string key;
-      for (size_t i = 0; i < n; ++i) {
-        key.clear();
-        for (const ColumnData& col : group_cols) {
-          AppendKeyBytes(col, i, &key);
-        }
-        auto [it, inserted] = groups.emplace(key, group_rows.size());
-        if (inserted) {
-          group_rows.emplace_back();
-          first_row.push_back(i);
-        }
-        group_rows[it->second].push_back(i);
-      }
-    }
-    size_t n_groups = group_rows.size();
-
-    // Compute one column per aggregate node.
-    std::vector<ColumnData> agg_results;
+    // Evaluate aggregate arguments and result types.
     TypeEnv env;
     for (size_t c = 0; c < input.names.size(); ++c) {
       env[input.names[c]] = input.columns[c].type();
     }
+    std::vector<ColumnData> arg_cols(agg_nodes.size());
+    std::vector<const AggregateExpr*> agg_exprs(agg_nodes.size());
+    std::vector<DataType> result_types;
+    result_types.reserve(agg_nodes.size());
     for (size_t k = 0; k < agg_nodes.size(); ++k) {
       const auto& a = static_cast<const AggregateExpr&>(*agg_nodes[k]);
-      VDM_ASSIGN_OR_RETURN(DataType result_type,
-                           InferType(agg_nodes[k], env));
+      agg_exprs[k] = &a;
+      if (a.has_arg()) {
+        VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(a.arg(), input));
+        arg_cols[k] = std::move(col);
+      }
+      VDM_ASSIGN_OR_RETURN(DataType result_type, InferType(agg_nodes[k], env));
+      result_types.push_back(result_type);
+    }
+
+    bool global = agg.group_by().empty();
+    std::vector<const ColumnData*> key_ptrs;
+    key_ptrs.reserve(group_cols.size());
+    for (const ColumnData& col : group_cols) key_ptrs.push_back(&col);
+
+    std::vector<size_t> first_row;          // per group, in output order
+    std::vector<ColumnData> agg_results;    // one column per aggregate node
+
+    bool use_parallel = pool_ != nullptr && n >= 2 * morsel_size_ &&
+                        ParallelAggEligible(agg_exprs, result_types);
+    if (use_parallel) {
+      RunParallelAggregate(n, global, key_ptrs, agg_exprs, arg_cols,
+                           result_types, &first_row, &agg_results);
+    } else {
+      VDM_RETURN_NOT_OK(RunSerialAggregate(n, global, key_ptrs, agg_exprs,
+                                           arg_cols, result_types, &first_row,
+                                           &agg_results));
+    }
+    size_t n_groups = first_row.size();
+    if (metrics_ != nullptr && !global) {
+      metrics_->peak_hash_table_entries = std::max<uint64_t>(
+          metrics_->peak_hash_table_entries, n_groups);
+    }
+
+    // Intermediate chunk: group columns + aggregate slots.
+    Chunk interim;
+    for (size_t gi = 0; gi < agg.group_by().size(); ++gi) {
+      interim.names.push_back(agg.group_by()[gi].name);
+      ColumnData col(group_cols[gi].type());
+      col.Reserve(n_groups);
+      for (size_t g = 0; g < n_groups; ++g) {
+        col.AppendFrom(group_cols[gi], first_row[g]);
+      }
+      interim.columns.push_back(std::move(col));
+    }
+    for (size_t k = 0; k < agg_nodes.size(); ++k) {
+      interim.names.push_back(StrFormat("__agg_%zu", k));
+      interim.columns.push_back(std::move(agg_results[k]));
+    }
+
+    // Final output: group items, then aggregate items (which may be scalar
+    // expressions over aggregates — §7.2 expression macros rely on this).
+    Chunk out;
+    for (size_t gi = 0; gi < agg.group_by().size(); ++gi) {
+      out.names.push_back(agg.group_by()[gi].name);
+      out.columns.push_back(interim.columns[gi]);
+    }
+    for (const AggregateOp::AggItem& item : agg.aggregates()) {
+      ExprRef rewritten =
+          TransformExpr(item.expr, [&](const ExprRef& node) -> ExprRef {
+            if (node->kind() != ExprKind::kAggregate) return nullptr;
+            for (size_t k = 0; k < agg_nodes.size(); ++k) {
+              if (node->Equals(*agg_nodes[k])) {
+                return Col(StrFormat("__agg_%zu", k));
+              }
+            }
+            return nullptr;
+          });
+      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(rewritten, interim));
+      out.names.push_back(item.name);
+      out.columns.push_back(std::move(col));
+    }
+    return out;
+  }
+
+  /// Serial grouping + per-group aggregation (handles every aggregate
+  /// kind, including DISTINCT and order-sensitive double sums).
+  Status RunSerialAggregate(size_t n, bool global,
+                            const std::vector<const ColumnData*>& key_ptrs,
+                            const std::vector<const AggregateExpr*>& aggs,
+                            const std::vector<ColumnData>& arg_cols,
+                            const std::vector<DataType>& result_types,
+                            std::vector<size_t>* first_row,
+                            std::vector<ColumnData>* agg_results) {
+    // Row lists per group, flattened: rows_flat[starts[g] .. starts[g]+
+    // counts[g]) holds group g's rows in ascending order (one allocation
+    // instead of one vector per group).
+    std::vector<size_t> rows_flat(n);
+    std::vector<size_t> starts, counts;
+    if (global) {
+      for (size_t i = 0; i < n; ++i) rows_flat[i] = i;
+      starts.push_back(0);
+      counts.push_back(n);
+      first_row->push_back(0);
+    } else {
+      GroupKeyTable table(key_ptrs);
+      std::vector<uint32_t> row_group(n);
+      for (size_t i = 0; i < n; ++i) {
+        size_t g = table.GetOrAdd(i);
+        if (g == counts.size()) {
+          counts.push_back(0);
+          first_row->push_back(i);
+        }
+        row_group[i] = static_cast<uint32_t>(g);
+        ++counts[g];
+      }
+      starts.resize(counts.size());
+      size_t offset = 0;
+      for (size_t g = 0; g < counts.size(); ++g) {
+        starts[g] = offset;
+        offset += counts[g];
+      }
+      std::vector<size_t> cursor = starts;
+      for (size_t i = 0; i < n; ++i) rows_flat[cursor[row_group[i]]++] = i;
+    }
+    size_t n_groups = counts.size();
+
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      const AggregateExpr& a = *aggs[k];
+      const DataType& result_type = result_types[k];
       ColumnData out(result_type);
       out.Reserve(n_groups);
       for (size_t g = 0; g < n_groups; ++g) {
-        const std::vector<size_t>& rows = group_rows[g];
+        struct RowSpan {
+          const size_t* b;
+          const size_t* e;
+          const size_t* begin() const { return b; }
+          const size_t* end() const { return e; }
+          size_t size() const { return static_cast<size_t>(e - b); }
+        };
+        RowSpan rows{rows_flat.data() + starts[g],
+                     rows_flat.data() + starts[g] + counts[g]};
         switch (a.agg()) {
           case AggKind::kCountStar: {
             if (a.distinct()) {
@@ -455,55 +839,191 @@ class ExecutorImpl {
           }
         }
       }
-      agg_results.push_back(std::move(out));
+      agg_results->push_back(std::move(out));
     }
-
-    // Intermediate chunk: group columns + aggregate slots.
-    Chunk interim;
-    for (size_t gi = 0; gi < agg.group_by().size(); ++gi) {
-      interim.names.push_back(agg.group_by()[gi].name);
-      ColumnData col(group_cols[gi].type());
-      col.Reserve(n_groups);
-      for (size_t g = 0; g < n_groups; ++g) {
-        col.AppendFrom(group_cols[gi], first_row[g]);
-      }
-      interim.columns.push_back(std::move(col));
-    }
-    for (size_t k = 0; k < agg_nodes.size(); ++k) {
-      interim.names.push_back(StrFormat("__agg_%zu", k));
-      interim.columns.push_back(std::move(agg_results[k]));
-    }
-
-    // Final output: group items, then aggregate items (which may be scalar
-    // expressions over aggregates — §7.2 expression macros rely on this).
-    Chunk out;
-    for (size_t gi = 0; gi < agg.group_by().size(); ++gi) {
-      out.names.push_back(agg.group_by()[gi].name);
-      out.columns.push_back(interim.columns[gi]);
-    }
-    for (const AggregateOp::AggItem& item : agg.aggregates()) {
-      ExprRef rewritten =
-          TransformExpr(item.expr, [&](const ExprRef& node) -> ExprRef {
-            if (node->kind() != ExprKind::kAggregate) return nullptr;
-            for (size_t k = 0; k < agg_nodes.size(); ++k) {
-              if (node->Equals(*agg_nodes[k])) {
-                return Col(StrFormat("__agg_%zu", k));
-              }
-            }
-            return nullptr;
-          });
-      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(rewritten, interim));
-      out.names.push_back(item.name);
-      out.columns.push_back(std::move(col));
-    }
-    return out;
+    return Status::OK();
   }
 
-  Result<Chunk> RunUnionAll(const UnionAllOp& u) {
+  /// Per-morsel partial aggregation merged in morsel order. Only called
+  /// for eligible aggregate sets (ParallelAggEligible), where the merged
+  /// result — including group output order and min/max representative
+  /// selection — is identical to the serial loop.
+  void RunParallelAggregate(size_t n, bool global,
+                            const std::vector<const ColumnData*>& key_ptrs,
+                            const std::vector<const AggregateExpr*>& aggs,
+                            const std::vector<ColumnData>& arg_cols,
+                            const std::vector<DataType>& result_types,
+                            std::vector<size_t>* first_row,
+                            std::vector<ColumnData>* agg_results) {
+    size_t num_aggs = aggs.size();
+    size_t num_morsels = (n + morsel_size_ - 1) / morsel_size_;
+    struct LocalAgg {
+      std::unique_ptr<GroupKeyTable> table;  // null for global aggregation
+      std::vector<size_t> first_rows;
+      std::vector<std::vector<AggPartial>> states;  // [agg][local group]
+      size_t num_groups = 0;
+    };
+    std::vector<LocalAgg> locals(num_morsels);
+    auto accumulate = [&](size_t m) {
+      size_t begin = m * morsel_size_;
+      size_t end = std::min(n, begin + morsel_size_);
+      LocalAgg& la = locals[m];
+      if (!global) la.table = std::make_unique<GroupKeyTable>(key_ptrs);
+      la.states.resize(num_aggs);
+      for (size_t r = begin; r < end; ++r) {
+        size_t g = global ? 0 : la.table->GetOrAdd(r);
+        if (g == la.num_groups) {
+          ++la.num_groups;
+          la.first_rows.push_back(r);
+          for (size_t k = 0; k < num_aggs; ++k) la.states[k].emplace_back();
+        }
+        for (size_t k = 0; k < num_aggs; ++k) {
+          AggPartial& p = la.states[k][g];
+          const ColumnData& arg = arg_cols[k];
+          switch (aggs[k]->agg()) {
+            case AggKind::kCountStar:
+              ++p.count;
+              break;
+            case AggKind::kCount:
+              if (!arg.IsNull(r)) ++p.count;
+              break;
+            case AggKind::kSum:
+              if (!arg.IsNull(r)) {
+                p.sum += arg.ints()[r];
+                p.any = true;
+              }
+              break;
+            case AggKind::kMin:
+            case AggKind::kMax: {
+              if (arg.IsNull(r)) break;
+              Value v = arg.GetValue(r);
+              if (!p.any) {
+                p.best = v;
+                p.any = true;
+              } else {
+                int cmp = v.Compare(p.best);
+                if ((aggs[k]->agg() == AggKind::kMin && cmp < 0) ||
+                    (aggs[k]->agg() == AggKind::kMax && cmp > 0)) {
+                  p.best = v;
+                }
+              }
+              break;
+            }
+            case AggKind::kAvg:
+              break;  // excluded by ParallelAggEligible
+          }
+        }
+      }
+    };
+    RunTasks(0, num_morsels, accumulate);
+
+    // Merge in morsel order; within a morsel, in local first-occurrence
+    // order. Both orders follow row order, so global group ids come out in
+    // serial first-occurrence order.
+    std::unique_ptr<GroupKeyTable> merge_table;
+    if (!global) merge_table = std::make_unique<GroupKeyTable>(key_ptrs);
+    std::vector<std::vector<AggPartial>> merged(num_aggs);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      LocalAgg& la = locals[m];
+      for (size_t lg = 0; lg < la.num_groups; ++lg) {
+        size_t fr = la.first_rows[lg];
+        size_t g = global ? 0 : merge_table->GetOrAdd(fr);
+        if (g == first_row->size()) {
+          first_row->push_back(fr);
+          for (size_t k = 0; k < num_aggs; ++k) merged[k].emplace_back();
+        }
+        for (size_t k = 0; k < num_aggs; ++k) {
+          AggPartial& dst = merged[k][g];
+          const AggPartial& src = la.states[k][lg];
+          switch (aggs[k]->agg()) {
+            case AggKind::kCountStar:
+            case AggKind::kCount:
+              dst.count += src.count;
+              break;
+            case AggKind::kSum:
+              if (src.any) {
+                dst.sum += src.sum;
+                dst.any = true;
+              }
+              break;
+            case AggKind::kMin:
+            case AggKind::kMax: {
+              if (!src.any) break;
+              if (!dst.any) {
+                dst.best = src.best;
+                dst.any = true;
+              } else {
+                // Strict comparison keeps the earlier morsel's value on
+                // ties — the serial first-occurrence representative.
+                int cmp = src.best.Compare(dst.best);
+                if ((aggs[k]->agg() == AggKind::kMin && cmp < 0) ||
+                    (aggs[k]->agg() == AggKind::kMax && cmp > 0)) {
+                  dst.best = src.best;
+                }
+              }
+              break;
+            }
+            case AggKind::kAvg:
+              break;
+          }
+        }
+      }
+    }
+    // The legacy global aggregate emits one group even over empty input;
+    // callers never reach this path with n == 0, but keep the invariant.
+    if (global && first_row->empty() && n == 0) first_row->push_back(0);
+
+    size_t n_groups = first_row->size();
+    for (size_t k = 0; k < num_aggs; ++k) {
+      ColumnData out(result_types[k]);
+      out.Reserve(n_groups);
+      for (size_t g = 0; g < n_groups; ++g) {
+        const AggPartial& p = merged[k][g];
+        switch (aggs[k]->agg()) {
+          case AggKind::kCountStar:
+          case AggKind::kCount:
+            out.AppendInt(p.count);
+            break;
+          case AggKind::kSum:
+            if (p.any) {
+              out.AppendInt(p.sum);
+            } else {
+              out.AppendNull();
+            }
+            break;
+          case AggKind::kMin:
+          case AggKind::kMax:
+            if (p.any) {
+              out.AppendValue(p.best);
+            } else {
+              out.AppendNull();
+            }
+            break;
+          case AggKind::kAvg:
+            break;
+        }
+      }
+      agg_results->push_back(std::move(out));
+    }
+  }
+
+  // -----------------------------------------------------------------------
+
+  Result<Chunk> RunUnionAll(const UnionAllOp& u, int64_t budget) {
+    // Each child contributes a prefix of the concatenation, so the budget
+    // passes through, and once enough rows exist the remaining children
+    // can be skipped entirely.
+    bool limit_aware = budget >= 0 && options_.enable_limit_early_exit;
     Chunk out;
     bool first = true;
     for (const PlanRef& child : u.children()) {
-      VDM_ASSIGN_OR_RETURN(Chunk chunk, Run(child));
+      if (limit_aware && !first &&
+          out.NumRows() >= static_cast<uint64_t>(budget)) {
+        if (metrics_ != nullptr) ++metrics_->limit_early_exits;
+        break;
+      }
+      VDM_ASSIGN_OR_RETURN(Chunk chunk,
+                           Run(child, limit_aware ? budget : kNoBudget));
       if (first) {
         out.names = u.output_names();
         for (const ColumnData& col : chunk.columns) {
@@ -563,58 +1083,89 @@ class ExecutorImpl {
   }
 
   Result<Chunk> RunSort(const SortOp& sort) {
-    VDM_ASSIGN_OR_RETURN(Chunk input, Run(sort.child(0)));
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(sort.child(0), kNoBudget));
     return SortChunk(sort, std::move(input));
   }
 
-  Result<Chunk> RunLimit(const LimitOp& limit) {
+  Result<Chunk> RunLimit(const LimitOp& limit, int64_t budget) {
+    int64_t my_budget = limit.offset() + limit.limit();
+    if (budget >= 0 && budget < my_budget) my_budget = budget;
     // Top-k fusion: LIMIT directly above SORT orders only the first
     // offset+limit positions instead of the whole input.
     Chunk input;
     if (limit.child(0)->kind() == OpKind::kSort) {
       const auto& sort = static_cast<const SortOp&>(*limit.child(0));
-      VDM_ASSIGN_OR_RETURN(Chunk sort_input, Run(sort.child(0)));
+      VDM_ASSIGN_OR_RETURN(Chunk sort_input, Run(sort.child(0), kNoBudget));
       VDM_ASSIGN_OR_RETURN(
           input, SortChunk(sort, std::move(sort_input),
                            limit.offset() + limit.limit()));
     } else {
-      VDM_ASSIGN_OR_RETURN(input, Run(limit.child(0)));
+      VDM_ASSIGN_OR_RETURN(
+          input, Run(limit.child(0),
+                     options_.enable_limit_early_exit ? my_budget : kNoBudget));
     }
     std::vector<size_t> rows;
     int64_t start = limit.offset();
     int64_t end = start + limit.limit();
-    for (int64_t i = start; i < end && i < static_cast<int64_t>(input.NumRows());
-         ++i) {
+    for (int64_t i = start;
+         i < end && i < static_cast<int64_t>(input.NumRows()); ++i) {
       rows.push_back(static_cast<size_t>(i));
     }
     return GatherChunk(input, rows);
   }
 
-  Result<Chunk> RunDistinct(const DistinctOp& distinct) {
-    VDM_ASSIGN_OR_RETURN(Chunk input, Run(distinct.child(0)));
-    std::unordered_set<std::string> seen;
+  Result<Chunk> RunDistinct(const DistinctOp& distinct, int64_t budget) {
+    VDM_ASSIGN_OR_RETURN(Chunk input, Run(distinct.child(0), kNoBudget));
+    std::vector<const ColumnData*> key_ptrs;
+    key_ptrs.reserve(input.columns.size());
+    for (const ColumnData& col : input.columns) key_ptrs.push_back(&col);
+    if (key_ptrs.empty()) return input;
+    GroupKeyTable table(key_ptrs);
+    bool limit_aware = budget >= 0 && options_.enable_limit_early_exit;
     std::vector<size_t> rows;
-    std::string key;
-    for (size_t i = 0; i < input.NumRows(); ++i) {
-      key.clear();
-      for (const ColumnData& col : input.columns) {
-        AppendKeyBytes(col, i, &key);
+    size_t n = input.NumRows();
+    for (size_t i = 0; i < n; ++i) {
+      size_t g = table.GetOrAdd(i);
+      if (g == rows.size()) {
+        rows.push_back(i);
+        if (limit_aware && rows.size() >= static_cast<uint64_t>(budget) &&
+            i + 1 < n) {
+          if (metrics_ != nullptr) ++metrics_->limit_early_exits;
+          break;
+        }
       }
-      if (seen.insert(key).second) rows.push_back(i);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->peak_hash_table_entries = std::max<uint64_t>(
+          metrics_->peak_hash_table_entries, table.num_groups());
     }
     return GatherChunk(input, rows);
   }
 
   const StorageManager* storage_;
   ExecMetrics* metrics_;
+  const ExecOptions& options_;
+  ThreadPool* pool_;  // null = serial execution
+  size_t morsel_size_;
+  // Accumulates nested Run() wall time for exclusive-time accounting.
+  uint64_t children_ns_ = 0;
 };
 
 }  // namespace
 
 Result<Chunk> Executor::Execute(const PlanRef& plan,
                                 ExecMetrics* metrics) const {
-  ExecutorImpl impl(storage_, metrics);
-  return impl.Run(plan);
+  size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                             : options_.num_threads;
+  ThreadPool* pool = external_pool_;
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr && threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(threads);
+    pool = local_pool.get();
+  }
+  if (pool != nullptr && pool->size() <= 1) pool = nullptr;
+  ExecutorImpl impl(storage_, metrics, options_, pool);
+  return impl.Run(plan, /*budget=*/-1);
 }
 
 }  // namespace vdm

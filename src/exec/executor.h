@@ -1,13 +1,31 @@
-// Operator-at-a-time columnar executor.
+// Morsel-driven parallel columnar executor.
 //
-// Each logical operator is evaluated into a fully materialized Chunk.
-// Joins are hash joins that always build on the augmenter (right) side and
-// probe in anchor order — which is what makes limit pushdown across
-// augmentation joins (§4.4) behave the way the paper describes.
+// Each logical operator is evaluated into a fully materialized Chunk, but
+// leaf pipelines (Scan with any stack of Filter/Project above it) and the
+// join build/probe/gather phases run morsel-at-a-time across a worker
+// pool. Results are byte-for-byte independent of the thread count:
+// morsels are fixed row ranges, every parallel phase writes disjoint
+// slots, and concatenation happens in morsel order. num_threads = 1 runs
+// everything inline on the calling thread (the legacy serial executor).
+//
+// Joins are hash joins that always build on the augmenter (right) side
+// and probe in anchor order — which is what makes limit pushdown across
+// augmentation joins (§4.4) behave the way the paper describes. Build
+// tables are typed (exec/hash_table.h): integer keys hash the raw 64-bit
+// value, string keys join on dictionary codes when both sides carry the
+// same fragment dictionary, and only irregular keys fall back to byte
+// serialization.
+//
+// A LIMIT's row budget (offset + limit) is threaded down through
+// order-preserving operators; probe loops run in waves and stop once the
+// budget is satisfied, so `LIMIT k` over a large augmentation join probes
+// ~k anchor rows instead of all of them.
 #ifndef VDMQO_EXEC_EXECUTOR_H_
 #define VDMQO_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "common/status.h"
 #include "plan/logical_plan.h"
@@ -16,28 +34,59 @@
 
 namespace vdm {
 
+class ThreadPool;
+
+/// Execution knobs. The defaults parallelize across all hardware threads;
+/// num_threads = 1 reproduces the serial executor exactly.
+struct ExecOptions {
+  /// Worker count including the calling thread; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Rows per morsel (scan / probe / aggregation granule).
+  size_t morsel_size = 4096;
+  /// Stop probe/scan waves once a downstream LIMIT's budget is met.
+  bool enable_limit_early_exit = true;
+};
+
 /// Row-flow counters, used by benchmarks to show *why* an optimized plan is
 /// faster (fewer rows scanned / hashed), not just that it is.
 struct ExecMetrics {
   uint64_t rows_scanned = 0;
   uint64_t rows_build_input = 0;   // rows hashed on join build sides
-  uint64_t rows_probe_input = 0;   // rows probed through joins
+  uint64_t rows_probe_input = 0;   // rows actually probed through joins
   uint64_t rows_aggregated = 0;
   uint64_t operators_executed = 0;
+  uint64_t morsels_scanned = 0;    // scan-pipeline morsels processed
+  uint64_t morsels_probed = 0;     // join probe morsels processed
+  uint64_t peak_hash_table_entries = 0;  // largest join/group table built
+  uint64_t limit_early_exits = 0;  // waves cut short by a LIMIT budget
+  /// Exclusive wall time per operator kind, nanoseconds. Fused
+  /// scan/filter/project pipelines report as "Pipeline".
+  std::map<std::string, uint64_t> op_wall_ns;
 
   void Reset() { *this = ExecMetrics{}; }
 };
 
 class Executor {
  public:
-  explicit Executor(const StorageManager* storage) : storage_(storage) {}
+  /// `pool` optionally supplies a shared worker pool (it must have been
+  /// created with the same thread count the options resolve to); when
+  /// null, Execute spins up a private pool per call if options ask for
+  /// more than one thread.
+  explicit Executor(const StorageManager* storage, ExecOptions options = {},
+                    ThreadPool* pool = nullptr)
+      : storage_(storage), options_(options), external_pool_(pool) {}
+
+  const ExecOptions& options() const { return options_; }
 
   /// Executes the plan; returns the materialized result. Column names of
   /// the result are the plan's output names.
-  Result<Chunk> Execute(const PlanRef& plan, ExecMetrics* metrics = nullptr) const;
+  Result<Chunk> Execute(const PlanRef& plan,
+                        ExecMetrics* metrics = nullptr) const;
 
  private:
   const StorageManager* storage_;
+  ExecOptions options_;
+  ThreadPool* external_pool_;
 };
 
 }  // namespace vdm

@@ -1,0 +1,428 @@
+#include "exec/hash_table.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace vdm {
+
+const char* KeyLayoutName(KeyLayout layout) {
+  switch (layout) {
+    case KeyLayout::kInt64:
+      return "int64";
+    case KeyLayout::kDict32:
+      return "dict32";
+    case KeyLayout::kPacked16:
+      return "packed16";
+    case KeyLayout::kSerialized:
+      return "serialized";
+  }
+  return "?";
+}
+
+void AppendKeyBytes(const ColumnData& col, size_t row, std::string* out) {
+  if (col.IsNull(row)) {
+    out->push_back('\x00');
+    return;
+  }
+  out->push_back('\x01');
+  if (col.type().id == TypeId::kString) {
+    const std::string& s = col.strings()[row];
+    uint32_t len = static_cast<uint32_t>(s.size());
+    out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out->append(s);
+  } else if (col.type().id == TypeId::kDouble) {
+    double v = col.doubles()[row];
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  } else {
+    int64_t v = col.ints()[row];
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+}
+
+namespace {
+
+/// Raw 64-bit image of a fixed-width column value (doubles bit-cast, so
+/// equality matches the legacy byte encoding).
+inline int64_t RawValue64(const ColumnData& col, size_t row) {
+  if (col.type().id == TypeId::kDouble) {
+    return std::bit_cast<int64_t>(col.doubles()[row]);
+  }
+  return col.ints()[row];
+}
+
+inline bool IsFixed64(const ColumnData& col) {
+  return col.type().id != TypeId::kString;
+}
+
+inline uint64_t Hash128(uint64_t lo, uint64_t hi) {
+  return HashInt64(lo) ^ (HashInt64(hi) * 0x9E3779B97F4A7C15ull);
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+KeyLayout ChooseKeyLayout(const std::vector<const ColumnData*>& build_cols,
+                          const std::vector<const ColumnData*>& probe_cols) {
+  VDM_CHECK(!build_cols.empty());
+  VDM_CHECK(probe_cols.empty() || probe_cols.size() == build_cols.size());
+  auto all_fixed = [](const std::vector<const ColumnData*>& cols) {
+    for (const ColumnData* col : cols) {
+      if (!IsFixed64(*col)) return false;
+    }
+    return true;
+  };
+  if (build_cols.size() == 1) {
+    if (IsFixed64(*build_cols[0]) &&
+        (probe_cols.empty() || IsFixed64(*probe_cols[0]))) {
+      return KeyLayout::kInt64;
+    }
+    // One string column: dictionary codes when both sides share one
+    // fragment dictionary (group tables only need their own side).
+    if (build_cols[0]->has_dict() &&
+        (probe_cols.empty() ||
+         (probe_cols[0]->has_dict() &&
+          probe_cols[0]->dict() == build_cols[0]->dict()))) {
+      return KeyLayout::kDict32;
+    }
+    return KeyLayout::kSerialized;
+  }
+  if (build_cols.size() == 2 && all_fixed(build_cols) &&
+      (probe_cols.empty() || all_fixed(probe_cols))) {
+    return KeyLayout::kPacked16;
+  }
+  return KeyLayout::kSerialized;
+}
+
+// ---------------------------------------------------------------------------
+// JoinHashTable
+
+JoinHashTable::JoinHashTable(std::vector<const ColumnData*> build_cols,
+                             std::vector<const ColumnData*> probe_cols)
+    : layout_(ChooseKeyLayout(build_cols, probe_cols)),
+      build_cols_(std::move(build_cols)),
+      probe_cols_(std::move(probe_cols)) {
+  build_rows_ = build_cols_[0]->size();
+  VDM_CHECK(build_rows_ < kEnd);
+}
+
+bool JoinHashTable::Key64(const std::vector<const ColumnData*>& cols,
+                          size_t row, int64_t* key) const {
+  const ColumnData& col = *cols[0];
+  if (layout_ == KeyLayout::kDict32) {
+    int32_t code = col.dict_codes()[row];
+    if (code < 0) return false;
+    *key = code;
+    return true;
+  }
+  if (col.IsNull(row)) return false;
+  *key = RawValue64(col, row);
+  return true;
+}
+
+bool JoinHashTable::Key128(const std::vector<const ColumnData*>& cols,
+                           size_t row, uint64_t* lo, uint64_t* hi) const {
+  if (cols[0]->IsNull(row) || cols[1]->IsNull(row)) return false;
+  *lo = static_cast<uint64_t>(RawValue64(*cols[0], row));
+  *hi = static_cast<uint64_t>(RawValue64(*cols[1], row));
+  return true;
+}
+
+bool JoinHashTable::KeyBytes(const std::vector<const ColumnData*>& cols,
+                             size_t row, std::string* key) const {
+  key->clear();
+  for (const ColumnData* col : cols) {
+    if (col->IsNull(row)) return false;  // join keys exclude NULLs
+    AppendKeyBytes(*col, row, key);
+  }
+  return true;
+}
+
+void JoinHashTable::Build(ThreadPool* pool) {
+  size_t n = build_rows_;
+  next_.assign(n, kEnd);
+  key_valid_.assign(n, 0);
+  hashes_.resize(n);
+  size_t threads = pool == nullptr ? 1 : pool->size();
+
+  // Phase 0: extract keys and hashes for every build row (parallel over
+  // morsels; each task writes a disjoint row range).
+  switch (layout_) {
+    case KeyLayout::kInt64:
+    case KeyLayout::kDict32:
+      keys64_.resize(n);
+      break;
+    case KeyLayout::kPacked16:
+      keys_lo_.resize(n);
+      keys_hi_.resize(n);
+      break;
+    case KeyLayout::kSerialized:
+      keys_ser_.resize(n);
+      break;
+  }
+  constexpr size_t kHashMorsel = 8192;
+  size_t num_morsels = (n + kHashMorsel - 1) / kHashMorsel;
+  auto hash_morsel = [&](size_t m) {
+    size_t begin = m * kHashMorsel;
+    size_t end = std::min(n, begin + kHashMorsel);
+    for (size_t r = begin; r < end; ++r) {
+      switch (layout_) {
+        case KeyLayout::kInt64:
+        case KeyLayout::kDict32: {
+          int64_t key;
+          if (!Key64(build_cols_, r, &key)) continue;
+          keys64_[r] = key;
+          hashes_[r] = HashInt64(static_cast<uint64_t>(key));
+          key_valid_[r] = 1;
+          break;
+        }
+        case KeyLayout::kPacked16: {
+          uint64_t lo, hi;
+          if (!Key128(build_cols_, r, &lo, &hi)) continue;
+          keys_lo_[r] = lo;
+          keys_hi_[r] = hi;
+          hashes_[r] = Hash128(lo, hi);
+          key_valid_[r] = 1;
+          break;
+        }
+        case KeyLayout::kSerialized: {
+          if (!KeyBytes(build_cols_, r, &keys_ser_[r])) continue;
+          hashes_[r] = std::hash<std::string>{}(keys_ser_[r]);
+          key_valid_[r] = 1;
+          break;
+        }
+      }
+    }
+  };
+  if (pool != nullptr && threads > 1 && num_morsels > 1) {
+    pool->ParallelFor(num_morsels, hash_morsel);
+  } else {
+    for (size_t m = 0; m < num_morsels; ++m) hash_morsel(m);
+  }
+
+  // Phase 1: insert into hash-space partitions; each partition's slot
+  // array is owned by exactly one task, so the build is race-free. The
+  // shared next_ array is safe because every row lands in one partition.
+  size_t num_partitions =
+      (threads > 1 && n >= 4 * kHashMorsel) ? NextPow2(threads) : 1;
+  partitions_.resize(num_partitions);
+  for (Partition& part : partitions_) {
+    size_t expected = n / num_partitions + 16;
+    size_t cap = NextPow2(expected * 2);
+    part.mask = cap - 1;
+    if (layout_ == KeyLayout::kSerialized) {
+      part.serialized.reserve(expected);
+    } else if (layout_ == KeyLayout::kPacked16) {
+      part.slots128.assign(cap, Slot128{0, 0, kEnd});
+    } else {
+      part.slots64.assign(cap, Slot64{0, kEnd});
+    }
+  }
+  if (num_partitions > 1) {
+    pool->ParallelFor(num_partitions, [&](size_t p) { BuildPartition(p); });
+  } else {
+    BuildPartition(0);
+  }
+  entries_ = 0;
+  for (size_t r = 0; r < n; ++r) entries_ += key_valid_[r];
+}
+
+void JoinHashTable::BuildPartition(size_t p) {
+  Partition& part = partitions_[p];
+  size_t n = build_rows_;
+  bool multi = partitions_.size() > 1;
+  // Insert in descending row order so chains list build rows ascending.
+  for (size_t i = n; i-- > 0;) {
+    if (!key_valid_[i]) continue;
+    uint64_t hash = hashes_[i];
+    if (multi && PartitionOf(hash) != p) continue;
+    uint32_t row = static_cast<uint32_t>(i);
+    switch (layout_) {
+      case KeyLayout::kInt64:
+      case KeyLayout::kDict32: {
+        int64_t key = keys64_[i];
+        uint64_t slot = hash & part.mask;
+        while (true) {
+          Slot64& s = part.slots64[slot];
+          if (s.head == kEnd) {
+            s.key = key;
+            s.head = row;
+            break;
+          }
+          if (s.key == key) {
+            next_[i] = s.head;
+            s.head = row;
+            break;
+          }
+          slot = (slot + 1) & part.mask;
+        }
+        break;
+      }
+      case KeyLayout::kPacked16: {
+        uint64_t lo = keys_lo_[i], hi = keys_hi_[i];
+        uint64_t slot = hash & part.mask;
+        while (true) {
+          Slot128& s = part.slots128[slot];
+          if (s.head == kEnd) {
+            s.lo = lo;
+            s.hi = hi;
+            s.head = row;
+            break;
+          }
+          if (s.lo == lo && s.hi == hi) {
+            next_[i] = s.head;
+            s.head = row;
+            break;
+          }
+          slot = (slot + 1) & part.mask;
+        }
+        break;
+      }
+      case KeyLayout::kSerialized: {
+        auto [it, inserted] = part.serialized.emplace(keys_ser_[i], row);
+        if (!inserted) {
+          next_[i] = it->second;
+          it->second = row;
+        }
+        break;
+      }
+    }
+  }
+}
+
+size_t JoinHashTable::Prober::ProbeRow(size_t row, std::vector<size_t>* out) {
+  uint64_t hash = 0;
+  uint32_t head = kEnd;
+  switch (t_.layout_) {
+    case KeyLayout::kInt64:
+    case KeyLayout::kDict32: {
+      int64_t key;
+      if (!t_.Key64(t_.probe_cols_, row, &key)) return 0;
+      hash = HashInt64(static_cast<uint64_t>(key));
+      const Partition& part =
+          t_.partitions_[t_.partitions_.size() > 1 ? t_.PartitionOf(hash)
+                                                   : 0];
+      uint64_t slot = hash & part.mask;
+      while (true) {
+        const Slot64& s = part.slots64[slot];
+        if (s.head == kEnd) break;
+        if (s.key == key) {
+          head = s.head;
+          break;
+        }
+        slot = (slot + 1) & part.mask;
+      }
+      break;
+    }
+    case KeyLayout::kPacked16: {
+      uint64_t lo, hi;
+      if (!t_.Key128(t_.probe_cols_, row, &lo, &hi)) return 0;
+      hash = Hash128(lo, hi);
+      const Partition& part =
+          t_.partitions_[t_.partitions_.size() > 1 ? t_.PartitionOf(hash)
+                                                   : 0];
+      uint64_t slot = hash & part.mask;
+      while (true) {
+        const Slot128& s = part.slots128[slot];
+        if (s.head == kEnd) break;
+        if (s.lo == lo && s.hi == hi) {
+          head = s.head;
+          break;
+        }
+        slot = (slot + 1) & part.mask;
+      }
+      break;
+    }
+    case KeyLayout::kSerialized: {
+      if (!t_.KeyBytes(t_.probe_cols_, row, &scratch_)) return 0;
+      hash = std::hash<std::string>{}(scratch_);
+      const Partition& part =
+          t_.partitions_[t_.partitions_.size() > 1 ? t_.PartitionOf(hash)
+                                                   : 0];
+      auto it = part.serialized.find(scratch_);
+      if (it != part.serialized.end()) head = it->second;
+      break;
+    }
+  }
+  size_t count = 0;
+  for (uint32_t r = head; r != kEnd; r = t_.next_[r]) {
+    out->push_back(r);
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// GroupKeyTable
+
+GroupKeyTable::GroupKeyTable(std::vector<const ColumnData*> key_cols)
+    : layout_(ChooseKeyLayout(key_cols, {})), key_cols_(std::move(key_cols)) {
+  // The packed layout cannot represent NULL group keys in-band; fall back
+  // to the serialized encoding (which NULL-marks every component).
+  if (layout_ == KeyLayout::kPacked16) layout_ = KeyLayout::kSerialized;
+  if (layout_ != KeyLayout::kSerialized) {
+    slots_.assign(1024, Slot{0, kEmpty});
+    mask_ = slots_.size() - 1;
+  }
+}
+
+void GroupKeyTable::GrowIfNeeded() {
+  if (used_ * 10 < slots_.size() * 7) return;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{0, kEmpty});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.group == kEmpty) continue;
+    uint64_t slot = HashInt64(static_cast<uint64_t>(s.key)) & mask_;
+    while (slots_[slot].group != kEmpty) slot = (slot + 1) & mask_;
+    slots_[slot] = s;
+  }
+}
+
+size_t GroupKeyTable::GetOrAdd(size_t row) {
+  if (layout_ == KeyLayout::kSerialized) {
+    scratch_.clear();
+    for (const ColumnData* col : key_cols_) {
+      AppendKeyBytes(*col, row, &scratch_);
+    }
+    auto [it, inserted] = serialized_.emplace(
+        scratch_, static_cast<uint32_t>(num_groups_));
+    if (inserted) ++num_groups_;
+    return it->second;
+  }
+  const ColumnData& col = *key_cols_[0];
+  int64_t key;
+  if (layout_ == KeyLayout::kDict32) {
+    key = col.dict_codes()[row];  // -1 encodes NULL, distinct in-band
+  } else if (col.IsNull(row)) {
+    // NULLs form one group, out of band (any int64 is a valid key).
+    if (null_group_ == kEmpty) {
+      null_group_ = static_cast<uint32_t>(num_groups_++);
+    }
+    return null_group_;
+  } else {
+    key = RawValue64(col, row);
+  }
+  GrowIfNeeded();
+  uint64_t slot = HashInt64(static_cast<uint64_t>(key)) & mask_;
+  while (true) {
+    Slot& s = slots_[slot];
+    if (s.group == kEmpty) {
+      s.key = key;
+      s.group = static_cast<uint32_t>(num_groups_++);
+      ++used_;
+      return s.group;
+    }
+    if (s.key == key) return s.group;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+}  // namespace vdm

@@ -1,0 +1,193 @@
+// Typed hash tables for the executor's joins, group-bys, and distinct.
+//
+// The seed executor serialized every key into a length-prefixed
+// std::string and hashed that — one heap-backed string per build row,
+// probe row, and group-by row. These tables pick the cheapest layout the
+// key columns support:
+//
+//   kInt64      one integer-backed or double column; the raw 64-bit value
+//               is the key (doubles are bit-cast, matching the byte
+//               equality of the legacy serialized encoding).
+//   kDict32     one string column where build and probe side share the
+//               same fragment dictionary (ColumnData::dict()); the join
+//               runs on 32-bit dictionary codes. Augmentation self-joins
+//               — the paper's UAJ/ASJ patterns — always hit this path.
+//   kPacked16   two integer-backed/double columns packed into a 16-byte
+//               key.
+//   kSerialized anything else: the legacy byte-string encoding.
+//
+// Join tables exclude NULL keys (SQL equi-join semantics); group tables
+// give NULLs their own group. Probe results are emitted in ascending
+// build-row order and group ids in first-occurrence order, so results are
+// byte-for-byte identical to the legacy executor.
+#ifndef VDMQO_EXEC_HASH_TABLE_H_
+#define VDMQO_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/column.h"
+
+namespace vdm {
+
+class ThreadPool;
+
+enum class KeyLayout {
+  kInt64,
+  kDict32,
+  kPacked16,
+  kSerialized,
+};
+
+const char* KeyLayoutName(KeyLayout layout);
+
+/// Appends a hash-key encoding of column[row] to *out (length-prefixed,
+/// null-marked — collision-free across rows). The serialized-fallback
+/// encoding, shared with DISTINCT-aggregate deduplication.
+void AppendKeyBytes(const ColumnData& col, size_t row, std::string* out);
+
+/// splitmix64 finalizer — the hash for all fixed-width layouts.
+inline uint64_t HashInt64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Chooses the cheapest layout supported by the key columns. `probe_cols`
+/// may be empty (group tables); when present it must be column-wise
+/// parallel to `build_cols`, and the dictionary layout additionally
+/// requires both sides to share one dictionary.
+KeyLayout ChooseKeyLayout(const std::vector<const ColumnData*>& build_cols,
+                          const std::vector<const ColumnData*>& probe_cols);
+
+// ---------------------------------------------------------------------------
+
+/// Hash-join build table: maps key -> chain of build rows. Chains are
+/// threaded through a shared `next` array; rows are inserted in
+/// descending order so every chain lists build rows ascending (legacy
+/// match order). Builds can be partitioned across a thread pool: each
+/// partition owns a disjoint slice of the hash space, so workers never
+/// touch the same slot array.
+class JoinHashTable {
+ public:
+  static constexpr uint32_t kEnd = 0xFFFFFFFFu;
+
+  JoinHashTable(std::vector<const ColumnData*> build_cols,
+                std::vector<const ColumnData*> probe_cols);
+
+  KeyLayout layout() const { return layout_; }
+
+  /// Hashes and inserts all build rows with non-NULL keys. `pool` may be
+  /// nullptr for a serial build.
+  void Build(ThreadPool* pool);
+
+  /// Rows actually inserted (build rows minus NULL keys).
+  size_t num_entries() const { return entries_; }
+  size_t num_build_rows() const { return build_rows_; }
+
+  /// Per-thread probe cursor (owns the serialization scratch buffer).
+  class Prober {
+   public:
+    explicit Prober(const JoinHashTable& table) : t_(table) {}
+    /// Appends build rows matching probe row `row` to *out in ascending
+    /// order; returns the number appended (0 for NULL keys).
+    size_t ProbeRow(size_t row, std::vector<size_t>* out);
+
+   private:
+    const JoinHashTable& t_;
+    std::string scratch_;
+  };
+
+ private:
+  struct Slot64 {
+    int64_t key;
+    uint32_t head;  // kEnd marks an empty slot
+  };
+  struct Slot128 {
+    uint64_t lo, hi;
+    uint32_t head;
+  };
+  struct Partition {
+    std::vector<Slot64> slots64;
+    std::vector<Slot128> slots128;
+    std::unordered_map<std::string, uint32_t> serialized;
+    uint64_t mask = 0;
+  };
+
+  // Key extraction; returns false for NULL keys.
+  bool Key64(const std::vector<const ColumnData*>& cols, size_t row,
+             int64_t* key) const;
+  bool Key128(const std::vector<const ColumnData*>& cols, size_t row,
+              uint64_t* lo, uint64_t* hi) const;
+  bool KeyBytes(const std::vector<const ColumnData*>& cols, size_t row,
+                std::string* key) const;
+  size_t PartitionOf(uint64_t hash) const {
+    // fastrange: maps the high hash bits uniformly onto partitions.
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(hash) * partitions_.size()) >> 64);
+  }
+  void BuildPartition(size_t p);
+
+  KeyLayout layout_;
+  std::vector<const ColumnData*> build_cols_;
+  std::vector<const ColumnData*> probe_cols_;
+  size_t build_rows_ = 0;
+  size_t entries_ = 0;
+
+  // Phase 0: per-row hashes (fixed layouts) or serialized keys.
+  std::vector<uint64_t> hashes_;
+  std::vector<int64_t> keys64_;
+  std::vector<uint64_t> keys_lo_, keys_hi_;
+  std::vector<std::string> keys_ser_;
+  std::vector<uint8_t> key_valid_;
+
+  std::vector<Partition> partitions_;
+  std::vector<uint32_t> next_;  // chain links, indexed by build row
+};
+
+// ---------------------------------------------------------------------------
+
+/// Group-by / DISTINCT key table: maps a row's key to a dense group id
+/// assigned in first-occurrence order (the legacy output order). NULL
+/// keys are valid group keys. Only the single-column fixed layouts and
+/// the serialized fallback apply (NULLs cannot be encoded in-band in the
+/// packed layout).
+class GroupKeyTable {
+ public:
+  explicit GroupKeyTable(std::vector<const ColumnData*> key_cols);
+
+  KeyLayout layout() const { return layout_; }
+
+  /// Group id for the key at `row`, assigning the next id on first
+  /// occurrence.
+  size_t GetOrAdd(size_t row);
+
+  size_t num_groups() const { return num_groups_; }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+  struct Slot {
+    int64_t key;
+    uint32_t group;  // kEmpty marks a free slot
+  };
+  void GrowIfNeeded();
+
+  KeyLayout layout_;
+  std::vector<const ColumnData*> key_cols_;
+  size_t num_groups_ = 0;
+  // kInt64 / kDict32: open addressing + an out-of-band NULL group.
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  size_t used_ = 0;
+  uint32_t null_group_ = kEmpty;
+  // kSerialized fallback.
+  std::unordered_map<std::string, uint32_t> serialized_;
+  std::string scratch_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_EXEC_HASH_TABLE_H_

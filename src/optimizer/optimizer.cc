@@ -178,10 +178,10 @@ Result<PlanRef> Optimizer::OptimizeChecked(const PlanRef& plan) const {
     }
     if (!changed) {
       last_converged_ = true;
-      return current;
+      return AnnotateJoinLimitHints(current);
     }
   }
-  return current;
+  return AnnotateJoinLimitHints(current);
 }
 
 }  // namespace vdm

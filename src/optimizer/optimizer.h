@@ -163,6 +163,13 @@ PlanRef PassJoinOrder(const PlanRef& plan, const OptimizerConfig& config,
 PlanRef PassDistinctElimination(const PlanRef& plan,
                                 const OptimizerConfig& config, bool* changed);
 
+/// Final annotation step (not a rewrite pass): records each remaining
+/// LIMIT's row budget on the joins below it (JoinOp::limit_hint), so the
+/// executor's probe loops can stop early even when the LimitOp could not
+/// sink. Plan semantics and rendering are unchanged. Runs after the pass
+/// loop in Optimize/OptimizeChecked; exposed for tests.
+PlanRef AnnotateJoinLimitHints(const PlanRef& plan);
+
 }  // namespace vdm
 
 #endif  // VDMQO_OPTIMIZER_OPTIMIZER_H_

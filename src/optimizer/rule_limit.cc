@@ -91,6 +91,50 @@ PlanRef SinkLimit(int64_t limit, int64_t offset, const PlanRef& child,
 
 }  // namespace
 
+PlanRef AnnotateJoinLimitHints(const PlanRef& plan) {
+  // Top-down: a LIMIT's row budget (offset + limit) applies to everything
+  // on the order-preserving spine below it — projections pass rows 1:1,
+  // UNION ALL children each contribute a prefix, and a join's output is
+  // truncated to the budget by the LimitOp above. Joins on that spine get
+  // the budget as an executor hint (the probe loop stops early).
+  std::function<PlanRef(const PlanRef&, int64_t)> annotate =
+      [&](const PlanRef& node, int64_t budget) -> PlanRef {
+    int64_t child_budget = -1;
+    switch (node->kind()) {
+      case OpKind::kLimit: {
+        const auto& limit = static_cast<const LimitOp&>(*node);
+        child_budget = limit.offset() + limit.limit();
+        if (budget >= 0 && budget < child_budget) child_budget = budget;
+        break;
+      }
+      case OpKind::kProject:
+      case OpKind::kUnionAll:
+        child_budget = budget;
+        break;
+      default:
+        break;  // other operators reorder, filter, or consume all rows
+    }
+    bool changed = false;
+    std::vector<PlanRef> new_children;
+    new_children.reserve(node->NumChildren());
+    for (const PlanRef& child : node->children()) {
+      PlanRef rewritten = annotate(child, child_budget);
+      if (rewritten != child) changed = true;
+      new_children.push_back(std::move(rewritten));
+    }
+    PlanRef result =
+        changed ? node->WithChildren(std::move(new_children)) : node;
+    if (result->kind() == OpKind::kJoin && budget >= 0) {
+      const auto& join = static_cast<const JoinOp&>(*result);
+      if (join.limit_hint() < 0 || budget < join.limit_hint()) {
+        result = join.WithLimitHint(budget);
+      }
+    }
+    return result;
+  };
+  return annotate(plan, -1);
+}
+
 PlanRef PassLimitPushdown(const PlanRef& plan, const OptimizerConfig& config,
                           bool* changed) {
   if (!config.limit_pushdown_over_aj) return plan;

@@ -159,6 +159,15 @@ PlanRef JoinOp::WithChildren(std::vector<PlanRef> children) const {
   auto copy = std::make_shared<JoinOp>(std::move(children[0]),
                                        std::move(children[1]), join_type_,
                                        condition_, cardinality_, case_join_);
+  copy->limit_hint_ = limit_hint_;
+  copy->CopyIdFrom(*this);
+  return copy;
+}
+
+PlanRef JoinOp::WithLimitHint(int64_t hint) const {
+  auto copy = std::make_shared<JoinOp>(left(), right(), join_type_,
+                                       condition_, cardinality_, case_join_);
+  copy->limit_hint_ = hint;
   copy->CopyIdFrom(*this);
   return copy;
 }

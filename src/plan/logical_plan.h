@@ -158,6 +158,15 @@ class JoinOp : public LogicalOp {
   DeclaredCardinality declared_cardinality() const { return cardinality_; }
   bool is_case_join() const { return case_join_; }
 
+  /// Executor hint: the smallest LIMIT budget (offset + limit) known to
+  /// apply to this join's output; -1 = none. Set by AnnotateJoinLimitHints
+  /// after optimization; lets the probe loop stop early even when the
+  /// LimitOp itself could not be pushed below the join. Does not affect
+  /// plan semantics or Describe() output.
+  int64_t limit_hint() const { return limit_hint_; }
+  /// Copy of this node (same identity and children) with the given hint.
+  PlanRef WithLimitHint(int64_t hint) const;
+
   const PlanRef& left() const { return children_[0]; }
   const PlanRef& right() const { return children_[1]; }
 
@@ -170,6 +179,7 @@ class JoinOp : public LogicalOp {
   ExprRef condition_;
   DeclaredCardinality cardinality_;
   bool case_join_;
+  int64_t limit_hint_ = -1;
 };
 
 class AggregateOp : public LogicalOp {

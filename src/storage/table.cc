@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -111,11 +112,16 @@ void Table::MergeDelta() {
       main.validity.assign(main_rows_, 1);
     }
     if (type.id == TypeId::kString) {
-      // Re-encode delta strings into the dictionary.
+      // Re-encode delta strings into a new dictionary snapshot (the old
+      // one may still be referenced by scan annotations).
+      auto dict = main.dictionary == nullptr
+                      ? std::make_shared<std::vector<std::string>>()
+                      : std::make_shared<std::vector<std::string>>(
+                            *main.dictionary);
       std::unordered_map<std::string, uint32_t> lookup;
-      lookup.reserve(main.dictionary.size() + delta_rows);
-      for (uint32_t i = 0; i < main.dictionary.size(); ++i) {
-        lookup.emplace(main.dictionary[i], i);
+      lookup.reserve(dict->size() + delta_rows);
+      for (uint32_t i = 0; i < dict->size(); ++i) {
+        lookup.emplace((*dict)[i], i);
       }
       for (size_t r = 0; r < delta_rows; ++r) {
         if (delta.IsNull(r)) {
@@ -125,11 +131,12 @@ void Table::MergeDelta() {
         }
         const std::string& s = delta.strings()[r];
         auto [it, inserted] =
-            lookup.emplace(s, static_cast<uint32_t>(main.dictionary.size()));
-        if (inserted) main.dictionary.push_back(s);
+            lookup.emplace(s, static_cast<uint32_t>(dict->size()));
+        if (inserted) dict->push_back(s);
         main.codes.push_back(it->second);
         if (has_nulls) main.validity.push_back(1);
       }
+      main.dictionary = std::move(dict);
     } else if (type.id == TypeId::kDouble) {
       for (size_t r = 0; r < delta_rows; ++r) {
         main.doubles.push_back(delta.IsNull(r) ? 0.0 : delta.doubles()[r]);
@@ -150,23 +157,31 @@ void Table::MergeDelta() {
 }
 
 ColumnData Table::ScanColumn(size_t column_index) const {
+  return ScanColumnRange(column_index, 0, NumRows());
+}
+
+ColumnData Table::ScanColumnRange(size_t column_index, size_t row_begin,
+                                  size_t row_end) const {
   VDM_CHECK(column_index < schema_.NumColumns());
+  VDM_CHECK(row_begin <= row_end && row_end <= NumRows());
   const DataType& type = schema_.column(column_index).type;
   const MainColumn& main = main_[column_index];
   ColumnData out(type);
-  out.Reserve(NumRows());
-  // Decode main fragment.
+  out.Reserve(row_end - row_begin);
+  // Decode the main-fragment part of the range.
+  size_t main_begin = std::min(row_begin, main_rows_);
+  size_t main_end = std::min(row_end, main_rows_);
   if (type.id == TypeId::kString) {
-    for (size_t r = 0; r < main_rows_; ++r) {
+    for (size_t r = main_begin; r < main_end; ++r) {
       uint32_t code = main.codes[r];
       if (code == MainColumn::kNullCode) {
         out.AppendNull();
       } else {
-        out.AppendString(main.dictionary[code]);
+        out.AppendString((*main.dictionary)[code]);
       }
     }
   } else if (type.id == TypeId::kDouble) {
-    for (size_t r = 0; r < main_rows_; ++r) {
+    for (size_t r = main_begin; r < main_end; ++r) {
       if (!main.validity.empty() && main.validity[r] == 0) {
         out.AppendNull();
       } else {
@@ -174,7 +189,7 @@ ColumnData Table::ScanColumn(size_t column_index) const {
       }
     }
   } else {
-    for (size_t r = 0; r < main_rows_; ++r) {
+    for (size_t r = main_begin; r < main_end; ++r) {
       if (!main.validity.empty() && main.validity[r] == 0) {
         out.AppendNull();
       } else {
@@ -182,10 +197,26 @@ ColumnData Table::ScanColumn(size_t column_index) const {
       }
     }
   }
-  // Append delta fragment.
+  // Append the delta-fragment part of the range.
   const ColumnData& delta = delta_.columns[column_index];
-  for (size_t r = 0; r < delta.size(); ++r) {
+  size_t delta_begin = row_begin > main_rows_ ? row_begin - main_rows_ : 0;
+  size_t delta_end = row_end > main_rows_ ? row_end - main_rows_ : 0;
+  for (size_t r = delta_begin; r < delta_end; ++r) {
     out.AppendFrom(delta, r);
+  }
+  // A string range entirely inside the main fragment carries the fragment
+  // dictionary, enabling code-based joins/grouping downstream.
+  if (type.id == TypeId::kString && row_end <= main_rows_ &&
+      main.dictionary != nullptr) {
+    std::vector<int32_t> codes;
+    codes.reserve(row_end - row_begin);
+    for (size_t r = row_begin; r < row_end; ++r) {
+      uint32_t code = main.codes[r];
+      codes.push_back(code == MainColumn::kNullCode
+                          ? -1
+                          : static_cast<int32_t>(code));
+    }
+    out.SetDictionary(main.dictionary, std::move(codes));
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #define VDMQO_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,9 +26,13 @@ namespace vdm {
 /// One column of the main fragment. Strings are dictionary-encoded;
 /// integer-backed and double columns are stored as plain vectors.
 struct MainColumn {
-  // For string columns: dictionary + codes (code kNullCode = NULL).
+  // For string columns: dictionary + codes (code kNullCode = NULL). The
+  // dictionary is behind a shared_ptr so scans can annotate the columns
+  // they materialize with it (ColumnData::SetDictionary); MergeDelta
+  // re-encodes into a *new* vector, so outstanding annotations keep a
+  // consistent snapshot.
   static constexpr uint32_t kNullCode = 0xFFFFFFFFu;
-  std::vector<std::string> dictionary;
+  std::shared_ptr<const std::vector<std::string>> dictionary;
   std::vector<uint32_t> codes;
   // For non-string columns.
   std::vector<int64_t> ints;
@@ -59,6 +64,13 @@ class Table {
 
   /// Materializes one column (both fragments) by schema index.
   ColumnData ScanColumn(size_t column_index) const;
+
+  /// Materializes rows [row_begin, row_end) of one column — the morsel
+  /// unit of the parallel executor. The range may span the main/delta
+  /// boundary. String ranges that lie entirely in the main fragment carry
+  /// the fragment dictionary as a ColumnData annotation.
+  ColumnData ScanColumnRange(size_t column_index, size_t row_begin,
+                             size_t row_end) const;
 
   /// Materializes the named columns; empty list means all columns.
   Result<Chunk> Scan(const std::vector<std::string>& column_names) const;

@@ -18,6 +18,7 @@ void ColumnData::Reserve(size_t n) {
 
 void ColumnData::AppendNull() {
   EnsureValidity();
+  InvalidateDict();
   if (type_.id == TypeId::kString) {
     strings_.emplace_back();
   } else if (type_.id == TypeId::kDouble) {
@@ -97,15 +98,143 @@ void ColumnData::AppendFrom(const ColumnData& other, size_t i) {
 
 ColumnData ColumnData::Gather(const std::vector<size_t>& row_indexes) const {
   ColumnData out(type_);
-  out.Reserve(row_indexes.size());
-  for (size_t idx : row_indexes) {
-    if (idx == kInvalidIndex) {
-      out.AppendNull();
-    } else {
-      out.AppendFrom(*this, idx);
+  const size_t m = row_indexes.size();
+  // NULL rows (including kInvalidIndex) leave the zero-initialized value
+  // slot in place, exactly as the append path would.
+  auto mark_null = [&](size_t i) {
+    if (out.validity_.empty()) out.validity_.assign(m, 1);
+    out.validity_[i] = 0;
+  };
+  if (type_.id == TypeId::kString) {
+    out.strings_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      size_t idx = row_indexes[i];
+      if (idx == kInvalidIndex || IsNull(idx)) {
+        mark_null(i);
+      } else {
+        out.strings_[i] = strings_[idx];
+      }
+    }
+  } else if (type_.id == TypeId::kDouble) {
+    out.doubles_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      size_t idx = row_indexes[i];
+      if (idx == kInvalidIndex || IsNull(idx)) {
+        mark_null(i);
+      } else {
+        out.doubles_[i] = doubles_[idx];
+      }
+    }
+  } else {
+    out.ints_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      size_t idx = row_indexes[i];
+      if (idx == kInvalidIndex || IsNull(idx)) {
+        mark_null(i);
+      } else {
+        out.ints_[i] = ints_[idx];
+      }
     }
   }
+  out.size_ = m;
+  if (dict_ != nullptr) {
+    std::vector<int32_t> codes;
+    codes.reserve(m);
+    for (size_t idx : row_indexes) {
+      codes.push_back(idx == kInvalidIndex ? -1 : dict_codes_[idx]);
+    }
+    out.SetDictionary(dict_, std::move(codes));
+  }
   return out;
+}
+
+ColumnData ColumnData::GatherSelection(const SelectionVector& selection) const {
+  ColumnData out(type_);
+  const size_t m = selection.size();
+  auto mark_null = [&](size_t i) {
+    if (out.validity_.empty()) out.validity_.assign(m, 1);
+    out.validity_[i] = 0;
+  };
+  if (type_.id == TypeId::kString) {
+    out.strings_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      uint32_t idx = selection[i];
+      if (IsNull(idx)) {
+        mark_null(i);
+      } else {
+        out.strings_[i] = strings_[idx];
+      }
+    }
+  } else if (type_.id == TypeId::kDouble) {
+    out.doubles_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      uint32_t idx = selection[i];
+      if (IsNull(idx)) {
+        mark_null(i);
+      } else {
+        out.doubles_[i] = doubles_[idx];
+      }
+    }
+  } else {
+    out.ints_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      uint32_t idx = selection[i];
+      if (IsNull(idx)) {
+        mark_null(i);
+      } else {
+        out.ints_[i] = ints_[idx];
+      }
+    }
+  }
+  out.size_ = m;
+  if (dict_ != nullptr) {
+    std::vector<int32_t> codes;
+    codes.reserve(m);
+    for (uint32_t idx : selection) codes.push_back(dict_codes_[idx]);
+    out.SetDictionary(dict_, std::move(codes));
+  }
+  return out;
+}
+
+void ColumnData::AppendColumn(ColumnData&& other) {
+  VDM_DCHECK(type_.id == other.type_.id);
+  // Dictionary annotation survives concatenation only when every piece
+  // shares the same dictionary (morsels of one storage scan do).
+  bool keep_dict =
+      other.dict_ != nullptr && (size_ == 0 || dict_ == other.dict_);
+  std::vector<int32_t> merged_codes;
+  if (keep_dict) {
+    merged_codes = std::move(dict_codes_);
+    merged_codes.insert(merged_codes.end(), other.dict_codes_.begin(),
+                        other.dict_codes_.end());
+  }
+  if (!validity_.empty() || other.HasNulls()) {
+    EnsureValidity();
+    if (other.validity_.empty()) {
+      validity_.insert(validity_.end(), other.size_, 1);
+    } else {
+      validity_.insert(validity_.end(), other.validity_.begin(),
+                       other.validity_.end());
+    }
+  }
+  if (type_.id == TypeId::kString) {
+    strings_.insert(strings_.end(),
+                    std::make_move_iterator(other.strings_.begin()),
+                    std::make_move_iterator(other.strings_.end()));
+  } else if (type_.id == TypeId::kDouble) {
+    doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                    other.doubles_.end());
+  } else {
+    ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+  }
+  size_ += other.size_;
+  if (keep_dict) {
+    dict_ = other.dict_;
+    dict_codes_ = std::move(merged_codes);
+  } else {
+    InvalidateDict();
+  }
+  other = ColumnData(other.type_);
 }
 
 ColumnData ColumnData::Nulls(DataType type, size_t n) {

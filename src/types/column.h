@@ -5,6 +5,7 @@
 #define VDMQO_TYPES_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,12 @@
 #include "types/value.h"
 
 namespace vdm {
+
+/// Row indexes selected out of a chunk (the morsel-driven executor's
+/// alternative to materializing filtered intermediates). 32-bit on purpose:
+/// morsels are bounded, and half-width indexes keep selection vectors in
+/// cache.
+using SelectionVector = std::vector<uint32_t>;
 
 class ColumnData {
  public:
@@ -42,6 +49,7 @@ class ColumnData {
   /// Appends a raw non-null integer-backed value.
   void AppendInt(int64_t v) {
     VDM_DCHECK(type_.IsIntegerBacked());
+    InvalidateDict();
     ints_.push_back(v);
     if (!validity_.empty()) validity_.push_back(1);
     ++size_;
@@ -54,6 +62,7 @@ class ColumnData {
   }
   void AppendString(std::string v) {
     VDM_DCHECK(type_.id == TypeId::kString);
+    InvalidateDict();
     strings_.push_back(std::move(v));
     if (!validity_.empty()) validity_.push_back(1);
     ++size_;
@@ -71,16 +80,56 @@ class ColumnData {
   void AppendFrom(const ColumnData& other, size_t i);
 
   /// Gathers rows by index into a new column; index kInvalidIndex appends
-  /// NULL (used for the null-extended side of outer joins).
+  /// NULL (used for the null-extended side of outer joins). Preserves the
+  /// shared-dictionary annotation.
   static constexpr size_t kInvalidIndex = static_cast<size_t>(-1);
   ColumnData Gather(const std::vector<size_t>& row_indexes) const;
+
+  /// Gathers by selection vector (no invalid-index support; the filter
+  /// fast path of the morsel executor).
+  ColumnData GatherSelection(const SelectionVector& selection) const;
+
+  /// Appends every row of `other` (same type), stealing its string
+  /// storage. `other` is left empty.
+  void AppendColumn(ColumnData&& other);
 
   /// A column of n NULLs of the given type.
   static ColumnData Nulls(DataType type, size_t n);
 
+  // -------------------------------------------------------------------
+  // Shared-dictionary annotation (string columns only).
+  //
+  // Storage scans of the dictionary-compressed main fragment attach the
+  // fragment's dictionary plus per-row codes. Two columns whose `dict()`
+  // pointers compare equal encode equal strings as equal codes, which
+  // lets hash joins and group-bys run on 32-bit codes instead of strings
+  // (the paper's augmentation self-joins always hit this path). The
+  // annotation is advisory: `strings()` stays fully materialized, and
+  // any mutation drops the annotation.
+
+  bool has_dict() const { return dict_ != nullptr; }
+  const std::shared_ptr<const std::vector<std::string>>& dict() const {
+    return dict_;
+  }
+  /// Per-row dictionary codes; -1 encodes NULL. Aligned with size().
+  const std::vector<int32_t>& dict_codes() const { return dict_codes_; }
+  /// Attaches a dictionary annotation; codes.size() must equal size().
+  void SetDictionary(std::shared_ptr<const std::vector<std::string>> dict,
+                     std::vector<int32_t> codes) {
+    VDM_DCHECK(codes.size() == size_);
+    dict_ = std::move(dict);
+    dict_codes_ = std::move(codes);
+  }
+
  private:
   void EnsureValidity() {
     if (validity_.empty()) validity_.assign(size_, 1);
+  }
+  void InvalidateDict() {
+    if (dict_ != nullptr) {
+      dict_.reset();
+      dict_codes_.clear();
+    }
   }
 
   DataType type_;
@@ -90,6 +139,9 @@ class ColumnData {
   std::vector<std::string> strings_;
   // Empty means "all valid"; otherwise 1 = valid, 0 = null.
   std::vector<uint8_t> validity_;
+  // Optional shared-dictionary annotation; see accessors above.
+  std::shared_ptr<const std::vector<std::string>> dict_;
+  std::vector<int32_t> dict_codes_;
 };
 
 /// A batch of equal-length columns: the executor's table representation.

@@ -3,8 +3,9 @@
 # installed) clang-tidy over the analysis subsystem and a repo-wide
 # clang-format check.
 #
-#   tools/ci.sh              # ASan + UBSan test runs, tidy, format check
+#   tools/ci.sh              # ASan + UBSan + TSan test runs, tidy, format
 #   tools/ci.sh address      # one sanitizer only
+#   tools/ci.sh thread       # TSan over the executor tests only
 #   tools/ci.sh lint         # static checks only, no build
 set -euo pipefail
 
@@ -21,6 +22,21 @@ run_sanitizer() {
   cmake --build "${dir}" -j "${JOBS}"
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
   echo "== ${san}: all tests passed =="
+}
+
+run_thread_sanitizer() {
+  # ThreadSanitizer over the tests that exercise the parallel executor.
+  # Only the executor suites run: the rest of the test battery is
+  # single-threaded and TSan slows it ~10x for no signal.
+  local dir="build-thread"
+  echo "== thread sanitizer build (executor tests) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DVDMQO_SANITIZE=thread >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" \
+        --target exec_test exec_parallel_test hash_table_test
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+        -R 'exec_test|exec_parallel_test|hash_table_test'
+  echo "== thread: executor tests passed =="
 }
 
 run_lint() {
@@ -51,16 +67,20 @@ case "${MODE}" in
   address|undefined)
     run_sanitizer "${MODE}"
     ;;
+  thread)
+    run_thread_sanitizer
+    ;;
   lint)
     run_lint
     ;;
   all)
     run_sanitizer address
     run_sanitizer undefined
+    run_thread_sanitizer
     run_lint
     ;;
   *)
-    echo "usage: $0 [address|undefined|lint|all]" >&2
+    echo "usage: $0 [address|undefined|thread|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -107,6 +107,14 @@ class JsonReporter {
   explicit JsonReporter(std::string benchmark)
       : benchmark_(std::move(benchmark)) {}
 
+  /// Compile-vs-execute split for a case (plan-cache benchmarks). Rates
+  /// and times are per operation; hit_rate < 0 means "not applicable".
+  struct CompileBreakdown {
+    double compile_ms = 0.0;
+    double execute_ms = 0.0;
+    double cache_hit_rate = -1.0;
+  };
+
   /// Records one case. `median_ms` is the per-operation latency,
   /// `output_rows` the result cardinality (rows/s = rows / latency).
   void Add(const std::string& name, double median_ms, size_t output_rows,
@@ -123,6 +131,16 @@ class JsonReporter {
       c.metrics = *metrics;
     }
     cases_.push_back(std::move(c));
+  }
+
+  /// Like Add, additionally recording the compile/execute time split and
+  /// the plan-cache hit rate.
+  void AddTimed(const std::string& name, double median_ms, size_t output_rows,
+                const CompileBreakdown& compile,
+                const ExecMetrics* metrics = nullptr) {
+    Add(name, median_ms, output_rows, metrics);
+    cases_.back().has_compile = true;
+    cases_.back().compile = compile;
   }
 
   /// Writes BENCH_<benchmark>.json; returns the path (empty on failure).
@@ -143,6 +161,16 @@ class JsonReporter {
                    i == 0 ? "" : ",", JsonEscaped(c.name).c_str(),
                    c.ns_per_op, static_cast<unsigned long long>(c.rows),
                    c.rows_per_sec);
+      if (c.has_compile) {
+        std::fprintf(f,
+                     ", \"compile_ns_per_op\": %.1f, "
+                     "\"execute_ns_per_op\": %.1f",
+                     c.compile.compile_ms * 1e6, c.compile.execute_ms * 1e6);
+        if (c.compile.cache_hit_rate >= 0.0) {
+          std::fprintf(f, ", \"cache_hit_rate\": %.4f",
+                       c.compile.cache_hit_rate);
+        }
+      }
       if (c.has_metrics) {
         const ExecMetrics& m = c.metrics;
         std::fprintf(
@@ -182,6 +210,8 @@ class JsonReporter {
     size_t rows = 0;
     bool has_metrics = false;
     ExecMetrics metrics;
+    bool has_compile = false;
+    CompileBreakdown compile;
   };
 
   static unsigned long long Ull(uint64_t v) {

@@ -1,6 +1,7 @@
 #include "analysis/view_lint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "analysis/rewrite_auditor.h"
@@ -102,7 +103,9 @@ Result<ProfileRewriteProbe> ProbeProfile(const Catalog& catalog,
   config.verification_hook = &auditor;
 
   Optimizer optimizer(config);
+  auto start = std::chrono::steady_clock::now();
   VDM_ASSIGN_OR_RETURN(PlanRef optimized, optimizer.OptimizeChecked(probe));
+  auto end = std::chrono::steady_clock::now();
 
   ProfileRewriteProbe result;
   result.profile = profile;
@@ -110,6 +113,9 @@ Result<ProfileRewriteProbe> ProbeProfile(const Catalog& catalog,
   result.joins_after = ComputePlanStats(optimized).joins;
   result.passes_fired = auditor.fired_counts();
   result.converged = optimizer.last_run_converged();
+  result.optimize_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
   return result;
 }
 
@@ -181,10 +187,12 @@ std::string ViewLintReport::ToString() const {
                                  : name);
     }
     std::string fired = passes.empty() ? "none" : Join(passes, ", ");
-    out += StrFormat("    %-12s joins %zu -> %zu%s  passes: %s\n",
+    out += StrFormat("    %-12s joins %zu -> %zu%s  optimize %.3f ms  "
+                     "passes: %s\n",
                      ProfileName(probe.profile).c_str(), probe.joins_before,
                      probe.joins_after,
                      probe.converged ? "" : " (not converged)",
+                     static_cast<double>(probe.optimize_ns) / 1e6,
                      fired.c_str());
   }
   return out;
@@ -199,14 +207,16 @@ std::string RenderRewriteMatrix(const std::vector<ViewLintReport>& reports) {
   for (const ViewLintReport& report : reports) {
     out += StrFormat("%-24s", report.view.c_str());
     for (SystemProfile profile : kProbeProfiles) {
-      const char* cell = "?";
+      std::string cell = "?";
       for (const ProfileRewriteProbe& probe : report.profiles) {
         if (probe.profile == profile) {
-          cell = probe.joins_after < probe.joins_before ? "Y" : "-";
+          cell = StrFormat(
+              "%s %.1fms", probe.joins_after < probe.joins_before ? "Y" : "-",
+              static_cast<double>(probe.optimize_ns) / 1e6);
           break;
         }
       }
-      out += StrFormat(" %-10s", cell);
+      out += StrFormat(" %-10s", cell.c_str());
     }
     out += "\n";
   }

@@ -42,6 +42,9 @@ struct ProfileRewriteProbe {
   /// Optimizer pass name → number of times it fired.
   std::map<std::string, int> passes_fired;
   bool converged = true;
+  /// Wall-clock time OptimizeChecked spent on the probe under this
+  /// profile (plan-cache sizing input: what one cache miss costs here).
+  int64_t optimize_ns = 0;
 };
 
 struct ViewLintReport {

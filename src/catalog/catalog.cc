@@ -30,6 +30,7 @@ Status Catalog::RegisterTable(TableSchema schema) {
     return Status::AlreadyExists("object already exists: " + schema.name());
   }
   tables_.emplace(std::move(key), std::move(schema));
+  ++version_;
   return Status::OK();
 }
 
@@ -40,6 +41,7 @@ Status Catalog::RegisterView(ViewDef view) {
     return Status::AlreadyExists("object already exists: " + view.name);
   }
   views_.emplace(std::move(key), std::move(view));
+  ++version_;
   return Status::OK();
 }
 
@@ -51,6 +53,7 @@ Status Catalog::ReplaceView(ViewDef view) {
                                    view.name);
   }
   views_[std::move(key)] = std::move(view);
+  ++version_;
   return Status::OK();
 }
 
@@ -59,6 +62,7 @@ Status Catalog::DropView(const std::string& name) {
   if (views_.erase(key) == 0) {
     return Status::NotFound("view not found: " + name);
   }
+  ++version_;
   return Status::OK();
 }
 
@@ -66,6 +70,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("table not found: " + name);
   }
+  ++version_;
   return Status::OK();
 }
 

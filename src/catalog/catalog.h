@@ -109,6 +109,7 @@ class Catalog {
 
   void SetTableStats(const std::string& name, TableStats stats) {
     stats_[ToLowerKey(name)] = stats;
+    ++version_;
   }
   /// Stats for a table, or nullptr when never analyzed.
   const TableStats* FindTableStats(const std::string& name) const {
@@ -116,8 +117,16 @@ class Catalog {
     return it == stats_.end() ? nullptr : &it->second;
   }
 
+  /// Monotonic metadata version. Bumped by every mutation that can change
+  /// what a statement binds or optimizes to (DDL, view replacement, stats
+  /// refresh). The plan cache keys on it, so any bump invalidates all
+  /// cached plans without explicit bookkeeping.
+  uint64_t version() const { return version_; }
+
  private:
   static std::string ToLowerKey(const std::string& name);
+
+  uint64_t version_ = 0;
 
   // Keyed by lower-cased name (SQL identifiers are case-insensitive here).
   std::map<std::string, TableSchema> tables_;

@@ -1,14 +1,76 @@
 #include "engine/database.h"
 
+#include <chrono>
+#include <cstdlib>
+
+#include "analysis/plan_verifier.h"
 #include "analysis/rewrite_auditor.h"
 #include "common/string_util.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
 #include "plan/plan_printer.h"
 #include "sql/binder.h"
+#include "sql/parameterize.h"
 #include "sql/parser.h"
 
 namespace vdm {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Database::Database()
+    : optimizer_config_(ConfigForProfile(SystemProfile::kHana)) {
+  size_t capacity = kDefaultPlanCacheCapacity;
+  if (const char* env = std::getenv("VDM_PLAN_CACHE_CAPACITY")) {
+    capacity = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  plan_cache_ = std::make_unique<PlanCache>(capacity);
+  if (const char* env = std::getenv("VDM_PLAN_CACHE")) {
+    plan_cache_enabled_ = env[0] != '\0' && std::string(env) != "0";
+  }
+  config_fingerprint_ = FingerprintConfig(optimizer_config_);
+}
+
+void Database::SetProfile(SystemProfile profile) {
+  optimizer_config_ = ConfigForProfile(profile);
+  OnOptimizerConfigChanged();
+}
+
+void Database::SetOptimizerConfig(OptimizerConfig config) {
+  optimizer_config_ = std::move(config);
+  OnOptimizerConfigChanged();
+}
+
+void Database::OnOptimizerConfigChanged() {
+  config_fingerprint_ = FingerprintConfig(optimizer_config_);
+  optimizer_.reset();
+  plan_cache_->Clear();
+}
+
+void Database::EnablePlanCache(size_t capacity) {
+  plan_cache_ = std::make_unique<PlanCache>(capacity);
+  plan_cache_enabled_ = true;
+}
+
+void Database::DisablePlanCache() {
+  plan_cache_enabled_ = false;
+  plan_cache_->Clear();
+}
+
+bool Database::PlanCacheUsable() const {
+  // verify_rewrites_exec re-executes every rewrite against real data and
+  // debug_corrupt_pass injects per-query faults: both must see the full
+  // compile pipeline on every statement.
+  return plan_cache_enabled_ && !optimizer_config_.verify_rewrites_exec &&
+         optimizer_config_.debug_corrupt_pass == nullptr;
+}
 
 Result<Chunk> Database::Execute(const std::string& sql) {
   VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
@@ -93,11 +155,115 @@ Result<Chunk> Database::Execute(const std::string& sql) {
   return Status::Internal("unreachable");
 }
 
-Result<Chunk> Database::Query(const std::string& sql,
-                              ExecMetrics* metrics) {
+Result<Chunk> Database::Query(const std::string& sql, ExecMetrics* metrics,
+                              QueryTiming* timing) {
   VDM_RETURN_NOT_OK(EnsureFreshCaches());
-  VDM_ASSIGN_OR_RETURN(PlanRef plan, PlanQuery(sql));
-  return ExecutePlan(plan, metrics);
+  QueryTiming local;
+  QueryTiming* t = timing != nullptr ? timing : &local;
+  *t = QueryTiming{};
+  PlanRef plan;
+  if (PlanCacheUsable()) {
+    t->used_cache = true;
+    VDM_ASSIGN_OR_RETURN(plan, PlanQueryCached(sql, t));
+  } else {
+    VDM_ASSIGN_OR_RETURN(plan, PlanQueryTimed(sql, t));
+  }
+  int64_t start = NowNs();
+  Result<Chunk> result = ExecutePlan(plan, metrics);
+  t->execute_ns = NowNs() - start;
+  return result;
+}
+
+Result<PlanRef> Database::PlanQueryTimed(const std::string& sql,
+                                         QueryTiming* timing) const {
+  int64_t start = NowNs();
+  Result<Statement> stmt = ParseStatement(sql);
+  timing->parse_ns += NowNs() - start;
+  if (!stmt.ok()) return stmt.status();
+  if (stmt->kind != Statement::Kind::kSelect || stmt->select == nullptr) {
+    return Status::InvalidArgument("not a SELECT statement: " + sql);
+  }
+  start = NowNs();
+  Binder binder(&catalog_);
+  Result<PlanRef> bound = binder.BindSelect(*stmt->select);
+  timing->bind_ns += NowNs() - start;
+  if (!bound.ok()) return bound.status();
+  start = NowNs();
+  Result<PlanRef> optimized = OptimizePlan(*bound);
+  timing->optimize_ns += NowNs() - start;
+  return optimized;
+}
+
+Result<PlanRef> Database::PlanQueryCached(const std::string& sql,
+                                          QueryTiming* timing) {
+  // Every early `return PlanQueryTimed(...)` below is the safety valve:
+  // anything unusual about the parameterized path (not cacheable, sentinel
+  // ambiguity, parse/bind/optimize/verify/rebind failure) reverts to the
+  // plain pipeline, which must behave exactly as with the cache disabled.
+  int64_t start = NowNs();
+  Result<ParameterizedStatement> ps = ParameterizeStatement(sql);
+  timing->parameterize_ns += NowNs() - start;
+  if (!ps.ok() || !ps->cacheable) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  const std::string key =
+      ComposePlanCacheKey(ps->key, config_fingerprint_, catalog_.version());
+  if (std::shared_ptr<const CachedPlan> hit = plan_cache_->Lookup(key)) {
+    start = NowNs();
+    Result<PlanRef> rebound =
+        BindCachedPlan(*hit, ps->params, ps->limit, ps->offset);
+    timing->rebind_ns += NowNs() - start;
+    if (rebound.ok()) {
+      timing->cache_hit = true;
+      return rebound;
+    }
+    // Rebind mismatch: recompile from scratch below.
+  }
+  start = NowNs();
+  Result<Statement> stmt = ParseTokenStream(sql, ps->tokens);
+  timing->parse_ns += NowNs() - start;
+  if (!stmt.ok() || stmt->kind != Statement::Kind::kSelect ||
+      stmt->select == nullptr) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  start = NowNs();
+  Binder binder(&catalog_);
+  Result<PlanRef> bound = binder.BindSelect(*stmt->select);
+  timing->bind_ns += NowNs() - start;
+  if (!bound.ok() ||
+      !LimitSentinelsUnambiguous(*bound, ps->has_limit, ps->has_offset)) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  start = NowNs();
+  Result<PlanRef> optimized = OptimizePlan(*bound);
+  timing->optimize_ns += NowNs() - start;
+  if (!optimized.ok()) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  // Plan integrity is checked once here, at insertion; hits skip it.
+  if (!PlanVerifier::Verify(*optimized).ok()) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  auto cached = std::make_shared<CachedPlan>();
+  cached->plan = *optimized;
+  cached->param_types = ps->param_types;
+  cached->has_limit = ps->has_limit;
+  cached->has_offset = ps->has_offset;
+  start = NowNs();
+  Result<PlanRef> rebound =
+      BindCachedPlan(*cached, ps->params, ps->limit, ps->offset);
+  timing->rebind_ns += NowNs() - start;
+  if (!rebound.ok()) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  plan_cache_->Insert(key, std::move(cached));
+  return rebound;
 }
 
 Status Database::Insert(const std::string& table,
@@ -121,9 +287,12 @@ Result<PlanRef> Database::PlanQuery(const std::string& sql) const {
 }
 
 Result<PlanRef> Database::OptimizePlan(const PlanRef& plan) const {
-  OptimizerConfig config = optimizer_config_;
-  config.stats_catalog = &catalog_;
-  if (config.verify_rewrites && config.verification_hook == nullptr) {
+  if (optimizer_config_.verify_rewrites &&
+      optimizer_config_.verification_hook == nullptr) {
+    // The auditor lives on the stack, so this path still builds a
+    // per-query Optimizer around it.
+    OptimizerConfig config = optimizer_config_;
+    config.stats_catalog = &catalog_;
     RewriteAuditor::Options options;
     options.derivation = config.derivation;
     if (config.verify_rewrites_exec) options.storage = &storage_;
@@ -132,8 +301,15 @@ Result<PlanRef> Database::OptimizePlan(const PlanRef& plan) const {
     Optimizer optimizer(config);
     return optimizer.OptimizeChecked(plan);
   }
-  Optimizer optimizer(config);
-  return optimizer.OptimizeChecked(plan);
+  // Common path: the Optimizer (and its config copy) is built once per
+  // config change, not once per query. stats_catalog points at the live
+  // catalog, so refreshed statistics are picked up without a rebuild.
+  if (optimizer_ == nullptr) {
+    OptimizerConfig config = optimizer_config_;
+    config.stats_catalog = &catalog_;
+    optimizer_ = std::make_unique<Optimizer>(std::move(config));
+  }
+  return optimizer_->OptimizeChecked(plan);
 }
 
 Result<Chunk> Database::ExecutePlan(const PlanRef& plan,
@@ -157,6 +333,47 @@ Result<std::string> Database::Explain(const std::string& sql) const {
 Result<std::string> Database::ExplainRaw(const std::string& sql) const {
   VDM_ASSIGN_OR_RETURN(PlanRef plan, BindQuery(sql));
   return PrintPlan(plan);
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
+  VDM_RETURN_NOT_OK(EnsureFreshCaches());
+  QueryTiming timing;
+  PlanRef plan;
+  if (PlanCacheUsable()) {
+    timing.used_cache = true;
+    VDM_ASSIGN_OR_RETURN(plan, PlanQueryCached(sql, &timing));
+  } else {
+    VDM_ASSIGN_OR_RETURN(plan, PlanQueryTimed(sql, &timing));
+  }
+  int64_t start = NowNs();
+  VDM_ASSIGN_OR_RETURN(Chunk result, ExecutePlan(plan));
+  timing.execute_ns = NowNs() - start;
+  std::string out = PrintPlan(plan);
+  auto ms = [](int64_t ns) { return static_cast<double>(ns) / 1e6; };
+  out += "-- explain analyze --\n";
+  out += StrFormat("plan cache: %s\n",
+                   !timing.used_cache ? "off"
+                   : timing.cache_hit ? "hit"
+                                      : "miss");
+  if (timing.parameterize_ns > 0) {
+    out += StrFormat("parameterize: %.3f ms\n", ms(timing.parameterize_ns));
+  }
+  if (timing.parse_ns > 0) {
+    out += StrFormat("parse: %.3f ms\n", ms(timing.parse_ns));
+  }
+  if (timing.bind_ns > 0) {
+    out += StrFormat("bind: %.3f ms\n", ms(timing.bind_ns));
+  }
+  if (timing.optimize_ns > 0) {
+    out += StrFormat("optimize: %.3f ms\n", ms(timing.optimize_ns));
+  }
+  if (timing.rebind_ns > 0) {
+    out += StrFormat("rebind: %.3f ms\n", ms(timing.rebind_ns));
+  }
+  out += StrFormat("compile total: %.3f ms\n", ms(timing.compile_ns()));
+  out += StrFormat("execute: %.3f ms (%zu rows)\n", ms(timing.execute_ns),
+                   result.NumRows());
+  return out;
 }
 
 Status Database::RegisterViewPlan(const std::string& name, PlanRef plan,

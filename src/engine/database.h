@@ -21,6 +21,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/plan_cache.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
@@ -29,9 +30,33 @@
 
 namespace vdm {
 
+/// Per-query time breakdown (nanoseconds). Populated by Query() when a
+/// timing sink is passed; rendered by ExplainAnalyze() and the benchmark
+/// JSON reports. On a plan-cache hit, parse/bind/optimize are zero and
+/// rebind_ns carries the parameter-rebinding cost.
+struct QueryTiming {
+  int64_t parameterize_ns = 0;
+  int64_t parse_ns = 0;
+  int64_t bind_ns = 0;
+  int64_t optimize_ns = 0;
+  int64_t rebind_ns = 0;
+  int64_t execute_ns = 0;
+  /// The plan-cache path was eligible for this statement.
+  bool used_cache = false;
+  bool cache_hit = false;
+  int64_t compile_ns() const {
+    return parameterize_ns + parse_ns + bind_ns + optimize_ns + rebind_ns;
+  }
+};
+
 class Database {
  public:
-  Database() : optimizer_config_(ConfigForProfile(SystemProfile::kHana)) {}
+  /// Default plan-cache capacity (entries) when enabled without an
+  /// explicit size.
+  static constexpr size_t kDefaultPlanCacheCapacity = 64;
+
+  /// Honors VDM_PLAN_CACHE / VDM_PLAN_CACHE_CAPACITY environment knobs.
+  Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -41,12 +66,9 @@ class Database {
   const StorageManager& storage() const { return storage_; }
 
   /// Sets the optimizer capability profile for subsequent queries.
-  void SetProfile(SystemProfile profile) {
-    optimizer_config_ = ConfigForProfile(profile);
-  }
-  void SetOptimizerConfig(OptimizerConfig config) {
-    optimizer_config_ = std::move(config);
-  }
+  /// Invalidates the plan cache.
+  void SetProfile(SystemProfile profile);
+  void SetOptimizerConfig(OptimizerConfig config);
   const OptimizerConfig& optimizer_config() const {
     return optimizer_config_;
   }
@@ -65,9 +87,25 @@ class Database {
   Result<Chunk> Execute(const std::string& sql);
 
   /// Executes a SELECT and returns its result. Refreshes any stale
-  /// dynamic cached views first (DCV semantics, §3).
-  Result<Chunk> Query(const std::string& sql,
-                      ExecMetrics* metrics = nullptr);
+  /// dynamic cached views first (DCV semantics, §3). With the plan cache
+  /// enabled, repeated statements that differ only in eligible literals
+  /// (see sql/parameterize.h) skip parse + bind + optimize and only rebind
+  /// values. `timing`, when given, receives the compile/execute breakdown.
+  Result<Chunk> Query(const std::string& sql, ExecMetrics* metrics = nullptr,
+                      QueryTiming* timing = nullptr);
+
+  // --- plan cache (engine/plan_cache.h) ---
+  /// Enables the parameterized plan cache for subsequent queries.
+  void EnablePlanCache(size_t capacity = kDefaultPlanCacheCapacity);
+  void DisablePlanCache();
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
+  PlanCacheStats plan_cache_stats() const { return plan_cache_->stats(); }
+  void ResetPlanCacheStats() { plan_cache_->ResetStats(); }
+  size_t plan_cache_size() const { return plan_cache_->size(); }
+
+  /// Runs the query and renders its plan together with the compile/execute
+  /// time split and the plan-cache outcome.
+  Result<std::string> ExplainAnalyze(const std::string& sql);
 
   /// Appends rows to a table (storage delta fragment).
   Status Insert(const std::string& table,
@@ -128,6 +166,25 @@ class Database {
  private:
   Status BuildSnapshot(ViewDef view, bool replace_existing);
 
+  /// Recomputes the config fingerprint, clears the plan cache, and drops
+  /// the hoisted optimizer. Called whenever optimizer_config_ changes.
+  void OnOptimizerConfigChanged();
+
+  /// True when this statement may use the plan cache at all (cache enabled
+  /// and no per-query verification/fault-injection mode active).
+  bool PlanCacheUsable() const;
+
+  /// Produces an executable plan via the plan cache: parameterize, look
+  /// up, rebind on hit; parse + bind + optimize + verify + insert on miss.
+  /// Any failure along the parameterized path falls back to the plain
+  /// compile pipeline (PlanQueryTimed).
+  Result<PlanRef> PlanQueryCached(const std::string& sql,
+                                  QueryTiming* timing);
+
+  /// Uncached compile pipeline with the same timing breakdown.
+  Result<PlanRef> PlanQueryTimed(const std::string& sql,
+                                 QueryTiming* timing) const;
+
   Catalog catalog_;
   StorageManager storage_;
   OptimizerConfig optimizer_config_;
@@ -135,6 +192,14 @@ class Database {
   // Shared worker pool, created on first parallel query and reused across
   // ExecutePlan calls (thread spawn cost amortizes over the session).
   mutable std::unique_ptr<ThreadPool> exec_pool_;
+  // Hoisted optimizer for the common non-verifying path: constructed once
+  // per config change instead of per query (the config copy is large
+  // enough to show up on short compile paths). Lazily built because
+  // OptimizePlan is const.
+  mutable std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  bool plan_cache_enabled_ = false;
+  uint64_t config_fingerprint_ = 0;
 };
 
 }  // namespace vdm

@@ -1,0 +1,249 @@
+#include "engine/plan_cache.h"
+
+#include "sql/parameterize.h"
+
+namespace vdm {
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += lru_.size();
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PlanCacheStats{};
+}
+
+uint64_t FingerprintConfig(const OptimizerConfig& config) {
+  uint64_t bits = 0;
+  auto push = [&bits](bool b) { bits = (bits << 1) | (b ? 1u : 0u); };
+  push(config.constant_folding);
+  push(config.filter_pushdown);
+  push(config.projection_pruning);
+  push(config.uaj_elimination);
+  push(config.derivation.base_table_keys);
+  push(config.derivation.groupby_keys);
+  push(config.derivation.const_pinning);
+  push(config.derivation.keys_through_joins);
+  push(config.derivation.keys_through_order_limit);
+  push(config.derivation.keys_through_union_all);
+  push(config.derivation.trust_declared_cardinality);
+  push(config.limit_pushdown_over_aj);
+  push(config.asj_elimination);
+  push(config.asj_union_all_anchor);
+  push(config.case_join);
+  push(config.agg_pushdown);
+  push(config.allow_precision_loss_rewrites);
+  push(config.join_reordering);
+  push(config.distinct_elimination);
+  push(config.verify_rewrites);
+  push(config.verify_rewrites_exec);
+  push(config.debug_corrupt_pass != nullptr);
+  uint64_t h = HashCombine(0x56444d504c414e43ULL, bits);
+  h = HashCombine(h, static_cast<uint64_t>(config.max_passes));
+  return h;
+}
+
+std::string ComposePlanCacheKey(const std::string& normalized_sql,
+                                uint64_t config_fingerprint,
+                                uint64_t catalog_version) {
+  std::string key = normalized_sql;
+  key += "|cfg:";
+  key += std::to_string(config_fingerprint);
+  key += "|cat:";
+  key += std::to_string(catalog_version);
+  return key;
+}
+
+namespace {
+
+bool IsSentinelValue(int64_t v) {
+  return v == kLimitSentinel || v == kOffsetSentinel ||
+         v == kLimitSentinel + kOffsetSentinel;
+}
+
+bool TouchesSentinels(const LimitOp& op) {
+  return IsSentinelValue(op.limit()) || IsSentinelValue(op.offset()) ||
+         IsSentinelValue(op.limit() + op.offset());
+}
+
+}  // namespace
+
+bool LimitSentinelsUnambiguous(const PlanRef& bound_plan, bool has_limit,
+                               bool has_offset) {
+  int sentinel_limits = 0;
+  bool top_shape_ok = false;
+  VisitPlan(bound_plan, [&](const PlanRef& node) {
+    if (node->kind() != OpKind::kLimit) return;
+    const auto& op = static_cast<const LimitOp&>(*node);
+    if (!TouchesSentinels(op)) return;
+    ++sentinel_limits;
+    top_shape_ok = op.limit() == kLimitSentinel &&
+                   op.offset() == (has_offset ? kOffsetSentinel : 0);
+  });
+  if (!has_limit) return sentinel_limits == 0;
+  return sentinel_limits == 1 && top_shape_ok;
+}
+
+Result<PlanRef> BindCachedPlan(const CachedPlan& cached,
+                               const std::vector<Value>& params,
+                               int64_t limit, int64_t offset) {
+  if (params.size() != cached.param_types.size()) {
+    return Status::ExecutionError("plan cache: parameter count mismatch");
+  }
+  Status error = Status::OK();
+  auto subst = [&](const ExprRef& e) -> ExprRef {
+    return TransformExpr(e, [&](const ExprRef& node) -> ExprRef {
+      if (node->kind() != ExprKind::kParam) return nullptr;
+      const auto& p = static_cast<const ParamExpr&>(*node);
+      if (p.slot() < 0 || static_cast<size_t>(p.slot()) >= params.size()) {
+        error = Status::ExecutionError("plan cache: parameter slot " +
+                                       std::to_string(p.slot()) +
+                                       " out of range");
+        return nullptr;
+      }
+      return std::make_shared<LiteralExpr>(params[p.slot()]);
+    });
+  };
+
+  bool joins_touched = false;
+  PlanRef bound = TransformPlan(cached.plan, [&](const PlanRef& node) -> PlanRef {
+    switch (node->kind()) {
+      case OpKind::kFilter: {
+        const auto& op = static_cast<const FilterOp&>(*node);
+        ExprRef pred = subst(op.predicate());
+        if (pred == op.predicate()) return nullptr;
+        return std::make_shared<FilterOp>(op.child(0), std::move(pred));
+      }
+      case OpKind::kProject: {
+        const auto& op = static_cast<const ProjectOp&>(*node);
+        std::vector<ProjectOp::Item> items = op.items();
+        bool any = false;
+        for (ProjectOp::Item& item : items) {
+          ExprRef e = subst(item.expr);
+          any |= (e != item.expr);
+          item.expr = std::move(e);
+        }
+        if (!any) return nullptr;
+        return std::make_shared<ProjectOp>(op.child(0), std::move(items));
+      }
+      case OpKind::kJoin: {
+        const auto& op = static_cast<const JoinOp&>(*node);
+        ExprRef cond = subst(op.condition());
+        if (cond == op.condition() && op.limit_hint() < 0) return nullptr;
+        joins_touched = true;
+        // Fresh construction drops the (possibly sentinel-derived)
+        // limit_hint; all hints are re-derived below.
+        return std::make_shared<JoinOp>(op.left(), op.right(), op.join_type(),
+                                        std::move(cond),
+                                        op.declared_cardinality(),
+                                        op.is_case_join());
+      }
+      case OpKind::kAggregate: {
+        const auto& op = static_cast<const AggregateOp&>(*node);
+        std::vector<AggregateOp::GroupItem> groups = op.group_by();
+        std::vector<AggregateOp::AggItem> aggs = op.aggregates();
+        bool any = false;
+        for (auto& g : groups) {
+          ExprRef e = subst(g.expr);
+          any |= (e != g.expr);
+          g.expr = std::move(e);
+        }
+        for (auto& a : aggs) {
+          ExprRef e = subst(a.expr);
+          any |= (e != a.expr);
+          a.expr = std::move(e);
+        }
+        if (!any) return nullptr;
+        return std::make_shared<AggregateOp>(op.child(0), std::move(groups),
+                                             std::move(aggs));
+      }
+      case OpKind::kSort: {
+        const auto& op = static_cast<const SortOp&>(*node);
+        std::vector<SortOp::SortKey> keys = op.keys();
+        bool any = false;
+        for (auto& k : keys) {
+          ExprRef e = subst(k.expr);
+          any |= (e != k.expr);
+          k.expr = std::move(e);
+        }
+        if (!any) return nullptr;
+        return std::make_shared<SortOp>(op.child(0), std::move(keys));
+      }
+      case OpKind::kLimit: {
+        const auto& op = static_cast<const LimitOp&>(*node);
+        if (!TouchesSentinels(op)) return nullptr;
+        // The three shapes a sentinel LIMIT can take after optimization
+        // (SinkLimit keeps the node, sinks it whole, or splits it into
+        // (limit+offset, 0) union-branch budgets + the original on top).
+        if (op.limit() == kLimitSentinel && op.offset() == kOffsetSentinel) {
+          return std::make_shared<LimitOp>(op.child(0), limit, offset);
+        }
+        if (op.limit() == kLimitSentinel && op.offset() == 0) {
+          return std::make_shared<LimitOp>(op.child(0), limit, 0);
+        }
+        if (op.limit() == kLimitSentinel + kOffsetSentinel &&
+            op.offset() == 0) {
+          return std::make_shared<LimitOp>(op.child(0), limit + offset, 0);
+        }
+        error = Status::ExecutionError(
+            "plan cache: unrecognized sentinel limit shape " +
+            std::to_string(op.limit()) + "/" + std::to_string(op.offset()));
+        return nullptr;
+      }
+      default:
+        return nullptr;
+    }
+  });
+  VDM_RETURN_NOT_OK(error);
+  if (cached.has_limit || joins_touched) {
+    bound = AnnotateJoinLimitHints(bound);
+  }
+  return bound;
+}
+
+}  // namespace vdm

@@ -185,6 +185,8 @@ Result<DataType> InferType(const ExprRef& expr, const TypeEnv& env) {
     case ExprKind::kMacroRef:
       return Status::BindError(
           "expression macro not expanded: " + expr->ToString());
+    case ExprKind::kParam:
+      return static_cast<const ParamExpr&>(*expr).type();
   }
   return Status::Internal("unreachable");
 }
@@ -566,6 +568,9 @@ Result<ColumnData> Eval(const ExprRef& expr, const Chunk& input) {
     case ExprKind::kMacroRef:
       return Status::ExecutionError(
           "unexpanded expression macro: " + expr->ToString());
+    case ExprKind::kParam:
+      return Status::ExecutionError(
+          "unbound plan-cache parameter: " + expr->ToString());
   }
   return Status::Internal("unreachable");
 }

@@ -59,7 +59,12 @@ const char* AggName(AggKind agg) {
 }  // namespace
 
 bool Expr::Equals(const Expr& other) const {
+  if (this == &other) return true;
   if (kind_ != other.kind_) return false;
+  // Cached structural hashes: a mismatch proves inequality without
+  // walking the trees (rewrite passes compare the same subtrees over and
+  // over; the hash is computed once per node).
+  if (Hash() != other.Hash()) return false;
   // Compare node-local attributes via ToString of the head; cheap and
   // sufficient because attributes are embedded in the rendering.
   if (children_.size() != other.children_.size()) return false;
@@ -103,6 +108,11 @@ bool Expr::Equals(const Expr& other) const {
     case ExprKind::kMacroRef:
       return static_cast<const MacroRefExpr&>(*this).name() ==
              static_cast<const MacroRefExpr&>(other).name();
+    case ExprKind::kParam: {
+      const auto& a = static_cast<const ParamExpr&>(*this);
+      const auto& b = static_cast<const ParamExpr&>(other);
+      return a.slot() == b.slot() && a.type() == b.type();
+    }
     case ExprKind::kCase:
       break;
   }
@@ -110,6 +120,68 @@ bool Expr::Equals(const Expr& other) const {
     if (!children_[i]->Equals(*other.children_[i])) return false;
   }
   return true;
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  uint64_t h = HashCombine(0x56444d5145585052ULL,  // arbitrary seed
+                           static_cast<uint64_t>(kind_));
+  std::hash<std::string> hs;
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      h = HashCombine(h, hs(static_cast<const ColumnRefExpr&>(*this).name()));
+      break;
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(*this).value();
+      h = HashCombine(h, v.is_null() ? 1 : 0);
+      if (!v.is_null()) {
+        h = HashCombine(h, static_cast<uint64_t>(v.type().id));
+        h = HashCombine(h, v.type().scale);
+        h = HashCombine(h, hs(v.ToString()));
+      }
+      break;
+    }
+    case ExprKind::kBinary:
+      h = HashCombine(h, static_cast<uint64_t>(
+                             static_cast<const BinaryExpr&>(*this).op()));
+      break;
+    case ExprKind::kUnary:
+      h = HashCombine(h, static_cast<uint64_t>(
+                             static_cast<const UnaryExpr&>(*this).op()));
+      break;
+    case ExprKind::kFunction:
+      h = HashCombine(h, hs(static_cast<const FunctionExpr&>(*this).name()));
+      break;
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(*this);
+      h = HashCombine(h, static_cast<uint64_t>(agg.agg()));
+      h = HashCombine(h, agg.distinct() ? 1 : 0);
+      h = HashCombine(h, agg.allow_precision_loss() ? 1 : 0);
+      break;
+    }
+    case ExprKind::kCase:
+      break;
+    case ExprKind::kIsNull:
+      h = HashCombine(h, static_cast<const IsNullExpr&>(*this).negated());
+      break;
+    case ExprKind::kMacroRef:
+      h = HashCombine(h, hs(static_cast<const MacroRefExpr&>(*this).name()));
+      break;
+    case ExprKind::kParam: {
+      const auto& p = static_cast<const ParamExpr&>(*this);
+      h = HashCombine(h, static_cast<uint64_t>(p.slot()));
+      h = HashCombine(h, static_cast<uint64_t>(p.type().id));
+      h = HashCombine(h, p.type().scale);
+      break;
+    }
+  }
+  for (const ExprRef& child : children_) {
+    h = HashCombine(h, child->Hash());
+  }
+  if (h == 0) h = 1;  // reserve 0 for "not yet computed"
+  hash_cache_.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 ExprRef ColumnRefExpr::WithChildren(std::vector<ExprRef> children) const {
@@ -212,6 +284,16 @@ ExprRef MacroRefExpr::WithChildren(std::vector<ExprRef> children) const {
   VDM_DCHECK(children.empty());
   (void)children;
   return std::make_shared<MacroRefExpr>(name_);
+}
+
+std::string ParamExpr::ToString() const {
+  return "?" + std::to_string(slot_);
+}
+
+ExprRef ParamExpr::WithChildren(std::vector<ExprRef> children) const {
+  VDM_DCHECK(children.empty());
+  (void)children;
+  return std::make_shared<ParamExpr>(slot_, type_);
 }
 
 // ---------------------------------------------------------------------------

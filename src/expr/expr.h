@@ -7,6 +7,8 @@
 #ifndef VDMQO_EXPR_EXPR_H_
 #define VDMQO_EXPR_EXPR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,7 +32,17 @@ enum class ExprKind {
   kCase,
   kIsNull,
   kMacroRef,    // EXPRESSION_MACRO(name) — expanded by the binder (§7.2)
+  kParam,       // plan-cache parameter slot; substituted before execution
 };
+
+/// Mixes a new 64-bit value into a running hash (64-bit FNV-style step
+/// with avalanche). Used for expression hashing and plan-cache keys.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  seed *= 0xff51afd7ed558ccdULL;
+  seed ^= seed >> 33;
+  return seed;
+}
 
 enum class BinaryOpKind {
   kAdd,
@@ -69,7 +81,15 @@ class Expr {
   ExprKind kind() const { return kind_; }
   virtual std::string ToString() const = 0;
   /// Structural equality (used for predicate subsumption checks).
+  /// Fast paths: pointer identity, then cached structural hashes — a hash
+  /// mismatch proves inequality without walking either tree.
   bool Equals(const Expr& other) const;
+
+  /// Structural hash (kind + node-local attributes + child hashes).
+  /// Computed lazily, cached on the node; nodes are immutable so the
+  /// value never changes. Safe for concurrent callers: racing writers
+  /// store the same value (relaxed atomics keep it TSan-clean).
+  uint64_t Hash() const;
 
   const std::vector<ExprRef>& children() const { return children_; }
 
@@ -79,6 +99,11 @@ class Expr {
  protected:
   ExprKind kind_;
   std::vector<ExprRef> children_;
+
+ private:
+  /// Cached Hash() value; 0 = not yet computed (computed hashes are
+  /// forced nonzero).
+  mutable std::atomic<uint64_t> hash_cache_{0};
 };
 
 class ColumnRefExpr : public Expr {
@@ -215,6 +240,29 @@ class MacroRefExpr : public Expr {
 
  private:
   std::string name_;
+};
+
+/// A parameter slot produced by statement parameterization (plan cache).
+/// Deliberately opaque to every rewrite: it is NOT a literal, so constant
+/// folding, constant pinning (UAJ 3 / AJ 2a-3), and predicate-subsumption
+/// matching never treat it as a known value — a cached plan must be valid
+/// for every future binding of the slot. Substituted with the bound
+/// literal before execution; evaluating an unbound parameter is an error.
+class ParamExpr : public Expr {
+ public:
+  ParamExpr(int slot, DataType type)
+      : Expr(ExprKind::kParam), slot_(slot), type_(type) {}
+  /// Index into the statement's ordered parameter vector.
+  int slot() const { return slot_; }
+  /// Static type of every value bound to this slot (part of the cache
+  /// key, so a slot's type never changes across hits).
+  const DataType& type() const { return type_; }
+  std::string ToString() const override;
+  ExprRef WithChildren(std::vector<ExprRef> children) const override;
+
+ private:
+  int slot_;
+  DataType type_;
 };
 
 // ---------------------------------------------------------------------------

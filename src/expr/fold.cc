@@ -107,6 +107,10 @@ bool IsAlwaysTrue(const ExprRef& predicate) {
   return IsLiteralBool(FoldConstants(predicate), true);
 }
 
+bool IsLiteralTrue(const ExprRef& expr) {
+  return IsLiteralBool(expr, true);
+}
+
 std::optional<ColumnConstant> MatchColumnEqConstant(const ExprRef& conjunct) {
   if (conjunct->kind() != ExprKind::kBinary) return std::nullopt;
   const auto& bin = static_cast<const BinaryExpr&>(*conjunct);

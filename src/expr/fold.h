@@ -28,6 +28,11 @@ bool IsAlwaysFalse(const ExprRef& predicate);
 /// True iff the folded predicate is the literal TRUE.
 bool IsAlwaysTrue(const ExprRef& predicate);
 
+/// True iff the expression already IS the literal TRUE — no folding.
+/// Use on expressions that have just been through FoldConstants; calling
+/// IsAlwaysTrue there would fold the whole tree a second time.
+bool IsLiteralTrue(const ExprRef& expr);
+
 /// If the conjunct has the shape `column = literal` (either order), returns
 /// the pair. Used to derive constant bindings.
 struct ColumnConstant {

@@ -65,14 +65,18 @@ PlanRef PassConstantFolding(const PlanRef& plan, const OptimizerConfig& config,
   (void)config;
   return TransformPlan(plan, [&](const PlanRef& node) -> PlanRef {
     if (PlanRef merged = TryMergeProjects(node, changed)) return merged;
+    // FoldConstants is clone-avoiding (TransformExpr returns the input
+    // node when nothing changed), so pointer comparison detects "nothing
+    // folded" without a structural walk — and the folded result is
+    // inspected directly instead of being folded a second time.
     if (node->kind() == OpKind::kFilter) {
       const auto& filter = static_cast<const FilterOp&>(*node);
       ExprRef folded = FoldConstants(filter.predicate());
-      if (IsAlwaysTrue(folded)) {
+      if (IsLiteralTrue(folded)) {
         *changed = true;
         return node->child(0);
       }
-      if (!folded->Equals(*filter.predicate())) {
+      if (folded != filter.predicate()) {
         *changed = true;
         return std::make_shared<FilterOp>(node->child(0), folded);
       }
@@ -85,7 +89,7 @@ PlanRef PassConstantFolding(const PlanRef& plan, const OptimizerConfig& config,
       items.reserve(project.items().size());
       for (const ProjectOp::Item& item : project.items()) {
         ExprRef folded = FoldConstants(item.expr);
-        any |= !folded->Equals(*item.expr);
+        any |= (folded != item.expr);
         items.push_back({std::move(folded), item.name});
       }
       if (!any) return nullptr;
@@ -95,7 +99,7 @@ PlanRef PassConstantFolding(const PlanRef& plan, const OptimizerConfig& config,
     if (node->kind() == OpKind::kJoin) {
       const auto& join = static_cast<const JoinOp&>(*node);
       ExprRef folded = FoldConstants(join.condition());
-      if (folded->Equals(*join.condition())) return nullptr;
+      if (folded == join.condition()) return nullptr;
       *changed = true;
       return std::make_shared<JoinOp>(join.left(), join.right(),
                                       join.join_type(), folded,

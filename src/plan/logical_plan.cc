@@ -236,9 +236,13 @@ std::vector<std::string> UnionAllOp::OutputNames() const {
 
 std::string UnionAllOp::Describe() const {
   std::string out = StrFormat("UnionAll [%zu children]", children_.size());
+  // An out-of-range branch id is exactly what the verifier reports via this
+  // string, so render the raw index instead of indexing output_names_.
   if (branch_id_column_ >= 0) {
-    out += " branch_id=" + output_names_[static_cast<size_t>(
-                               branch_id_column_)];
+    out += " branch_id=";
+    out += static_cast<size_t>(branch_id_column_) < output_names_.size()
+               ? output_names_[static_cast<size_t>(branch_id_column_)]
+               : StrFormat("#%d", branch_id_column_);
   }
   return out;
 }

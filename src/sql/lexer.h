@@ -17,6 +17,9 @@ enum class TokenKind {
   kDecimal,   // numeric literal with a fractional part
   kString,    // 'quoted'
   kSymbol,    // punctuation / operators
+  kParam,     // parameter slot; text = "<slot>:<typecode>", produced by
+              // statement parameterization (sql/parameterize.h), never by
+              // the lexer itself
   kEnd,
 };
 

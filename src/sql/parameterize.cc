@@ -1,0 +1,286 @@
+#include "sql/parameterize.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+namespace {
+
+bool IsLiteralToken(const Token& t) {
+  return t.kind == TokenKind::kInteger || t.kind == TokenKind::kDecimal ||
+         t.kind == TokenKind::kString;
+}
+
+/// Non-equality comparison operators. `=` is deliberately absent: an
+/// equality literal can act as a pinned constant (UAJ 3 / AJ 2a-3) or a
+/// union branch discriminator, so it must stay visible to the optimizer.
+bool IsRangeComparison(const Token& t) {
+  return t.kind == TokenKind::kSymbol &&
+         (t.text == "<" || t.text == ">" || t.text == "<=" ||
+          t.text == ">=" || t.text == "<>" || t.text == "!=");
+}
+
+/// Words that can directly precede '(' without forming a function call.
+bool IsBareKeyword(const std::string& text) {
+  static const char* kWords[] = {
+      "select", "from",  "where", "group", "by",    "having", "order",
+      "limit",  "offset", "union", "all",   "join",  "on",     "and",
+      "or",     "not",   "case",  "when",  "then",  "else",   "end",
+      "in",     "as",    "distinct"};
+  for (const char* w : kWords) {
+    if (EqualsIgnoreCase(text, w)) return true;
+  }
+  return false;
+}
+
+enum class Clause {
+  kSelectList,
+  kFrom,
+  kOn,
+  kWhere,
+  kGroupBy,
+  kHaving,
+  kOrderBy,
+  kLimit,
+};
+
+enum class ParenKind { kPlain, kFunction, kSubquery };
+
+struct SelectCtx {
+  Clause clause = Clause::kSelectList;
+  int case_depth = 0;
+};
+
+/// Renders one output token into the normalized key text.
+void AppendKeyToken(const Token& t, std::string* key) {
+  if (!key->empty()) key->push_back(' ');
+  if (t.kind == TokenKind::kParam) {
+    key->push_back('?');
+    key->append(t.text);
+    return;
+  }
+  if (t.kind == TokenKind::kString) {
+    key->push_back('\'');
+    for (char c : t.text) {
+      if (c == '\'') key->push_back('\'');
+      key->push_back(c);
+    }
+    key->push_back('\'');
+    return;
+  }
+  key->append(t.text);
+}
+
+/// Parses a kInteger/kDecimal/kString token into (value, type, typecode).
+void LiteralTokenValue(const Token& t, Value* value, DataType* type,
+                       std::string* typecode) {
+  if (t.kind == TokenKind::kInteger) {
+    *value = Value::Int64(std::stoll(t.text));
+    *type = DataType::Int64();
+    *typecode = "i";
+    return;
+  }
+  if (t.kind == TokenKind::kDecimal) {
+    size_t dot = t.text.find('.');
+    std::string digits = t.text.substr(0, dot) + t.text.substr(dot + 1);
+    uint8_t scale = static_cast<uint8_t>(t.text.size() - dot - 1);
+    *value = Value::Decimal(std::stoll(digits), scale);
+    *type = DataType::Decimal(scale);
+    *typecode = "d" + std::to_string(scale);
+    return;
+  }
+  *value = Value::String(t.text);
+  *type = DataType::String();
+  *typecode = "s";
+}
+
+}  // namespace
+
+Result<ParameterizedStatement> ParameterizeStatement(const std::string& sql) {
+  ParameterizedStatement out;
+  VDM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  if (tokens.empty() || tokens[0].kind == TokenKind::kEnd) return out;
+  // Only SELECT statements are cacheable; DDL/INSERT bypass the cache.
+  bool starts_select = tokens[0].kind == TokenKind::kIdentifier &&
+                       EqualsIgnoreCase(tokens[0].text, "select");
+  bool starts_paren =
+      tokens[0].kind == TokenKind::kSymbol && tokens[0].text == "(";
+  if (!starts_select && !starts_paren) return out;
+
+  std::vector<SelectCtx> selects;
+  std::vector<ParenKind> parens;
+  int func_depth = 0;
+  bool collision = false;
+
+  auto emit = [&](const Token& t) {
+    AppendKeyToken(t, &out.key);
+    out.tokens.push_back(t);
+  };
+
+  const size_t n = tokens.size();  // includes the trailing kEnd
+  auto at = [&](size_t idx) -> const Token& {
+    return tokens[idx < n ? idx : n - 1];
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kEnd) {
+      out.tokens.push_back(t);
+      break;
+    }
+
+    if (t.kind == TokenKind::kSymbol && t.text == "(") {
+      ParenKind kind = ParenKind::kPlain;
+      if (at(i + 1).kind == TokenKind::kIdentifier &&
+          EqualsIgnoreCase(at(i + 1).text, "select")) {
+        kind = ParenKind::kSubquery;
+        selects.push_back(SelectCtx{});
+      } else if (i > 0 && tokens[i - 1].kind == TokenKind::kIdentifier &&
+                 !IsBareKeyword(tokens[i - 1].text)) {
+        kind = ParenKind::kFunction;
+        ++func_depth;
+      }
+      parens.push_back(kind);
+      emit(t);
+      continue;
+    }
+    if (t.kind == TokenKind::kSymbol && t.text == ")") {
+      if (!parens.empty()) {
+        if (parens.back() == ParenKind::kSubquery && !selects.empty()) {
+          selects.pop_back();
+        }
+        if (parens.back() == ParenKind::kFunction && func_depth > 0) {
+          --func_depth;
+        }
+        parens.pop_back();
+      }
+      emit(t);
+      continue;
+    }
+
+    if (t.kind == TokenKind::kIdentifier) {
+      // DATE 'yyyy-mm-dd': the string feeds the date constructor — keep
+      // both tokens inline.
+      if (EqualsIgnoreCase(t.text, "date") &&
+          at(i + 1).kind == TokenKind::kString) {
+        emit(t);
+        emit(tokens[i + 1]);
+        ++i;
+        continue;
+      }
+      if (!selects.empty()) {
+        SelectCtx& ctx = selects.back();
+        if (EqualsIgnoreCase(t.text, "case") &&
+            !(at(i + 1).kind == TokenKind::kIdentifier &&
+              EqualsIgnoreCase(at(i + 1).text, "join"))) {
+          ++ctx.case_depth;
+        } else if (EqualsIgnoreCase(t.text, "end") && ctx.case_depth > 0) {
+          --ctx.case_depth;
+        } else if (EqualsIgnoreCase(t.text, "from")) {
+          ctx.clause = Clause::kFrom;
+        } else if (EqualsIgnoreCase(t.text, "join")) {
+          ctx.clause = Clause::kFrom;
+        } else if (EqualsIgnoreCase(t.text, "on")) {
+          ctx.clause = Clause::kOn;
+        } else if (EqualsIgnoreCase(t.text, "where")) {
+          ctx.clause = Clause::kWhere;
+        } else if (EqualsIgnoreCase(t.text, "group")) {
+          ctx.clause = Clause::kGroupBy;
+        } else if (EqualsIgnoreCase(t.text, "having")) {
+          ctx.clause = Clause::kHaving;
+        } else if (EqualsIgnoreCase(t.text, "order")) {
+          ctx.clause = Clause::kOrderBy;
+        } else if (EqualsIgnoreCase(t.text, "union")) {
+          ctx.clause = Clause::kFrom;
+        } else if (EqualsIgnoreCase(t.text, "select")) {
+          // Next UNION ALL core at the same level.
+          ctx.clause = Clause::kSelectList;
+        }
+      } else if (EqualsIgnoreCase(t.text, "select")) {
+        selects.push_back(SelectCtx{});
+      }
+
+      // Top-level LIMIT n [OFFSET m] → sentinels; real values rebound on
+      // every cache hit.
+      if (parens.empty() && EqualsIgnoreCase(t.text, "limit") &&
+          at(i + 1).kind == TokenKind::kInteger) {
+        if (!selects.empty()) selects.back().clause = Clause::kLimit;
+        out.has_limit = true;
+        out.limit = std::stoll(tokens[i + 1].text);
+        emit(t);
+        Token sentinel = tokens[i + 1];
+        sentinel.text = std::to_string(kLimitSentinel);
+        out.tokens.push_back(sentinel);
+        out.key += " ?L";
+        ++i;
+        continue;
+      }
+      if (parens.empty() && out.has_limit &&
+          EqualsIgnoreCase(t.text, "offset") &&
+          at(i + 1).kind == TokenKind::kInteger) {
+        out.has_offset = true;
+        out.offset = std::stoll(tokens[i + 1].text);
+        emit(t);
+        Token sentinel = tokens[i + 1];
+        sentinel.text = std::to_string(kOffsetSentinel);
+        out.tokens.push_back(sentinel);
+        out.key += " ?O";
+        ++i;
+        continue;
+      }
+
+      emit(t);
+      continue;
+    }
+
+    if (IsLiteralToken(t)) {
+      bool eligible = selects.size() == 1 && parens.size() <= 1 &&
+                      func_depth == 0 && selects.back().case_depth == 0 &&
+                      (selects.back().clause == Clause::kWhere ||
+                       selects.back().clause == Clause::kHaving);
+      if (eligible) {
+        bool rhs_of_cmp = i >= 1 && IsRangeComparison(tokens[i - 1]) &&
+                          !(i >= 2 && IsLiteralToken(tokens[i - 2]));
+        bool lhs_of_cmp =
+            IsRangeComparison(at(i + 1)) && !IsLiteralToken(at(i + 2));
+        eligible = rhs_of_cmp || lhs_of_cmp;
+      }
+      if (eligible) {
+        Value value;
+        DataType type;
+        std::string typecode;
+        LiteralTokenValue(t, &value, &type, &typecode);
+        Token param;
+        param.kind = TokenKind::kParam;
+        param.offset = t.offset;
+        param.text =
+            std::to_string(out.params.size()) + ":" + typecode;
+        emit(param);
+        out.params.push_back(std::move(value));
+        out.param_types.push_back(type);
+        continue;
+      }
+      // Kept inline. An inline integer that collides with a sentinel
+      // combination would make limit rebinding ambiguous — bypass the
+      // cache for this statement.
+      if (t.kind == TokenKind::kInteger) {
+        int64_t v = std::stoll(t.text);
+        if (v == kLimitSentinel || v == kOffsetSentinel ||
+            v == kLimitSentinel + kOffsetSentinel) {
+          collision = true;
+        }
+      }
+      emit(t);
+      continue;
+    }
+
+    emit(t);
+  }
+
+  out.cacheable = !collision;
+  return out;
+}
+
+}  // namespace vdm

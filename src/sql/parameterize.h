@@ -1,0 +1,67 @@
+// Statement parameterization for the plan cache (engine/plan_cache.h).
+//
+// Enterprise VDM workloads are repetitive: generated statements arrive
+// over and over differing only in literals — most visibly the §4.4 paging
+// queries that differ only in OFFSET. ParameterizeStatement lifts such
+// literals out of the token stream into an ordered parameter vector and
+// produces a normalized cache key, so repeats share one optimized plan.
+//
+// Parameterization policy (see DESIGN.md §9). A literal is lifted only
+// when it cannot feed a profile-dependent rewrite:
+//  * top-level WHERE/HAVING literals that are one side of a non-equality
+//    comparison (<, <=, >, >=, <>, !=) whose other side is not a literal;
+//  * the top-level LIMIT and OFFSET integers (replaced by sentinels the
+//    optimizer plans with; the real values are rebound on every hit, and
+//    JoinOp::limit_hint is re-derived so early-exit stays correct).
+// Everything else stays inline: equality literals (constant pinning,
+// UAJ 3 / AJ 2a-3), subquery literals (branch discriminators, predicate
+// subsumption), ON-clause / select-list / function-argument / CASE /
+// GROUP BY / ORDER BY literals, DATE literals, and literal-vs-literal
+// comparisons (constant folding, AJ 2b empty-augmenter detection).
+#ifndef VDMQO_SQL_PARAMETERIZE_H_
+#define VDMQO_SQL_PARAMETERIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/lexer.h"
+#include "types/value.h"
+
+namespace vdm {
+
+/// Sentinel LIMIT/OFFSET values the optimizer plans with. Chosen large
+/// and distinctive; a statement (or inlined view) whose own literal
+/// limits collide with a sentinel combination is simply not cached.
+inline constexpr int64_t kLimitSentinel = 1000003;
+inline constexpr int64_t kOffsetSentinel = 1000033;
+
+struct ParameterizedStatement {
+  /// Normalized cache-key text: tokens joined by single spaces, lifted
+  /// literals rendered as "?<slot>:<typecode>", LIMIT/OFFSET as ?L / ?O.
+  /// Identical for all literal-variants of one generated statement.
+  std::string key;
+  /// Rewritten token stream for ParseTokenStream: lifted literals are
+  /// kParam tokens, LIMIT/OFFSET integers carry the sentinel values.
+  std::vector<Token> tokens;
+  /// The literal values of *this* statement, in slot order.
+  std::vector<Value> params;
+  std::vector<DataType> param_types;
+  bool has_limit = false;
+  bool has_offset = false;
+  int64_t limit = -1;
+  int64_t offset = 0;
+  /// False when the statement must bypass the cache entirely (not a
+  /// SELECT, or its inline literals collide with the limit sentinels).
+  bool cacheable = false;
+};
+
+/// Tokenizes and parameterizes one statement. Lexer failures surface as
+/// a Status; statements that merely should not be cached come back OK
+/// with cacheable == false.
+Result<ParameterizedStatement> ParameterizeStatement(const std::string& sql);
+
+}  // namespace vdm
+
+#endif  // VDMQO_SQL_PARAMETERIZE_H_

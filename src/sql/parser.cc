@@ -681,6 +681,29 @@ class Parser {
       Advance();
       return LitStr(std::move(v));
     }
+    if (t.kind == TokenKind::kParam) {
+      // "<slot>:<typecode>" with typecode i | s | d<scale> (see
+      // sql/parameterize.cc, which manufactures these tokens).
+      size_t colon = t.text.find(':');
+      if (colon == std::string::npos || colon + 1 >= t.text.size()) {
+        return Error<ExprRef>("malformed parameter token");
+      }
+      int slot = static_cast<int>(std::stoll(t.text.substr(0, colon)));
+      char code = t.text[colon + 1];
+      DataType type;
+      if (code == 'i') {
+        type = DataType::Int64();
+      } else if (code == 's') {
+        type = DataType::String();
+      } else if (code == 'd') {
+        type = DataType::Decimal(static_cast<uint8_t>(
+            std::stoll(t.text.substr(colon + 2))));
+      } else {
+        return Error<ExprRef>("malformed parameter token");
+      }
+      Advance();
+      return ExprRef(std::make_shared<ParamExpr>(slot, type));
+    }
     if (ConsumeSymbol("(")) {
       VDM_ASSIGN_OR_RETURN(ExprRef inner, ParseExpr());
       VDM_RETURN_NOT_OK(ExpectSymbol(")"));
@@ -814,6 +837,12 @@ class Parser {
 Result<Statement> ParseStatement(const std::string& sql) {
   VDM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(sql, std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+Result<Statement> ParseTokenStream(std::string sql,
+                                   std::vector<Token> tokens) {
+  Parser parser(std::move(sql), std::move(tokens));
   return parser.ParseStatementTop();
 }
 

@@ -15,14 +15,23 @@
 #define VDMQO_SQL_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "sql/ast.h"
+#include "sql/lexer.h"
 
 namespace vdm {
 
 /// Parses a single SQL statement (trailing ';' optional).
 Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a pre-tokenized statement. Used by the plan cache's statement
+/// parameterization, which rewrites the token stream (literal → kParam
+/// slot) before parsing; kParam tokens become ParamExpr nodes. `sql` is
+/// only used for error messages.
+Result<Statement> ParseTokenStream(std::string sql,
+                                   std::vector<Token> tokens);
 
 /// Parses a standalone scalar expression (used for DAC filters and macro
 /// bodies).

@@ -1,0 +1,338 @@
+// Plan cache (engine/plan_cache.h) and statement parameterization
+// (sql/parameterize.h): hit/miss behaviour, invalidation, LRU eviction,
+// limit rebinding, and result equivalence against the uncached pipeline.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "sql/parameterize.h"
+#include "workload/tpch.h"
+
+namespace vdm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Statement parameterization
+
+TEST(ParameterizeTest, LiteralVariantsShareOneKey) {
+  // Note the literals share one decimal scale: the scale is part of the
+  // parameter's type and therefore of the key.
+  auto a = ParameterizeStatement(
+      "select o_orderkey from orders where o_totalprice > 100.5 limit 10");
+  auto b = ParameterizeStatement(
+      "select o_orderkey from orders where o_totalprice > 999.2 limit 7 "
+      "offset 3");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->cacheable);
+  EXPECT_TRUE(b->cacheable);
+  // The keys differ only in the optional OFFSET marker.
+  EXPECT_EQ(a->key + " offset ?O", b->key);
+  ASSERT_EQ(a->params.size(), 1u);
+  ASSERT_EQ(b->params.size(), 1u);
+  EXPECT_EQ(a->limit, 10);
+  EXPECT_EQ(a->offset, 0);
+  EXPECT_FALSE(a->has_offset);
+  EXPECT_EQ(b->limit, 7);
+  EXPECT_EQ(b->offset, 3);
+  EXPECT_TRUE(b->has_offset);
+
+  auto c = ParameterizeStatement(
+      "select o_orderkey from orders where o_totalprice > 42.0 limit 99 "
+      "offset 6");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(b->key, c->key);
+}
+
+TEST(ParameterizeTest, EqualityLiteralsStayInline) {
+  // Equality literals feed constant pinning (UAJ 3) and must remain
+  // visible to the optimizer, so they land in the key verbatim.
+  auto a = ParameterizeStatement(
+      "select o_orderkey from orders where o_orderstatus = 'O'");
+  auto b = ParameterizeStatement(
+      "select o_orderkey from orders where o_orderstatus = 'F'");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->params.empty());
+  EXPECT_NE(a->key, b->key);
+}
+
+TEST(ParameterizeTest, SubqueryAndOnClauseLiteralsStayInline) {
+  auto p = ParameterizeStatement(
+      "select o.o_orderkey from orders o left join "
+      "(select c_custkey from customer where c_acctbal > 50.0) t "
+      "on o.o_custkey = t.c_custkey and 1 < 2 "
+      "where o.o_totalprice > 10.0");
+  ASSERT_TRUE(p.ok());
+  // Only the top-level WHERE literal is lifted; the subquery's range
+  // literal and the ON-clause literals are untouched.
+  ASSERT_EQ(p->params.size(), 1u);
+  EXPECT_EQ(p->params[0].ToString(), Value::Decimal(100, 1).ToString());
+}
+
+TEST(ParameterizeTest, NonSelectAndSentinelCollisionsNotCacheable) {
+  auto ddl = ParameterizeStatement("create table t (k int primary key)");
+  ASSERT_TRUE(ddl.ok());
+  EXPECT_FALSE(ddl->cacheable);
+
+  auto collide = ParameterizeStatement(
+      "select o_orderkey from orders where o_orderkey = 1000003 limit 5");
+  ASSERT_TRUE(collide.ok());
+  EXPECT_FALSE(collide->cacheable);
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache structure
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  PlanCache cache(2);
+  auto plan = std::make_shared<CachedPlan>();
+  cache.Insert("a", plan);
+  cache.Insert("b", plan);
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // "a" is now most recent
+  cache.Insert("c", plan);                // evicts "b"
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(PlanCacheTest, ConcurrentLookupInsertClear) {
+  PlanCache cache(8);
+  auto plan = std::make_shared<CachedPlan>();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, plan, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string((t + i) % 12);
+        if (cache.Lookup(key) == nullptr) cache.Insert(key, plan);
+        if (i % 100 == 99 && t == 0) cache.Clear();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 8u);
+}
+
+TEST(PlanCacheTest, ConfigFingerprintSeparatesProfiles) {
+  uint64_t hana = FingerprintConfig(ConfigForProfile(SystemProfile::kHana));
+  uint64_t pg = FingerprintConfig(ConfigForProfile(SystemProfile::kPostgres));
+  uint64_t none = FingerprintConfig(ConfigForProfile(SystemProfile::kNone));
+  EXPECT_NE(hana, pg);
+  EXPECT_NE(hana, none);
+  EXPECT_NE(pg, none);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end behaviour on TPC-H
+
+class PlanCacheDbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    TpchOptions options;
+    options.scale = 0.05;
+    ASSERT_TRUE(CreateTpchSchema(db_, options).ok());
+    ASSERT_TRUE(LoadTpchData(db_, options).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  void SetUp() override {
+    db_->SetProfile(SystemProfile::kHana);
+    db_->EnablePlanCache();
+    db_->ResetPlanCacheStats();
+  }
+  void TearDown() override { db_->DisablePlanCache(); }
+
+  static Database* db_;
+};
+
+Database* PlanCacheDbTest::db_ = nullptr;
+
+TEST_F(PlanCacheDbTest, HitOnLiteralOnlyChange) {
+  QueryTiming timing;
+  Result<Chunk> first = db_->Query(
+      "select o_orderkey from orders where o_orderkey > 0", nullptr,
+      &timing);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(timing.used_cache);
+  EXPECT_FALSE(timing.cache_hit);
+
+  Result<Chunk> second = db_->Query(
+      "select o_orderkey from orders where o_orderkey > 999999999", nullptr,
+      &timing);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(timing.cache_hit);
+  EXPECT_EQ(timing.parse_ns, 0);
+  EXPECT_EQ(timing.bind_ns, 0);
+  EXPECT_EQ(timing.optimize_ns, 0);
+  // The two literal variants must produce genuinely different results.
+  EXPECT_GT(first->NumRows(), second->NumRows());
+
+  // Same literal again: still a hit, same result as the uncached pipeline.
+  db_->DisablePlanCache();
+  Result<Chunk> uncached = db_->Query(
+      "select o_orderkey from orders where o_orderkey > 999999999");
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_EQ(second->ToString(), uncached->ToString());
+}
+
+TEST_F(PlanCacheDbTest, PagingQueryRebindsLimitAndOffset) {
+  std::vector<std::string> uncached;
+  db_->DisablePlanCache();
+  for (int64_t offset : {0, 5, 40, 400}) {
+    Result<Chunk> r = db_->Query(PagingQuerySql(10, offset));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    uncached.push_back(r->ToString());
+  }
+  db_->EnablePlanCache();
+  db_->ResetPlanCacheStats();
+  size_t i = 0;
+  for (int64_t offset : {0, 5, 40, 400}) {
+    QueryTiming timing;
+    Result<Chunk> r = db_->Query(PagingQuerySql(10, offset), nullptr, &timing);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(timing.cache_hit, i > 0) << "offset " << offset;
+    EXPECT_EQ(r->NumRows(), 10u);
+    EXPECT_EQ(r->ToString(), uncached[i]) << "offset " << offset;
+    ++i;
+  }
+  PlanCacheStats stats = db_->plan_cache_stats();
+  EXPECT_EQ(stats.hits, 3u);
+  // A different LIMIT is a hit too (the window is a parameter).
+  Result<Chunk> wide = db_->Query(PagingQuerySql(25, 3));
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->NumRows(), 25u);
+  EXPECT_EQ(db_->plan_cache_stats().hits, 4u);
+}
+
+TEST_F(PlanCacheDbTest, InvalidationOnDdlProfileAndConfig) {
+  const std::string sql =
+      "select o_orderkey from orders where o_totalprice > 500.0";
+  ASSERT_TRUE(db_->Query(sql).ok());
+  QueryTiming timing;
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_TRUE(timing.cache_hit);
+
+  // CREATE TABLE bumps the catalog version: next run must recompile.
+  ASSERT_TRUE(db_->Execute("create table pc_probe (k int primary key)").ok());
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+
+  // CREATE VIEW likewise.
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok() && timing.cache_hit);
+  ASSERT_TRUE(
+      db_->Execute("create view pc_view as select k from pc_probe").ok());
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+
+  // Dropping objects invalidates too.
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok() && timing.cache_hit);
+  ASSERT_TRUE(db_->catalog().DropView("pc_view").ok());
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok() && timing.cache_hit);
+  ASSERT_TRUE(db_->catalog().DropTable("pc_probe").ok());
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+
+  // Profile change clears the cache.
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok() && timing.cache_hit);
+  db_->SetProfile(SystemProfile::kPostgres);
+  EXPECT_EQ(db_->plan_cache_size(), 0u);
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+
+  // Optimizer-config change clears it as well.
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok() && timing.cache_hit);
+  OptimizerConfig config = ConfigForProfile(SystemProfile::kHana);
+  config.join_reordering = false;
+  db_->SetOptimizerConfig(config);
+  EXPECT_EQ(db_->plan_cache_size(), 0u);
+  ASSERT_TRUE(db_->Query(sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+}
+
+TEST_F(PlanCacheDbTest, EvictionAtDatabaseLevel) {
+  db_->EnablePlanCache(/*capacity=*/2);
+  for (const char* sql :
+       {"select o_orderkey from orders where o_totalprice > 1.0",
+        "select o_custkey from orders where o_totalprice > 2.0",
+        "select o_orderdate from orders where o_totalprice > 3.0"}) {
+    ASSERT_TRUE(db_->Query(sql).ok());
+  }
+  EXPECT_EQ(db_->plan_cache_size(), 2u);
+  EXPECT_GE(db_->plan_cache_stats().evictions, 1u);
+}
+
+TEST_F(PlanCacheDbTest, ResultsIdenticalAcrossProfilesColdAndWarm) {
+  std::vector<std::string> queries;
+  for (UajQuery q : AllUajQueries()) queries.push_back(UajQuerySql(q));
+  for (AsjQuery q : AllAsjQueries()) queries.push_back(AsjQuerySql(q));
+  queries.push_back(PagingQuerySql(20, 10));
+  queries.push_back(
+      "select o_orderstatus, sum(o_totalprice) as total from orders "
+      "group by o_orderstatus having sum(o_totalprice) > 100.00");
+
+  for (SystemProfile profile :
+       {SystemProfile::kHana, SystemProfile::kPostgres, SystemProfile::kSystemX,
+        SystemProfile::kSystemY, SystemProfile::kSystemZ}) {
+    for (const std::string& sql : queries) {
+      db_->SetProfile(profile);
+      db_->DisablePlanCache();
+      Result<Chunk> off = db_->Query(sql);
+      ASSERT_TRUE(off.ok()) << off.status().ToString() << "\n" << sql;
+      db_->EnablePlanCache();
+      QueryTiming timing;
+      Result<Chunk> cold = db_->Query(sql, nullptr, &timing);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString() << "\n" << sql;
+      Result<Chunk> warm = db_->Query(sql, nullptr, &timing);
+      ASSERT_TRUE(warm.ok());
+      // Byte-identical output, cache off vs cold miss vs warm hit.
+      EXPECT_EQ(off->ToString(), cold->ToString())
+          << ProfileName(profile) << "\n" << sql;
+      EXPECT_EQ(off->ToString(), warm->ToString())
+          << ProfileName(profile) << "\n" << sql;
+    }
+  }
+}
+
+TEST_F(PlanCacheDbTest, ParallelExecutionWithCache) {
+  ExecOptions exec;
+  exec.num_threads = 4;
+  db_->SetExecOptions(exec);
+  std::string cold;
+  for (int round = 0; round < 3; ++round) {
+    QueryTiming timing;
+    Result<Chunk> r = db_->Query(PagingQuerySql(50, 25), nullptr, &timing);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(timing.cache_hit, round > 0);
+    if (round == 0) {
+      cold = r->ToString();
+    } else {
+      EXPECT_EQ(cold, r->ToString());
+    }
+  }
+  db_->SetExecOptions(ExecOptions{});
+}
+
+TEST_F(PlanCacheDbTest, ExplainAnalyzeReportsCacheOutcome) {
+  const std::string sql =
+      "select o_orderkey from orders where o_totalprice > 800.0 limit 4";
+  Result<std::string> cold = db_->ExplainAnalyze(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_NE(cold->find("plan cache: miss"), std::string::npos) << *cold;
+  Result<std::string> warm = db_->ExplainAnalyze(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->find("plan cache: hit"), std::string::npos) << *warm;
+  EXPECT_NE(warm->find("rebind"), std::string::npos) << *warm;
+}
+
+}  // namespace
+}  // namespace vdm

@@ -21,22 +21,29 @@ run_sanitizer() {
         -DVDMQO_SANITIZE="${san}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  # Second pass with the plan cache on: the paper-query and property
+  # suites must produce byte-identical results through the cached
+  # parameterize + rebind path too.
+  echo "== ${san}: paper-query + property tests, VDM_PLAN_CACHE=1 =="
+  VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      -R 'paper_queries_test|property_random_test|plan_cache_test'
   echo "== ${san}: all tests passed =="
 }
 
 run_thread_sanitizer() {
-  # ThreadSanitizer over the tests that exercise the parallel executor.
-  # Only the executor suites run: the rest of the test battery is
-  # single-threaded and TSan slows it ~10x for no signal.
+  # ThreadSanitizer over the tests that exercise concurrency: the parallel
+  # executor suites and the plan cache (shared LRU hit from many sessions).
+  # Only these run: the rest of the test battery is single-threaded and
+  # TSan slows it ~10x for no signal.
   local dir="build-thread"
-  echo "== thread sanitizer build (executor tests) =="
+  echo "== thread sanitizer build (executor + plan cache tests) =="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DVDMQO_SANITIZE=thread >/dev/null
   cmake --build "${dir}" -j "${JOBS}" \
-        --target exec_test exec_parallel_test hash_table_test
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-        -R 'exec_test|exec_parallel_test|hash_table_test'
-  echo "== thread: executor tests passed =="
+        --target exec_test exec_parallel_test hash_table_test plan_cache_test
+  VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      -R 'exec_test|exec_parallel_test|hash_table_test|plan_cache_test'
+  echo "== thread: executor + plan cache tests passed =="
 }
 
 run_lint() {

@@ -13,6 +13,9 @@
 //   .profile <name>        hana | postgres | systemx | systemy | systemz | none
 //   .explain <sql>         optimized plan
 //   .explainraw <sql>      bound plan before optimization (Fig. 3 form)
+//   .analyze <sql>         run + plan with compile/execute timing split
+//                          and plan-cache outcome (DESIGN.md §9)
+//   .cache on|off|stats    parameterized plan cache control
 //   .timing on|off         print execution time per query
 //   .load tpch [scale]     create + load the TPC-H workload
 //   .load s4               create + load the S/4-like schema + JEIB stack
@@ -61,7 +64,8 @@ bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
   if (cmd == ".help") {
     std::printf(
         ".tables .views .profile <p> .explain <sql> .explainraw <sql>\n"
-        ".timing on|off  .load tpch [scale] | s4  .import <table> <csv>\n"
+        ".analyze <sql>  .cache on|off|stats  .timing on|off\n"
+        ".load tpch [scale] | s4  .import <table> <csv>\n"
         ".export <csv> <sql>  .materialize <view> [dynamic]  "
         ".refresh <view>  .quit\n");
     return true;
@@ -109,6 +113,41 @@ bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
       std::printf("%s", plan->c_str());
     } else {
       PrintStatus(plan.status());
+    }
+    return true;
+  }
+  if (cmd == ".analyze") {
+    std::string sql = line.substr(cmd.size());
+    Result<std::string> out = db->ExplainAnalyze(sql);
+    if (out.ok()) {
+      std::printf("%s", out->c_str());
+    } else {
+      PrintStatus(out.status());
+    }
+    return true;
+  }
+  if (cmd == ".cache" && words.size() >= 2) {
+    const std::string& arg = words[1];
+    if (EqualsIgnoreCase(arg, "on")) {
+      db->EnablePlanCache();
+      std::printf("plan cache enabled (capacity %zu)\n",
+                  Database::kDefaultPlanCacheCapacity);
+    } else if (EqualsIgnoreCase(arg, "off")) {
+      db->DisablePlanCache();
+      std::printf("plan cache disabled\n");
+    } else if (EqualsIgnoreCase(arg, "stats")) {
+      PlanCacheStats stats = db->plan_cache_stats();
+      std::printf(
+          "plan cache: %s, %zu cached; hits %llu misses %llu "
+          "insertions %llu evictions %llu invalidations %llu\n",
+          db->plan_cache_enabled() ? "on" : "off", db->plan_cache_size(),
+          static_cast<unsigned long long>(stats.hits),
+          static_cast<unsigned long long>(stats.misses),
+          static_cast<unsigned long long>(stats.insertions),
+          static_cast<unsigned long long>(stats.evictions),
+          static_cast<unsigned long long>(stats.invalidations));
+    } else {
+      std::printf("usage: .cache on|off|stats\n");
     }
     return true;
   }

@@ -180,12 +180,16 @@ class JsonReporter {
             "\"rows_aggregated\": %llu, \"operators_executed\": %llu, "
             "\"morsels_scanned\": %llu, \"morsels_probed\": %llu, "
             "\"peak_hash_table_entries\": %llu, \"limit_early_exits\": %llu, "
+            "\"cancel_checks\": %llu, \"peak_memory_bytes\": %llu, "
+            "\"degraded_serial_retries\": %llu, \"admission_wait_ns\": %llu, "
             "\"op_wall_ns\": {",
             Ull(m.rows_scanned), Ull(m.rows_build_input),
             Ull(m.rows_probe_input), Ull(m.rows_aggregated),
             Ull(m.operators_executed), Ull(m.morsels_scanned),
             Ull(m.morsels_probed), Ull(m.peak_hash_table_entries),
-            Ull(m.limit_early_exits));
+            Ull(m.limit_early_exits), Ull(m.cancel_checks),
+            Ull(m.peak_memory_bytes), Ull(m.degraded_serial_retries),
+            Ull(m.admission_wait_ns));
         bool first = true;
         for (const auto& [op, ns] : m.op_wall_ns) {
           std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",

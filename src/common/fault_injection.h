@@ -1,0 +1,90 @@
+// Named fault-injection points for robustness testing.
+//
+// Hot paths declare points with VDM_FAULT_POINT("exec.hash_build.oom");
+// when the build compiles with -DVDMQO_FAULT_INJECTION (cmake option
+// VDMQO_FAULT_INJECTION=ON, used by `tools/ci.sh fault`), each point asks
+// the process-wide registry whether to fire and propagates the injected
+// Status. In normal builds the macro expands to nothing and
+// FaultInjection::Check is an inline constant, so the points cost zero
+// cycles and zero branches.
+//
+// Activation, in a fault build:
+//   - env:  VDM_FAULT="exec.hash_build.oom=n:3;exec.join.probe=p:0.01"
+//           (`n:<k>` fires on exactly the k-th hit, `p:<x>` fires each hit
+//           with probability x; the name `*` matches every point)
+//   - API:  FaultInjection::Set("exec.join.probe", {.probability = 0.05});
+//
+// The injected status is kResourceExhausted for points whose name ends in
+// ".oom" (so they exercise the engine's degradation ladder) and
+// kExecutionError otherwise; FaultSpec::code overrides. Probability draws
+// use a per-point deterministic RNG seeded by VDM_FAULT_SEED /
+// FaultInjection::SetSeed, so soak failures replay.
+#ifndef VDMQO_COMMON_FAULT_INJECTION_H_
+#define VDMQO_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vdm {
+
+/// When (and as what) a fault point fires. Default-constructed = never.
+struct FaultSpec {
+  /// Fires each hit with this probability (0 disables).
+  double probability = 0.0;
+  /// Fires on exactly the nth hit, 1-based (0 disables). Evaluated in
+  /// addition to `probability`.
+  int64_t nth = 0;
+  /// Injected code; kOk means "derive from the point name" (.oom ->
+  /// kResourceExhausted, otherwise kExecutionError).
+  StatusCode code = StatusCode::kOk;
+};
+
+class FaultInjection {
+ public:
+  /// True when the build compiled the fault points in.
+  static constexpr bool CompiledIn() {
+#ifdef VDMQO_FAULT_INJECTION
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Arms a point (or `*` for all points). Thread-safe.
+  static void Set(const std::string& point, FaultSpec spec);
+  /// Disarms everything and resets hit counters; env re-parse does NOT
+  /// happen again (tests own the registry after the first touch).
+  static void Clear();
+  /// Reseeds the per-point probability RNGs.
+  static void SetSeed(uint64_t seed);
+  /// Times the named armed point was evaluated since it was Set().
+  static uint64_t Hits(const std::string& point);
+
+#ifdef VDMQO_FAULT_INJECTION
+  /// Called by VDM_FAULT_POINT: OK, or the injected fault status.
+  static Status Check(const char* point);
+#else
+  static Status Check(const char*) { return Status::OK(); }
+#endif
+};
+
+}  // namespace vdm
+
+// Declares a fault point in a function returning Status or Result<T>.
+// For contexts that cannot `return` a Status (void lambdas writing into
+// error slots), call FaultInjection::Check directly.
+#ifdef VDMQO_FAULT_INJECTION
+#define VDM_FAULT_POINT(point)                                    \
+  do {                                                            \
+    ::vdm::Status _vdm_fault = ::vdm::FaultInjection::Check(point); \
+    if (!_vdm_fault.ok()) return _vdm_fault;                      \
+  } while (0)
+#else
+#define VDM_FAULT_POINT(point) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // VDMQO_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,79 @@
+#include "common/query_context.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace vdm {
+
+Status MemoryTracker::TryCharge(int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  int64_t limit = limit_.load(std::memory_order_relaxed);
+  bool enforce = limit != kUnlimited && enforced_.load(std::memory_order_relaxed);
+  int64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (enforce && now > limit) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(StrFormat(
+        "%s memory limit exceeded: %lld + %lld bytes over limit %lld",
+        label_.c_str(), static_cast<long long>(now - bytes),
+        static_cast<long long>(bytes), static_cast<long long>(limit)));
+  }
+  if (parent_ != nullptr) {
+    Status parent_status = parent_->TryCharge(bytes);
+    if (!parent_status.ok()) {
+      current_.fetch_sub(bytes, std::memory_order_relaxed);
+      return parent_status;
+    }
+  }
+  // Peak update: racy-max loop (relaxed is fine; peak is advisory).
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t now = current_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  if (now < 0) current_.store(0, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+MemoryTracker& MemoryTracker::Process() {
+  static MemoryTracker* process = [] {
+    int64_t limit = kUnlimited;
+    if (const char* env = std::getenv("VDM_PROCESS_MEM_LIMIT_MB");
+        env != nullptr && *env != '\0') {
+      int64_t mb = std::strtoll(env, nullptr, 10);
+      if (mb > 0) limit = mb * (1ll << 20);
+    }
+    return new MemoryTracker(limit, nullptr, "process");
+  }();
+  return *process;
+}
+
+void QueryContext::SetTimeout(int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    deadline_ns_.store(kNoDeadline, std::memory_order_release);
+    return;
+  }
+  SetDeadline(std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(timeout_ms));
+}
+
+Status QueryContext::CheckAlive() {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled");
+  }
+  int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  if (deadline != kNoDeadline &&
+      std::chrono::steady_clock::now().time_since_epoch().count() >=
+          deadline) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace vdm

@@ -24,6 +24,12 @@ enum class StatusCode {
   kNotImplemented,
   kConstraintViolation,
   kInternal,
+  // Query lifecycle governor taxonomy (common/query_context.h). These are
+  // retryable conditions, not bugs: the engine stays fully usable after
+  // returning any of them.
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Operation outcome: OK or an error code plus a human-readable message.
@@ -63,6 +69,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

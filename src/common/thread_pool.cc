@@ -1,6 +1,22 @@
 #include "common/thread_pool.h"
 
+#include <new>
+#include <string>
+
 namespace vdm {
+
+Status StatusFromCurrentException() {
+  try {
+    throw;
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory in worker task");
+  } catch (const std::exception& e) {
+    return Status::ExecutionError(std::string("worker task threw: ") +
+                                  e.what());
+  } catch (...) {
+    return Status::Internal("worker task threw a non-std exception");
+  }
+}
 
 size_t ThreadPool::DefaultThreads() {
   size_t n = std::thread::hardware_concurrency();
@@ -28,7 +44,20 @@ void ThreadPool::RunTasks(Batch* batch) {
   while (true) {
     size_t index = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch->total) break;
-    (*batch->fn)(index);
+    // Once a task failed, skip the remaining work but keep draining the
+    // counter so the caller's completion wait still closes.
+    if (!batch->failed.load(std::memory_order_acquire)) {
+      try {
+        (*batch->fn)(index);
+      } catch (...) {
+        Status status = StatusFromCurrentException();
+        {
+          std::lock_guard<std::mutex> lock(batch->error_mu);
+          if (batch->error.ok()) batch->error = std::move(status);
+        }
+        batch->failed.store(true, std::memory_order_release);
+      }
+    }
     batch->done.fetch_add(1, std::memory_order_release);
   }
 }
@@ -58,13 +87,19 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t num_tasks,
-                             const std::function<void(size_t)>& fn) {
-  if (num_tasks == 0) return;
+Status ThreadPool::ParallelFor(size_t num_tasks,
+                               const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return Status::OK();
   // Inline fast paths: single-threaded pool or a single task.
   if (num_threads_ == 1 || num_tasks == 1) {
-    for (size_t i = 0; i < num_tasks; ++i) fn(i);
-    return;
+    for (size_t i = 0; i < num_tasks; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        return StatusFromCurrentException();
+      }
+    }
+    return Status::OK();
   }
 
   Batch batch;
@@ -76,8 +111,14 @@ void ThreadPool::ParallelFor(size_t num_tasks,
       // Nested ParallelFor (issued from inside a task): run inline rather
       // than deadlocking on the single in-flight batch slot.
       lock.unlock();
-      for (size_t i = 0; i < num_tasks; ++i) fn(i);
-      return;
+      for (size_t i = 0; i < num_tasks; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          return StatusFromCurrentException();
+        }
+      }
+      return Status::OK();
     }
     current_ = &batch;
     ++generation_;
@@ -92,6 +133,11 @@ void ThreadPool::ParallelFor(size_t num_tasks,
     });
     current_ = nullptr;
   }
+  if (batch.failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(batch.error_mu);
+    return batch.error;
+  }
+  return Status::OK();
 }
 
 }  // namespace vdm

@@ -7,16 +7,26 @@
 // thread and runs everything inline on the caller — that is what makes
 // `ExecOptions::num_threads = 1` byte-for-byte identical to the legacy
 // single-threaded executor.
+//
+// Exception safety: a task that throws no longer terminates the process.
+// The first escaping exception is captured, remaining unclaimed tasks of
+// the batch are skipped, and ParallelFor returns it as a typed Status
+// (std::bad_alloc -> kResourceExhausted, other std::exception ->
+// kExecutionError) to the submitting thread. The pool itself stays fully
+// usable for the next batch.
 #ifndef VDMQO_COMMON_THREAD_POOL_H_
 #define VDMQO_COMMON_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace vdm {
 
@@ -40,10 +50,12 @@ class ThreadPool {
 
   /// Runs fn(task_index) for every index in [0, num_tasks). Tasks are
   /// claimed dynamically in increasing index order; the call returns once
-  /// all tasks have finished. fn must not throw, and must synchronize its
-  /// own writes (distinct output slots per task index are the intended
-  /// pattern). Reentrant ParallelFor (from inside fn) runs inline.
-  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+  /// all tasks have finished. fn must synchronize its own writes (distinct
+  /// output slots per task index are the intended pattern). Reentrant
+  /// ParallelFor (from inside fn) runs inline. Returns OK, or the Status
+  /// of the first exception a task let escape (in which case some task
+  /// indexes may never have run).
+  Status ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
 
  private:
   struct Batch {
@@ -52,6 +64,9 @@ class ThreadPool {
     size_t total = 0;
     std::atomic<size_t> done{0};
     size_t active = 0;  // workers inside RunTasks; guarded by ThreadPool::mu_
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    Status error;  // first captured task exception; guarded by error_mu
   };
 
   void WorkerLoop();
@@ -67,6 +82,9 @@ class ThreadPool {
   uint64_t generation_ = 0;           // bumped per batch so workers re-check
   bool shutdown_ = false;
 };
+
+/// Maps an in-flight exception to the governor's Status taxonomy.
+Status StatusFromCurrentException();
 
 }  // namespace vdm
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "expr/eval.h"
 #include "types/date_util.h"
@@ -133,7 +134,13 @@ Result<Value> CoerceCsvValue(const std::string& field,
           return Status::InvalidArgument("bad decimal in CSV: " + field);
         }
         seen_digit = true;
-        unscaled = unscaled * 10 + (c - '0');
+        // Checked accumulation: a value past int64 range used to wrap
+        // silently and load a garbage decimal; reject the row instead.
+        if (__builtin_mul_overflow(unscaled, int64_t{10}, &unscaled) ||
+            __builtin_add_overflow(unscaled, int64_t{c - '0'}, &unscaled)) {
+          return Status::InvalidArgument("decimal out of range in CSV: " +
+                                         field);
+        }
         if (seen_dot) ++scale;
       }
       if (!seen_digit) {
@@ -152,6 +159,7 @@ Result<Value> CoerceCsvValue(const std::string& field,
 
 Result<size_t> ImportCsv(Database* db, const std::string& table,
                          const std::string& path) {
+  VDM_FAULT_POINT("engine.csv.load");
   const TableSchema* schema = db->catalog().FindTable(table);
   if (schema == nullptr) return Status::NotFound("unknown table: " + table);
   std::ifstream in(path);

@@ -5,6 +5,7 @@
 
 #include "analysis/plan_verifier.h"
 #include "analysis/rewrite_auditor.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
@@ -23,6 +24,12 @@ int64_t NowNs() {
       .count();
 }
 
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return std::strtoll(env, nullptr, 10);
+}
+
 }  // namespace
 
 Database::Database()
@@ -36,6 +43,16 @@ Database::Database()
     plan_cache_enabled_ = env[0] != '\0' && std::string(env) != "0";
   }
   config_fingerprint_ = FingerprintConfig(optimizer_config_);
+  // Governor defaults (ExecLimits doc comment lists the knobs).
+  default_limits_.timeout_ms = EnvInt64("VDM_TIMEOUT_MS", 0);
+  int64_t mem_mb = EnvInt64("VDM_MEM_LIMIT_MB", 0);
+  if (mem_mb > 0) default_limits_.memory_budget = mem_mb * (int64_t{1} << 20);
+  default_limits_.max_queued_ms =
+      EnvInt64("VDM_MAX_QUEUED_MS", default_limits_.max_queued_ms);
+  int64_t max_concurrent = EnvInt64("VDM_MAX_CONCURRENT", 0);
+  if (max_concurrent > 0) {
+    max_concurrent_ = static_cast<size_t>(max_concurrent);
+  }
 }
 
 void Database::SetProfile(SystemProfile profile) {
@@ -73,10 +90,15 @@ bool Database::PlanCacheUsable() const {
 }
 
 Result<Chunk> Database::Execute(const std::string& sql) {
+  return Execute(sql, default_limits_);
+}
+
+Result<Chunk> Database::Execute(const std::string& sql,
+                                const ExecLimits& limits) {
   VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return Query(sql);
+      return Query(sql, limits);
     case Statement::Kind::kCreateTable: {
       VDM_RETURN_NOT_OK(catalog_.RegisterTable(stmt.create_table->schema));
       VDM_RETURN_NOT_OK(storage_.CreateTable(stmt.create_table->schema));
@@ -157,6 +179,12 @@ Result<Chunk> Database::Execute(const std::string& sql) {
 
 Result<Chunk> Database::Query(const std::string& sql, ExecMetrics* metrics,
                               QueryTiming* timing) {
+  return Query(sql, default_limits_, metrics, timing);
+}
+
+Result<Chunk> Database::Query(const std::string& sql, const ExecLimits& limits,
+                              ExecMetrics* metrics, QueryTiming* timing,
+                              QueryContext* ctx) {
   VDM_RETURN_NOT_OK(EnsureFreshCaches());
   QueryTiming local;
   QueryTiming* t = timing != nullptr ? timing : &local;
@@ -169,8 +197,85 @@ Result<Chunk> Database::Query(const std::string& sql, ExecMetrics* metrics,
     VDM_ASSIGN_OR_RETURN(plan, PlanQueryTimed(sql, t));
   }
   int64_t start = NowNs();
-  Result<Chunk> result = ExecutePlan(plan, metrics);
+  Result<Chunk> result = GovernedExecute(plan, limits, metrics, ctx);
   t->execute_ns = NowNs() - start;
+  return result;
+}
+
+namespace {
+
+/// Releases one admission-gate slot on scope exit (all GovernedExecute
+/// return paths, including degradation retries and injected faults).
+struct AdmissionRelease {
+  std::mutex* mu = nullptr;
+  std::condition_variable* cv = nullptr;
+  size_t* running = nullptr;
+  AdmissionRelease() = default;
+  AdmissionRelease(const AdmissionRelease&) = delete;
+  AdmissionRelease& operator=(const AdmissionRelease&) = delete;
+  ~AdmissionRelease() {
+    if (mu == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(*mu);
+      --*running;
+    }
+    cv->notify_one();
+  }
+};
+
+}  // namespace
+
+Result<Chunk> Database::GovernedExecute(const PlanRef& plan,
+                                        const ExecLimits& limits,
+                                        ExecMetrics* metrics,
+                                        QueryContext* ctx) const {
+  QueryContext local_ctx;
+  QueryContext* qc = ctx != nullptr ? ctx : &local_ctx;
+  if (limits.timeout_ms > 0) qc->SetTimeout(limits.timeout_ms);
+  if (limits.memory_budget > 0) qc->memory().set_limit(limits.memory_budget);
+
+  // Admission gate: bounded queueing, not rejection. Nested engine work
+  // (cache refresh snapshots) goes through ExecutePlan directly and never
+  // re-enters the gate, so a running query cannot deadlock itself here.
+  AdmissionRelease release;
+  if (max_concurrent_ > 0) {
+    int64_t wait_start = NowNs();
+    std::unique_lock<std::mutex> lock(admit_mu_);
+    bool admitted = admit_cv_.wait_for(
+        lock, std::chrono::milliseconds(std::max<int64_t>(0, limits.max_queued_ms)),
+        [&] { return running_queries_ < max_concurrent_; });
+    if (!admitted) {
+      return Status::ResourceExhausted(StrFormat(
+          "admission queue timeout: %zu queries running, waited %lld ms",
+          running_queries_,
+          static_cast<long long>(std::max<int64_t>(0, limits.max_queued_ms))));
+    }
+    ++running_queries_;
+    release.mu = &admit_mu_;
+    release.cv = &admit_cv_;
+    release.running = &running_queries_;
+    lock.unlock();
+    if (metrics != nullptr) {
+      metrics->admission_wait_ns += static_cast<uint64_t>(NowNs() - wait_start);
+    }
+  }
+
+  Result<Chunk> result = ExecutePlan(plan, metrics, qc);
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kResourceExhausted &&
+      !qc->degraded() && !qc->cancel_requested()) {
+    // Degradation ladder rung 2: retry serially with tight hash-table
+    // reservations and the per-query budget unenforced (the process-wide
+    // limit still applies). num_threads = 1 is the legacy serial path, so
+    // a successful retry is byte-identical to the parallel result.
+    qc->set_degraded(true);
+    qc->memory().set_enforced(false);
+    if (metrics != nullptr) ++metrics->degraded_serial_retries;
+    ExecOptions serial = exec_options_;
+    serial.num_threads = 1;
+    Executor executor(&storage_, serial, nullptr);
+    result = executor.Execute(plan, metrics, qc);
+  }
   return result;
 }
 
@@ -204,6 +309,12 @@ Result<PlanRef> Database::PlanQueryCached(const std::string& sql,
   Result<ParameterizedStatement> ps = ParameterizeStatement(sql);
   timing->parameterize_ns += NowNs() - start;
   if (!ps.ok() || !ps->cacheable) {
+    timing->used_cache = false;
+    return PlanQueryTimed(sql, timing);
+  }
+  // An injected cache failure exercises the same safety valve as any
+  // other parameterized-path problem: revert to the plain pipeline.
+  if (!FaultInjection::Check("engine.plan_cache.lookup").ok()) {
     timing->used_cache = false;
     return PlanQueryTimed(sql, timing);
   }
@@ -312,8 +423,8 @@ Result<PlanRef> Database::OptimizePlan(const PlanRef& plan) const {
   return optimizer_->OptimizeChecked(plan);
 }
 
-Result<Chunk> Database::ExecutePlan(const PlanRef& plan,
-                                    ExecMetrics* metrics) const {
+Result<Chunk> Database::ExecutePlan(const PlanRef& plan, ExecMetrics* metrics,
+                                    QueryContext* ctx) const {
   size_t threads = exec_options_.num_threads == 0
                        ? ThreadPool::DefaultThreads()
                        : exec_options_.num_threads;
@@ -322,7 +433,7 @@ Result<Chunk> Database::ExecutePlan(const PlanRef& plan,
   }
   Executor executor(&storage_, exec_options_,
                     threads > 1 ? exec_pool_.get() : nullptr);
-  return executor.Execute(plan, metrics);
+  return executor.Execute(plan, metrics, ctx);
 }
 
 Result<std::string> Database::Explain(const std::string& sql) const {
@@ -345,8 +456,11 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   } else {
     VDM_ASSIGN_OR_RETURN(plan, PlanQueryTimed(sql, &timing));
   }
+  ExecMetrics metrics;
   int64_t start = NowNs();
-  VDM_ASSIGN_OR_RETURN(Chunk result, ExecutePlan(plan));
+  VDM_ASSIGN_OR_RETURN(Chunk result,
+                       GovernedExecute(plan, default_limits_, &metrics,
+                                       /*ctx=*/nullptr));
   timing.execute_ns = NowNs() - start;
   std::string out = PrintPlan(plan);
   auto ms = [](int64_t ns) { return static_cast<double>(ns) / 1e6; };
@@ -373,6 +487,19 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
   out += StrFormat("compile total: %.3f ms\n", ms(timing.compile_ns()));
   out += StrFormat("execute: %.3f ms (%zu rows)\n", ms(timing.execute_ns),
                    result.NumRows());
+  out += StrFormat(
+      "governor: %llu cancel checks, peak tracked memory %.2f MiB\n",
+      static_cast<unsigned long long>(metrics.cancel_checks),
+      static_cast<double>(metrics.peak_memory_bytes) / (1 << 20));
+  if (metrics.admission_wait_ns > 0) {
+    out += StrFormat("admission wait: %.3f ms\n",
+                     ms(static_cast<int64_t>(metrics.admission_wait_ns)));
+  }
+  if (metrics.degraded_serial_retries > 0) {
+    out += StrFormat("degraded: %llu serial retry within memory budget\n",
+                     static_cast<unsigned long long>(
+                         metrics.degraded_serial_retries));
+  }
   return out;
 }
 

@@ -14,11 +14,14 @@
 #ifndef VDMQO_ENGINE_DATABASE_H_
 #define VDMQO_ENGINE_DATABASE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/plan_cache.h"
@@ -34,6 +37,23 @@ namespace vdm {
 /// timing sink is passed; rendered by ExplainAnalyze() and the benchmark
 /// JSON reports. On a plan-cache hit, parse/bind/optimize are zero and
 /// rebind_ns carries the parameter-rebinding cost.
+/// Per-query resource limits — the query lifecycle governor's contract.
+/// Zero or negative fields disable that limit. Database's session defaults
+/// come from the environment at construction: VDM_TIMEOUT_MS,
+/// VDM_MEM_LIMIT_MB, and VDM_MAX_QUEUED_MS (per-call values override).
+struct ExecLimits {
+  /// Wall-clock execution deadline; exceeding it returns
+  /// kDeadlineExceeded within one morsel.
+  int64_t timeout_ms = 0;
+  /// Bytes of tracked allocation (hash tables, probe buffers) this query
+  /// may hold. Exceeding it triggers the degradation ladder: retry
+  /// serially with tight hash tables, and only then kResourceExhausted.
+  int64_t memory_budget = 0;
+  /// Longest a query waits at the admission gate (VDM_MAX_CONCURRENT)
+  /// before giving up with kResourceExhausted. Queueing, not rejection.
+  int64_t max_queued_ms = 10000;
+};
+
 struct QueryTiming {
   int64_t parameterize_ns = 0;
   int64_t parse_ns = 0;
@@ -83,16 +103,34 @@ class Database {
   const ExecOptions& exec_options() const { return exec_options_; }
 
   /// Executes a DDL or query statement. For SELECT, returns the result
-  /// chunk; for DDL, returns an empty chunk.
+  /// chunk; for DDL, returns an empty chunk. The overload taking
+  /// ExecLimits applies them to SELECTs (DDL is not governed).
   Result<Chunk> Execute(const std::string& sql);
+  Result<Chunk> Execute(const std::string& sql, const ExecLimits& limits);
 
   /// Executes a SELECT and returns its result. Refreshes any stale
   /// dynamic cached views first (DCV semantics, §3). With the plan cache
   /// enabled, repeated statements that differ only in eligible literals
   /// (see sql/parameterize.h) skip parse + bind + optimize and only rebind
   /// values. `timing`, when given, receives the compile/execute breakdown.
+  /// The first overload runs under the session default limits.
   Result<Chunk> Query(const std::string& sql, ExecMetrics* metrics = nullptr,
                       QueryTiming* timing = nullptr);
+  /// Governed variant: `limits` set the deadline / memory budget /
+  /// admission wait for this call. `ctx`, when given, is the caller-owned
+  /// governor handle — RequestCancel() on it from any thread cancels the
+  /// running query; it also carries the limits, so reusing one context
+  /// across calls accumulates its counters.
+  Result<Chunk> Query(const std::string& sql, const ExecLimits& limits,
+                      ExecMetrics* metrics = nullptr,
+                      QueryTiming* timing = nullptr,
+                      QueryContext* ctx = nullptr);
+
+  /// Session default limits (seeded from the environment; see ExecLimits).
+  const ExecLimits& default_limits() const { return default_limits_; }
+  void set_default_limits(const ExecLimits& limits) {
+    default_limits_ = limits;
+  }
 
   // --- plan cache (engine/plan_cache.h) ---
   /// Enables the parameterized plan cache for subsequent queries.
@@ -119,9 +157,12 @@ class Database {
   /// config enables verify_rewrites (and no hook is installed already), a
   /// RewriteAuditor checks every rewrite; audit failures surface here.
   Result<PlanRef> OptimizePlan(const PlanRef& plan) const;
-  /// Executes an arbitrary plan directly.
+  /// Executes an arbitrary plan directly. `ctx`, when given, governs the
+  /// run (cancellation, deadline, memory charging); there is no admission
+  /// gate or degradation retry on this low-level path.
   Result<Chunk> ExecutePlan(const PlanRef& plan,
-                            ExecMetrics* metrics = nullptr) const;
+                            ExecMetrics* metrics = nullptr,
+                            QueryContext* ctx = nullptr) const;
 
   /// Rendered optimized plan.
   Result<std::string> Explain(const std::string& sql) const;
@@ -166,6 +207,12 @@ class Database {
  private:
   Status BuildSnapshot(ViewDef view, bool replace_existing);
 
+  /// The governed execution path shared by Query and ExplainAnalyze:
+  /// admission gate, context setup from `limits`, parallel execution, and
+  /// the serial degradation retry on kResourceExhausted.
+  Result<Chunk> GovernedExecute(const PlanRef& plan, const ExecLimits& limits,
+                                ExecMetrics* metrics, QueryContext* ctx) const;
+
   /// Recomputes the config fingerprint, clears the plan cache, and drops
   /// the hoisted optimizer. Called whenever optimizer_config_ changes.
   void OnOptimizerConfigChanged();
@@ -200,6 +247,14 @@ class Database {
   std::unique_ptr<PlanCache> plan_cache_;
   bool plan_cache_enabled_ = false;
   uint64_t config_fingerprint_ = 0;
+  // Governor state. The admission gate (VDM_MAX_CONCURRENT; 0 = open)
+  // bounds concurrent GovernedExecute calls; excess queries queue up to
+  // ExecLimits::max_queued_ms, then fail kResourceExhausted.
+  ExecLimits default_limits_;
+  size_t max_concurrent_ = 0;
+  mutable std::mutex admit_mu_;
+  mutable std::condition_variable admit_cv_;
+  mutable size_t running_queries_ = 0;  // guarded by admit_mu_
 };
 
 }  // namespace vdm

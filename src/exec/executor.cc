@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/query_context.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "exec/hash_table.h"
@@ -78,11 +80,12 @@ bool CollectPipeline(const LogicalOp* plan,
 class ExecutorImpl {
  public:
   ExecutorImpl(const StorageManager* storage, ExecMetrics* metrics,
-               const ExecOptions& options, ThreadPool* pool)
+               const ExecOptions& options, ThreadPool* pool, QueryContext* ctx)
       : storage_(storage),
         metrics_(metrics),
         options_(options),
         pool_(pool),
+        ctx_(ctx),  // never null: Executor::Execute substitutes a default
         morsel_size_(std::max<size_t>(1, options.morsel_size)) {}
 
   /// `budget` is the number of output rows an ancestor LIMIT will keep
@@ -90,6 +93,9 @@ class ExecutorImpl {
   /// they have that many rows, because everything they emit is a prefix
   /// of the full result and the LimitOp truncates.
   Result<Chunk> Run(const PlanRef& plan, int64_t budget) {
+    // Operator-granularity governor check; the hot loops below add
+    // morsel-granularity checks on every worker.
+    VDM_RETURN_NOT_OK(ctx_->CheckAlive());
     std::vector<const LogicalOp*> chain;
     if (CollectPipeline(plan.get(), &chain)) {
       if (metrics_ != nullptr) metrics_->operators_executed += chain.size();
@@ -157,14 +163,20 @@ class ExecutorImpl {
   size_t PoolThreads() const { return pool_ == nullptr ? 1 : pool_->size(); }
 
   /// Runs fn(i) for i in [begin, begin + count) — on the pool when it
-  /// pays, inline otherwise.
-  void RunTasks(size_t begin, size_t count,
-                const std::function<void(size_t)>& fn) {
+  /// pays, inline otherwise. Returns the Status of the first escaped task
+  /// exception (common/thread_pool.h); fn-level governor failures travel
+  /// through the callers' per-slot Status vectors instead.
+  Status RunTasks(size_t begin, size_t count,
+                  const std::function<void(size_t)>& fn) {
     if (pool_ != nullptr && count > 1) {
-      pool_->ParallelFor(count, [&](size_t i) { fn(begin + i); });
-    } else {
-      for (size_t i = 0; i < count; ++i) fn(begin + i);
+      return pool_->ParallelFor(count, [&](size_t i) { fn(begin + i); });
     }
+    try {
+      for (size_t i = 0; i < count; ++i) fn(begin + i);
+    } catch (...) {
+      return StatusFromCurrentException();
+    }
+    return Status::OK();
   }
 
   // -----------------------------------------------------------------------
@@ -185,9 +197,15 @@ class ExecutorImpl {
     // carries its column names/types even for empty tables.
     size_t num_morsels = std::max<size_t>(1, (n + morsel_size_ - 1) / morsel_size_);
 
+    VDM_FAULT_POINT("exec.pipeline.morsel");
     std::vector<Chunk> pieces(num_morsels);
     std::vector<Status> errors(num_morsels);
     auto process = [&](size_t m) {
+      Status alive = ctx_->CheckAlive();
+      if (!alive.ok()) {
+        errors[m] = std::move(alive);
+        return;
+      }
       size_t begin = std::min(n, m * morsel_size_);
       size_t end = std::min(n, begin + morsel_size_);
       Chunk chunk;
@@ -249,7 +267,7 @@ class ExecutorImpl {
       if (limit_aware) {
         wave = std::min(wave, std::max<size_t>(PoolThreads() * 2, 1));
       }
-      RunTasks(processed, wave, process);
+      VDM_RETURN_NOT_OK(RunTasks(processed, wave, process));
       for (size_t i = 0; i < wave; ++i) {
         if (!errors[processed + i].ok()) return errors[processed + i];
         out_rows += pieces[processed + i].NumRows();
@@ -291,9 +309,9 @@ class ExecutorImpl {
     Chunk out;
     out.names = input.names;
     out.columns.resize(input.columns.size());
-    RunTasks(0, input.columns.size(), [&](size_t c) {
+    VDM_RETURN_NOT_OK(RunTasks(0, input.columns.size(), [&](size_t c) {
       out.columns[c] = input.columns[c].GatherSelection(sel);
-    });
+    }));
     return out;
   }
 
@@ -366,7 +384,7 @@ class ExecutorImpl {
         build_ptrs.push_back(&right.columns[static_cast<size_t>(rc)]);
       }
       JoinHashTable ht(std::move(build_ptrs), std::move(probe_ptrs));
-      ht.Build(pool_);
+      VDM_RETURN_NOT_OK(ht.Build(pool_, ctx_));
       if (metrics_ != nullptr) {
         metrics_->peak_hash_table_entries =
             std::max<uint64_t>(metrics_->peak_hash_table_entries,
@@ -379,7 +397,12 @@ class ExecutorImpl {
         std::vector<size_t> lrows, rrows;
       };
       std::vector<ProbeOut> outs(num_morsels);
+      VDM_FAULT_POINT("exec.join.probe");
       auto probe_morsel = [&](size_t m) {
+        // Per-morsel governor check: a cancelled query stops emitting
+        // matches within one morsel on every worker; the wave loop below
+        // surfaces the typed status.
+        if (!ctx_->CheckAlive().ok()) return;
         size_t begin = m * morsel_size_;
         size_t end = std::min(ln, begin + morsel_size_);
         JoinHashTable::Prober prober(ht);
@@ -400,6 +423,10 @@ class ExecutorImpl {
           }
         }
       };
+      // Probe outputs (match-row index pairs) are the join's largest
+      // intermediate besides the build table; charge them wave by wave so
+      // a budget violation surfaces before the allocation runs away.
+      ScopedMemoryCharge probe_mem(&ctx_->memory());
       size_t processed = 0;
       uint64_t match_rows = 0;
       while (processed < num_morsels) {
@@ -407,10 +434,15 @@ class ExecutorImpl {
         if (out_budget >= 0) {
           wave = std::min(wave, std::max<size_t>(PoolThreads() * 2, 1));
         }
-        RunTasks(processed, wave, probe_morsel);
+        VDM_RETURN_NOT_OK(RunTasks(processed, wave, probe_morsel));
+        VDM_RETURN_NOT_OK(ctx_->CheckAlive());
+        uint64_t wave_rows = 0;
         for (size_t i = 0; i < wave; ++i) {
-          match_rows += outs[processed + i].lrows.size();
+          wave_rows += outs[processed + i].lrows.size();
         }
+        match_rows += wave_rows;
+        VDM_RETURN_NOT_OK(probe_mem.Charge(
+            static_cast<int64_t>(wave_rows) * 2 * sizeof(size_t)));
         processed += wave;
         if (out_budget >= 0 &&
             match_rows >= static_cast<uint64_t>(out_budget) &&
@@ -422,6 +454,8 @@ class ExecutorImpl {
       rows_probed = std::min(ln, processed * morsel_size_);
       if (metrics_ != nullptr) metrics_->morsels_probed += processed;
 
+      VDM_RETURN_NOT_OK(probe_mem.Charge(
+          static_cast<int64_t>(match_rows) * 2 * sizeof(size_t)));
       left_rows.reserve(match_rows);
       right_rows.reserve(match_rows);
       for (size_t m = 0; m < processed; ++m) {
@@ -433,6 +467,7 @@ class ExecutorImpl {
     } else {
       // Nested-loop join (no equi keys).
       for (size_t l = 0; l < left.NumRows(); ++l) {
+        if ((l & 1023) == 0) VDM_RETURN_NOT_OK(ctx_->CheckAlive());
         bool matched = false;
         for (size_t r = 0; r < right.NumRows(); ++r) {
           left_rows.push_back(l);
@@ -471,12 +506,12 @@ class ExecutorImpl {
       combined.columns.emplace_back(col.type());
     }
     // Gather output columns in parallel — each task owns one column slot.
-    RunTasks(0, ncols, [&](size_t c) {
+    VDM_RETURN_NOT_OK(RunTasks(0, ncols, [&](size_t c) {
       combined.columns[c] = c < left_ncols
                                 ? left.columns[c].Gather(left_rows)
                                 : right.columns[c - left_ncols].Gather(
                                       right_rows);
-    });
+    }));
 
     if (residual.empty()) return combined;
 
@@ -566,6 +601,7 @@ class ExecutorImpl {
 
   Result<Chunk> RunAggregate(const AggregateOp& agg) {
     VDM_ASSIGN_OR_RETURN(Chunk input, Run(agg.child(0), kNoBudget));
+    VDM_FAULT_POINT("exec.aggregate");
     size_t n = input.NumRows();
     if (metrics_ != nullptr) metrics_->rows_aggregated += n;
 
@@ -623,8 +659,9 @@ class ExecutorImpl {
     bool use_parallel = pool_ != nullptr && n >= 2 * morsel_size_ &&
                         ParallelAggEligible(agg_exprs, result_types);
     if (use_parallel) {
-      RunParallelAggregate(n, global, key_ptrs, agg_exprs, arg_cols,
-                           result_types, &first_row, &agg_results);
+      VDM_RETURN_NOT_OK(RunParallelAggregate(n, global, key_ptrs, agg_exprs,
+                                             arg_cols, result_types,
+                                             &first_row, &agg_results));
     } else {
       VDM_RETURN_NOT_OK(RunSerialAggregate(n, global, key_ptrs, agg_exprs,
                                            arg_cols, result_types, &first_row,
@@ -698,8 +735,13 @@ class ExecutorImpl {
       first_row->push_back(0);
     } else {
       GroupKeyTable table(key_ptrs);
+      table.set_tracker(&ctx_->memory());
       std::vector<uint32_t> row_group(n);
       for (size_t i = 0; i < n; ++i) {
+        if ((i & 4095) == 0) {
+          VDM_RETURN_NOT_OK(ctx_->CheckAlive());
+          VDM_RETURN_NOT_OK(table.status());
+        }
         size_t g = table.GetOrAdd(i);
         if (g == counts.size()) {
           counts.push_back(0);
@@ -708,6 +750,7 @@ class ExecutorImpl {
         row_group[i] = static_cast<uint32_t>(g);
         ++counts[g];
       }
+      VDM_RETURN_NOT_OK(table.status());
       starts.resize(counts.size());
       size_t offset = 0;
       for (size_t g = 0; g < counts.size(); ++g) {
@@ -725,6 +768,7 @@ class ExecutorImpl {
       ColumnData out(result_type);
       out.Reserve(n_groups);
       for (size_t g = 0; g < n_groups; ++g) {
+        if ((g & 4095) == 0) VDM_RETURN_NOT_OK(ctx_->CheckAlive());
         struct RowSpan {
           const size_t* b;
           const size_t* e;
@@ -848,13 +892,13 @@ class ExecutorImpl {
   /// for eligible aggregate sets (ParallelAggEligible), where the merged
   /// result — including group output order and min/max representative
   /// selection — is identical to the serial loop.
-  void RunParallelAggregate(size_t n, bool global,
-                            const std::vector<const ColumnData*>& key_ptrs,
-                            const std::vector<const AggregateExpr*>& aggs,
-                            const std::vector<ColumnData>& arg_cols,
-                            const std::vector<DataType>& result_types,
-                            std::vector<size_t>* first_row,
-                            std::vector<ColumnData>* agg_results) {
+  Status RunParallelAggregate(size_t n, bool global,
+                              const std::vector<const ColumnData*>& key_ptrs,
+                              const std::vector<const AggregateExpr*>& aggs,
+                              const std::vector<ColumnData>& arg_cols,
+                              const std::vector<DataType>& result_types,
+                              std::vector<size_t>* first_row,
+                              std::vector<ColumnData>* agg_results) {
     size_t num_aggs = aggs.size();
     size_t num_morsels = (n + morsel_size_ - 1) / morsel_size_;
     struct LocalAgg {
@@ -865,10 +909,14 @@ class ExecutorImpl {
     };
     std::vector<LocalAgg> locals(num_morsels);
     auto accumulate = [&](size_t m) {
+      if (!ctx_->CheckAlive().ok()) return;  // surfaced after the batch
       size_t begin = m * morsel_size_;
       size_t end = std::min(n, begin + morsel_size_);
       LocalAgg& la = locals[m];
-      if (!global) la.table = std::make_unique<GroupKeyTable>(key_ptrs);
+      if (!global) {
+        la.table = std::make_unique<GroupKeyTable>(key_ptrs);
+        la.table->set_tracker(&ctx_->memory());
+      }
       la.states.resize(num_aggs);
       for (size_t r = begin; r < end; ++r) {
         size_t g = global ? 0 : la.table->GetOrAdd(r);
@@ -915,13 +963,20 @@ class ExecutorImpl {
         }
       }
     };
-    RunTasks(0, num_morsels, accumulate);
+    VDM_RETURN_NOT_OK(RunTasks(0, num_morsels, accumulate));
+    VDM_RETURN_NOT_OK(ctx_->CheckAlive());
+    for (const LocalAgg& la : locals) {
+      if (la.table != nullptr) VDM_RETURN_NOT_OK(la.table->status());
+    }
 
     // Merge in morsel order; within a morsel, in local first-occurrence
     // order. Both orders follow row order, so global group ids come out in
     // serial first-occurrence order.
     std::unique_ptr<GroupKeyTable> merge_table;
-    if (!global) merge_table = std::make_unique<GroupKeyTable>(key_ptrs);
+    if (!global) {
+      merge_table = std::make_unique<GroupKeyTable>(key_ptrs);
+      merge_table->set_tracker(&ctx_->memory());
+    }
     std::vector<std::vector<AggPartial>> merged(num_aggs);
     for (size_t m = 0; m < num_morsels; ++m) {
       LocalAgg& la = locals[m];
@@ -1005,6 +1060,8 @@ class ExecutorImpl {
       }
       agg_results->push_back(std::move(out));
     }
+    if (merge_table != nullptr) VDM_RETURN_NOT_OK(merge_table->status());
+    return Status::OK();
   }
 
   // -----------------------------------------------------------------------
@@ -1121,10 +1178,15 @@ class ExecutorImpl {
     for (const ColumnData& col : input.columns) key_ptrs.push_back(&col);
     if (key_ptrs.empty()) return input;
     GroupKeyTable table(key_ptrs);
+    table.set_tracker(&ctx_->memory());
     bool limit_aware = budget >= 0 && options_.enable_limit_early_exit;
     std::vector<size_t> rows;
     size_t n = input.NumRows();
     for (size_t i = 0; i < n; ++i) {
+      if ((i & 4095) == 0) {
+        VDM_RETURN_NOT_OK(ctx_->CheckAlive());
+        VDM_RETURN_NOT_OK(table.status());
+      }
       size_t g = table.GetOrAdd(i);
       if (g == rows.size()) {
         rows.push_back(i);
@@ -1135,6 +1197,7 @@ class ExecutorImpl {
         }
       }
     }
+    VDM_RETURN_NOT_OK(table.status());
     if (metrics_ != nullptr) {
       metrics_->peak_hash_table_entries = std::max<uint64_t>(
           metrics_->peak_hash_table_entries, table.num_groups());
@@ -1146,6 +1209,7 @@ class ExecutorImpl {
   ExecMetrics* metrics_;
   const ExecOptions& options_;
   ThreadPool* pool_;  // null = serial execution
+  QueryContext* ctx_;
   size_t morsel_size_;
   // Accumulates nested Run() wall time for exclusive-time accounting.
   uint64_t children_ns_ = 0;
@@ -1153,8 +1217,8 @@ class ExecutorImpl {
 
 }  // namespace
 
-Result<Chunk> Executor::Execute(const PlanRef& plan,
-                                ExecMetrics* metrics) const {
+Result<Chunk> Executor::Execute(const PlanRef& plan, ExecMetrics* metrics,
+                                QueryContext* ctx) const {
   size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultThreads()
                                              : options_.num_threads;
   ThreadPool* pool = external_pool_;
@@ -1164,8 +1228,26 @@ Result<Chunk> Executor::Execute(const PlanRef& plan,
     pool = local_pool.get();
   }
   if (pool != nullptr && pool->size() <= 1) pool = nullptr;
-  ExecutorImpl impl(storage_, metrics, options_, pool);
-  return impl.Run(plan, /*budget=*/-1);
+  QueryContext default_ctx;
+  if (ctx == nullptr) ctx = &default_ctx;
+  ExecutorImpl impl(storage_, metrics, options_, pool, ctx);
+  Result<Chunk> result = [&]() -> Result<Chunk> {
+    // Exceptions thrown on the calling thread (serial paths — pool tasks
+    // are converted inside ParallelFor) become typed Status here.
+    try {
+      return impl.Run(plan, /*budget=*/-1);
+    } catch (...) {
+      return StatusFromCurrentException();
+    }
+  }();
+  if (metrics != nullptr) {
+    metrics->cancel_checks += ctx->cancel_checks();
+    metrics->peak_memory_bytes =
+        std::max<uint64_t>(metrics->peak_memory_bytes,
+                           static_cast<uint64_t>(
+                               std::max<int64_t>(0, ctx->memory().peak())));
+  }
+  return result;
 }
 
 }  // namespace vdm

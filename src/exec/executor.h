@@ -27,6 +27,7 @@
 #include <map>
 #include <string>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
@@ -59,6 +60,14 @@ struct ExecMetrics {
   uint64_t morsels_probed = 0;     // join probe morsels processed
   uint64_t peak_hash_table_entries = 0;  // largest join/group table built
   uint64_t limit_early_exits = 0;  // waves cut short by a LIMIT budget
+  // Governor counters (common/query_context.h). The engine fills the last
+  // two: degraded_serial_retries counts kResourceExhausted queries that
+  // completed on the serial-retry rung, admission_wait_ns is time spent
+  // queued at the admission gate.
+  uint64_t cancel_checks = 0;          // CheckAlive polls during execution
+  uint64_t peak_memory_bytes = 0;      // per-query tracked allocation peak
+  uint64_t degraded_serial_retries = 0;
+  uint64_t admission_wait_ns = 0;
   /// Exclusive wall time per operator kind, nanoseconds. Fused
   /// scan/filter/project pipelines report as "Pipeline".
   std::map<std::string, uint64_t> op_wall_ns;
@@ -79,9 +88,12 @@ class Executor {
   const ExecOptions& options() const { return options_; }
 
   /// Executes the plan; returns the materialized result. Column names of
-  /// the result are the plan's output names.
-  Result<Chunk> Execute(const PlanRef& plan,
-                        ExecMetrics* metrics = nullptr) const;
+  /// the result are the plan's output names. `ctx`, when given, governs
+  /// the run: cancellation/deadline are polled at morsel granularity and
+  /// hash-table / intermediate allocations are charged to ctx->memory();
+  /// a null ctx runs with a private unlimited context.
+  Result<Chunk> Execute(const PlanRef& plan, ExecMetrics* metrics = nullptr,
+                        QueryContext* ctx = nullptr) const;
 
  private:
   const StorageManager* storage_;

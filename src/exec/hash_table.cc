@@ -3,10 +3,24 @@
 #include <bit>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 
 namespace vdm {
+
+namespace {
+
+/// Charges `bytes` to `tracker` (when set), accumulating into *charged so
+/// the owner can release everything on destruction.
+Status ChargeTo(MemoryTracker* tracker, int64_t bytes, int64_t* charged) {
+  if (tracker == nullptr || bytes <= 0) return Status::OK();
+  VDM_RETURN_NOT_OK(tracker->TryCharge(bytes));
+  *charged += bytes;
+  return Status::OK();
+}
+
+}  // namespace
 
 const char* KeyLayoutName(KeyLayout layout) {
   switch (layout) {
@@ -113,6 +127,10 @@ JoinHashTable::JoinHashTable(std::vector<const ColumnData*> build_cols,
   VDM_CHECK(build_rows_ < kEnd);
 }
 
+JoinHashTable::~JoinHashTable() {
+  if (tracker_ != nullptr) tracker_->Release(charged_bytes_);
+}
+
 bool JoinHashTable::Key64(const std::vector<const ColumnData*>& cols,
                           size_t row, int64_t* key) const {
   const ColumnData& col = *cols[0];
@@ -145,8 +163,29 @@ bool JoinHashTable::KeyBytes(const std::vector<const ColumnData*>& cols,
   return true;
 }
 
-void JoinHashTable::Build(ThreadPool* pool) {
+Status JoinHashTable::Build(ThreadPool* pool, QueryContext* ctx) {
+  VDM_FAULT_POINT("exec.hash_build.oom");
   size_t n = build_rows_;
+  tracker_ = ctx != nullptr ? &ctx->memory() : nullptr;
+  // Charge the per-row build arrays before allocating them. Fixed layouts
+  // are exact; the serialized layout is estimated (header + typical short
+  // key) because the actual key bytes are only known after phase 0.
+  int64_t per_row = sizeof(uint32_t) + sizeof(uint8_t) + sizeof(uint64_t);
+  switch (layout_) {
+    case KeyLayout::kInt64:
+    case KeyLayout::kDict32:
+      per_row += sizeof(int64_t);
+      break;
+    case KeyLayout::kPacked16:
+      per_row += 2 * sizeof(uint64_t);
+      break;
+    case KeyLayout::kSerialized:
+      per_row += static_cast<int64_t>(sizeof(std::string)) + 16;
+      break;
+  }
+  VDM_RETURN_NOT_OK(
+      ChargeTo(tracker_, per_row * static_cast<int64_t>(n), &charged_bytes_));
+
   next_.assign(n, kEnd);
   key_valid_.assign(n, 0);
   hashes_.resize(n);
@@ -170,6 +209,9 @@ void JoinHashTable::Build(ThreadPool* pool) {
   constexpr size_t kHashMorsel = 8192;
   size_t num_morsels = (n + kHashMorsel - 1) / kHashMorsel;
   auto hash_morsel = [&](size_t m) {
+    // Governor check once per morsel: a cancelled/expired query stops
+    // hashing within one morsel on every worker.
+    if (ctx != nullptr && !ctx->CheckAlive().ok()) return;
     size_t begin = m * kHashMorsel;
     size_t end = std::min(n, begin + kHashMorsel);
     for (size_t r = begin; r < end; ++r) {
@@ -202,20 +244,35 @@ void JoinHashTable::Build(ThreadPool* pool) {
     }
   };
   if (pool != nullptr && threads > 1 && num_morsels > 1) {
-    pool->ParallelFor(num_morsels, hash_morsel);
+    VDM_RETURN_NOT_OK(pool->ParallelFor(num_morsels, hash_morsel));
   } else {
     for (size_t m = 0; m < num_morsels; ++m) hash_morsel(m);
   }
+  if (ctx != nullptr) VDM_RETURN_NOT_OK(ctx->CheckAlive());
 
   // Phase 1: insert into hash-space partitions; each partition's slot
   // array is owned by exactly one task, so the build is race-free. The
   // shared next_ array is safe because every row lands in one partition.
   size_t num_partitions =
       (threads > 1 && n >= 4 * kHashMorsel) ? NextPow2(threads) : 1;
+  // Slot reservation: the normal build leaves the open-addressing arrays
+  // half empty (load ~0.5) for probe speed; a degraded (serial-retry)
+  // query trades probe time for footprint and packs them to load ~0.8.
+  bool tight = ctx != nullptr && ctx->degraded();
   partitions_.resize(num_partitions);
+  size_t expected = n / num_partitions + 16;
+  size_t cap = NextPow2(tight ? expected + expected / 4 : expected * 2);
+  int64_t slot_bytes = 0;
+  if (layout_ == KeyLayout::kSerialized) {
+    // unordered_map node + bucket estimate per expected key.
+    slot_bytes = static_cast<int64_t>(num_partitions * expected) * 64;
+  } else if (layout_ == KeyLayout::kPacked16) {
+    slot_bytes = static_cast<int64_t>(num_partitions * cap) * sizeof(Slot128);
+  } else {
+    slot_bytes = static_cast<int64_t>(num_partitions * cap) * sizeof(Slot64);
+  }
+  VDM_RETURN_NOT_OK(ChargeTo(tracker_, slot_bytes, &charged_bytes_));
   for (Partition& part : partitions_) {
-    size_t expected = n / num_partitions + 16;
-    size_t cap = NextPow2(expected * 2);
     part.mask = cap - 1;
     if (layout_ == KeyLayout::kSerialized) {
       part.serialized.reserve(expected);
@@ -226,20 +283,27 @@ void JoinHashTable::Build(ThreadPool* pool) {
     }
   }
   if (num_partitions > 1) {
-    pool->ParallelFor(num_partitions, [&](size_t p) { BuildPartition(p); });
+    std::vector<Status> part_status(num_partitions);
+    VDM_RETURN_NOT_OK(pool->ParallelFor(
+        num_partitions, [&](size_t p) { part_status[p] = BuildPartition(p, ctx); }));
+    for (Status& s : part_status) VDM_RETURN_NOT_OK(std::move(s));
   } else {
-    BuildPartition(0);
+    VDM_RETURN_NOT_OK(BuildPartition(0, ctx));
   }
   entries_ = 0;
   for (size_t r = 0; r < n; ++r) entries_ += key_valid_[r];
+  return Status::OK();
 }
 
-void JoinHashTable::BuildPartition(size_t p) {
+Status JoinHashTable::BuildPartition(size_t p, QueryContext* ctx) {
   Partition& part = partitions_[p];
   size_t n = build_rows_;
   bool multi = partitions_.size() > 1;
   // Insert in descending row order so chains list build rows ascending.
   for (size_t i = n; i-- > 0;) {
+    if (ctx != nullptr && (i & 8191) == 0) {
+      VDM_RETURN_NOT_OK(ctx->CheckAlive());
+    }
     if (!key_valid_[i]) continue;
     uint64_t hash = hashes_[i];
     if (multi && PartitionOf(hash) != p) continue;
@@ -295,6 +359,7 @@ void JoinHashTable::BuildPartition(size_t p) {
       }
     }
   }
+  return Status::OK();
 }
 
 size_t JoinHashTable::Prober::ProbeRow(size_t row, std::vector<size_t>* out) {
@@ -373,8 +438,21 @@ GroupKeyTable::GroupKeyTable(std::vector<const ColumnData*> key_cols)
   }
 }
 
+GroupKeyTable::~GroupKeyTable() {
+  if (tracker_ != nullptr) tracker_->Release(charged_bytes_);
+}
+
 void GroupKeyTable::GrowIfNeeded() {
   if (used_ * 10 < slots_.size() * 7) return;
+  // The growth must happen even when the charge is refused — a table that
+  // stops growing would fill up and probe forever. The refusal is latched
+  // into status_ instead; callers poll it at morsel granularity and abort
+  // the query long before accounting drift matters.
+  if (tracker_ != nullptr && status_.ok()) {
+    int64_t bytes = static_cast<int64_t>(slots_.size()) * sizeof(Slot);
+    Status charged = ChargeTo(tracker_, bytes, &charged_bytes_);
+    if (!charged.ok()) status_ = std::move(charged);
+  }
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{0, kEmpty});
   mask_ = slots_.size() - 1;
@@ -394,7 +472,14 @@ size_t GroupKeyTable::GetOrAdd(size_t row) {
     }
     auto [it, inserted] = serialized_.emplace(
         scratch_, static_cast<uint32_t>(num_groups_));
-    if (inserted) ++num_groups_;
+    if (inserted) {
+      ++num_groups_;
+      if (tracker_ != nullptr && status_.ok()) {
+        int64_t bytes = static_cast<int64_t>(scratch_.size()) + 64;
+        Status charged = ChargeTo(tracker_, bytes, &charged_bytes_);
+        if (!charged.ok()) status_ = std::move(charged);
+      }
+    }
     return it->second;
   }
   const ColumnData& col = *key_cols_[0];

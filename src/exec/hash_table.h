@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/query_context.h"
+#include "common/status.h"
 #include "types/column.h"
 
 namespace vdm {
@@ -77,12 +79,19 @@ class JoinHashTable {
 
   JoinHashTable(std::vector<const ColumnData*> build_cols,
                 std::vector<const ColumnData*> probe_cols);
+  ~JoinHashTable();
 
   KeyLayout layout() const { return layout_; }
 
   /// Hashes and inserts all build rows with non-NULL keys. `pool` may be
-  /// nullptr for a serial build.
-  void Build(ThreadPool* pool);
+  /// nullptr for a serial build. `ctx`, when given, governs the build:
+  /// every allocation is charged to ctx->memory() (released when the
+  /// table dies), cancellation/deadline are checked at morsel/partition
+  /// granularity, and ctx->degraded() switches the slot arrays to tight
+  /// reservations (load factor ~0.8 instead of ~0.5 — the engine's
+  /// serial-retry rung). Returns kResourceExhausted / kCancelled /
+  /// kDeadlineExceeded instead of allocating past the budget.
+  Status Build(ThreadPool* pool, QueryContext* ctx = nullptr);
 
   /// Rows actually inserted (build rows minus NULL keys).
   size_t num_entries() const { return entries_; }
@@ -129,13 +138,16 @@ class JoinHashTable {
     return static_cast<size_t>(
         (static_cast<unsigned __int128>(hash) * partitions_.size()) >> 64);
   }
-  void BuildPartition(size_t p);
+  Status BuildPartition(size_t p, QueryContext* ctx);
 
   KeyLayout layout_;
   std::vector<const ColumnData*> build_cols_;
   std::vector<const ColumnData*> probe_cols_;
   size_t build_rows_ = 0;
   size_t entries_ = 0;
+  // Governor accounting for the build-side arrays; released on destruction.
+  MemoryTracker* tracker_ = nullptr;
+  int64_t charged_bytes_ = 0;
 
   // Phase 0: per-row hashes (fixed layouts) or serialized keys.
   std::vector<uint64_t> hashes_;
@@ -158,6 +170,7 @@ class JoinHashTable {
 class GroupKeyTable {
  public:
   explicit GroupKeyTable(std::vector<const ColumnData*> key_cols);
+  ~GroupKeyTable();
 
   KeyLayout layout() const { return layout_; }
 
@@ -166,6 +179,13 @@ class GroupKeyTable {
   size_t GetOrAdd(size_t row);
 
   size_t num_groups() const { return num_groups_; }
+
+  /// Attaches a memory tracker: slot-array growth and new serialized keys
+  /// are charged to it (released on destruction). GetOrAdd cannot fail
+  /// mid-insert, so a failed charge is latched into status() — callers
+  /// poll it at morsel granularity and abort the aggregation.
+  void set_tracker(MemoryTracker* tracker) { tracker_ = tracker; }
+  const Status& status() const { return status_; }
 
  private:
   static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
@@ -186,6 +206,10 @@ class GroupKeyTable {
   // kSerialized fallback.
   std::unordered_map<std::string, uint32_t> serialized_;
   std::string scratch_;
+  // Governor accounting (see set_tracker).
+  MemoryTracker* tracker_ = nullptr;
+  int64_t charged_bytes_ = 0;
+  Status status_;
 };
 
 }  // namespace vdm

@@ -5,7 +5,8 @@
 #
 #   tools/ci.sh              # ASan + UBSan + TSan test runs, tidy, format
 #   tools/ci.sh address      # one sanitizer only
-#   tools/ci.sh thread       # TSan over the executor tests only
+#   tools/ci.sh thread       # TSan over the executor + governor tests only
+#   tools/ci.sh fault        # ASan + fault injection compiled in + soak
 #   tools/ci.sh lint         # static checks only, no build
 set -euo pipefail
 
@@ -40,10 +41,34 @@ run_thread_sanitizer() {
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DVDMQO_SANITIZE=thread >/dev/null
   cmake --build "${dir}" -j "${JOBS}" \
-        --target exec_test exec_parallel_test hash_table_test plan_cache_test
+        --target exec_test exec_parallel_test hash_table_test plan_cache_test \
+                 governor_test
   VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-      -R 'exec_test|exec_parallel_test|hash_table_test|plan_cache_test'
-  echo "== thread: executor + plan cache tests passed =="
+      -R 'exec_test|exec_parallel_test|hash_table_test|plan_cache_test|governor_test'
+  echo "== thread: executor + plan cache + governor tests passed =="
+}
+
+run_fault() {
+  # Fault-injection soak: ASan build with the fault points compiled in
+  # (VDMQO_FAULT_INJECTION=ON — a release build compiles them to no-ops).
+  # The full battery runs once with no faults armed (every point must be
+  # inert), then the suites that arm faults through the FaultInjection API
+  # (governor_test and the property_random_test soak case) run again with
+  # the plan cache on to cover the cached compile path. The invariant
+  # under test: injected failures surface as typed Status, never as a
+  # crash, hang, or leak. (VDM_FAULT is deliberately NOT exported here —
+  # it is process-wide and would fail the success-asserting cases; the
+  # soak cases arm and clear their own schedules.)
+  local dir="build-fault"
+  echo "== fault-injection build (ASan + VDMQO_FAULT_INJECTION=ON) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DVDMQO_SANITIZE=address -DVDMQO_FAULT_INJECTION=ON >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  echo "== fault: soak through the plan-cache path =="
+  VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure \
+      -R 'governor_test|property_random_test'
+  echo "== fault: soak passed =="
 }
 
 run_lint() {
@@ -77,6 +102,9 @@ case "${MODE}" in
   thread)
     run_thread_sanitizer
     ;;
+  fault)
+    run_fault
+    ;;
   lint)
     run_lint
     ;;
@@ -84,10 +112,11 @@ case "${MODE}" in
     run_sanitizer address
     run_sanitizer undefined
     run_thread_sanitizer
+    run_fault
     run_lint
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|lint|all]" >&2
+    echo "usage: $0 [address|undefined|thread|fault|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -51,8 +51,16 @@ std::vector<std::string> SplitWords(const std::string& line) {
   return words;
 }
 
+// Sticky failure flag: the shell keeps accepting input after an error but
+// exits nonzero, so scripted runs (vdmsql < file.sql) fail loudly.
+bool g_had_error = false;
+
 void PrintStatus(const Status& status) {
-  if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  if (status.ok()) return;
+  // status.ToString() leads with the typed code (e.g. "DeadlineExceeded:",
+  // "ResourceExhausted:"), which scripts match on.
+  std::printf("error: %s\n", status.ToString().c_str());
+  g_had_error = true;
 }
 
 bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
@@ -252,5 +260,5 @@ int main() {
                       .count());
     }
   }
-  return 0;
+  return g_had_error ? 1 : 0;
 }

@@ -1,0 +1,44 @@
+// Reference interpreter: the differential-testing oracle.
+//
+// Evaluates a bound (unoptimized) logical plan with deliberately naive
+// algorithms — nested-loop joins, serial first-occurrence grouping, stable
+// sorts, full materialization of every operator — and none of the engine's
+// fast paths: no optimizer rules, no hash tables, no thread pool, no plan
+// cache, no morsels, no limit early-exit. It shares only the value/chunk
+// types (types/), scalar expression evaluation (expr/eval), and the
+// catalog schema types, so an executor or optimizer bug cannot hide in a
+// code path the oracle also takes.
+//
+// The semantics contract the oracle pins down (and the engine must match
+// byte-for-byte) is written out in DESIGN.md §11: SQL equi-join NULL
+// behavior, match emission order, first-occurrence group order, stable
+// sort with NULLs-first Value::Compare, exact unscaled decimal sums, and
+// UNION ALL branch-order concatenation with first-child column types.
+#ifndef VDMQO_REF_INTERPRETER_H_
+#define VDMQO_REF_INTERPRETER_H_
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+#include "types/column.h"
+
+namespace vdm {
+
+class RefInterpreter {
+ public:
+  /// `storage` must outlive the interpreter.
+  explicit RefInterpreter(const StorageManager* storage)
+      : storage_(storage) {}
+
+  /// Evaluates `plan` bottom-up, materializing each operator fully.
+  /// Intended for the raw bound plan (Database::BindQuery), but accepts
+  /// any logical plan.
+  Result<Chunk> Execute(const PlanRef& plan) const;
+
+ private:
+  const StorageManager* storage_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_REF_INTERPRETER_H_

@@ -1,6 +1,7 @@
 // Tests for CSV import/export.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -59,6 +60,49 @@ TEST_F(CsvTest, CoerceValues) {
   EXPECT_TRUE(CoerceCsvValue("", DataType::Int64())->is_null());
   EXPECT_FALSE(CoerceCsvValue("abc", DataType::Int64()).ok());
   EXPECT_FALSE(CoerceCsvValue("1.2.3", DataType::Decimal(2)).ok());
+}
+
+TEST_F(CsvTest, DecimalScaleBoundaries) {
+  // Exactly at the column scale: no rounding.
+  EXPECT_EQ(*CoerceCsvValue("0.01", DataType::Decimal(2)),
+            Value::Decimal(1, 2));
+  EXPECT_EQ(*CoerceCsvValue("-0.01", DataType::Decimal(2)),
+            Value::Decimal(-1, 2));
+  // One digit past the scale: half-away-from-zero at the boundary.
+  EXPECT_EQ(*CoerceCsvValue("0.005", DataType::Decimal(2)),
+            Value::Decimal(1, 2));
+  EXPECT_EQ(*CoerceCsvValue("0.004", DataType::Decimal(2)),
+            Value::Decimal(0, 2));
+  EXPECT_EQ(*CoerceCsvValue("-0.005", DataType::Decimal(2)),
+            Value::Decimal(-1, 2));
+  // Many digits past the scale still round correctly (not truncate).
+  EXPECT_EQ(*CoerceCsvValue("1.99999", DataType::Decimal(2)),
+            Value::Decimal(200, 2));
+  // Scale-0 columns accept fractions and round to integers.
+  EXPECT_EQ(*CoerceCsvValue("2.5", DataType::Decimal(0)),
+            Value::Decimal(3, 0));
+  EXPECT_EQ(*CoerceCsvValue("-2.5", DataType::Decimal(0)),
+            Value::Decimal(-3, 0));
+  // Degenerate but legal spellings.
+  EXPECT_EQ(*CoerceCsvValue(".5", DataType::Decimal(1)),
+            Value::Decimal(5, 1));
+  EXPECT_EQ(*CoerceCsvValue("5.", DataType::Decimal(1)),
+            Value::Decimal(50, 1));
+  EXPECT_EQ(*CoerceCsvValue("+1.5", DataType::Decimal(1)),
+            Value::Decimal(15, 1));
+  EXPECT_EQ(*CoerceCsvValue("007", DataType::Decimal(2)),
+            Value::Decimal(700, 2));
+  // A bare sign or dot has no digits.
+  EXPECT_FALSE(CoerceCsvValue("-", DataType::Decimal(2)).ok());
+  EXPECT_FALSE(CoerceCsvValue(".", DataType::Decimal(2)).ok());
+  // int64 overflow during digit accumulation is rejected, not wrapped:
+  // 9223372036854775807 is INT64_MAX, one more digit overflows.
+  EXPECT_EQ(*CoerceCsvValue("9223372036854775807", DataType::Decimal(0)),
+            Value::Decimal(INT64_MAX, 0));
+  EXPECT_FALSE(
+      CoerceCsvValue("92233720368547758080", DataType::Decimal(0)).ok());
+  EXPECT_FALSE(
+      CoerceCsvValue("9223372036854775808", DataType::Decimal(0)).ok());
 }
 
 TEST_F(CsvTest, ImportRoundTrip) {

@@ -1,0 +1,126 @@
+// Golden-plan regression tests: the optimized plan of every paper
+// micro-query (Fig. 5 UAJ, Fig. 6 paging, Fig. 10 ASJ, Fig. 12
+// UNION ALL + UAJ) is locked, per optimizer profile, against checked-in
+// snapshots under tests/golden/. Any rewrite-behavior change shows up as
+// a readable plan diff in the test log.
+//
+// Regenerating after an intentional change:
+//   VDM_UPDATE_GOLDEN=1 ./build/tests/golden_plan_test
+// then review the tests/golden/ diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "workload/tpch.h"
+
+namespace vdm {
+namespace {
+
+/// "Fig. 10(a)" -> "fig_10a": display names become file-name slugs.
+std::string Slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+const SystemProfile kProfiles[] = {
+    SystemProfile::kNone,    SystemProfile::kHana,
+    SystemProfile::kPostgres, SystemProfile::kSystemX,
+    SystemProfile::kSystemY, SystemProfile::kSystemZ,
+};
+
+class GoldenPlanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    // Plans are locked over a fixed, analyzed data distribution so the
+    // cost-based join order is deterministic and meaningful.
+    TpchOptions options;
+    options.scale = 0.01;
+    ASSERT_TRUE(CreateTpchSchema(db_, options).ok());
+    ASSERT_TRUE(LoadTpchData(db_, options).ok());
+    db_->AnalyzeTables();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  /// The per-profile plans of `sql`, as one snapshot document.
+  static std::string RenderAllProfiles(const std::string& sql) {
+    std::string out = "-- query:\n-- " + sql + "\n";
+    for (SystemProfile profile : kProfiles) {
+      db_->SetProfile(profile);
+      Result<std::string> plan = db_->Explain(sql);
+      EXPECT_TRUE(plan.ok()) << sql << "\n" << plan.status().ToString();
+      out += "\n-- profile: " + ProfileName(profile) + "\n";
+      out += plan.ok() ? *plan : plan.status().ToString();
+      if (out.back() != '\n') out += '\n';
+    }
+    return out;
+  }
+
+  static void CheckGolden(const std::string& name, const std::string& sql) {
+    const std::string path = std::string(GOLDEN_DIR) + "/" + name + ".txt";
+    const std::string actual = RenderAllProfiles(sql);
+    if (std::getenv("VDM_UPDATE_GOLDEN") != nullptr) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      GTEST_LOG_(INFO) << "updated " << path;
+      return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — run with VDM_UPDATE_GOLDEN=1 to create it";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "plan drift for " << name << "; if intentional, regenerate via "
+        << "VDM_UPDATE_GOLDEN=1 and review the tests/golden/ diff";
+  }
+
+  static Database* db_;
+};
+
+Database* GoldenPlanTest::db_ = nullptr;
+
+TEST_F(GoldenPlanTest, UajQueries) {  // paper Fig. 5
+  for (UajQuery query : AllUajQueries()) {
+    CheckGolden(Slug(UajQueryName(query)), UajQuerySql(query));
+  }
+}
+
+TEST_F(GoldenPlanTest, PagingQuery) {  // paper Fig. 6
+  CheckGolden("paging_limit10_offset20", PagingQuerySql(10, 20));
+}
+
+TEST_F(GoldenPlanTest, AsjQueries) {  // paper Fig. 10
+  for (AsjQuery query : AllAsjQueries()) {
+    CheckGolden("asj_" + Slug(AsjQueryName(query)), AsjQuerySql(query));
+  }
+}
+
+TEST_F(GoldenPlanTest, UnionUajQueries) {  // paper Fig. 12
+  for (UnionUajQuery query : AllUnionUajQueries()) {
+    CheckGolden("union_" + Slug(UnionUajQueryName(query)),
+                UnionUajQuerySql(query));
+  }
+}
+
+}  // namespace
+}  // namespace vdm

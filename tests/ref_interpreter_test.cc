@@ -1,0 +1,164 @@
+// Unit tests for the naive reference interpreter (ref/interpreter.h) —
+// the differential-testing oracle. These pin its *semantics contract*
+// (DESIGN.md §11) on hand-built data with hand-computed answers, so the
+// oracle is validated independently of the engine it is meant to check.
+#include "ref/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/database.h"
+#include "testing/differential.h"
+
+namespace vdm {
+namespace {
+
+class RefInterpreterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table t ("
+                            "k int primary key,"
+                            "grp int,"
+                            "v decimal(10,2),"
+                            "name varchar(10))")
+                    .ok());
+    // NULL group, NULL value, and NULL join-key rows included on purpose.
+    ASSERT_TRUE(db_.Insert("t", {{Value::Int64(1), Value::Int64(10),
+                                  Value::Decimal(150, 2),
+                                  Value::String("b")},
+                                 {Value::Int64(2), Value::Int64(20),
+                                  Value::Decimal(250, 2),
+                                  Value::String("a")},
+                                 {Value::Int64(3), Value::Int64(10),
+                                  Value::Null(), Value::String("a")},
+                                 {Value::Int64(4), Value::Null(),
+                                  Value::Decimal(100, 2), Value::Null()}})
+                    .ok());
+    ASSERT_TRUE(db_.Execute("create table d ("
+                            "dk int primary key,"
+                            "dname varchar(10))")
+                    .ok());
+    ASSERT_TRUE(db_.Insert("d", {{Value::Int64(10), Value::String("ten")},
+                                 {Value::Int64(30),
+                                  Value::String("thirty")}})
+                    .ok());
+  }
+
+  /// Oracle rows for `sql`, normalized.
+  std::vector<std::string> Ref(const std::string& sql, bool ordered) {
+    Result<PlanRef> plan = db_.BindQuery(sql);
+    EXPECT_TRUE(plan.ok()) << sql << "\n" << plan.status().ToString();
+    RefInterpreter ref(&db_.storage());
+    Result<Chunk> out = ref.Execute(*plan);
+    EXPECT_TRUE(out.ok()) << sql << "\n" << out.status().ToString();
+    return NormalizeChunk(*out, ordered);
+  }
+
+  Database db_;
+};
+
+TEST_F(RefInterpreterTest, ScanFilterProject) {
+  EXPECT_EQ(Ref("select k, name from t where grp = 10 order by k", true),
+            (std::vector<std::string>{"# k|name|", "1|b|", "3|a|"}));
+}
+
+TEST_F(RefInterpreterTest, NullJoinKeysNeverMatch) {
+  // Row k=4 has grp NULL: the inner join drops it, the LEFT OUTER join
+  // null-extends it (NULL = NULL is not true in SQL join semantics).
+  EXPECT_EQ(Ref("select t.k, d.dname from t join d on t.grp = d.dk "
+                "order by t.k",
+                true),
+            (std::vector<std::string>{"# k|dname|", "1|ten|", "3|ten|"}));
+  EXPECT_EQ(Ref("select t.k, d.dname from t left outer join d "
+                "on t.grp = d.dk order by t.k",
+                true),
+            (std::vector<std::string>{"# k|dname|", "1|ten|", "2|NULL|",
+                                      "3|ten|", "4|NULL|"}));
+}
+
+TEST_F(RefInterpreterTest, AggregateContract) {
+  // NULL is its own group; groups appear in first-occurrence order (here
+  // normalized by ORDER BY); sum skips NULLs; count(v) counts non-NULL.
+  EXPECT_EQ(Ref("select grp as g, count(*) as n, count(v) as nv, "
+                "sum(v) as s from t group by grp order by g, n, nv, s",
+                true),
+            (std::vector<std::string>{"# g|n|nv|s|", "NULL|1|1|1.00|",
+                                      "10|2|1|1.50|", "20|1|1|2.50|"}));
+}
+
+TEST_F(RefInterpreterTest, GlobalAggregateOverEmptyInput) {
+  // A global aggregate yields exactly one row even over zero input rows:
+  // count 0, sum/min/max NULL.
+  EXPECT_EQ(Ref("select count(*) as n, sum(v) as s, min(name) as m "
+                "from t where k > 100",
+                true),
+            (std::vector<std::string>{"# n|s|m|", "0|NULL|NULL|"}));
+}
+
+TEST_F(RefInterpreterTest, CountDistinct) {
+  EXPECT_EQ(Ref("select count(distinct name) as n from t", true),
+            (std::vector<std::string>{"# n|", "2|"}));
+}
+
+TEST_F(RefInterpreterTest, UnionAllKeepsBranchOrderAndDuplicates) {
+  EXPECT_EQ(Ref("select k from t where k <= 2 "
+                "union all select k from t where k = 1",
+                /*ordered=*/true),  // branch concatenation order is fixed
+            (std::vector<std::string>{"# k|", "1|", "2|", "1|"}));
+}
+
+TEST_F(RefInterpreterTest, SortNullsFirstAndStable) {
+  // Value::Compare orders NULL before everything; equal keys keep input
+  // order (k=3 before k=2 — both name 'a' — because of table order).
+  EXPECT_EQ(Ref("select name, k from t order by name", true),
+            (std::vector<std::string>{"# name|k|", "NULL|4|", "a|2|",
+                                      "a|3|", "b|1|"}));
+}
+
+TEST_F(RefInterpreterTest, LimitOffsetSlice) {
+  EXPECT_EQ(Ref("select k from t order by k limit 2 offset 1", true),
+            (std::vector<std::string>{"# k|", "2|", "3|"}));
+}
+
+TEST_F(RefInterpreterTest, DistinctFirstOccurrence) {
+  EXPECT_EQ(Ref("select distinct grp from t order by grp", true),
+            (std::vector<std::string>{"# grp|", "NULL|", "10|", "20|"}));
+}
+
+TEST_F(RefInterpreterTest, HavingAndScalarOverAggregate) {
+  EXPECT_EQ(Ref("select grp as g, count(*) + 1 as n1 from t "
+                "where grp is not null group by grp "
+                "having count(*) > 1 order by g, n1",
+                true),
+            (std::vector<std::string>{"# g|n1|", "10|3|"}));
+}
+
+TEST_F(RefInterpreterTest, ViewStackInlines) {
+  ASSERT_TRUE(db_.Execute("create view v1 as select t.k as k, d.dname as "
+                          "dn from t left outer join d on t.grp = d.dk")
+                  .ok());
+  ASSERT_TRUE(
+      db_.Execute("create view v2 as select k, dn from v1 where k <> 2")
+          .ok());
+  EXPECT_EQ(Ref("select k, dn from v2 order by k, dn", true),
+            (std::vector<std::string>{"# k|dn|", "1|ten|", "3|ten|",
+                                      "4|NULL|"}));
+}
+
+TEST_F(RefInterpreterTest, RejectsNullPlan) {
+  RefInterpreter ref(&db_.storage());
+  EXPECT_FALSE(ref.Execute(PlanRef()).ok());
+}
+
+TEST_F(RefInterpreterTest, NormalizeChunkSortsUnorderedRows) {
+  Result<Chunk> out = db_.Query("select k from t");
+  ASSERT_TRUE(out.ok());
+  std::vector<std::string> rows = NormalizeChunk(*out, /*ordered=*/false);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], "# k|");
+  EXPECT_TRUE(std::is_sorted(rows.begin() + 1, rows.end()));
+}
+
+}  // namespace
+}  // namespace vdm

@@ -3,6 +3,7 @@
 
 #include "expr/eval.h"
 #include "types/column.h"
+#include "types/date_util.h"
 #include "types/type.h"
 #include "types/value.h"
 
@@ -189,6 +190,65 @@ TEST(DateFunctionsTest, PreEpochDates) {
   // 1969-12-31.
   EXPECT_EQ(YearFromDays(-1), 1969);
   EXPECT_EQ(MonthFromDays(-1), 12);
+}
+
+// --- civil-calendar edge cases (types/date_util.h) -------------------------
+
+int64_t Days(int64_t y, int m, int d) { return DaysFromCivil({y, m, d}); }
+
+TEST(DateUtilTest, LeapYearRules) {
+  // Divisible by 4: leap. By 100: not. By 400: leap again.
+  EXPECT_TRUE(ParseDate("2024-02-29").has_value());
+  EXPECT_TRUE(ParseDate("2000-02-29").has_value());
+  EXPECT_FALSE(ParseDate("1900-02-29").has_value());
+  EXPECT_FALSE(ParseDate("2023-02-29").has_value());
+  // Feb 28 -> next day differs between leap and common years.
+  EXPECT_EQ(FormatDate(Days(2024, 2, 28) + 1), "2024-02-29");
+  EXPECT_EQ(FormatDate(Days(2023, 2, 28) + 1), "2023-03-01");
+  EXPECT_EQ(FormatDate(Days(1900, 2, 28) + 1), "1900-03-01");
+  EXPECT_EQ(FormatDate(Days(2000, 2, 28) + 1), "2000-02-29");
+}
+
+TEST(DateUtilTest, MonthEndArithmetic) {
+  // Crossing every kind of month boundary by +1 day.
+  EXPECT_EQ(FormatDate(Days(2024, 1, 31) + 1), "2024-02-01");
+  EXPECT_EQ(FormatDate(Days(2024, 2, 29) + 1), "2024-03-01");
+  EXPECT_EQ(FormatDate(Days(2024, 4, 30) + 1), "2024-05-01");
+  EXPECT_EQ(FormatDate(Days(2024, 12, 31) + 1), "2025-01-01");
+  // And backwards into a month end.
+  EXPECT_EQ(FormatDate(Days(2024, 3, 1) - 1), "2024-02-29");
+  EXPECT_EQ(FormatDate(Days(2025, 1, 1) - 1), "2024-12-31");
+  // A 31-day difference spans exactly January.
+  EXPECT_EQ(Days(2024, 2, 1) - Days(2024, 1, 1), 31);
+  EXPECT_EQ(Days(2024, 3, 1) - Days(2024, 2, 1), 29);  // leap February
+  EXPECT_EQ(Days(2023, 3, 1) - Days(2023, 2, 1), 28);
+}
+
+TEST(DateUtilTest, RoundTripAcrossFourCenturies) {
+  // Every civil date must survive days -> civil -> days, including the
+  // full 400-year Gregorian cycle boundaries around the epoch.
+  for (int64_t day : {int64_t{-719468} /* 0001-01-01 */, int64_t{-141428},
+                      int64_t{-1}, int64_t{0}, int64_t{11016}, int64_t{11017},
+                      int64_t{19781}, int64_t{19782}, int64_t{2932896}}) {
+    CivilDate civil = CivilFromDays(day);
+    EXPECT_EQ(DaysFromCivil(civil), day)
+        << civil.year << "-" << civil.month << "-" << civil.day;
+  }
+  EXPECT_EQ(FormatDate(DaysFromCivil({1, 1, 1})), "0001-01-01");
+}
+
+TEST(DateUtilTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseDate("").has_value());
+  EXPECT_FALSE(ParseDate("2024-1-05").has_value());   // unpadded month
+  EXPECT_FALSE(ParseDate("24-01-05").has_value());    // 2-digit year
+  EXPECT_FALSE(ParseDate("2024/01/05").has_value());  // wrong separator
+  EXPECT_FALSE(ParseDate("2024-00-10").has_value());
+  EXPECT_FALSE(ParseDate("2024-13-10").has_value());
+  EXPECT_FALSE(ParseDate("2024-04-31").has_value());  // April has 30 days
+  EXPECT_FALSE(ParseDate("2024-01-00").has_value());
+  EXPECT_FALSE(ParseDate("2024-01-32").has_value());
+  ASSERT_TRUE(ParseDate("2024-04-30").has_value());
+  EXPECT_EQ(FormatDate(*ParseDate("2024-04-30")), "2024-04-30");
 }
 
 }  // namespace

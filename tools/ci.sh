@@ -7,6 +7,7 @@
 #   tools/ci.sh address      # one sanitizer only
 #   tools/ci.sh thread       # TSan over the executor + governor tests only
 #   tools/ci.sh fault        # ASan + fault injection compiled in + soak
+#   tools/ci.sh fuzz         # ASan differential fuzz: vdmfuzz, 10k queries
 #   tools/ci.sh lint         # static checks only, no build
 set -euo pipefail
 
@@ -71,6 +72,32 @@ run_fault() {
   echo "== fault: soak passed =="
 }
 
+run_fuzz() {
+  # Differential fuzz sweep (DESIGN.md §11): 10k generator queries, each
+  # diffed against the reference-interpreter oracle across the full config
+  # matrix, under ASan with the fault points compiled in. The seed corpus
+  # is pinned (--seed 42) so a red run reproduces exactly; repro dumps
+  # land in build-fuzz/fuzz-artifacts/. The self-test leg proves the
+  # harness can still see a bug at all: a deliberately corrupted optimizer
+  # pass and an armed fault schedule must both be detected.
+  # These are the fuzz-labeled ctest targets (CONFIGURATIONS fuzz), which
+  # plain tier-1 `ctest` deliberately skips.
+  local dir="build-fuzz"
+  echo "== differential fuzz build (ASan + fault points) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DVDMQO_SANITIZE=address -DVDMQO_FAULT_INJECTION=ON >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" \
+        --target vdmfuzz ref_interpreter_test differential_test
+  echo "== fuzz: oracle + runner unit tests =="
+  ctest --test-dir "${dir}" --output-on-failure \
+      -R 'ref_interpreter_test|differential_test'
+  echo "== fuzz: harness self-test (planted bug must be caught) =="
+  ctest --test-dir "${dir}" --output-on-failure -C fuzz -R vdmfuzz_self_test
+  echo "== fuzz: 10k-query sweep, seed 42 =="
+  ctest --test-dir "${dir}" --output-on-failure -C fuzz -R vdmfuzz_sweep
+  echo "== fuzz: zero engine-vs-oracle mismatches =="
+}
+
 run_lint() {
   # clang-tidy on the analysis subsystem (minimum bar; extend as modules
   # are brought up to zero-warning state).
@@ -105,6 +132,9 @@ case "${MODE}" in
   fault)
     run_fault
     ;;
+  fuzz)
+    run_fuzz
+    ;;
   lint)
     run_lint
     ;;
@@ -113,10 +143,11 @@ case "${MODE}" in
     run_sanitizer undefined
     run_thread_sanitizer
     run_fault
+    run_fuzz
     run_lint
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|fault|lint|all]" >&2
+    echo "usage: $0 [address|undefined|thread|fault|fuzz|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,219 @@
+// vdmfuzz — differential fuzzer: engine vs. reference-interpreter oracle.
+//
+//   $ ./tools/vdmfuzz --seed 42 --queries 10000 --artifacts fuzz-artifacts
+//
+// Generates seeded VDM-shaped queries (testing/query_gen.h), evaluates each
+// with the naive reference interpreter (ref/interpreter.h), and executes it
+// across the full engine configuration matrix — 5 optimizer profiles x
+// {1,N} threads x plan cache off/cold/warm x governor off/on — plus
+// metamorphic variants. Any diff writes a minimized repro dump into the
+// artifacts directory (see DESIGN.md §11 and README for the format).
+//
+// Flags:
+//   --seed N            query-generator seed (default 42)
+//   --queries N         number of queries (default 200)
+//   --workers N         worker threads, each with its own databases
+//                       (default: hardware concurrency, capped at 8)
+//   --exec-threads N    the "N" of the {1,N}-thread matrix leg (default 4)
+//   --artifacts DIR     repro-dump directory (default "fuzz-artifacts")
+//   --no-metamorphic    skip the metamorphic variant checks
+//   --progress N        progress line every N queries (default 500; 0 off)
+//   --corrupt PASS      plant a wrong-result bug after the named optimizer
+//                       pass (debug; the run SHOULD then report mismatches)
+//   --self-test         verify the harness itself: a clean batch must pass,
+//                       a deliberately corrupted batch must fail with a
+//                       repro dump, and (in fault builds) an injected-fault
+//                       batch must be detected
+//
+// Exit status: 0 clean, 1 mismatches found, 2 usage or harness error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "testing/differential.h"
+
+using namespace vdm;
+
+namespace {
+
+void PrintStats(const DiffStats& stats) {
+  std::printf(
+      "vdmfuzz: %lld queries, %lld engine executions, "
+      "%lld metamorphic checks, %lld plan-cache hits\n",
+      static_cast<long long>(stats.queries),
+      static_cast<long long>(stats.executions),
+      static_cast<long long>(stats.metamorphic_checks),
+      static_cast<long long>(stats.plan_cache_hits));
+  std::printf("vdmfuzz: %lld mismatches, %lld engine errors\n",
+              static_cast<long long>(stats.mismatches),
+              static_cast<long long>(stats.errors));
+  for (const std::string& file : stats.repro_files) {
+    std::printf("vdmfuzz: repro dump: %s\n", file.c_str());
+  }
+}
+
+int RunOnce(const DiffOptions& options) {
+  DifferentialRunner runner(options);
+  Result<DiffStats> stats = runner.Run();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "vdmfuzz: harness error: %s\n",
+                 stats.status().ToString().c_str());
+    return 2;
+  }
+  PrintStats(*stats);
+  return stats->mismatches > 0 ? 1 : 0;
+}
+
+/// The harness must (a) pass on a clean engine, (b) report exactly the
+/// planted wrong-result bug when the optimizer is corrupted, with a repro
+/// dump, and (c) in fault-injection builds, surface injected execution
+/// faults as diffs.
+int SelfTest(DiffOptions base) {
+  base.num_queries = base.num_queries > 0 ? base.num_queries : 40;
+  base.progress_every = 0;
+
+  std::printf("vdmfuzz self-test [1/3]: clean batch (%d queries)...\n",
+              base.num_queries);
+  DiffOptions clean = base;
+  clean.artifacts_dir = "";
+  DifferentialRunner clean_runner(clean);
+  Result<DiffStats> clean_stats = clean_runner.Run();
+  if (!clean_stats.ok()) {
+    std::fprintf(stderr, "vdmfuzz self-test: harness error: %s\n",
+                 clean_stats.status().ToString().c_str());
+    return 2;
+  }
+  if (clean_stats->mismatches != 0) {
+    std::fprintf(stderr,
+                 "vdmfuzz self-test FAILED: clean batch reported %lld "
+                 "mismatches (expected 0)\n",
+                 static_cast<long long>(clean_stats->mismatches));
+    return 2;
+  }
+
+  std::printf(
+      "vdmfuzz self-test [2/3]: planted bug "
+      "(--corrupt prune_and_eliminate)...\n");
+  DiffOptions corrupt = base;
+  corrupt.debug_corrupt_pass = "prune_and_eliminate";
+  if (corrupt.artifacts_dir.empty()) corrupt.artifacts_dir = "fuzz-artifacts";
+  DifferentialRunner corrupt_runner(corrupt);
+  Result<DiffStats> corrupt_stats = corrupt_runner.Run();
+  if (!corrupt_stats.ok()) {
+    std::fprintf(stderr, "vdmfuzz self-test: harness error: %s\n",
+                 corrupt_stats.status().ToString().c_str());
+    return 2;
+  }
+  if (corrupt_stats->mismatches == 0 || corrupt_stats->repro_files.empty()) {
+    std::fprintf(stderr,
+                 "vdmfuzz self-test FAILED: planted wrong-result bug was "
+                 "not detected (%lld mismatches, %zu repro dumps)\n",
+                 static_cast<long long>(corrupt_stats->mismatches),
+                 corrupt_stats->repro_files.size());
+    return 2;
+  }
+  std::printf("  detected: %lld mismatching queries, first dump: %s\n",
+              static_cast<long long>(corrupt_stats->mismatches),
+              corrupt_stats->repro_files.front().c_str());
+
+  if (FaultInjection::CompiledIn()) {
+    std::printf("vdmfuzz self-test [3/3]: injected execution faults...\n");
+    FaultSpec spec;
+    spec.probability = 0.05;
+    FaultInjection::Set("exec.aggregate", spec);
+    FaultInjection::Set("exec.join.probe", spec);
+    FaultInjection::SetSeed(base.seed);
+    DiffOptions faulty = base;
+    faulty.artifacts_dir = "";
+    DifferentialRunner faulty_runner(faulty);
+    Result<DiffStats> faulty_stats = faulty_runner.Run();
+    FaultInjection::Clear();
+    if (!faulty_stats.ok()) {
+      std::fprintf(stderr, "vdmfuzz self-test: harness error: %s\n",
+                   faulty_stats.status().ToString().c_str());
+      return 2;
+    }
+    if (faulty_stats->errors == 0) {
+      std::fprintf(stderr,
+                   "vdmfuzz self-test FAILED: armed faults produced no "
+                   "detected engine errors\n");
+      return 2;
+    }
+    std::printf("  detected: %lld injected engine errors\n",
+                static_cast<long long>(faulty_stats->errors));
+  } else {
+    std::printf(
+        "vdmfuzz self-test [3/3]: skipped (built without "
+        "VDMQO_FAULT_INJECTION)\n");
+  }
+
+  std::printf("vdmfuzz self-test PASSED\n");
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--queries N] [--workers N] "
+               "[--exec-threads N] [--artifacts DIR] [--no-metamorphic] "
+               "[--progress N] [--corrupt PASS] [--self-test]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffOptions options;
+  options.artifacts_dir = "fuzz-artifacts";
+  options.progress_every = 500;
+  bool self_test = false;
+  static std::string corrupt_pass;  // keeps the c_str alive for the run
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--queries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.num_queries = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.workers = std::atoi(v);
+    } else if (arg == "--exec-threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.exec_threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--artifacts") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.artifacts_dir = v;
+    } else if (arg == "--no-metamorphic") {
+      options.with_metamorphic = false;
+    } else if (arg == "--progress") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.progress_every = std::atoi(v);
+    } else if (arg == "--corrupt") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      corrupt_pass = v;
+      options.debug_corrupt_pass = corrupt_pass.c_str();
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.num_queries <= 0) return Usage(argv[0]);
+
+  return self_test ? SelfTest(options) : RunOnce(options);
+}

@@ -1,0 +1,113 @@
+// Whole-catalog semantic audit (vdmlint --catalog-audit, DESIGN.md §12).
+//
+// Runs the static inference engine (analysis/infer) over the bound plan of
+// every view in a catalog — no execution — and reports findings:
+//  * removable-join   — a self-join the optimizer's general elimination
+//                       rule proves removable (the view pays a join that
+//                       computes nothing), with a per-profile survival
+//                       probe: under which capability profiles it remains;
+//  * contradicted-cardinality — a declared to-one cardinality (§7.3) the
+//                       plan statically contradicts (empty right side,
+//                       nullable join column under exact-one, or no join
+//                       equality restricting a multi-row right side);
+//  * decimal-scale-narrowing  — round(col, s) over a decimal column whose
+//                       declared scale exceeds s (silent precision loss,
+//                       §7.1 allow_precision_loss territory);
+//  * dead-view        — the view's plan is statically empty: every query
+//                       against it returns no rows.
+//
+// Findings carry stable fingerprints (hashes of rule + view + semantic
+// detail, never plan node ids), so a committed baseline file can suppress
+// known findings and CI can gate on NEW findings only (SARIF 2.1 output).
+#ifndef VDMQO_ANALYSIS_CATALOG_AUDIT_H_
+#define VDMQO_ANALYSIS_CATALOG_AUDIT_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/infer/inference.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace vdm {
+
+enum class AuditSeverity {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* AuditSeverityName(AuditSeverity severity);
+/// Parses "note" / "warning" / "error" (case-insensitive).
+std::optional<AuditSeverity> ParseAuditSeverity(const std::string& name);
+
+struct AuditFinding {
+  /// Stable rule id: "removable-join", "contradicted-cardinality",
+  /// "decimal-scale-narrowing", "dead-view".
+  std::string rule;
+  AuditSeverity severity = AuditSeverity::kNote;
+  std::string view;
+  std::string message;
+  /// 16-hex-digit stable fingerprint: hash of rule + view + the finding's
+  /// semantic identity (table, condition text, column, scale, ...). Stable
+  /// across rebinding and unrelated catalog edits; used by the baseline.
+  std::string fingerprint;
+};
+
+struct CatalogAuditOptions {
+  /// Inference capability gates (default: full capability, kHana-like).
+  InferOptions infer;
+  /// For each removable join, optimize the view under every SystemProfile
+  /// and report the profiles where the join survives. Costs one optimizer
+  /// run per profile per view-with-findings; off for fast unit tests.
+  bool probe_profiles = true;
+};
+
+struct CatalogAuditReport {
+  /// Sorted by view, then rule, then fingerprint (deterministic output).
+  std::vector<AuditFinding> findings;
+  /// Views that could not be audited ("name: why"); auditing continues.
+  std::vector<std::string> errors;
+  size_t views_audited = 0;
+
+  std::string ToString() const;
+};
+
+/// Audits every view in the catalog (tables need no audit; the rules all
+/// concern derived plans). Per-view binding errors are collected in
+/// report.errors rather than failing the audit.
+Result<CatalogAuditReport> AuditCatalog(const Catalog& catalog,
+                                        const CatalogAuditOptions& options = {});
+
+// --- baseline workflow ------------------------------------------------------
+
+/// Renders the report as a baseline file: one "<fingerprint> <rule> <view>"
+/// line per finding, '#' comments, sorted. Commit it to suppress current
+/// findings; CI then gates on new ones only.
+std::string RenderBaseline(const CatalogAuditReport& report);
+
+/// Parses a baseline file's text into the set of suppressed fingerprints.
+/// Blank lines and '#' comments are ignored; each other line's first token
+/// is the fingerprint.
+std::set<std::string> ParseBaseline(const std::string& text);
+
+/// The findings whose fingerprints are NOT in the baseline.
+std::vector<AuditFinding> FilterNewFindings(
+    const CatalogAuditReport& report, const std::set<std::string>& baseline);
+
+/// True if any of `findings` has severity >= threshold (the CI gate).
+bool AnyAtOrAbove(const std::vector<AuditFinding>& findings,
+                  AuditSeverity threshold);
+
+// --- output formats ---------------------------------------------------------
+
+/// SARIF 2.1.0 log (one run, tool driver "vdmlint"); findings appear as
+/// results with partialFingerprints["vdmlint/v1"] so SARIF-aware CI can do
+/// its own baselining too.
+std::string RenderSarif(const CatalogAuditReport& report);
+
+}  // namespace vdm
+
+#endif  // VDMQO_ANALYSIS_CATALOG_AUDIT_H_

@@ -22,6 +22,7 @@ OptimizerConfig ConfigForProfile(SystemProfile profile) {
       config.asj_elimination = false;
       config.asj_union_all_anchor = false;
       config.case_join = false;
+      config.selfjoin_general = false;
       config.agg_pushdown = false;
       config.allow_precision_loss_rewrites = false;
       break;
@@ -34,6 +35,7 @@ OptimizerConfig ConfigForProfile(SystemProfile profile) {
       config.asj_elimination = false;
       config.asj_union_all_anchor = false;
       config.case_join = false;
+      config.selfjoin_general = false;
       config.agg_pushdown = false;
       config.allow_precision_loss_rewrites = false;
       break;
@@ -48,6 +50,7 @@ OptimizerConfig ConfigForProfile(SystemProfile profile) {
       config.asj_elimination = false;
       config.asj_union_all_anchor = false;
       config.case_join = false;
+      config.selfjoin_general = false;
       config.agg_pushdown = false;
       config.allow_precision_loss_rewrites = false;
       break;
@@ -60,6 +63,7 @@ OptimizerConfig ConfigForProfile(SystemProfile profile) {
       config.asj_elimination = false;
       config.asj_union_all_anchor = false;
       config.case_join = false;
+      config.selfjoin_general = false;
       config.agg_pushdown = false;
       config.allow_precision_loss_rewrites = false;
       break;
@@ -73,6 +77,7 @@ OptimizerConfig ConfigForProfile(SystemProfile profile) {
       config.asj_elimination = false;
       config.asj_union_all_anchor = false;
       config.case_join = false;
+      config.selfjoin_general = false;
       config.agg_pushdown = false;
       config.allow_precision_loss_rewrites = false;
       config.distinct_elimination = false;
@@ -142,6 +147,7 @@ Result<PlanRef> Optimizer::OptimizeChecked(const PlanRef& plan) const {
        config_.allow_precision_loss_rewrites || config_.agg_pushdown,
        &PassAggregatePushdown},
       {"asj_elimination", config_.asj_elimination, &PassAsjElimination},
+      {"selfjoin_general", config_.selfjoin_general, &PassSelfJoinGeneral},
       {"prune_and_eliminate",
        config_.projection_pruning || config_.uaj_elimination,
        &PassPruneAndEliminate},

@@ -52,6 +52,11 @@ struct OptimizerConfig {
   /// (only canonical shapes), mirroring Fig. 14(a); with a case join the
   /// augmenter subtree is preserved and matching is robust (Fig. 14(b)).
   bool case_join = true;
+  /// General self-join elimination over arbitrary same-table pairs, proven
+  /// by the shared static inference engine (analysis/infer): both sides
+  /// unique on the join column set via join clauses or per-side constant
+  /// equalities, all outputs computable from one side (ROADMAP item 5).
+  bool selfjoin_general = true;
 
   // --- aggregation (§7.1) ---
   bool agg_pushdown = true;
@@ -145,6 +150,17 @@ PlanRef PassPruneAndEliminate(const PlanRef& plan,
 /// Augmentation self-join elimination (§5.3, §6.3).
 PlanRef PassAsjElimination(const PlanRef& plan, const OptimizerConfig& config,
                            bool* changed);
+
+/// General self-join elimination driven by the inference engine.
+PlanRef PassSelfJoinGeneral(const PlanRef& plan, const OptimizerConfig& config,
+                            bool* changed);
+
+/// The single-join core of PassSelfJoinGeneral, exposed so the vdmlint
+/// catalog audit can probe exactly what the optimizer would remove.
+/// Returns the replacement subtree, or nullptr if the join is not a
+/// provably removable self-join.
+PlanRef TryEliminateGeneralSelfJoin(const std::shared_ptr<const JoinOp>& join,
+                                    const OptimizerConfig& config);
 
 /// Limit pushdown across augmentation joins and projections (§4.4).
 PlanRef PassLimitPushdown(const PlanRef& plan, const OptimizerConfig& config,

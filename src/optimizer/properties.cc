@@ -450,6 +450,18 @@ RelProps DeriveUnionAll(const UnionAllOp& u,
 
 }  // namespace
 
+InferOptions ToInferOptions(const DerivationConfig& config) {
+  InferOptions options;
+  options.base_table_keys = config.base_table_keys;
+  options.groupby_keys = config.groupby_keys;
+  options.const_pinning = config.const_pinning;
+  options.keys_through_joins = config.keys_through_joins;
+  options.keys_through_order_limit = config.keys_through_order_limit;
+  options.keys_through_union_all = config.keys_through_union_all;
+  options.trust_declared_cardinality = config.trust_declared_cardinality;
+  return options;
+}
+
 bool RelProps::HasKey(const std::vector<std::string>& available) const {
   std::set<std::string> set(available.begin(), available.end());
   for (const std::vector<std::string>& key : unique_keys) {

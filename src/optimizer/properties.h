@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/infer/inference.h"
 #include "plan/logical_plan.h"
 #include "types/value.h"
 
@@ -39,6 +40,10 @@ struct DerivationConfig {
   /// Honor declared (unenforced) join cardinalities (§7.3).
   bool trust_declared_cardinality = true;
 };
+
+/// The inference engine (analysis/infer) is gated by the same capability
+/// flags; this keeps one profile definition authoritative for both.
+InferOptions ToInferOptions(const DerivationConfig& config);
 
 /// Where an output column comes from: a pass-through path to a base-table
 /// scan (or to a table-like UNION ALL node). Drives ASJ rewiring.

@@ -26,318 +26,15 @@
 #include <optional>
 #include <set>
 
+#include "analysis/infer/inference.h"
 #include "common/string_util.h"
 #include "expr/fold.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/rewrite_util.h"
 
 namespace vdm {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Generic helpers
-
-PlanRef FindNodeById(const PlanRef& plan, uint64_t id) {
-  if (plan->id() == id) return plan;
-  for (const PlanRef& child : plan->children()) {
-    PlanRef found = FindNodeById(child, id);
-    if (found) return found;
-  }
-  return nullptr;
-}
-
-bool ContainsNode(const PlanRef& plan, uint64_t id) {
-  return FindNodeById(plan, id) != nullptr;
-}
-
-// ---------------------------------------------------------------------------
-// Augmenter extraction: Scan / Filter / pass-through Project stacks.
-
-struct SimpleRel {
-  std::shared_ptr<const ScanOp> scan;
-  // Predicates with column refs rewritten to bare base-column names.
-  std::vector<ExprRef> base_preds;
-  // Output column name -> base column name.
-  std::map<std::string, std::string> out_to_base;
-  // Output columns that are literal projections (e.g. a branch id);
-  // reproduced directly during rewiring rather than wired to the anchor.
-  std::map<std::string, Value> out_literals;
-};
-
-std::optional<SimpleRel> ExtractSimpleRel(const PlanRef& plan) {
-  if (plan->kind() == OpKind::kScan) {
-    auto scan = std::static_pointer_cast<const ScanOp>(plan);
-    SimpleRel rel;
-    rel.scan = scan;
-    for (size_t i = 0; i < scan->column_indexes().size(); ++i) {
-      size_t schema_idx = scan->column_indexes()[i];
-      rel.out_to_base[scan->QualifiedName(schema_idx)] =
-          ToLower(scan->table_schema().column(schema_idx).name);
-    }
-    return rel;
-  }
-  if (plan->kind() == OpKind::kFilter) {
-    const auto& filter = static_cast<const FilterOp&>(*plan);
-    std::optional<SimpleRel> rel = ExtractSimpleRel(plan->child(0));
-    if (!rel.has_value()) return std::nullopt;
-    for (const ExprRef& conjunct : SplitConjuncts(filter.predicate())) {
-      bool ok = true;
-      ExprRef base_form =
-          RemapColumns(conjunct, [&](const std::string& name) -> ExprRef {
-            auto it = rel->out_to_base.find(name);
-            if (it != rel->out_to_base.end()) return Col(it->second);
-            auto lit = rel->out_literals.find(name);
-            if (lit != rel->out_literals.end()) return Lit(lit->second);
-            ok = false;
-            return nullptr;
-          });
-      if (!ok) return std::nullopt;
-      rel->base_preds.push_back(std::move(base_form));
-    }
-    return rel;
-  }
-  if (plan->kind() == OpKind::kProject) {
-    const auto& project = static_cast<const ProjectOp&>(*plan);
-    std::optional<SimpleRel> rel = ExtractSimpleRel(plan->child(0));
-    if (!rel.has_value()) return std::nullopt;
-    std::map<std::string, std::string> mapped;
-    std::map<std::string, Value> literals;
-    for (const ProjectOp::Item& item : project.items()) {
-      if (item.expr->kind() == ExprKind::kLiteral) {
-        literals[item.name] =
-            static_cast<const LiteralExpr&>(*item.expr).value();
-        continue;
-      }
-      if (item.expr->kind() != ExprKind::kColumnRef) return std::nullopt;
-      const std::string& child_name =
-          static_cast<const ColumnRefExpr&>(*item.expr).name();
-      auto it = rel->out_to_base.find(child_name);
-      if (it != rel->out_to_base.end()) {
-        mapped[item.name] = it->second;
-        continue;
-      }
-      auto lit = rel->out_literals.find(child_name);
-      if (lit != rel->out_literals.end()) {
-        literals[item.name] = lit->second;
-        continue;
-      }
-      return std::nullopt;
-    }
-    rel->out_to_base = std::move(mapped);
-    rel->out_literals = std::move(literals);
-    return rel;
-  }
-  return std::nullopt;
-}
-
-// ---------------------------------------------------------------------------
-// Anchor-side predicate collection: every filter conjunct in the subtree
-// whose references all pass through from the given source, rewritten to
-// base-column form.
-
-void CollectScanPredicates(const PlanRef& plan, uint64_t source_id,
-                           const DerivationConfig& dcfg,
-                           std::vector<ExprRef>* out) {
-  if (plan->kind() == OpKind::kFilter) {
-    const auto& filter = static_cast<const FilterOp&>(*plan);
-    RelProps child_props = DeriveProps(plan->child(0), dcfg);
-    for (const ExprRef& conjunct : SplitConjuncts(filter.predicate())) {
-      bool ok = true;
-      ExprRef base_form =
-          RemapColumns(conjunct, [&](const std::string& name) -> ExprRef {
-            auto it = child_props.origins.find(name);
-            if (it == child_props.origins.end() ||
-                it->second.source_id != source_id ||
-                it->second.null_extended) {
-              ok = false;
-              return nullptr;
-            }
-            return Col(it->second.column);
-          });
-      if (ok) out->push_back(std::move(base_form));
-    }
-  }
-  for (const PlanRef& child : plan->children()) {
-    CollectScanPredicates(child, source_id, dcfg, out);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Column exposure: widen the anchor subtree so that the given base columns
-// of the source node are available at its root.
-
-struct Exposure {
-  PlanRef plan;
-  std::map<std::string, std::string> base_to_name;
-};
-
-std::optional<Exposure> ExposeColumns(const PlanRef& plan, uint64_t source_id,
-                                      const std::vector<std::string>& base_cols,
-                                      const DerivationConfig& dcfg);
-
-std::optional<Exposure> ExposeAtScan(
-    const std::shared_ptr<const ScanOp>& scan,
-    const std::vector<std::string>& base_cols) {
-  Exposure result;
-  std::vector<size_t> columns = scan->column_indexes();
-  for (const std::string& bc : base_cols) {
-    int idx = scan->table_schema().FindColumn(bc);
-    if (idx < 0) return std::nullopt;
-    size_t schema_idx = static_cast<size_t>(idx);
-    if (std::find(columns.begin(), columns.end(), schema_idx) ==
-        columns.end()) {
-      columns.push_back(schema_idx);
-    }
-    result.base_to_name[bc] = scan->QualifiedName(schema_idx);
-  }
-  result.plan = columns == scan->column_indexes()
-                    ? PlanRef(scan)
-                    : scan->WithColumns(std::move(columns));
-  return result;
-}
-
-std::optional<Exposure> ExposeAtUnion(
-    const std::shared_ptr<const UnionAllOp>& u,
-    const std::vector<std::string>& base_cols,
-    const DerivationConfig& dcfg) {
-  // Each child must expose each base column; columns are appended in the
-  // same order to every child so positions line up.
-  std::vector<PlanRef> new_children;
-  for (const PlanRef& child : u->children()) {
-    RelProps child_props = DeriveProps(child, dcfg);
-    std::vector<std::string> child_names = child->OutputNames();
-    // Which columns are already available, and which scan to widen for the
-    // missing ones?
-    std::map<std::string, std::string> available;  // base col -> child name
-    uint64_t branch_scan = 0;
-    for (const auto& [name, origin] : child_props.origins) {
-      if (origin.null_extended) continue;
-      if (available.count(origin.column) == 0) {
-        available[origin.column] = name;
-      }
-      if (branch_scan == 0) branch_scan = origin.source_id;
-    }
-    std::vector<std::string> missing;
-    for (const std::string& bc : base_cols) {
-      if (available.count(bc) == 0) missing.push_back(bc);
-    }
-    PlanRef widened = child;
-    std::map<std::string, std::string> exposed_names;
-    if (!missing.empty()) {
-      if (branch_scan == 0) return std::nullopt;
-      std::optional<Exposure> e =
-          ExposeColumns(child, branch_scan, missing, dcfg);
-      if (!e.has_value()) return std::nullopt;
-      widened = e->plan;
-      exposed_names = e->base_to_name;
-    }
-    // Normalize: original child columns in order, then the base columns.
-    std::vector<ProjectOp::Item> items;
-    for (const std::string& name : child_names) {
-      items.push_back({Col(name), name});
-    }
-    for (const std::string& bc : base_cols) {
-      auto it = available.find(bc);
-      std::string src = it != available.end() ? it->second
-                                              : exposed_names[bc];
-      items.push_back({Col(src), src + "$exp"});
-    }
-    new_children.push_back(
-        std::make_shared<ProjectOp>(widened, std::move(items)));
-  }
-  Exposure result;
-  std::vector<std::string> names = u->output_names();
-  for (const std::string& bc : base_cols) {
-    std::string name = StrFormat("__exp%llu.%s",
-                                 static_cast<unsigned long long>(u->id()),
-                                 bc.c_str());
-    result.base_to_name[bc] = name;
-    names.push_back(std::move(name));
-  }
-  result.plan = std::make_shared<UnionAllOp>(
-      std::move(new_children), std::move(names), u->branch_id_column(),
-      u->logical_table());
-  return result;
-}
-
-std::optional<Exposure> ExposeColumns(const PlanRef& plan, uint64_t source_id,
-                                      const std::vector<std::string>& base_cols,
-                                      const DerivationConfig& dcfg) {
-  if (plan->id() == source_id) {
-    if (plan->kind() == OpKind::kScan) {
-      return ExposeAtScan(std::static_pointer_cast<const ScanOp>(plan),
-                          base_cols);
-    }
-    if (plan->kind() == OpKind::kUnionAll) {
-      return ExposeAtUnion(std::static_pointer_cast<const UnionAllOp>(plan),
-                           base_cols, dcfg);
-    }
-    return std::nullopt;
-  }
-  switch (plan->kind()) {
-    case OpKind::kFilter:
-    case OpKind::kSort:
-    case OpKind::kLimit: {
-      std::optional<Exposure> e =
-          ExposeColumns(plan->child(0), source_id, base_cols, dcfg);
-      if (!e.has_value()) return std::nullopt;
-      e->plan = plan->WithChildren({e->plan});
-      return e;
-    }
-    case OpKind::kProject: {
-      const auto& project = static_cast<const ProjectOp&>(*plan);
-      std::optional<Exposure> e =
-          ExposeColumns(plan->child(0), source_id, base_cols, dcfg);
-      if (!e.has_value()) return std::nullopt;
-      std::vector<ProjectOp::Item> items = project.items();
-      std::set<std::string> out_names;
-      for (const ProjectOp::Item& item : items) out_names.insert(item.name);
-      std::map<std::string, std::string> mapped;
-      for (const std::string& bc : base_cols) {
-        const std::string& child_name = e->base_to_name.at(bc);
-        // Reuse an existing pass-through item if present.
-        std::string found;
-        for (const ProjectOp::Item& item : items) {
-          if (item.expr->kind() == ExprKind::kColumnRef &&
-              static_cast<const ColumnRefExpr&>(*item.expr).name() ==
-                  child_name) {
-            found = item.name;
-            break;
-          }
-        }
-        if (found.empty()) {
-          std::string out_name = child_name;
-          while (out_names.count(out_name) > 0) out_name += "$e";
-          items.push_back({Col(child_name), out_name});
-          out_names.insert(out_name);
-          found = out_name;
-        }
-        mapped[bc] = found;
-      }
-      Exposure result;
-      result.plan = std::make_shared<ProjectOp>(e->plan, std::move(items));
-      result.base_to_name = std::move(mapped);
-      return result;
-    }
-    case OpKind::kJoin: {
-      const auto& join = static_cast<const JoinOp&>(*plan);
-      bool in_left = ContainsNode(join.left(), source_id);
-      const PlanRef& side = in_left ? join.left() : join.right();
-      std::optional<Exposure> e =
-          ExposeColumns(side, source_id, base_cols, dcfg);
-      if (!e.has_value()) return std::nullopt;
-      e->plan = std::make_shared<JoinOp>(
-          in_left ? e->plan : join.left(), in_left ? join.right() : e->plan,
-          join.join_type(), join.condition(), join.declared_cardinality(),
-          join.is_case_join());
-      return e;
-    }
-    default:
-      // Aggregates, DISTINCT, and union-alls on the path (other than the
-      // source itself) block exposure.
-      return std::nullopt;
-  }
-}
 
 // ---------------------------------------------------------------------------
 // The simple ASJ path (Fig. 10 / Fig. 13(a)).
@@ -345,7 +42,7 @@ std::optional<Exposure> ExposeColumns(const PlanRef& plan, uint64_t source_id,
 PlanRef TrySimpleAsj(const std::shared_ptr<const JoinOp>& join,
                      const OptimizerConfig& config) {
   const DerivationConfig& dcfg = config.derivation;
-  std::optional<SimpleRel> aug = ExtractSimpleRel(join->right());
+  std::optional<SimpleRelation> aug = ExtractSimpleRelation(join->right());
   if (!aug.has_value()) return nullptr;
 
   RelProps left_props = DeriveProps(join->left(), dcfg);
@@ -394,23 +91,13 @@ PlanRef TrySimpleAsj(const std::shared_ptr<const JoinOp>& join,
   }
 
   // The covered columns must include a unique key of the augmenter table,
-  // so each anchor row joins with exactly its own base row.
-  bool key_covered = false;
-  for (const UniqueKeyDef& key : aug->scan->table_schema().unique_keys()) {
-    if (!key.enforced && !dcfg.trust_declared_cardinality) continue;
-    bool all = true;
-    for (const std::string& kc : key.columns) {
-      if (covered_base.count(ToLower(kc)) == 0) {
-        all = false;
-        break;
-      }
-    }
-    if (all) {
-      key_covered = true;
-      break;
-    }
+  // so each anchor row joins with exactly its own base row. The coverage
+  // test is shared with the general self-join rule and the catalog audit
+  // (analysis/infer), so the rules cannot disagree about provability.
+  if (!TableKeyCovered(aug->scan->table_schema(), covered_base,
+                       ToInferOptions(dcfg))) {
+    return nullptr;
   }
-  if (!key_covered) return nullptr;
 
   // Locate the anchor source node; a union anchor needs Fig. 13(a) support.
   PlanRef source = FindNodeById(join->left(), source_id);
@@ -567,7 +254,7 @@ PlanRef DecomposeAtUnion(const std::shared_ptr<const UnionAllOp>& anchor,
   // Extract and index the augmenter branches by base table.
   std::map<std::string, size_t> aug_by_table;
   for (size_t j = 0; j < aug->NumChildren(); ++j) {
-    std::optional<SimpleRel> rel = ExtractSimpleRel(aug->child(j));
+    std::optional<SimpleRelation> rel = ExtractSimpleRelation(aug->child(j));
     if (!rel.has_value()) return nullptr;
     std::string table = ToLower(rel->scan->table_name());
     if (!aug_by_table.emplace(table, j).second) return nullptr;  // ambiguous

@@ -70,6 +70,18 @@ QueryCorpus TpchCorpus() {
       " on l.l_partkey = aug_zz.p_partkey";
   lo.asj_clause =
       " left outer join orders asj_zz on o.o_orderkey = asj_zz.o_orderkey";
+  lo.selfjoin_clauses = {
+      // INNER on the full composite primary key.
+      " join lineitem sj_zz on l.l_orderkey = sj_zz.l_orderkey"
+      " and l.l_linenumber = sj_zz.l_linenumber",
+      // Third-relation equality: l.l_orderkey carries o.o_orderkey's value
+      // through the anchor's own join condition.
+      " join orders sj_zz on l.l_orderkey = sj_zz.o_orderkey",
+      // Per-side constant pins under LEFT OUTER (never filters; at most
+      // one right row exists for the pinned key value).
+      " left outer join orders sj_zz"
+      " on o.o_orderkey = 1 and sj_zz.o_orderkey = 1",
+  };
   corpus.anchors.push_back(std::move(lo));
 
   GenAnchor orders;
@@ -92,6 +104,11 @@ QueryCorpus TpchCorpus() {
       " on o.o_custkey = aug_zz.c_custkey";
   orders.asj_clause =
       " left outer join orders asj_zz on o.o_orderkey = asj_zz.o_orderkey";
+  orders.selfjoin_clauses = {
+      " join orders sj_zz on o.o_orderkey = sj_zz.o_orderkey",
+      " left outer join orders sj_zz"
+      " on o.o_orderkey = 2 and sj_zz.o_orderkey = 2",
+  };
   corpus.anchors.push_back(std::move(orders));
 
   GenAnchor li;
@@ -120,6 +137,10 @@ QueryCorpus TpchCorpus() {
       " left outer join lineitem asj_zz"
       " on l.l_orderkey = asj_zz.l_orderkey"
       " and l.l_linenumber = asj_zz.l_linenumber";
+  li.selfjoin_clauses = {
+      " join lineitem sj_zz on l.l_orderkey = sj_zz.l_orderkey"
+      " and l.l_linenumber = sj_zz.l_linenumber",
+  };
   corpus.anchors.push_back(std::move(li));
   return corpus;
 }
@@ -171,6 +192,12 @@ QueryCorpus S4Corpus() {
       " on a.rldnr = asj_zz.rldnr and a.rbukrs = asj_zz.rbukrs"
       " and a.gjahr = asj_zz.gjahr and a.belnr = asj_zz.belnr"
       " and a.docln = asj_zz.docln";
+  a.selfjoin_clauses = {
+      " join acdoca sj_zz"
+      " on a.rldnr = sj_zz.rldnr and a.rbukrs = sj_zz.rbukrs"
+      " and a.gjahr = sj_zz.gjahr and a.belnr = sj_zz.belnr"
+      " and a.docln = sj_zz.docln",
+  };
   corpus.anchors.push_back(std::move(a));
   return corpus;
 }
@@ -197,6 +224,13 @@ QueryCorpus SyntheticVdmCorpus(const std::vector<SyntheticViewSpec>& specs) {
       // paper's Fig. 8 extension shape.
       anchor.asj_clause =
           " left outer join " + name + " asj_zz on v.k = asj_zz.k";
+      // A self-join against the view's *base table*: for single-base views
+      // every view row exists in the base (INNER is invisible and the
+      // general rule can prove it removable through the inlined view);
+      // draft-pattern keys span two tables, so only LEFT OUTER is safe.
+      anchor.selfjoin_clauses = {
+          (spec.draft_pattern ? " left outer join " : " join ") +
+          spec.base_active + " sj_zz on v.k = sj_zz.k"};
       corpus.anchors.push_back(std::move(anchor));
     }
   }
@@ -393,6 +427,14 @@ GeneratedQuery QueryGenerator::Next() {
       GeneratedQuery v = q;
       v.joins.push_back(anchor.asj_clause);
       q.variants.push_back({"asj", AssembleSql(v)});
+    }
+    if (!anchor.selfjoin_clauses.empty()) {
+      GeneratedQuery v = q;
+      v.joins.push_back(anchor.selfjoin_clauses[static_cast<size_t>(
+          rng_.Uniform(0,
+                       static_cast<int64_t>(anchor.selfjoin_clauses.size()) -
+                           1))]);
+      q.variants.push_back({"selfjoin", AssembleSql(v)});
     }
     bool global_agg = q.aggregate && q.group_by.empty();
     if (q.order_by.empty() && q.limit_clause.empty() && !global_agg) {

@@ -16,7 +16,12 @@
 //   * `asj`     — an appended augmentation self-join on a unique key
 //     (the Fig. 8 custom-field extension shape);
 //   * `union`   — an appended UNION ALL branch made row-free by a `1 = 0`
-//     conjunct (the Fig. 12 disjoint-branch shape).
+//     conjunct (the Fig. 12 disjoint-branch shape);
+//   * `selfjoin` — an appended *general* self-join that the inference-driven
+//     elimination rule (rule_selfjoin_general) can remove: INNER on a full
+//     primary key, equalities routed through a third relation, or per-side
+//     constant pins under LEFT OUTER. Nothing is projected from it, so the
+//     result must be identical with the rule on (kHana) and off (kNone).
 //
 // Determinism: the same corpus + seed yields the same query sequence, so
 // a repro dump's (seed, index) pair fully identifies a query.
@@ -60,6 +65,9 @@ struct GenAnchor {
   /// Metamorphic clauses; empty disables that variant for this anchor.
   std::string augment_clause;
   std::string asj_clause;
+  /// General self-join clauses (see `selfjoin` above); one is drawn per
+  /// query. Each must be result-invisible when appended unprojected.
+  std::vector<std::string> selfjoin_clauses;
 };
 
 struct QueryCorpus {
@@ -82,7 +90,7 @@ struct GeneratedQuery {
   bool ordered = false;
 
   struct Variant {
-    std::string kind;  // "augment" | "asj" | "union"
+    std::string kind;  // "augment" | "asj" | "union" | "selfjoin"
     std::string sql;
   };
   std::vector<Variant> variants;

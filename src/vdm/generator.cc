@@ -211,6 +211,79 @@ Status ExtendSyntheticView(Database* db, SyntheticViewSpec* spec,
   return Exec(db, sql);
 }
 
+Result<SelfJoinFixture> CreateSelfJoinFixtureViews(Database* db) {
+  SelfJoinFixture fixture;
+  auto removable = [&](const char* name, const std::string& body) -> Status {
+    (void)db->catalog().DropView(name);
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat("create view %s as %s", name,
+                                         body.c_str())));
+    fixture.removable.push_back(name);
+    return Status::OK();
+  };
+  auto near_miss = [&](const char* name, const std::string& body) -> Status {
+    (void)db->catalog().DropView(name);
+    VDM_RETURN_NOT_OK(Exec(db, StrFormat("create view %s as %s", name,
+                                         body.c_str())));
+    fixture.near_miss.push_back(name);
+    return Status::OK();
+  };
+
+  // Helper view: a filtered slice of the base (predicate-union cases below
+  // go through view inlining, like real VDM stacks).
+  (void)db->catalog().DropView("sjfix_b_src");
+  VDM_RETURN_NOT_OK(Exec(db,
+      "create view sjfix_b_src as "
+      "select k, f1, f2 from vbase00_a where f1 > 50"));
+
+  // --- removable: the audit must report each of these, the optimizer must
+  // --- eliminate the join, and results must be unchanged by the rewrite.
+  VDM_RETURN_NOT_OK(removable("sjfix_inner_pk",
+      "select a.k as k, a.f1 as f1, b.f2 as bf2 "
+      "from vbase00_a a join vbase00_a b on a.k = b.k"));
+  VDM_RETURN_NOT_OK(removable("sjfix_loj_pk",
+      "select a.k as k, b.f1 as bf1 "
+      "from vbase00_a a left outer join vbase00_a b on a.k = b.k"));
+  VDM_RETURN_NOT_OK(removable("sjfix_inner_filter",
+      "select a.k as k, b.f1 as bf1 "
+      "from vbase00_a a join sjfix_b_src b on a.k = b.k"));
+  VDM_RETURN_NOT_OK(removable("sjfix_loj_guard",
+      "select a.k as k, b.f2 as bf2 "
+      "from vbase00_a a left outer join sjfix_b_src b on a.k = b.k"));
+  VDM_RETURN_NOT_OK(removable("sjfix_const",
+      "select a.f1 as f1, b.f2 as bf2 "
+      "from vbase00_a a join vbase00_a b on a.k = 7 and b.k = 7"));
+  VDM_RETURN_NOT_OK(removable("sjfix_third",
+      "select a.k as k, d.dname as dname, b.f1 as bf1 "
+      "from vbase00_a a join vdim00 d on a.k = d.dkey "
+      "join vbase00_a b on d.dkey = b.k"));
+  VDM_RETURN_NOT_OK(removable("sjfix_loj_subsumed",
+      "select a.k as k, b.f1 as bf1 "
+      "from sjfix_b_src a left outer join sjfix_b_src b on a.k = b.k"));
+
+  // --- near-miss: similar shapes the rule must leave alone.
+  VDM_RETURN_NOT_OK(near_miss("sjnm_nonkey",
+      "select a.k as k, b.f2 as bf2 "
+      "from vbase00_a a join vbase00_a b on a.f1 = b.f1"));
+  VDM_RETURN_NOT_OK(near_miss("sjnm_wrongcol",
+      "select a.k as k, b.f2 as bf2 "
+      "from vbase00_a a join vbase00_a b on a.f1 = b.k"));
+  VDM_RETURN_NOT_OK(near_miss("sjnm_difftable",
+      "select a.k as k, b.f2 as bf2 "
+      "from vbase00_a a join vbase01_a b on a.k = b.k"));
+  VDM_RETURN_NOT_OK(near_miss("sjnm_constdiff",
+      "select a.f1 as f1, b.f2 as bf2 "
+      "from vbase00_a a join vbase00_a b on a.k = 7 and b.k = 8"));
+  VDM_RETURN_NOT_OK(near_miss("sjnm_or",
+      "select a.k as k, b.f2 as bf2 "
+      "from vbase00_a a join vbase00_a b on a.k = b.k or a.f1 = b.f1"));
+  VDM_RETURN_NOT_OK(near_miss("sjnm_agg",
+      "select a.k as k, b.c as c "
+      "from vbase00_a a join "
+      "(select f1, count(*) as c from vbase00_a group by f1) b "
+      "on a.f1 = b.f1"));
+  return fixture;
+}
+
 std::string SyntheticPagingQuery(const SyntheticViewSpec& spec,
                                  bool extended, int64_t limit) {
   std::string cols;

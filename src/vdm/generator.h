@@ -75,6 +75,21 @@ Status ExtendSyntheticView(Database* db, SyntheticViewSpec* spec,
 std::string SyntheticPagingQuery(const SyntheticViewSpec& spec,
                                  bool extended, int64_t limit = 10);
 
+/// Seeded fixture for the general self-join elimination rule and the
+/// vdmlint catalog audit (DESIGN.md §12): views over the synthetic schema
+/// whose self-joins are provably removable, paired with near-miss views
+/// that look similar but must NOT be reported (audit precision test).
+struct SelfJoinFixture {
+  /// Views containing exactly one statically removable self-join each.
+  std::vector<std::string> removable;
+  /// Views whose self-join (or join-like shape) is not removable.
+  std::vector<std::string> near_miss;
+};
+
+/// Registers the fixture views. Requires CreateSyntheticVdmSchema with at
+/// least 2 base tables and 1 dimension table.
+Result<SelfJoinFixture> CreateSelfJoinFixtureViews(Database* db);
+
 }  // namespace vdm
 
 #endif  // VDMQO_VDM_GENERATOR_H_

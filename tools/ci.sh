@@ -8,7 +8,7 @@
 #   tools/ci.sh thread       # TSan over the executor + governor tests only
 #   tools/ci.sh fault        # ASan + fault injection compiled in + soak
 #   tools/ci.sh fuzz         # ASan differential fuzz: vdmfuzz, 10k queries
-#   tools/ci.sh lint         # static checks only, no build
+#   tools/ci.sh lint         # vdmlint catalog audit (baseline-gated) + tidy
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,13 +99,30 @@ run_fuzz() {
 }
 
 run_lint() {
-  # clang-tidy on the analysis subsystem (minimum bar; extend as modules
-  # are brought up to zero-warning state).
+  # Whole-catalog semantic audit (DESIGN.md §12): build vdmlint and run the
+  # static inference rules over the synthetic + JEIB + fixture catalogs,
+  # probing rewrites under all five system profiles. The committed baseline
+  # suppresses accepted findings; the gate fails only on NEW findings at
+  # warning or above, so intentional additions regenerate the baseline with
+  #   build-lint/tools/vdmlint --catalog-audit --jeib --fixture \
+  #       --write-baseline tools/vdmlint.baseline
+  local dir="build-lint"
+  echo "== vdmlint: whole-catalog audit =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target vdmlint
+  "${dir}/tools/vdmlint" --catalog-audit --jeib --fixture \
+      --baseline tools/vdmlint.baseline --fail-on warning
+  echo "== vdmlint: no new findings at warning+ =="
+
+  # clang-tidy on the analysis subsystem, the inference engine, and the
+  # CLI tools (minimum bar; extend as modules are brought up to
+  # zero-warning state).
   if command -v clang-tidy >/dev/null 2>&1; then
-    local dir="build-tidy"
-    cmake -B "${dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    echo "== clang-tidy: src/analysis =="
-    clang-tidy -p "${dir}" --quiet src/analysis/*.cc
+    local tidy_dir="build-tidy"
+    cmake -B "${tidy_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    echo "== clang-tidy: src/analysis + src/analysis/infer + tools =="
+    clang-tidy -p "${tidy_dir}" --quiet \
+        src/analysis/*.cc src/analysis/infer/*.cc tools/*.cc
   else
     echo "clang-tidy not installed; skipping tidy step"
   fi

@@ -1,17 +1,31 @@
-// vdmlint: static analyzer for VDM view stacks (see analysis/view_lint.h).
+// vdmlint: static analyzer for VDM view stacks (see analysis/view_lint.h
+// and analysis/catalog_audit.h).
 //
 // Builds the paper's example view populations and lints them:
 //  * the §5/§6 synthetic custom-fields views (v_fig14_NN) plus their
 //    extension views — half extended with the §6.3 case join, half without,
 //    so the asj-no-case-join finding has something to fire on,
-//  * optionally (--jeib) the full JournalEntryItemBrowser stack of §3.
+//  * optionally (--jeib) the full JournalEntryItemBrowser stack of §3,
+//  * optionally (--fixture) the seeded self-join fixture views.
+//
+// Two modes:
+//  * default: per-view shape lint + profile probe (view_lint.h),
+//  * --catalog-audit: whole-catalog static inference audit with stable
+//    finding fingerprints, baseline suppression, and SARIF 2.1 output for
+//    CI gating on NEW findings only (catalog_audit.h, DESIGN.md §12).
 //
 // Usage: vdmlint [--views N] [--jeib] [--no-matrix] [--fail-on-findings]
+//               [--catalog-audit] [--fixture] [--format text|sarif]
+//               [--baseline FILE] [--write-baseline FILE]
+//               [--fail-on note|warning|error] [--no-profile-probe]
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/catalog_audit.h"
 #include "analysis/view_lint.h"
 #include "engine/database.h"
 #include "vdm/generator.h"
@@ -25,9 +39,30 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--views N] [--jeib] [--no-matrix] "
-               "[--fail-on-findings]\n",
+               "[--fail-on-findings]\n"
+               "          [--catalog-audit] [--fixture] "
+               "[--format text|sarif]\n"
+               "          [--baseline FILE] [--write-baseline FILE]\n"
+               "          [--fail-on note|warning|error] "
+               "[--no-profile-probe]\n",
                argv0);
   return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return out.good();
 }
 
 }  // namespace
@@ -37,6 +72,13 @@ int main(int argc, char** argv) {
   bool with_jeib = false;
   bool with_matrix = true;
   bool fail_on_findings = false;
+  bool catalog_audit = false;
+  bool with_fixture = false;
+  bool profile_probe = true;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string fail_on;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--views") == 0 && i + 1 < argc) {
       num_views = std::atoi(argv[++i]);
@@ -47,6 +89,23 @@ int main(int argc, char** argv) {
       with_matrix = false;
     } else if (std::strcmp(argv[i], "--fail-on-findings") == 0) {
       fail_on_findings = true;
+    } else if (std::strcmp(argv[i], "--catalog-audit") == 0) {
+      catalog_audit = true;
+    } else if (std::strcmp(argv[i], "--fixture") == 0) {
+      with_fixture = true;
+    } else if (std::strcmp(argv[i], "--no-profile-probe") == 0) {
+      profile_probe = false;
+    } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "sarif") return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0 &&
+               i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fail-on") == 0 && i + 1 < argc) {
+      fail_on = argv[++i];
+      if (!ParseAuditSeverity(fail_on).has_value()) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -103,6 +162,67 @@ int main(int argc, char** argv) {
       return 1;
     }
     lint_targets.push_back("journalentryitembrowser");
+  }
+
+  if (with_fixture) {
+    Result<SelfJoinFixture> fixture = CreateSelfJoinFixtureViews(&db);
+    if (!fixture.ok()) {
+      std::fprintf(stderr, "fixture setup failed: %s\n",
+                   fixture.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (catalog_audit) {
+    CatalogAuditOptions audit_options;
+    audit_options.probe_profiles = profile_probe;
+    Result<CatalogAuditReport> report =
+        AuditCatalog(db.catalog(), audit_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "catalog audit failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (!write_baseline_path.empty()) {
+      if (!WriteFile(write_baseline_path, RenderBaseline(*report))) {
+        std::fprintf(stderr, "cannot write baseline %s\n",
+                     write_baseline_path.c_str());
+        return 1;
+      }
+      std::printf("wrote baseline with %zu finding(s) to %s\n",
+                  report->findings.size(), write_baseline_path.c_str());
+    }
+    std::set<std::string> baseline;
+    if (!baseline_path.empty()) {
+      std::string text;
+      if (!ReadFile(baseline_path, &text)) {
+        std::fprintf(stderr, "cannot read baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+      }
+      baseline = ParseBaseline(text);
+    }
+    std::vector<AuditFinding> fresh = FilterNewFindings(*report, baseline);
+    if (format == "sarif") {
+      // SARIF reports everything; the baseline only drives the exit code.
+      std::printf("%s", RenderSarif(*report).c_str());
+    } else {
+      std::printf("%s", report->ToString().c_str());
+      if (!baseline.empty()) {
+        std::printf("%zu finding(s) new relative to baseline (%zu "
+                    "suppressed)\n",
+                    fresh.size(), report->findings.size() - fresh.size());
+      }
+    }
+    if (!report->errors.empty()) return 1;
+    if (!fail_on.empty() &&
+        AnyAtOrAbove(fresh, *ParseAuditSeverity(fail_on))) {
+      std::fprintf(stderr,
+                   "vdmlint: new findings at or above --fail-on %s\n",
+                   fail_on.c_str());
+      return 1;
+    }
+    return 0;
   }
 
   std::vector<ViewLintReport> reports;

@@ -82,8 +82,10 @@ inline std::string Ms(double ms) {
 }
 
 /// Executor options from the environment: VDM_NUM_THREADS (0 = hardware
-/// concurrency, 1 = serial) and VDM_MORSEL_SIZE. Lets one binary measure
-/// thread-count scaling without a rebuild.
+/// concurrency, 1 = serial), VDM_MORSEL_SIZE, and VDM_COMPRESSED_EXEC
+/// (0 = force the generic interpreter path instead of the dictionary-code
+/// kernels). Lets one binary measure thread-count scaling and the
+/// compressed-execution speedup without a rebuild.
 inline ExecOptions ExecOptionsFromEnv() {
   ExecOptions options;
   if (const char* v = std::getenv("VDM_NUM_THREADS");
@@ -94,6 +96,10 @@ inline ExecOptions ExecOptionsFromEnv() {
       v != nullptr && *v != '\0') {
     size_t morsel = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     if (morsel > 0) options.morsel_size = morsel;
+  }
+  if (const char* v = std::getenv("VDM_COMPRESSED_EXEC");
+      v != nullptr && *v != '\0') {
+    options.enable_compressed_exec = (std::strtol(v, nullptr, 10) != 0);
   }
   return options;
 }
@@ -176,6 +182,7 @@ class JsonReporter {
         std::fprintf(
             f,
             ", \"metrics\": {\"rows_scanned\": %llu, "
+            "\"rows_decoded\": %llu, "
             "\"rows_build_input\": %llu, \"rows_probe_input\": %llu, "
             "\"rows_aggregated\": %llu, \"operators_executed\": %llu, "
             "\"morsels_scanned\": %llu, \"morsels_probed\": %llu, "
@@ -183,7 +190,7 @@ class JsonReporter {
             "\"cancel_checks\": %llu, \"peak_memory_bytes\": %llu, "
             "\"degraded_serial_retries\": %llu, \"admission_wait_ns\": %llu, "
             "\"op_wall_ns\": {",
-            Ull(m.rows_scanned), Ull(m.rows_build_input),
+            Ull(m.rows_scanned), Ull(m.rows_decoded), Ull(m.rows_build_input),
             Ull(m.rows_probe_input), Ull(m.rows_aggregated),
             Ull(m.operators_executed), Ull(m.morsels_scanned),
             Ull(m.morsels_probed), Ull(m.peak_hash_table_entries),

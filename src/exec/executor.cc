@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "exec/hash_table.h"
+#include "exec/kernels/kernels.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
 
@@ -75,6 +76,331 @@ bool CollectPipeline(const LogicalOp* plan,
   if (node->kind() != OpKind::kScan) return false;
   chain->push_back(node);
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Compressed scan filters (DESIGN.md §13). Conjuncts of the Filter stack
+// directly above a Scan see unmodified scan columns, so predicates over
+// string columns lower to dictionary-code compares (the main-fragment
+// dictionary is sorted: equality is one code, ranges and LIKE prefixes are
+// code intervals) and integer predicates lower to raw int64 compares. The
+// kernels in exec/kernels/ evaluate them on the fragment arrays before any
+// value is materialized; whatever cannot be lowered stays in a residual
+// expression evaluated on the survivors.
+
+struct LoweredPred {
+  enum class Kind : uint8_t {
+    kCodeEq,     // string code == code
+    kCodeNe,     // non-NULL and code != code
+    kCodeRange,  // lo <= code <= hi (inclusive; never matches NULL)
+    kCodeNull,   // IS [NOT] NULL via the code sign bit
+    kInt64Cmp,   // raw int64 compare against a literal
+    kNever,      // statically false (literal absent from the dictionary)
+  };
+  Kind kind;
+  size_t schema_idx = 0;   // column index in the table schema
+  int32_t code = 0;        // kCodeEq / kCodeNe target
+  int32_t lo = 0;          // kCodeRange bounds
+  int32_t hi = 0;
+  bool negated = false;    // kCodeNull: true = IS NOT NULL
+  kernels::CmpOp cmp = kernels::CmpOp::kEq;  // kInt64Cmp
+  int64_t literal = 0;                       // kInt64Cmp
+};
+
+/// The bottom Filter run of a pipeline, compiled once per RunPipeline.
+struct CompiledFilters {
+  bool active = false;        // at least one predicate lowered to a kernel
+  size_t bottom_filters = 0;  // chain entries consumed (from the scan up)
+  std::vector<LoweredPred> lowered;
+  ExprRef residual;  // conjuncts evaluated on survivors; may be null
+};
+
+const ColumnRefExpr* AsColumnRef(const ExprRef& e) {
+  return e->kind() == ExprKind::kColumnRef
+             ? static_cast<const ColumnRefExpr*>(e.get())
+             : nullptr;
+}
+
+const LiteralExpr* AsLiteral(const ExprRef& e) {
+  return e->kind() == ExprKind::kLiteral
+             ? static_cast<const LiteralExpr*>(e.get())
+             : nullptr;
+}
+
+/// Schema index of the scan output column named `name`, or -1.
+int FindScanColumn(const ScanOp& scan, const std::string& name) {
+  for (size_t idx : scan.column_indexes()) {
+    if (scan.QualifiedName(idx) == name) return static_cast<int>(idx);
+  }
+  return -1;
+}
+
+/// Mirror of the comparison with operands swapped (`5 < x` == `x > 5`).
+BinaryOpKind FlipComparison(BinaryOpKind op) {
+  switch (op) {
+    case BinaryOpKind::kLess:
+      return BinaryOpKind::kGreater;
+    case BinaryOpKind::kLessEq:
+      return BinaryOpKind::kGreaterEq;
+    case BinaryOpKind::kGreater:
+      return BinaryOpKind::kLess;
+    case BinaryOpKind::kGreaterEq:
+      return BinaryOpKind::kLessEq;
+    default:
+      return op;  // kEq / kNotEq are symmetric
+  }
+}
+
+bool IsComparisonOp(BinaryOpKind op) {
+  switch (op) {
+    case BinaryOpKind::kEq:
+    case BinaryOpKind::kNotEq:
+    case BinaryOpKind::kLess:
+    case BinaryOpKind::kLessEq:
+    case BinaryOpKind::kGreater:
+    case BinaryOpKind::kGreaterEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Lowers `<string column> <cmp> <string literal>` against the sorted
+/// dictionary. Every case reduces to one code compare or one inclusive
+/// code interval, resolved here once per query.
+void LowerStringCompare(BinaryOpKind op, size_t schema_idx,
+                        const std::vector<std::string>& dict,
+                        const std::string& s, std::vector<LoweredPred>* out) {
+  LoweredPred p;
+  p.schema_idx = schema_idx;
+  const int32_t size = static_cast<int32_t>(dict.size());
+  auto lb = [&] {
+    return static_cast<int32_t>(
+        std::lower_bound(dict.begin(), dict.end(), s) - dict.begin());
+  };
+  auto ub = [&] {
+    return static_cast<int32_t>(
+        std::upper_bound(dict.begin(), dict.end(), s) - dict.begin());
+  };
+  switch (op) {
+    case BinaryOpKind::kEq: {
+      int32_t at = lb();
+      if (at < size && dict[static_cast<size_t>(at)] == s) {
+        p.kind = LoweredPred::Kind::kCodeEq;
+        p.code = at;
+      } else {
+        p.kind = LoweredPred::Kind::kNever;
+      }
+      break;
+    }
+    case BinaryOpKind::kNotEq: {
+      int32_t at = lb();
+      if (at < size && dict[static_cast<size_t>(at)] == s) {
+        p.kind = LoweredPred::Kind::kCodeNe;
+        p.code = at;
+      } else {
+        // Absent literal: every non-NULL value differs.
+        p.kind = LoweredPred::Kind::kCodeNull;
+        p.negated = true;
+      }
+      break;
+    }
+    case BinaryOpKind::kLess:
+      p.kind = LoweredPred::Kind::kCodeRange;
+      p.lo = 0;
+      p.hi = lb() - 1;
+      break;
+    case BinaryOpKind::kLessEq:
+      p.kind = LoweredPred::Kind::kCodeRange;
+      p.lo = 0;
+      p.hi = ub() - 1;
+      break;
+    case BinaryOpKind::kGreater:
+      p.kind = LoweredPred::Kind::kCodeRange;
+      p.lo = ub();
+      p.hi = size - 1;
+      break;
+    default:  // kGreaterEq
+      p.kind = LoweredPred::Kind::kCodeRange;
+      p.lo = lb();
+      p.hi = size - 1;
+      break;
+  }
+  if (p.kind == LoweredPred::Kind::kCodeRange && p.lo > p.hi) {
+    p.kind = LoweredPred::Kind::kNever;
+  }
+  out->push_back(p);
+}
+
+/// Attempts to lower one conjunct to a kernel predicate. Returns false to
+/// leave it in the residual. Lowering must be *exactly* EvalBinary's
+/// semantics (expr/eval.cc), so only the cases that cannot raise are
+/// taken: string column vs string literal (same types — no TypeError
+/// possible) and integer-backed columns compared at equal scale. NULL
+/// literals, double/mixed-scale comparisons, and anything non-trivial stay
+/// residual — and the residual is evaluated even for zero survivors, so
+/// row-independent type errors surface exactly as on the generic path.
+bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
+                   std::vector<LoweredPred>* out) {
+  if (e->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*e);
+    if (!IsComparisonOp(bin.op())) return false;
+    const ColumnRefExpr* col = AsColumnRef(bin.left());
+    const LiteralExpr* lit = AsLiteral(bin.right());
+    BinaryOpKind op = bin.op();
+    if (col == nullptr) {
+      col = AsColumnRef(bin.right());
+      lit = AsLiteral(bin.left());
+      op = FlipComparison(op);
+    }
+    if (col == nullptr || lit == nullptr || lit->value().is_null()) {
+      return false;
+    }
+    int idx = FindScanColumn(scan, col->name());
+    if (idx < 0) return false;
+    const DataType& ct = table.schema().column(static_cast<size_t>(idx)).type;
+    const DataType& lt = lit->value().type();
+    if (ct.id == TypeId::kString && lt.id == TypeId::kString) {
+      LowerStringCompare(op, static_cast<size_t>(idx),
+                         *table.main_column(static_cast<size_t>(idx))
+                              .dictionary,
+                         lit->value().AsString(), out);
+      return true;
+    }
+    if (ct.IsIntegerBacked() && lt.IsIntegerBacked() && ct.scale == lt.scale) {
+      LoweredPred p;
+      p.kind = LoweredPred::Kind::kInt64Cmp;
+      p.schema_idx = static_cast<size_t>(idx);
+      p.literal = lit->value().AsInt64();  // raw storage for all int-backed
+      switch (op) {
+        case BinaryOpKind::kEq:
+          p.cmp = kernels::CmpOp::kEq;
+          break;
+        case BinaryOpKind::kNotEq:
+          p.cmp = kernels::CmpOp::kNe;
+          break;
+        case BinaryOpKind::kLess:
+          p.cmp = kernels::CmpOp::kLt;
+          break;
+        case BinaryOpKind::kLessEq:
+          p.cmp = kernels::CmpOp::kLe;
+          break;
+        case BinaryOpKind::kGreater:
+          p.cmp = kernels::CmpOp::kGt;
+          break;
+        default:
+          p.cmp = kernels::CmpOp::kGe;
+          break;
+      }
+      out->push_back(p);
+      return true;
+    }
+    return false;
+  }
+  if (e->kind() == ExprKind::kIsNull) {
+    const auto& isn = static_cast<const IsNullExpr&>(*e);
+    const ColumnRefExpr* col = AsColumnRef(isn.operand());
+    if (col == nullptr) return false;
+    int idx = FindScanColumn(scan, col->name());
+    if (idx < 0) return false;
+    const DataType& ct = table.schema().column(static_cast<size_t>(idx)).type;
+    if (ct.id == TypeId::kString) {
+      LoweredPred p;
+      p.kind = LoweredPred::Kind::kCodeNull;
+      p.schema_idx = static_cast<size_t>(idx);
+      p.negated = isn.negated();
+      out->push_back(p);
+      return true;
+    }
+    // Non-string: the main fragment's validity emptiness decides
+    // statically (fragments are immutable during execution).
+    if (table.main_column(static_cast<size_t>(idx)).validity.empty()) {
+      if (!isn.negated()) {
+        LoweredPred p;
+        p.kind = LoweredPred::Kind::kNever;
+        p.schema_idx = static_cast<size_t>(idx);
+        out->push_back(p);
+      }
+      // IS NOT NULL over an all-valid column is vacuously true: lower to
+      // nothing at all.
+      return true;
+    }
+    return false;
+  }
+  if (e->kind() == ExprKind::kFunction) {
+    const auto& fn = static_cast<const FunctionExpr&>(*e);
+    if (fn.name() != "like" || fn.children().size() != 2) return false;
+    const ColumnRefExpr* col = AsColumnRef(fn.children()[0]);
+    const LiteralExpr* lit = AsLiteral(fn.children()[1]);
+    if (col == nullptr || lit == nullptr || lit->value().is_null() ||
+        lit->value().type().id != TypeId::kString) {
+      return false;
+    }
+    int idx = FindScanColumn(scan, col->name());
+    if (idx < 0) return false;
+    const DataType& ct = table.schema().column(static_cast<size_t>(idx)).type;
+    if (ct.id != TypeId::kString) return false;
+    const std::string& pat = lit->value().AsString();
+    const size_t wild = pat.find_first_of("%_");
+    const auto& dict =
+        *table.main_column(static_cast<size_t>(idx)).dictionary;
+    if (wild == std::string::npos) {
+      // No wildcards: LIKE is plain equality.
+      LowerStringCompare(BinaryOpKind::kEq, static_cast<size_t>(idx), dict,
+                         pat, out);
+      return true;
+    }
+    if (wild != pat.size() - 1 || pat.back() != '%') return false;
+    // Pure prefix pattern `abc%`.
+    const std::string prefix = pat.substr(0, pat.size() - 1);
+    LoweredPred p;
+    p.schema_idx = static_cast<size_t>(idx);
+    if (prefix.empty()) {
+      // `x LIKE '%'` matches every non-NULL value.
+      p.kind = LoweredPred::Kind::kCodeNull;
+      p.negated = true;
+      out->push_back(p);
+      return true;
+    }
+    // Prefix matches form one contiguous code run in the sorted dictionary.
+    auto begin_it = std::lower_bound(dict.begin(), dict.end(), prefix);
+    auto end_it = std::partition_point(
+        begin_it, dict.end(), [&](const std::string& s) {
+          return s.compare(0, prefix.size(), prefix) == 0;
+        });
+    if (begin_it == end_it) {
+      p.kind = LoweredPred::Kind::kNever;
+    } else {
+      p.kind = LoweredPred::Kind::kCodeRange;
+      p.lo = static_cast<int32_t>(begin_it - dict.begin());
+      p.hi = static_cast<int32_t>(end_it - dict.begin()) - 1;
+    }
+    out->push_back(p);
+    return true;
+  }
+  return false;
+}
+
+/// Compiles the contiguous Filter run directly above the Scan. Those
+/// filters all see the same scan columns, and conjuncts of ANDed filters
+/// commute, so they lower as one batch.
+CompiledFilters CompileFilters(const std::vector<const LogicalOp*>& chain,
+                               const ScanOp& scan, const Table& table) {
+  CompiledFilters cf;
+  std::vector<ExprRef> residual;
+  for (size_t i = chain.size() - 1; i-- > 0;) {
+    if (chain[i]->kind() != OpKind::kFilter) break;
+    const auto& filter = static_cast<const FilterOp&>(*chain[i]);
+    for (const ExprRef& conj : SplitConjuncts(filter.predicate())) {
+      if (!LowerConjunct(conj, scan, table, &cf.lowered)) {
+        residual.push_back(conj);
+      }
+    }
+    ++cf.bottom_filters;
+  }
+  cf.active = !cf.lowered.empty();
+  if (!residual.empty()) cf.residual = AndAll(std::move(residual));
+  return cf;
 }
 
 class ExecutorImpl {
@@ -182,6 +508,153 @@ class ExecutorImpl {
   // -----------------------------------------------------------------------
   // Leaf pipeline: Scan with any Filter/Project stack, morsel-at-a-time.
 
+  /// Evaluates the compiled bottom filters on one main-fragment morsel
+  /// [begin, end): kernel filters over the raw fragment arrays build a
+  /// selection vector, typed gathers materialize only the survivors
+  /// (strings stay lazy as dictionary codes), then the residual conjuncts
+  /// run on the gathered chunk. The residual is evaluated even with zero
+  /// survivors so type errors match the generic path exactly.
+  Status CompressedMorsel(const ScanOp& scan, const Table& table,
+                          const CompiledFilters& cf, size_t begin, size_t end,
+                          Chunk* out_chunk) {
+    const size_t n = end - begin;
+    SelectionVector sel;
+    bool never = false;
+    for (const LoweredPred& p : cf.lowered) {
+      if (p.kind == LoweredPred::Kind::kNever) never = true;
+    }
+    bool have_sel = never;  // a statically-false conjunct selects nothing
+    for (const LoweredPred& p : cf.lowered) {
+      if (never) break;
+      const MainColumn& mc = table.main_column(p.schema_idx);
+      // Codes are stored as uint32 with kNullCode = 0xFFFFFFFF; the
+      // kernels read them as int32 where negative means NULL (the
+      // static_assert in table.cc pins the bit pattern).
+      const int32_t* codes =
+          reinterpret_cast<const int32_t*>(mc.codes.data()) + begin;
+      const int64_t* ints = mc.ints.data() + begin;
+      const uint8_t* valid =
+          mc.validity.empty() ? nullptr : mc.validity.data() + begin;
+      size_t k = 0;
+      if (!have_sel) {
+        sel.resize(n);
+        switch (p.kind) {
+          case LoweredPred::Kind::kCodeEq:
+            k = kernels::FilterCodesEq(codes, n, p.code, sel.data());
+            break;
+          case LoweredPred::Kind::kCodeNe:
+            k = kernels::FilterCodesNe(codes, n, p.code, sel.data());
+            break;
+          case LoweredPred::Kind::kCodeRange:
+            k = kernels::FilterCodesRange(codes, n, p.lo, p.hi, sel.data());
+            break;
+          case LoweredPred::Kind::kCodeNull:
+            k = kernels::FilterCodesNull(codes, n, p.negated, sel.data());
+            break;
+          case LoweredPred::Kind::kInt64Cmp:
+            k = kernels::FilterInt64(ints, valid, n, p.cmp, p.literal,
+                                     sel.data());
+            break;
+          case LoweredPred::Kind::kNever:
+            break;
+        }
+        sel.resize(k);
+        have_sel = true;
+      } else {
+        if (sel.empty()) break;
+        switch (p.kind) {
+          case LoweredPred::Kind::kCodeEq:
+            k = kernels::RefineCodesEq(codes, sel.data(), sel.size(), p.code);
+            break;
+          case LoweredPred::Kind::kCodeNe:
+            k = kernels::RefineCodesNe(codes, sel.data(), sel.size(), p.code);
+            break;
+          case LoweredPred::Kind::kCodeRange:
+            k = kernels::RefineCodesRange(codes, sel.data(), sel.size(), p.lo,
+                                          p.hi);
+            break;
+          case LoweredPred::Kind::kCodeNull:
+            k = kernels::RefineCodesNull(codes, sel.data(), sel.size(),
+                                         p.negated);
+            break;
+          case LoweredPred::Kind::kInt64Cmp:
+            k = kernels::RefineInt64(ints, valid, sel.data(), sel.size(),
+                                     p.cmp, p.literal);
+            break;
+          case LoweredPred::Kind::kNever:
+            break;
+        }
+        sel.resize(k);
+      }
+    }
+
+    // Late materialization: gather only surviving rows, per column type.
+    const size_t k = sel.size();
+    Chunk chunk;
+    for (size_t schema_idx : scan.column_indexes()) {
+      chunk.names.push_back(scan.QualifiedName(schema_idx));
+      const MainColumn& mc = table.main_column(schema_idx);
+      const DataType& t = table.schema().column(schema_idx).type;
+      if (t.id == TypeId::kString) {
+        std::vector<int32_t> codes(k);
+        if (k > 0) {
+          kernels::GatherInt32(
+              reinterpret_cast<const int32_t*>(mc.codes.data()) + begin,
+              sel.data(), k, codes.data());
+        }
+        chunk.columns.push_back(
+            ColumnData::LazyStrings(t, mc.dictionary, std::move(codes)));
+        continue;
+      }
+      std::vector<uint8_t> validity;
+      if (!mc.validity.empty()) {
+        validity.resize(k);
+        if (k > 0) {
+          kernels::GatherBytes(mc.validity.data() + begin, sel.data(), k,
+                               validity.data());
+        }
+      }
+      if (t.id == TypeId::kDouble) {
+        std::vector<double> vals(k);
+        if (k > 0) {
+          kernels::GatherDouble(mc.doubles.data() + begin, sel.data(), k,
+                                vals.data());
+        }
+        chunk.columns.push_back(
+            ColumnData::TakeDoubles(t, std::move(vals), std::move(validity)));
+      } else {
+        std::vector<int64_t> vals(k);
+        if (k > 0) {
+          kernels::GatherInt64(mc.ints.data() + begin, sel.data(), k,
+                               vals.data());
+        }
+        chunk.columns.push_back(
+            ColumnData::TakeInts(t, std::move(vals), std::move(validity)));
+      }
+    }
+
+    if (cf.residual != nullptr) {
+      VDM_ASSIGN_OR_RETURN(ColumnData mask, EvalExpr(cf.residual, chunk));
+      SelectionVector rsel;
+      for (size_t r = 0; r < mask.size(); ++r) {
+        if (!mask.IsNull(r) && mask.ints()[r] != 0) {
+          rsel.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      if (rsel.size() != chunk.NumRows()) {
+        Chunk filtered;
+        filtered.names = chunk.names;
+        filtered.columns.reserve(chunk.columns.size());
+        for (const ColumnData& col : chunk.columns) {
+          filtered.columns.push_back(col.GatherSelection(rsel));
+        }
+        chunk = std::move(filtered);
+      }
+    }
+    *out_chunk = std::move(chunk);
+    return Status::OK();
+  }
+
   Result<Chunk> RunPipeline(const std::vector<const LogicalOp*>& chain,
                             int64_t budget) {
     const auto& scan = static_cast<const ScanOp&>(*chain.back());
@@ -197,6 +670,15 @@ class ExecutorImpl {
     // carries its column names/types even for empty tables.
     size_t num_morsels = std::max<size_t>(1, (n + morsel_size_ - 1) / morsel_size_);
 
+    // Compile the bottom Filter run once per pipeline; morsels that lie
+    // entirely in the main fragment take the compressed path, morsels
+    // overlapping the delta fall back to the generic one (same results).
+    CompiledFilters compiled;
+    if (options_.enable_compressed_exec && chain.size() > 1) {
+      compiled = CompileFilters(chain, scan, *table);
+    }
+    const size_t main_rows = table->NumMainRows();
+
     VDM_FAULT_POINT("exec.pipeline.morsel");
     std::vector<Chunk> pieces(num_morsels);
     std::vector<Status> errors(num_morsels);
@@ -209,12 +691,25 @@ class ExecutorImpl {
       size_t begin = std::min(n, m * morsel_size_);
       size_t end = std::min(n, begin + morsel_size_);
       Chunk chunk;
-      for (size_t schema_idx : scan.column_indexes()) {
-        chunk.names.push_back(scan.QualifiedName(schema_idx));
-        chunk.columns.push_back(table->ScanColumnRange(schema_idx, begin, end));
+      size_t top = chain.size() - 1;  // ops left for the generic loop below
+      if (compiled.active && end <= main_rows) {
+        Status s = CompressedMorsel(scan, *table, compiled, begin, end,
+                                    &chunk);
+        if (!s.ok()) {
+          errors[m] = std::move(s);
+          return;
+        }
+        top -= compiled.bottom_filters;
+      } else {
+        for (size_t schema_idx : scan.column_indexes()) {
+          chunk.names.push_back(scan.QualifiedName(schema_idx));
+          chunk.columns.push_back(
+              table->ScanColumnRange(schema_idx, begin, end));
+        }
       }
-      // Apply the Filter/Project stack bottom-up (chain is top-down).
-      for (size_t i = chain.size() - 1; i-- > 0;) {
+      // Apply the remaining Filter/Project stack bottom-up (chain is
+      // top-down).
+      for (size_t i = top; i-- > 0;) {
         const LogicalOp* op = chain[i];
         if (op->kind() == OpKind::kFilter) {
           const auto& filter = static_cast<const FilterOp&>(*op);
@@ -331,8 +826,45 @@ class ExecutorImpl {
   // -----------------------------------------------------------------------
   // Hash join: typed build table, morsel-parallel probe, limit-aware waves.
 
+  /// True when every conjunct of the join condition is an equi pair
+  /// resolvable against the children's declared output columns — the
+  /// name-level mirror of the chunk split in RunJoin below.
+  static bool AllEquiConjuncts(const JoinOp& join) {
+    std::vector<std::string> ln = join.left()->OutputNames();
+    std::vector<std::string> rn = join.right()->OutputNames();
+    auto has = [](const std::vector<std::string>& v, const std::string& s) {
+      return std::find(v.begin(), v.end(), s) != v.end();
+    };
+    for (const ExprRef& conjunct : SplitConjuncts(join.condition())) {
+      if (IsAlwaysTrue(conjunct)) continue;
+      std::optional<ColumnPair> pair = MatchColumnEqColumn(conjunct);
+      if (!pair.has_value()) return false;
+      bool l = has(ln, pair->left);
+      bool r = has(rn, pair->right);
+      if (!l && !r) {
+        l = has(ln, pair->right);
+        r = has(rn, pair->left);
+      }
+      if (!l || !r) return false;
+    }
+    return true;
+  }
+
   Result<Chunk> RunJoin(const JoinOp& join, int64_t budget) {
-    VDM_ASSIGN_OR_RETURN(Chunk left, Run(join.left(), kNoBudget));
+    // A residual-free LEFT OUTER join emits at least one output row per
+    // probe row (null-padded on miss), so when a LIMIT budget reaches the
+    // join, the probe child itself only needs to produce that many rows:
+    // its scan pipeline stops early exactly like the probe waves below,
+    // and the emitted prefix is identical.
+    int64_t probe_budget = kNoBudget;
+    if (options_.enable_limit_early_exit &&
+        join.join_type() == JoinType::kLeftOuter) {
+      int64_t b = budget;
+      int64_t h = join.limit_hint();
+      if (h >= 0 && (b < 0 || h < b)) b = h;
+      if (b >= 0 && AllEquiConjuncts(join)) probe_budget = b;
+    }
+    VDM_ASSIGN_OR_RETURN(Chunk left, Run(join.left(), probe_budget));
     VDM_ASSIGN_OR_RETURN(Chunk right, Run(join.right(), kNoBudget));
     bool left_outer = join.join_type() == JoinType::kLeftOuter;
 
@@ -355,6 +887,12 @@ class ExecutorImpl {
         }
       }
       residual.push_back(conjunct);
+    }
+    if (probe_budget >= 0 && !residual.empty()) {
+      // The name-level pre-check promised an equi-only condition but the
+      // chunk split disagrees (planner contract violation): a truncated
+      // probe input is no longer provably sufficient, so rerun it whole.
+      VDM_ASSIGN_OR_RETURN(left, Run(join.left(), kNoBudget));
     }
 
     // The probe loop may stop once the join has emitted `budget` rows:
@@ -490,6 +1028,15 @@ class ExecutorImpl {
     if (metrics_ != nullptr) {
       metrics_->rows_probe_input += rows_probed;
       if (early) ++metrics_->limit_early_exits;
+    }
+
+    // The ancestor LIMIT keeps only `out_budget` rows; gathering beyond
+    // that materializes columns that are immediately discarded. The probe
+    // waves stop near the budget, this trims the overshoot exactly.
+    if (out_budget >= 0 &&
+        left_rows.size() > static_cast<size_t>(out_budget)) {
+      left_rows.resize(static_cast<size_t>(out_budget));
+      right_rows.resize(static_cast<size_t>(out_budget));
     }
 
     Chunk combined;
@@ -1240,6 +1787,15 @@ Result<Chunk> Executor::Execute(const PlanRef& plan, ExecMetrics* metrics,
       return StatusFromCurrentException();
     }
   }();
+  if (result.ok()) {
+    // Late-materialization boundary: decode whatever string columns are
+    // still lazy (dictionary codes) so callers see plain strings(). Rows
+    // dropped by filters/joins/LIMIT never reach this point — this is the
+    // only per-row string copy a compressed query pays.
+    uint64_t decoded = 0;
+    for (ColumnData& col : result->columns) decoded += col.EnsureDecoded();
+    if (metrics != nullptr) metrics->rows_decoded += decoded;
+  }
   if (metrics != nullptr) {
     metrics->cancel_checks += ctx->cancel_checks();
     metrics->peak_memory_bytes =

@@ -46,12 +46,17 @@ struct ExecOptions {
   size_t morsel_size = 4096;
   /// Stop probe/scan waves once a downstream LIMIT's budget is met.
   bool enable_limit_early_exit = true;
+  /// Lower filter predicates over main-fragment morsels to dictionary-code
+  /// / int64 kernels (exec/kernels/) with late materialization. Off falls
+  /// back to the generic EvalExpr morsel path; results are identical.
+  bool enable_compressed_exec = true;
 };
 
 /// Row-flow counters, used by benchmarks to show *why* an optimized plan is
 /// faster (fewer rows scanned / hashed), not just that it is.
 struct ExecMetrics {
   uint64_t rows_scanned = 0;
+  uint64_t rows_decoded = 0;       // string cells materialized from dicts
   uint64_t rows_build_input = 0;   // rows hashed on join build sides
   uint64_t rows_probe_input = 0;   // rows actually probed through joins
   uint64_t rows_aggregated = 0;

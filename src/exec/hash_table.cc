@@ -1,5 +1,6 @@
 #include "exec/hash_table.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -43,7 +44,7 @@ void AppendKeyBytes(const ColumnData& col, size_t row, std::string* out) {
   }
   out->push_back('\x01');
   if (col.type().id == TypeId::kString) {
-    const std::string& s = col.strings()[row];
+    const std::string& s = col.StringAt(row);
     uint32_t len = static_cast<uint32_t>(s.size());
     out->append(reinterpret_cast<const char*>(&len), sizeof(len));
     out->append(s);
@@ -98,13 +99,24 @@ KeyLayout ChooseKeyLayout(const std::vector<const ColumnData*>& build_cols,
         (probe_cols.empty() || IsFixed64(*probe_cols[0]))) {
       return KeyLayout::kInt64;
     }
-    // One string column: dictionary codes when both sides share one
-    // fragment dictionary (group tables only need their own side).
-    if (build_cols[0]->has_dict() &&
-        (probe_cols.empty() ||
-         (probe_cols[0]->has_dict() &&
-          probe_cols[0]->dict() == build_cols[0]->dict()))) {
-      return KeyLayout::kDict32;
+    // One string column: dictionary codes when both sides carry a
+    // fragment dictionary (group tables only need their own side). Equal
+    // dict() pointers join on codes directly; different dictionaries go
+    // through a one-time code translation map (JoinHashTable builds it),
+    // which requires both to be sorted — main-fragment dictionaries
+    // always are, and std::is_sorted guards ad-hoc annotations.
+    if (build_cols[0]->has_dict()) {
+      if (probe_cols.empty() ||
+          probe_cols[0]->dict() == build_cols[0]->dict()) {
+        return KeyLayout::kDict32;
+      }
+      if (probe_cols[0]->has_dict() &&
+          std::is_sorted(build_cols[0]->dict()->begin(),
+                         build_cols[0]->dict()->end()) &&
+          std::is_sorted(probe_cols[0]->dict()->begin(),
+                         probe_cols[0]->dict()->end())) {
+        return KeyLayout::kDict32;
+      }
     }
     return KeyLayout::kSerialized;
   }
@@ -125,6 +137,24 @@ JoinHashTable::JoinHashTable(std::vector<const ColumnData*> build_cols,
       probe_cols_(std::move(probe_cols)) {
   build_rows_ = build_cols_[0]->size();
   VDM_CHECK(build_rows_ < kEnd);
+  // Different sorted dictionaries on the two sides: translate probe codes
+  // to build codes once (two-pointer merge), so the join still runs on
+  // 32-bit codes end-to-end. A probe string absent from the build
+  // dictionary maps to -1 and can never match — same as a NULL key.
+  if (layout_ == KeyLayout::kDict32 && !probe_cols_.empty() &&
+      probe_cols_[0]->dict() != build_cols_[0]->dict()) {
+    const std::vector<std::string>& bd = *build_cols_[0]->dict();
+    const std::vector<std::string>& pd = *probe_cols_[0]->dict();
+    probe_code_map_.assign(pd.size(), -1);
+    size_t b = 0;
+    for (size_t p = 0; p < pd.size(); ++p) {
+      while (b < bd.size() && bd[b] < pd[p]) ++b;
+      if (b < bd.size() && bd[b] == pd[p]) {
+        probe_code_map_[p] = static_cast<int32_t>(b);
+      }
+    }
+    translate_codes_ = true;
+  }
 }
 
 JoinHashTable::~JoinHashTable() {
@@ -137,6 +167,10 @@ bool JoinHashTable::Key64(const std::vector<const ColumnData*>& cols,
   if (layout_ == KeyLayout::kDict32) {
     int32_t code = col.dict_codes()[row];
     if (code < 0) return false;
+    if (translate_codes_ && &cols == &probe_cols_) {
+      code = probe_code_map_[static_cast<size_t>(code)];
+      if (code < 0) return false;
+    }
     *key = code;
     return true;
   }

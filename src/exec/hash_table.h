@@ -143,6 +143,10 @@ class JoinHashTable {
   KeyLayout layout_;
   std::vector<const ColumnData*> build_cols_;
   std::vector<const ColumnData*> probe_cols_;
+  // kDict32 with different (sorted) dictionaries per side: probe codes are
+  // remapped to build codes through this table; -1 = absent (no match).
+  bool translate_codes_ = false;
+  std::vector<int32_t> probe_code_map_;
   size_t build_rows_ = 0;
   size_t entries_ = 0;
   // Governor accounting for the build-side arrays; released on destruction.

@@ -1,0 +1,356 @@
+#include "exec/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace vdm {
+namespace kernels {
+
+namespace {
+
+std::atomic<int> g_simd_override{-1};
+
+bool EnvAllowsSimd() {
+  static const bool allowed = [] {
+    const char* e = std::getenv("VDM_SIMD");
+    return e == nullptr || *e == '\0' || std::strcmp(e, "0") != 0;
+  }();
+  return allowed;
+}
+
+bool CpuHasAvx2() {
+#if VDM_KERNELS_HAVE_AVX2
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+template <CmpOp Op>
+inline bool CmpInt64(int64_t v, int64_t lit) {
+  if constexpr (Op == CmpOp::kEq) return v == lit;
+  if constexpr (Op == CmpOp::kNe) return v != lit;
+  if constexpr (Op == CmpOp::kLt) return v < lit;
+  if constexpr (Op == CmpOp::kLe) return v <= lit;
+  if constexpr (Op == CmpOp::kGt) return v > lit;
+  return v >= lit;
+}
+
+template <CmpOp Op>
+size_t FilterInt64Impl(const int64_t* vals, const uint8_t* validity, size_t n,
+                       int64_t lit, uint32_t* out) {
+  size_t k = 0;
+  if (validity == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (CmpInt64<Op>(vals[i], lit)) out[k++] = static_cast<uint32_t>(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (validity[i] && CmpInt64<Op>(vals[i], lit)) {
+        out[k++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+  return k;
+}
+
+template <CmpOp Op>
+size_t RefineInt64Impl(const int64_t* vals, const uint8_t* validity,
+                       uint32_t* sel, size_t k, int64_t lit) {
+  size_t m = 0;
+  if (validity == nullptr) {
+    for (size_t i = 0; i < k; ++i) {
+      const uint32_t row = sel[i];
+      if (CmpInt64<Op>(vals[row], lit)) sel[m++] = row;
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      const uint32_t row = sel[i];
+      if (validity[row] && CmpInt64<Op>(vals[row], lit)) sel[m++] = row;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+bool SimdCompiled() {
+#if VDM_KERNELS_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool SimdEnabled() {
+  const int o = g_simd_override.load(std::memory_order_relaxed);
+  if (o == 0) return false;
+  if (!SimdCompiled() || !CpuHasAvx2()) return false;
+  return o == 1 || EnvAllowsSimd();
+}
+
+void SetSimdOverride(int force) {
+  g_simd_override.store(force, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations.
+// ---------------------------------------------------------------------------
+namespace scalar {
+
+size_t FilterCodesEq(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (codes[i] == target) out[k++] = static_cast<uint32_t>(i);
+  }
+  return k;
+}
+
+size_t FilterCodesNe(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (codes[i] >= 0 && codes[i] != target) {
+      out[k++] = static_cast<uint32_t>(i);
+    }
+  }
+  return k;
+}
+
+size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
+                        int32_t hi, uint32_t* out) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Unsigned trick: NULL (-1) wraps above any dictionary size, and
+    // (c - lo) <= (hi - lo) is the inclusive interval test.
+    if (static_cast<uint32_t>(codes[i] - lo) <=
+        static_cast<uint32_t>(hi - lo)) {
+      out[k++] = static_cast<uint32_t>(i);
+    }
+  }
+  return k;
+}
+
+size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
+                       uint32_t* out) {
+  size_t k = 0;
+  if (negated) {
+    for (size_t i = 0; i < n; ++i) {
+      if (codes[i] >= 0) out[k++] = static_cast<uint32_t>(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (codes[i] < 0) out[k++] = static_cast<uint32_t>(i);
+    }
+  }
+  return k;
+}
+
+size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
+                   CmpOp op, int64_t lit, uint32_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return FilterInt64Impl<CmpOp::kEq>(vals, validity, n, lit, out);
+    case CmpOp::kNe:
+      return FilterInt64Impl<CmpOp::kNe>(vals, validity, n, lit, out);
+    case CmpOp::kLt:
+      return FilterInt64Impl<CmpOp::kLt>(vals, validity, n, lit, out);
+    case CmpOp::kLe:
+      return FilterInt64Impl<CmpOp::kLe>(vals, validity, n, lit, out);
+    case CmpOp::kGt:
+      return FilterInt64Impl<CmpOp::kGt>(vals, validity, n, lit, out);
+    case CmpOp::kGe:
+      return FilterInt64Impl<CmpOp::kGe>(vals, validity, n, lit, out);
+  }
+  return 0;
+}
+
+size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target) {
+  size_t m = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel[i];
+    if (codes[row] == target) sel[m++] = row;
+  }
+  return m;
+}
+
+size_t RefineCodesNe(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target) {
+  size_t m = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel[i];
+    if (codes[row] >= 0 && codes[row] != target) sel[m++] = row;
+  }
+  return m;
+}
+
+size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
+                        int32_t lo, int32_t hi) {
+  size_t m = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel[i];
+    if (static_cast<uint32_t>(codes[row] - lo) <=
+        static_cast<uint32_t>(hi - lo)) {
+      sel[m++] = row;
+    }
+  }
+  return m;
+}
+
+size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
+                       bool negated) {
+  size_t m = 0;
+  if (negated) {
+    for (size_t i = 0; i < k; ++i) {
+      const uint32_t row = sel[i];
+      if (codes[row] >= 0) sel[m++] = row;
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      const uint32_t row = sel[i];
+      if (codes[row] < 0) sel[m++] = row;
+    }
+  }
+  return m;
+}
+
+size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
+                   uint32_t* sel, size_t k, CmpOp op, int64_t lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      return RefineInt64Impl<CmpOp::kEq>(vals, validity, sel, k, lit);
+    case CmpOp::kNe:
+      return RefineInt64Impl<CmpOp::kNe>(vals, validity, sel, k, lit);
+    case CmpOp::kLt:
+      return RefineInt64Impl<CmpOp::kLt>(vals, validity, sel, k, lit);
+    case CmpOp::kLe:
+      return RefineInt64Impl<CmpOp::kLe>(vals, validity, sel, k, lit);
+    case CmpOp::kGt:
+      return RefineInt64Impl<CmpOp::kGt>(vals, validity, sel, k, lit);
+    case CmpOp::kGe:
+      return RefineInt64Impl<CmpOp::kGe>(vals, validity, sel, k, lit);
+  }
+  return 0;
+}
+
+void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
+                 int32_t* dst) {
+  for (size_t i = 0; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t k,
+                 int64_t* dst) {
+  for (size_t i = 0; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+void GatherDouble(const double* src, const uint32_t* sel, size_t k,
+                  double* dst) {
+  for (size_t i = 0; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+void GatherBytes(const uint8_t* src, const uint32_t* sel, size_t k,
+                 uint8_t* dst) {
+  for (size_t i = 0; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points.
+// ---------------------------------------------------------------------------
+#if VDM_KERNELS_HAVE_AVX2
+#define VDM_DISPATCH(fn, ...) \
+  return SimdEnabled() ? avx2::fn(__VA_ARGS__) : scalar::fn(__VA_ARGS__)
+#define VDM_DISPATCH_VOID(fn, ...)        \
+  do {                                    \
+    if (SimdEnabled()) {                  \
+      avx2::fn(__VA_ARGS__);              \
+    } else {                              \
+      scalar::fn(__VA_ARGS__);            \
+    }                                     \
+  } while (0)
+#else
+#define VDM_DISPATCH(fn, ...) return scalar::fn(__VA_ARGS__)
+#define VDM_DISPATCH_VOID(fn, ...) scalar::fn(__VA_ARGS__)
+#endif
+
+size_t FilterCodesEq(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out) {
+  VDM_DISPATCH(FilterCodesEq, codes, n, target, out);
+}
+
+size_t FilterCodesNe(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out) {
+  VDM_DISPATCH(FilterCodesNe, codes, n, target, out);
+}
+
+size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
+                        int32_t hi, uint32_t* out) {
+  VDM_DISPATCH(FilterCodesRange, codes, n, lo, hi, out);
+}
+
+size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
+                       uint32_t* out) {
+  VDM_DISPATCH(FilterCodesNull, codes, n, negated, out);
+}
+
+size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
+                   CmpOp op, int64_t lit, uint32_t* out) {
+  VDM_DISPATCH(FilterInt64, vals, validity, n, op, lit, out);
+}
+
+size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target) {
+  VDM_DISPATCH(RefineCodesEq, codes, sel, k, target);
+}
+
+size_t RefineCodesNe(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target) {
+  VDM_DISPATCH(RefineCodesNe, codes, sel, k, target);
+}
+
+size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
+                        int32_t lo, int32_t hi) {
+  VDM_DISPATCH(RefineCodesRange, codes, sel, k, lo, hi);
+}
+
+size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
+                       bool negated) {
+  VDM_DISPATCH(RefineCodesNull, codes, sel, k, negated);
+}
+
+size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
+                   uint32_t* sel, size_t k, CmpOp op, int64_t lit) {
+  VDM_DISPATCH(RefineInt64, vals, validity, sel, k, op, lit);
+}
+
+void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
+                 int32_t* dst) {
+  VDM_DISPATCH_VOID(GatherInt32, src, sel, k, dst);
+}
+
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t k,
+                 int64_t* dst) {
+  VDM_DISPATCH_VOID(GatherInt64, src, sel, k, dst);
+}
+
+void GatherDouble(const double* src, const uint32_t* sel, size_t k,
+                  double* dst) {
+  VDM_DISPATCH_VOID(GatherDouble, src, sel, k, dst);
+}
+
+void GatherBytes(const uint8_t* src, const uint32_t* sel, size_t k,
+                 uint8_t* dst) {
+  // Byte gathers have no AVX2 twin; the scalar loop is already load-bound.
+  scalar::GatherBytes(src, sel, k, dst);
+}
+
+#undef VDM_DISPATCH
+#undef VDM_DISPATCH_VOID
+
+}  // namespace kernels
+}  // namespace vdm

@@ -1,0 +1,176 @@
+// Vectorized filter / gather kernels over dictionary codes and fixed-width
+// values (DESIGN.md §13). These are the leaves of the compressed execution
+// path: the executor lowers string predicates to code compares against the
+// sorted main-fragment dictionary, then runs these kernels on the raw
+// fragment arrays before any value is materialized.
+//
+// Every kernel has a scalar reference implementation in `scalar::` and, when
+// compiled with VDMQO_SIMD (the default on x86-64), an AVX2 twin selected by
+// runtime CPU dispatch. The public entry points dispatch per call; the
+// `VDM_SIMD=0` environment knob and SetSimdOverride() force the scalar path
+// so results can be compared byte-for-byte (tests/kernel_test.cc does this
+// on randomized inputs).
+//
+// Conventions shared by all kernels:
+//   * `codes` are int32 dictionary codes where negative means NULL (the
+//     executor bit-casts MainColumn's uint32 kNullCode to -1; see table.h).
+//   * Filter kernels append matching row offsets (relative to the input
+//     pointer) to `out`, which must have room for `n` entries, and return
+//     the match count. Output offsets are strictly increasing.
+//   * Refine kernels compact a selection vector in place and return the
+//     surviving count; `sel` entries must be strictly increasing row
+//     offsets into the input array.
+//   * NULL never matches a comparison (3-valued logic collapses to false
+//     under a WHERE conjunct).
+#ifndef VDMQO_EXEC_KERNELS_KERNELS_H_
+#define VDMQO_EXEC_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(VDMQO_SIMD) && (defined(__x86_64__) || defined(_M_X64))
+#define VDM_KERNELS_HAVE_AVX2 1
+#endif
+
+namespace vdm {
+namespace kernels {
+
+// Comparison operator for the value kernels. Matches the comparison
+// subset of BinaryOp that EvalBinary implements.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// ---------------------------------------------------------------------------
+// Dispatch control.
+// ---------------------------------------------------------------------------
+
+// True when the AVX2 kernels were compiled into this binary (VDMQO_SIMD).
+bool SimdCompiled();
+// True when dispatch currently resolves to the AVX2 kernels: compiled in,
+// CPU supports AVX2, VDM_SIMD env not "0", and no scalar override in force.
+bool SimdEnabled();
+// Test/bench hook: -1 = automatic (default), 0 = force scalar, 1 = force
+// SIMD when available. Takes effect on the next kernel call.
+void SetSimdOverride(int force);
+
+// ---------------------------------------------------------------------------
+// Dense filters: scan codes[0..n), append matching offsets to out.
+// ---------------------------------------------------------------------------
+
+size_t FilterCodesEq(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out);
+// Matches non-NULL codes != target.
+size_t FilterCodesNe(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out);
+// Matches non-NULL codes in [lo, hi] (inclusive on both ends; callers
+// encode open bounds by adjusting the code interval).
+size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
+                        int32_t hi, uint32_t* out);
+// negated=false: match NULL codes (IS NULL); true: match non-NULL.
+size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
+                       uint32_t* out);
+// Compare int64 values against a literal; rows with validity[i]==0 never
+// match. validity may be nullptr (all rows valid).
+size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
+                   CmpOp op, int64_t lit, uint32_t* out);
+
+// ---------------------------------------------------------------------------
+// Selection refinement: compact sel[0..k) in place, return survivors.
+// ---------------------------------------------------------------------------
+
+size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target);
+size_t RefineCodesNe(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target);
+size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
+                        int32_t lo, int32_t hi);
+size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
+                       bool negated);
+size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
+                   uint32_t* sel, size_t k, CmpOp op, int64_t lit);
+
+// ---------------------------------------------------------------------------
+// Typed gathers: dst[i] = src[sel[i]] for i in [0, k).
+// ---------------------------------------------------------------------------
+
+void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
+                 int32_t* dst);
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t k,
+                 int64_t* dst);
+void GatherDouble(const double* src, const uint32_t* sel, size_t k,
+                  double* dst);
+void GatherBytes(const uint8_t* src, const uint32_t* sel, size_t k,
+                 uint8_t* dst);
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. Public so the differential tests and
+// the microbenchmark can pin the baseline regardless of dispatch state.
+// ---------------------------------------------------------------------------
+namespace scalar {
+size_t FilterCodesEq(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out);
+size_t FilterCodesNe(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out);
+size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
+                        int32_t hi, uint32_t* out);
+size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
+                       uint32_t* out);
+size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
+                   CmpOp op, int64_t lit, uint32_t* out);
+size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target);
+size_t RefineCodesNe(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target);
+size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
+                        int32_t lo, int32_t hi);
+size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
+                       bool negated);
+size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
+                   uint32_t* sel, size_t k, CmpOp op, int64_t lit);
+void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
+                 int32_t* dst);
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t k,
+                 int64_t* dst);
+void GatherDouble(const double* src, const uint32_t* sel, size_t k,
+                  double* dst);
+void GatherBytes(const uint8_t* src, const uint32_t* sel, size_t k,
+                 uint8_t* dst);
+}  // namespace scalar
+
+#if VDM_KERNELS_HAVE_AVX2
+// AVX2 implementations, compiled in a separate translation unit with
+// __attribute__((target("avx2"))). Callable only when the host CPU has
+// AVX2 — use the dispatching entry points above unless benchmarking.
+namespace avx2 {
+size_t FilterCodesEq(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out);
+size_t FilterCodesNe(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out);
+size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
+                        int32_t hi, uint32_t* out);
+size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
+                       uint32_t* out);
+size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
+                   CmpOp op, int64_t lit, uint32_t* out);
+size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target);
+size_t RefineCodesNe(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target);
+size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
+                        int32_t lo, int32_t hi);
+size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
+                       bool negated);
+size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
+                   uint32_t* sel, size_t k, CmpOp op, int64_t lit);
+void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
+                 int32_t* dst);
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t k,
+                 int64_t* dst);
+void GatherDouble(const double* src, const uint32_t* sel, size_t k,
+                  double* dst);
+}  // namespace avx2
+#endif  // VDM_KERNELS_HAVE_AVX2
+
+}  // namespace kernels
+}  // namespace vdm
+
+#endif  // VDMQO_EXEC_KERNELS_KERNELS_H_

@@ -1,0 +1,418 @@
+// AVX2 kernel implementations. This translation unit is compiled with
+// -mavx2 (see src/exec/CMakeLists.txt); nothing in it may be called unless
+// the dispatcher confirmed AVX2 at runtime (kernels.cc: CpuHasAvx2). The
+// scalar twins in kernels.cc define the semantics; tests/kernel_test.cc
+// diffs the two on randomized inputs.
+#include "exec/kernels/kernels.h"
+
+#if VDM_KERNELS_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace vdm {
+namespace kernels {
+namespace avx2 {
+
+namespace {
+
+// 256-entry permutation LUT for left-packing 8 int32 lanes by movemask bits:
+// perm[mask] lists the set bit positions, so permutevar8x32 moves the
+// matching lanes to the front of the vector.
+struct CompressLut {
+  alignas(32) uint32_t perm[256][8];
+};
+
+constexpr CompressLut MakeCompressLut() {
+  CompressLut lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int k = 0;
+    for (int b = 0; b < 8; ++b) {
+      if (mask & (1 << b)) lut.perm[mask][k++] = static_cast<uint32_t>(b);
+    }
+    for (; k < 8; ++k) lut.perm[mask][k] = 0;
+  }
+  return lut;
+}
+
+constexpr CompressLut kCompressLut = MakeCompressLut();
+
+inline unsigned MaskI32(__m256i eq_or_cmp) {
+  return static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(eq_or_cmp)));
+}
+
+// Shared skeleton for the dense code filters: mask_of(vector-of-8-codes)
+// returns the 8-bit match mask, pred(code) the scalar tail predicate.
+template <typename MaskFn, typename ScalarPred>
+inline size_t DenseFilter(const int32_t* codes, size_t n, uint32_t* out,
+                          MaskFn mask_of, ScalarPred pred) {
+  const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  size_t k = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const unsigned mask = mask_of(v);
+    if (mask != 0) {
+      const __m256i idx =
+          _mm256_add_epi32(lane, _mm256_set1_epi32(static_cast<int>(i)));
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompressLut.perm[mask]));
+      // Unconditional 8-lane store: k <= i here, so out[k..k+7] stays
+      // inside the n-entry out buffer; the next store overwrites the
+      // lanes beyond popcount(mask).
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                          _mm256_permutevar8x32_epi32(idx, perm));
+      k += static_cast<size_t>(__builtin_popcount(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if (pred(codes[i])) out[k++] = static_cast<uint32_t>(i);
+  }
+  return k;
+}
+
+// Shared skeleton for the selection-refining code filters: gathers codes at
+// sel positions, left-packs the surviving sel entries in place.
+template <typename MaskFn, typename ScalarPred>
+inline size_t RefineFilter(const int32_t* codes, uint32_t* sel, size_t k,
+                           MaskFn mask_of, ScalarPred pred) {
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256i rows =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i v = _mm256_i32gather_epi32(codes, rows, 4);
+    const unsigned mask = mask_of(v);
+    if (mask != 0) {
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompressLut.perm[mask]));
+      // In-place left-pack: m <= i, and sel[i..i+7] is already in `rows`,
+      // so the 8-lane store at sel[m..m+7] never clobbers unread input.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel + m),
+                          _mm256_permutevar8x32_epi32(rows, perm));
+      m += static_cast<size_t>(__builtin_popcount(mask));
+    }
+  }
+  for (; i < k; ++i) {
+    const uint32_t row = sel[i];
+    if (pred(codes[row])) sel[m++] = row;
+  }
+  return m;
+}
+
+template <CmpOp Op>
+inline bool CmpInt64Scalar(int64_t v, int64_t lit) {
+  if constexpr (Op == CmpOp::kEq) return v == lit;
+  if constexpr (Op == CmpOp::kNe) return v != lit;
+  if constexpr (Op == CmpOp::kLt) return v < lit;
+  if constexpr (Op == CmpOp::kLe) return v <= lit;
+  if constexpr (Op == CmpOp::kGt) return v > lit;
+  return v >= lit;
+}
+
+// 4-bit match mask for four int64 lanes against the broadcast literal.
+template <CmpOp Op>
+inline unsigned MaskInt64(__m256i v, __m256i lit) {
+  __m256i m;
+  bool invert = false;
+  if constexpr (Op == CmpOp::kEq) {
+    m = _mm256_cmpeq_epi64(v, lit);
+  } else if constexpr (Op == CmpOp::kNe) {
+    m = _mm256_cmpeq_epi64(v, lit);
+    invert = true;
+  } else if constexpr (Op == CmpOp::kLt) {
+    m = _mm256_cmpgt_epi64(lit, v);
+  } else if constexpr (Op == CmpOp::kLe) {
+    m = _mm256_cmpgt_epi64(v, lit);
+    invert = true;
+  } else if constexpr (Op == CmpOp::kGt) {
+    m = _mm256_cmpgt_epi64(v, lit);
+  } else {  // kGe
+    m = _mm256_cmpgt_epi64(lit, v);
+    invert = true;
+  }
+  unsigned mask =
+      static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(m)));
+  if (invert) mask ^= 0xFu;
+  return mask;
+}
+
+template <CmpOp Op>
+size_t FilterInt64Impl(const int64_t* vals, const uint8_t* validity, size_t n,
+                       int64_t lit, uint32_t* out) {
+  const __m256i vlit = _mm256_set1_epi64x(lit);
+  size_t k = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    unsigned mask = MaskInt64<Op>(v, vlit);
+    if (validity != nullptr && mask != 0) {
+      unsigned valid = 0;
+      if (validity[i + 0]) valid |= 1u;
+      if (validity[i + 1]) valid |= 2u;
+      if (validity[i + 2]) valid |= 4u;
+      if (validity[i + 3]) valid |= 8u;
+      mask &= valid;
+    }
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      out[k++] = static_cast<uint32_t>(i + b);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((validity == nullptr || validity[i]) &&
+        CmpInt64Scalar<Op>(vals[i], lit)) {
+      out[k++] = static_cast<uint32_t>(i);
+    }
+  }
+  return k;
+}
+
+template <CmpOp Op>
+size_t RefineInt64Impl(const int64_t* vals, const uint8_t* validity,
+                       uint32_t* sel, size_t k, int64_t lit) {
+  const __m256i vlit = _mm256_set1_epi64x(lit);
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const __m128i rows =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(vals), rows, 8);
+    unsigned mask = MaskInt64<Op>(v, vlit);
+    if (validity != nullptr && mask != 0) {
+      unsigned valid = 0;
+      if (validity[sel[i + 0]]) valid |= 1u;
+      if (validity[sel[i + 1]]) valid |= 2u;
+      if (validity[sel[i + 2]]) valid |= 4u;
+      if (validity[sel[i + 3]]) valid |= 8u;
+      mask &= valid;
+    }
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      sel[m++] = sel[i + b];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < k; ++i) {
+    const uint32_t row = sel[i];
+    if ((validity == nullptr || validity[row]) &&
+        CmpInt64Scalar<Op>(vals[row], lit)) {
+      sel[m++] = row;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+size_t FilterCodesEq(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out) {
+  const __m256i vt = _mm256_set1_epi32(target);
+  return DenseFilter(
+      codes, n, out,
+      [vt](__m256i v) { return MaskI32(_mm256_cmpeq_epi32(v, vt)); },
+      [target](int32_t c) { return c == target; });
+}
+
+size_t FilterCodesNe(const int32_t* codes, size_t n, int32_t target,
+                     uint32_t* out) {
+  const __m256i vt = _mm256_set1_epi32(target);
+  const __m256i minus1 = _mm256_set1_epi32(-1);
+  return DenseFilter(
+      codes, n, out,
+      [vt, minus1](__m256i v) {
+        // non-NULL (c > -1) and c != target.
+        const __m256i not_null = _mm256_cmpgt_epi32(v, minus1);
+        const __m256i eq = _mm256_cmpeq_epi32(v, vt);
+        return MaskI32(_mm256_andnot_si256(eq, not_null));
+      },
+      [target](int32_t c) { return c >= 0 && c != target; });
+}
+
+size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
+                        int32_t hi, uint32_t* out) {
+  // Unsigned interval test (c - lo) <= (hi - lo): NULL (-1) wraps to
+  // UINT32_MAX - lo + ... above any dictionary span, so it never matches.
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vspan =
+      _mm256_set1_epi32(static_cast<int32_t>(static_cast<uint32_t>(hi) -
+                                             static_cast<uint32_t>(lo)));
+  return DenseFilter(
+      codes, n, out,
+      [vlo, vspan](__m256i v) {
+        const __m256i shifted = _mm256_sub_epi32(v, vlo);
+        // shifted <=u span  ⟺  min_epu32(shifted, span) == shifted.
+        const __m256i le =
+            _mm256_cmpeq_epi32(_mm256_min_epu32(shifted, vspan), shifted);
+        return MaskI32(le);
+      },
+      [lo, hi](int32_t c) {
+        return static_cast<uint32_t>(c - lo) <= static_cast<uint32_t>(hi - lo);
+      });
+}
+
+size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
+                       uint32_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  if (negated) {
+    return DenseFilter(
+        codes, n, out,
+        [zero](__m256i v) {
+          return MaskI32(_mm256_cmpgt_epi32(zero, v)) ^ 0xFFu;
+        },
+        [](int32_t c) { return c >= 0; });
+  }
+  return DenseFilter(
+      codes, n, out,
+      [zero](__m256i v) { return MaskI32(_mm256_cmpgt_epi32(zero, v)); },
+      [](int32_t c) { return c < 0; });
+}
+
+size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
+                   CmpOp op, int64_t lit, uint32_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return FilterInt64Impl<CmpOp::kEq>(vals, validity, n, lit, out);
+    case CmpOp::kNe:
+      return FilterInt64Impl<CmpOp::kNe>(vals, validity, n, lit, out);
+    case CmpOp::kLt:
+      return FilterInt64Impl<CmpOp::kLt>(vals, validity, n, lit, out);
+    case CmpOp::kLe:
+      return FilterInt64Impl<CmpOp::kLe>(vals, validity, n, lit, out);
+    case CmpOp::kGt:
+      return FilterInt64Impl<CmpOp::kGt>(vals, validity, n, lit, out);
+    case CmpOp::kGe:
+      return FilterInt64Impl<CmpOp::kGe>(vals, validity, n, lit, out);
+  }
+  return 0;
+}
+
+size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target) {
+  const __m256i vt = _mm256_set1_epi32(target);
+  return RefineFilter(
+      codes, sel, k,
+      [vt](__m256i v) { return MaskI32(_mm256_cmpeq_epi32(v, vt)); },
+      [target](int32_t c) { return c == target; });
+}
+
+size_t RefineCodesNe(const int32_t* codes, uint32_t* sel, size_t k,
+                     int32_t target) {
+  const __m256i vt = _mm256_set1_epi32(target);
+  const __m256i minus1 = _mm256_set1_epi32(-1);
+  return RefineFilter(
+      codes, sel, k,
+      [vt, minus1](__m256i v) {
+        const __m256i not_null = _mm256_cmpgt_epi32(v, minus1);
+        const __m256i eq = _mm256_cmpeq_epi32(v, vt);
+        return MaskI32(_mm256_andnot_si256(eq, not_null));
+      },
+      [target](int32_t c) { return c >= 0 && c != target; });
+}
+
+size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
+                        int32_t lo, int32_t hi) {
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vspan =
+      _mm256_set1_epi32(static_cast<int32_t>(static_cast<uint32_t>(hi) -
+                                             static_cast<uint32_t>(lo)));
+  return RefineFilter(
+      codes, sel, k,
+      [vlo, vspan](__m256i v) {
+        const __m256i shifted = _mm256_sub_epi32(v, vlo);
+        const __m256i le =
+            _mm256_cmpeq_epi32(_mm256_min_epu32(shifted, vspan), shifted);
+        return MaskI32(le);
+      },
+      [lo, hi](int32_t c) {
+        return static_cast<uint32_t>(c - lo) <= static_cast<uint32_t>(hi - lo);
+      });
+}
+
+size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
+                       bool negated) {
+  const __m256i zero = _mm256_setzero_si256();
+  if (negated) {
+    return RefineFilter(
+        codes, sel, k,
+        [zero](__m256i v) {
+          return MaskI32(_mm256_cmpgt_epi32(zero, v)) ^ 0xFFu;
+        },
+        [](int32_t c) { return c >= 0; });
+  }
+  return RefineFilter(
+      codes, sel, k,
+      [zero](__m256i v) { return MaskI32(_mm256_cmpgt_epi32(zero, v)); },
+      [](int32_t c) { return c < 0; });
+}
+
+size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
+                   uint32_t* sel, size_t k, CmpOp op, int64_t lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      return RefineInt64Impl<CmpOp::kEq>(vals, validity, sel, k, lit);
+    case CmpOp::kNe:
+      return RefineInt64Impl<CmpOp::kNe>(vals, validity, sel, k, lit);
+    case CmpOp::kLt:
+      return RefineInt64Impl<CmpOp::kLt>(vals, validity, sel, k, lit);
+    case CmpOp::kLe:
+      return RefineInt64Impl<CmpOp::kLe>(vals, validity, sel, k, lit);
+    case CmpOp::kGt:
+      return RefineInt64Impl<CmpOp::kGt>(vals, validity, sel, k, lit);
+    case CmpOp::kGe:
+      return RefineInt64Impl<CmpOp::kGe>(vals, validity, sel, k, lit);
+  }
+  return 0;
+}
+
+void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
+                 int32_t* dst) {
+  size_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256i rows =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_i32gather_epi32(src, rows, 4));
+  }
+  for (; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t k,
+                 int64_t* dst) {
+  size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const __m128i rows =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(src), rows,
+                               8));
+  }
+  for (; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+void GatherDouble(const double* src, const uint32_t* sel, size_t k,
+                  double* dst) {
+  size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const __m128i rows =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    // Bit-copy gather through the epi64 form: GCC 12's _mm256_i32gather_pd
+    // trips a -Wmaybe-uninitialized false positive on its undefined source.
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(src), rows,
+                               8));
+  }
+  for (; i < k; ++i) dst[i] = src[sel[i]];
+}
+
+}  // namespace avx2
+}  // namespace kernels
+}  // namespace vdm
+
+#endif  // VDM_KERNELS_HAVE_AVX2

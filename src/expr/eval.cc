@@ -155,6 +155,9 @@ Result<DataType> InferType(const ExprRef& expr, const TypeEnv& env) {
       if (fn.name() == "year" || fn.name() == "month") {
         return DataType::Int64();
       }
+      if (fn.name() == "like") {
+        return DataType::Bool();
+      }
       return Status::BindError("unknown function: " + fn.name());
     }
     case ExprKind::kAggregate: {
@@ -252,7 +255,7 @@ Result<ColumnData> EvalBinary(const BinaryExpr& bin, const Chunk& input) {
       }
       int cmp;
       if (string_cmp) {
-        cmp = lc.strings()[i].compare(rc.strings()[i]);
+        cmp = lc.StringAt(i).compare(rc.StringAt(i));
         cmp = cmp < 0 ? -1 : (cmp == 0 ? 0 : 1);
       } else if (same_int) {
         int64_t a = lc.ints()[i], b = rc.ints()[i];
@@ -366,6 +369,34 @@ Result<ColumnData> EvalBinary(const BinaryExpr& bin, const Chunk& input) {
   return out;
 }
 
+// SQL LIKE matcher: '%' matches any sequence, '_' any single character;
+// case-sensitive, no escape syntax. Iterative greedy match with
+// backtracking to the last '%'.
+bool LikeMatch(const std::string& s, const std::string& p) {
+  size_t si = 0;
+  size_t pi = 0;
+  size_t star_si = std::string::npos;
+  size_t star_pi = 0;
+  const size_t ns = s.size();
+  const size_t np = p.size();
+  while (si < ns) {
+    if (pi < np && (p[pi] == '_' || p[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < np && p[pi] == '%') {
+      star_pi = ++pi;
+      star_si = si;
+    } else if (star_si != std::string::npos) {
+      pi = star_pi;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < np && p[pi] == '%') ++pi;
+  return pi == np;
+}
+
 Result<ColumnData> EvalFunction(const FunctionExpr& fn, const Chunk& input) {
   size_t n = input.NumRows();
   if (fn.name() == "round") {
@@ -463,8 +494,26 @@ Result<ColumnData> EvalFunction(const FunctionExpr& fn, const Chunk& input) {
       if (arg.IsNull(i)) {
         out.AppendNull();
       } else {
-        out.AppendString(fn.name() == "upper" ? ToUpper(arg.strings()[i])
-                                              : ToLower(arg.strings()[i]));
+        out.AppendString(fn.name() == "upper" ? ToUpper(arg.StringAt(i))
+                                              : ToLower(arg.StringAt(i)));
+      }
+    }
+    return out;
+  }
+  if (fn.name() == "like") {
+    VDM_ASSIGN_OR_RETURN(ColumnData val, Eval(fn.children()[0], input));
+    VDM_ASSIGN_OR_RETURN(ColumnData pat, Eval(fn.children()[1], input));
+    if (val.type().id != TypeId::kString ||
+        pat.type().id != TypeId::kString) {
+      return Status::TypeError("LIKE requires string operands");
+    }
+    ColumnData out(DataType::Bool());
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (val.IsNull(i) || pat.IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.AppendInt(LikeMatch(val.StringAt(i), pat.StringAt(i)) ? 1 : 0);
       }
     }
     return out;

@@ -598,6 +598,27 @@ class Parser {
         return Bin(entry.op, std::move(left), std::move(right));
       }
     }
+    // x [NOT] LIKE pattern desugars to [NOT] like(x, pattern); the %/_
+    // wildcard semantics live in EvalFunction (and thus cover the
+    // reference interpreter too).
+    {
+      bool negated = false;
+      if (PeekKeyword("not")) {
+        const size_t save = pos_;
+        Advance();
+        if (PeekKeyword("like")) {
+          negated = true;
+        } else {
+          pos_ = save;
+        }
+      }
+      if (PeekKeyword("like")) {
+        Advance();
+        VDM_ASSIGN_OR_RETURN(ExprRef pattern, ParseAdditive());
+        ExprRef call = Func("like", {std::move(left), std::move(pattern)});
+        return negated ? Not(std::move(call)) : std::move(call);
+      }
+    }
     if (PeekKeyword("between")) {
       Advance();
       VDM_ASSIGN_OR_RETURN(ExprRef low, ParseAdditive());

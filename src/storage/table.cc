@@ -1,19 +1,50 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/string_util.h"
 
 namespace vdm {
 
+const std::shared_ptr<const std::vector<std::string>>&
+MainColumn::EmptyDictionary() {
+  static const std::shared_ptr<const std::vector<std::string>> kEmpty =
+      std::make_shared<const std::vector<std::string>>();
+  return kEmpty;
+}
+
+namespace {
+
+#ifndef NDEBUG
+// Debug invariants of the order-preserving encoding: the dictionary is
+// strictly sorted (duplicate-free) and every code addresses it or is
+// kNullCode.
+void CheckSortedDictInvariants(const MainColumn& main) {
+  const std::vector<std::string>& dict = *main.dictionary;
+  for (size_t i = 1; i < dict.size(); ++i) {
+    VDM_DCHECK(dict[i - 1] < dict[i]);
+  }
+  for (uint32_t code : main.codes) {
+    VDM_DCHECK(code == MainColumn::kNullCode || code < dict.size());
+  }
+}
+#endif
+
+}  // namespace
+
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   main_.resize(schema_.NumColumns());
   delta_.names.reserve(schema_.NumColumns());
   delta_.columns.reserve(schema_.NumColumns());
-  for (const ColumnDef& col : schema_.columns()) {
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    const ColumnDef& col = schema_.column(c);
     delta_.names.push_back(col.name);
     delta_.columns.emplace_back(col.type);
+    if (col.type.id == TypeId::kString) {
+      main_[c].dictionary = MainColumn::EmptyDictionary();
+    }
   }
 }
 
@@ -112,16 +143,36 @@ void Table::MergeDelta() {
       main.validity.assign(main_rows_, 1);
     }
     if (type.id == TypeId::kString) {
-      // Re-encode delta strings into a new dictionary snapshot (the old
-      // one may still be referenced by scan annotations).
-      auto dict = main.dictionary == nullptr
-                      ? std::make_shared<std::vector<std::string>>()
-                      : std::make_shared<std::vector<std::string>>(
-                            *main.dictionary);
-      std::unordered_map<std::string, uint32_t> lookup;
-      lookup.reserve(dict->size() + delta_rows);
-      for (uint32_t i = 0; i < dict->size(); ++i) {
-        lookup.emplace((*dict)[i], i);
+      // Order-preserving re-encode (DESIGN.md §13): the dictionary stays
+      // sorted and duplicate-free. Collect the distinct incoming strings,
+      // union them with the old sorted dictionary into a *new* snapshot
+      // (outstanding scan annotations keep the old vector), remap the
+      // existing main codes if anything shifted, then encode the delta.
+      const std::vector<std::string>& old_dict = *main.dictionary;
+      std::vector<std::string> incoming;
+      incoming.reserve(delta_rows);
+      for (size_t r = 0; r < delta_rows; ++r) {
+        if (!delta.IsNull(r)) incoming.push_back(delta.strings()[r]);
+      }
+      std::sort(incoming.begin(), incoming.end());
+      incoming.erase(std::unique(incoming.begin(), incoming.end()),
+                     incoming.end());
+      auto merged = std::make_shared<std::vector<std::string>>();
+      merged->reserve(old_dict.size() + incoming.size());
+      std::set_union(old_dict.begin(), old_dict.end(), incoming.begin(),
+                     incoming.end(), std::back_inserter(*merged));
+      if (merged->size() != old_dict.size()) {
+        // New entries shifted existing codes: both dictionaries are
+        // sorted with old ⊆ merged, so one forward walk maps old → new.
+        std::vector<uint32_t> remap(old_dict.size());
+        size_t j = 0;
+        for (size_t i = 0; i < old_dict.size(); ++i) {
+          while ((*merged)[j] != old_dict[i]) ++j;
+          remap[i] = static_cast<uint32_t>(j);
+        }
+        for (uint32_t& code : main.codes) {
+          if (code != MainColumn::kNullCode) code = remap[code];
+        }
       }
       for (size_t r = 0; r < delta_rows; ++r) {
         if (delta.IsNull(r)) {
@@ -129,14 +180,18 @@ void Table::MergeDelta() {
           if (has_nulls) main.validity.push_back(0);
           continue;
         }
-        const std::string& s = delta.strings()[r];
-        auto [it, inserted] =
-            lookup.emplace(s, static_cast<uint32_t>(dict->size()));
-        if (inserted) dict->push_back(s);
-        main.codes.push_back(it->second);
+        auto it = std::lower_bound(merged->begin(), merged->end(),
+                                   delta.strings()[r]);
+        main.codes.push_back(static_cast<uint32_t>(it - merged->begin()));
         if (has_nulls) main.validity.push_back(1);
       }
-      main.dictionary = std::move(dict);
+      main.dictionary = merged->empty()
+                            ? MainColumn::EmptyDictionary()
+                            : std::shared_ptr<const std::vector<std::string>>(
+                                  std::move(merged));
+#ifndef NDEBUG
+      CheckSortedDictInvariants(main);
+#endif
     } else if (type.id == TypeId::kDouble) {
       for (size_t r = 0; r < delta_rows; ++r) {
         main.doubles.push_back(delta.IsNull(r) ? 0.0 : delta.doubles()[r]);
@@ -157,7 +212,12 @@ void Table::MergeDelta() {
 }
 
 ColumnData Table::ScanColumn(size_t column_index) const {
-  return ScanColumnRange(column_index, 0, NumRows());
+  // The convenience full-column API stays eager: callers outside the
+  // executor (tests, verifiers, the reference interpreter) read strings()
+  // directly.
+  ColumnData out = ScanColumnRange(column_index, 0, NumRows());
+  out.EnsureDecoded();
+  return out;
 }
 
 ColumnData Table::ScanColumnRange(size_t column_index, size_t row_begin,
@@ -166,6 +226,45 @@ ColumnData Table::ScanColumnRange(size_t column_index, size_t row_begin,
   VDM_CHECK(row_begin <= row_end && row_end <= NumRows());
   const DataType& type = schema_.column(column_index).type;
   const MainColumn& main = main_[column_index];
+  // A string range entirely inside the main fragment stays compressed: a
+  // lazy column carrying the shared dictionary plus per-row codes.
+  // kNullCode bit-casts to the annotation's -1 NULL code, so the copy is
+  // a straight memcpy.
+  if (type.id == TypeId::kString && row_end <= main_rows_) {
+    static_assert(static_cast<int32_t>(MainColumn::kNullCode) == -1);
+    std::vector<int32_t> codes(row_end - row_begin);
+    if (!codes.empty()) {
+      std::memcpy(codes.data(), main.codes.data() + row_begin,
+                  codes.size() * sizeof(int32_t));
+    }
+    return ColumnData::LazyStrings(type, main.dictionary, std::move(codes));
+  }
+  // Numeric ranges inside the main fragment bulk-copy the raw arrays: the
+  // main fragment stores 0 at NULL positions, so values + validity
+  // subranges transfer verbatim (no per-row branching).
+  if (type.id != TypeId::kString && row_end <= main_rows_) {
+    const size_t count = row_end - row_begin;
+    std::vector<uint8_t> validity;
+    if (!main.validity.empty()) {
+      validity.assign(main.validity.begin() + static_cast<ptrdiff_t>(row_begin),
+                      main.validity.begin() + static_cast<ptrdiff_t>(row_end));
+    }
+    if (type.id == TypeId::kDouble) {
+      std::vector<double> vals(count);
+      if (count > 0) {
+        std::memcpy(vals.data(), main.doubles.data() + row_begin,
+                    count * sizeof(double));
+      }
+      return ColumnData::TakeDoubles(type, std::move(vals),
+                                     std::move(validity));
+    }
+    std::vector<int64_t> vals(count);
+    if (count > 0) {
+      std::memcpy(vals.data(), main.ints.data() + row_begin,
+                  count * sizeof(int64_t));
+    }
+    return ColumnData::TakeInts(type, std::move(vals), std::move(validity));
+  }
   ColumnData out(type);
   out.Reserve(row_end - row_begin);
   // Decode the main-fragment part of the range.
@@ -203,20 +302,6 @@ ColumnData Table::ScanColumnRange(size_t column_index, size_t row_begin,
   size_t delta_end = row_end > main_rows_ ? row_end - main_rows_ : 0;
   for (size_t r = delta_begin; r < delta_end; ++r) {
     out.AppendFrom(delta, r);
-  }
-  // A string range entirely inside the main fragment carries the fragment
-  // dictionary, enabling code-based joins/grouping downstream.
-  if (type.id == TypeId::kString && row_end <= main_rows_ &&
-      main.dictionary != nullptr) {
-    std::vector<int32_t> codes;
-    codes.reserve(row_end - row_begin);
-    for (size_t r = row_begin; r < row_end; ++r) {
-      uint32_t code = main.codes[r];
-      codes.push_back(code == MainColumn::kNullCode
-                          ? -1
-                          : static_cast<int32_t>(code));
-    }
-    out.SetDictionary(main.dictionary, std::move(codes));
   }
   return out;
 }

@@ -27,10 +27,14 @@ namespace vdm {
 /// integer-backed and double columns are stored as plain vectors.
 struct MainColumn {
   // For string columns: dictionary + codes (code kNullCode = NULL). The
-  // dictionary is behind a shared_ptr so scans can annotate the columns
-  // they materialize with it (ColumnData::SetDictionary); MergeDelta
-  // re-encodes into a *new* vector, so outstanding annotations keep a
-  // consistent snapshot.
+  // dictionary is *sorted and duplicate-free* (order-preserving encoding,
+  // DESIGN.md §13): code order equals byte-lexicographic string order, so
+  // equality predicates lower to one code compare and range / LIKE-prefix
+  // predicates to a code-interval test. It is behind a shared_ptr so scans
+  // can annotate the columns they materialize with it
+  // (ColumnData::SetDictionary); MergeDelta re-encodes into a *new* vector,
+  // so outstanding annotations keep a consistent snapshot. Never null for
+  // string columns — empty columns share EmptyDictionary().
   static constexpr uint32_t kNullCode = 0xFFFFFFFFu;
   std::shared_ptr<const std::vector<std::string>> dictionary;
   std::vector<uint32_t> codes;
@@ -38,6 +42,11 @@ struct MainColumn {
   std::vector<int64_t> ints;
   std::vector<double> doubles;
   std::vector<uint8_t> validity;  // empty = all valid
+
+  /// The process-wide empty dictionary: all-NULL string columns share it
+  /// instead of allocating one per merge/scan.
+  static const std::shared_ptr<const std::vector<std::string>>&
+  EmptyDictionary();
 };
 
 class Table {
@@ -67,10 +76,17 @@ class Table {
 
   /// Materializes rows [row_begin, row_end) of one column — the morsel
   /// unit of the parallel executor. The range may span the main/delta
-  /// boundary. String ranges that lie entirely in the main fragment carry
-  /// the fragment dictionary as a ColumnData annotation.
+  /// boundary. String ranges that lie entirely in the main fragment come
+  /// back *lazy* (ColumnData::is_lazy): dictionary + codes only, decoded
+  /// on demand downstream (late materialization).
   ColumnData ScanColumnRange(size_t column_index, size_t row_begin,
                              size_t row_end) const;
+
+  /// Zero-copy view of one main-fragment column for the compressed
+  /// execution path. Valid until the next MergeDelta().
+  const MainColumn& main_column(size_t column_index) const {
+    return main_[column_index];
+  }
 
   /// Materializes the named columns; empty list means all columns.
   Result<Chunk> Scan(const std::vector<std::string>& column_names) const;

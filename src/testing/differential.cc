@@ -91,6 +91,10 @@ struct WorkerDbs {
       if (!corpus.ok()) return corpus.status();
       ExecOptions exec;
       exec.num_threads = e.threads;
+      // Leg 0 (1 thread, cache off) runs the generic interpreter path so
+      // every query also diffs compressed-kernel execution against the
+      // uncompressed engine, not just against the reference oracle.
+      exec.enable_compressed_exec = (i != 0);
       e.db.SetExecOptions(exec);
       if (e.cache) {
         e.db.EnablePlanCache();

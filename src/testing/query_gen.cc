@@ -279,13 +279,35 @@ std::string QueryGenerator::Predicate(const GenColumn& col) {
                        static_cast<long long>(rng_.Uniform(0, 3000)),
                        static_cast<long long>(rng_.Uniform(0, 99)));
     case GenColClass::kString: {
-      switch (rng_.Uniform(0, 2)) {
+      // Deliberately exercises the sorted-dictionary lowering edge cases:
+      // equality/inequality against values absent from any dictionary,
+      // range endpoints that fall between dictionary entries, LIKE
+      // prefixes (present, absent, bare '%'), and exact-match LIKE.
+      switch (rng_.Uniform(0, 11)) {
         case 0:
           return col.sql + " is not null";
         case 1:
+          return col.sql + " is null";
+        case 2:
           return col.sql + " > 'B'";
-        default:
+        case 3:
           return col.sql + " < 'm'";
+        case 4:
+          return col.sql + " = 'F'";  // present in some dictionaries
+        case 5:
+          return col.sql + " = 'zz#absent'";
+        case 6:
+          return col.sql + " <> 'zz#absent'";
+        case 7:
+          return col.sql + " >= 'Customer#000000001m'";  // between entries
+        case 8:
+          return col.sql + " like 'C%'";
+        case 9:
+          return col.sql + " like '%'";
+        case 10:
+          return col.sql + " like 'zq%'";  // absent prefix
+        default:
+          return col.sql + " like 'F'";  // wildcard-free LIKE = equality
       }
     }
     case GenColClass::kDate:

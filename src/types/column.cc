@@ -74,7 +74,7 @@ Value ColumnData::GetValue(size_t i) const {
     case TypeId::kDecimal:
       return Value::Decimal(ints_[i], type_.scale);
     case TypeId::kString:
-      return Value::String(strings_[i]);
+      return Value::String(StringAt(i));
     case TypeId::kDate:
       return Value::Date(ints_[i]);
   }
@@ -88,7 +88,7 @@ void ColumnData::AppendFrom(const ColumnData& other, size_t i) {
     return;
   }
   if (type_.id == TypeId::kString) {
-    AppendString(other.strings_[i]);
+    AppendString(other.StringAt(i));
   } else if (type_.id == TypeId::kDouble) {
     AppendDouble(other.doubles_[i]);
   } else {
@@ -105,6 +105,22 @@ ColumnData ColumnData::Gather(const std::vector<size_t>& row_indexes) const {
     if (out.validity_.empty()) out.validity_.assign(m, 1);
     out.validity_[i] = 0;
   };
+  if (type_.id == TypeId::kString && lazy_) {
+    // Lazy columns gather codes only; the strings stay in the dictionary.
+    for (size_t i = 0; i < m; ++i) {
+      size_t idx = row_indexes[i];
+      if (idx == kInvalidIndex || IsNull(idx)) mark_null(i);
+    }
+    out.size_ = m;
+    std::vector<int32_t> codes;
+    codes.reserve(m);
+    for (size_t idx : row_indexes) {
+      codes.push_back(idx == kInvalidIndex ? -1 : dict_codes_[idx]);
+    }
+    out.SetDictionary(dict_, std::move(codes));
+    out.lazy_ = true;
+    return out;
+  }
   if (type_.id == TypeId::kString) {
     out.strings_.resize(m);
     for (size_t i = 0; i < m; ++i) {
@@ -155,6 +171,18 @@ ColumnData ColumnData::GatherSelection(const SelectionVector& selection) const {
     if (out.validity_.empty()) out.validity_.assign(m, 1);
     out.validity_[i] = 0;
   };
+  if (type_.id == TypeId::kString && lazy_) {
+    for (size_t i = 0; i < m; ++i) {
+      if (IsNull(selection[i])) mark_null(i);
+    }
+    out.size_ = m;
+    std::vector<int32_t> codes;
+    codes.reserve(m);
+    for (uint32_t idx : selection) codes.push_back(dict_codes_[idx]);
+    out.SetDictionary(dict_, std::move(codes));
+    out.lazy_ = true;
+    return out;
+  }
   if (type_.id == TypeId::kString) {
     out.strings_.resize(m);
     for (size_t i = 0; i < m; ++i) {
@@ -198,6 +226,23 @@ ColumnData ColumnData::GatherSelection(const SelectionVector& selection) const {
 
 void ColumnData::AppendColumn(ColumnData&& other) {
   VDM_DCHECK(type_.id == other.type_.id);
+  if (size_ == 0) {
+    // Wholesale adoption keeps other's representation (including lazy);
+    // this column's declared type (e.g. decimal scale) wins.
+    const DataType t = type_;
+    const DataType ot = other.type_;
+    *this = std::move(other);
+    type_ = t;
+    other = ColumnData(ot);
+    return;
+  }
+  // Mixed lazy/eager pieces (or different dictionaries) decode first;
+  // morsels of one storage scan share a dictionary and stay lazy.
+  const bool both_lazy = lazy_ && other.lazy_ && dict_ == other.dict_;
+  if (!both_lazy) {
+    EnsureDecoded();
+    other.EnsureDecoded();
+  }
   // Dictionary annotation survives concatenation only when every piece
   // shares the same dictionary (morsels of one storage scan do).
   bool keep_dict =
@@ -235,6 +280,71 @@ void ColumnData::AppendColumn(ColumnData&& other) {
     InvalidateDict();
   }
   other = ColumnData(other.type_);
+}
+
+ColumnData ColumnData::LazyStrings(
+    DataType type, std::shared_ptr<const std::vector<std::string>> dict,
+    std::vector<int32_t> codes) {
+  VDM_DCHECK(type.id == TypeId::kString);
+  VDM_DCHECK(dict != nullptr);
+  ColumnData out(type);
+  out.size_ = codes.size();
+  bool any_null = false;
+  for (int32_t c : codes) {
+    if (c < 0) {
+      any_null = true;
+      break;
+    }
+  }
+  if (any_null) {
+    out.validity_.resize(codes.size());
+    for (size_t i = 0; i < codes.size(); ++i) {
+      out.validity_[i] = codes[i] >= 0 ? 1 : 0;
+    }
+  }
+  out.dict_ = std::move(dict);
+  out.dict_codes_ = std::move(codes);
+  out.lazy_ = true;
+  return out;
+}
+
+size_t ColumnData::EnsureDecoded() {
+  if (!lazy_) return 0;
+  strings_.resize(size_);
+  const std::vector<std::string>& d = *dict_;
+  for (size_t i = 0; i < size_; ++i) {
+    const int32_t c = dict_codes_[i];
+    if (c >= 0) strings_[i] = d[static_cast<size_t>(c)];
+  }
+  lazy_ = false;
+  return size_;
+}
+
+ColumnData ColumnData::TakeInts(DataType type, std::vector<int64_t> vals,
+                                std::vector<uint8_t> validity) {
+  VDM_DCHECK(type.IsIntegerBacked());
+  VDM_DCHECK(validity.empty() || validity.size() == vals.size());
+  ColumnData out(type);
+  out.size_ = vals.size();
+  out.ints_ = std::move(vals);
+  out.validity_ = std::move(validity);
+  return out;
+}
+
+ColumnData ColumnData::TakeDoubles(DataType type, std::vector<double> vals,
+                                   std::vector<uint8_t> validity) {
+  VDM_DCHECK(type.id == TypeId::kDouble);
+  VDM_DCHECK(validity.empty() || validity.size() == vals.size());
+  ColumnData out(type);
+  out.size_ = vals.size();
+  out.doubles_ = std::move(vals);
+  out.validity_ = std::move(validity);
+  return out;
+}
+
+const std::string& ColumnData::EmptyStringSlot() {
+  static const std::string kEmpty;
+  return kEmpty;
 }
 
 ColumnData ColumnData::Nulls(DataType type, size_t n) {

@@ -32,13 +32,32 @@ class ColumnData {
   void Reserve(size_t n);
 
   /// Raw storage accessors. Integer-backed types (bool/int64/decimal/date)
-  /// use ints(); double uses doubles(); string uses strings().
+  /// use ints(); double uses doubles(); string uses strings(). strings()
+  /// requires a decoded column — call StringAt() (or EnsureDecoded()) on
+  /// columns that may be lazy.
   std::vector<int64_t>& ints() { return ints_; }
   const std::vector<int64_t>& ints() const { return ints_; }
   std::vector<double>& doubles() { return doubles_; }
   const std::vector<double>& doubles() const { return doubles_; }
-  std::vector<std::string>& strings() { return strings_; }
-  const std::vector<std::string>& strings() const { return strings_; }
+  std::vector<std::string>& strings() {
+    VDM_DCHECK(!lazy_);
+    return strings_;
+  }
+  const std::vector<std::string>& strings() const {
+    VDM_DCHECK(!lazy_);
+    return strings_;
+  }
+
+  /// Reads one string element regardless of representation: the decoded
+  /// strings() slot, or a dictionary lookup on a lazy column. NULL rows
+  /// read as "" either way (the eager layout leaves an empty slot).
+  /// Thread-safe — never materializes.
+  const std::string& StringAt(size_t i) const {
+    VDM_DCHECK(i < size_ && type_.id == TypeId::kString);
+    if (!lazy_) return strings_[i];
+    const int32_t c = dict_codes_[i];
+    return c < 0 ? EmptyStringSlot() : (*dict_)[static_cast<size_t>(c)];
+  }
 
   bool IsNull(size_t i) const {
     VDM_DCHECK(i < size_);
@@ -107,6 +126,34 @@ class ColumnData {
   // annotation is advisory: `strings()` stays fully materialized, and
   // any mutation drops the annotation.
 
+  // -------------------------------------------------------------------
+  // Late materialization (string columns only).
+  //
+  // A *lazy* string column carries only the dictionary annotation — codes
+  // plus the shared dictionary — and leaves strings() empty. Storage scans
+  // of the compressed main fragment produce lazy columns; gathers and
+  // same-dictionary concatenations stay lazy, so strings flow through
+  // filters, joins, and LIMIT as 32-bit codes. EnsureDecoded() pays the
+  // per-row dictionary copy exactly once, for rows that survived.
+
+  bool is_lazy() const { return lazy_; }
+  /// Builds a lazy column: size/validity derive from `codes` (negative =
+  /// NULL). `dict` must be non-null.
+  static ColumnData LazyStrings(
+      DataType type, std::shared_ptr<const std::vector<std::string>> dict,
+      std::vector<int32_t> codes);
+  /// Materializes strings() on a lazy column (keeps the dictionary
+  /// annotation). Returns the number of rows decoded (0 when already
+  /// decoded — the executor's rows_decoded metric sums this).
+  size_t EnsureDecoded();
+
+  /// Wraps pre-gathered raw storage (the compressed pipeline's typed
+  /// gather kernels write flat vectors). Empty `validity` = all valid.
+  static ColumnData TakeInts(DataType type, std::vector<int64_t> vals,
+                             std::vector<uint8_t> validity = {});
+  static ColumnData TakeDoubles(DataType type, std::vector<double> vals,
+                                std::vector<uint8_t> validity = {});
+
   bool has_dict() const { return dict_ != nullptr; }
   const std::shared_ptr<const std::vector<std::string>>& dict() const {
     return dict_;
@@ -126,14 +173,19 @@ class ColumnData {
     if (validity_.empty()) validity_.assign(size_, 1);
   }
   void InvalidateDict() {
+    // Appending to a lazy column would desynchronize codes and strings;
+    // decode first (executor paths never hit this).
+    VDM_DCHECK(!lazy_);
     if (dict_ != nullptr) {
       dict_.reset();
       dict_codes_.clear();
     }
   }
+  static const std::string& EmptyStringSlot();
 
   DataType type_;
   size_t size_ = 0;
+  bool lazy_ = false;  // strings_ deferred; dict_ + dict_codes_ authoritative
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;

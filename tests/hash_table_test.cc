@@ -61,12 +61,26 @@ TEST(ChooseKeyLayoutTest, SharedDictionaryUsesCodes) {
   EXPECT_EQ(ChooseKeyLayout({&build}, {}), KeyLayout::kDict32);
 }
 
-TEST(ChooseKeyLayoutTest, DifferentDictionariesFallBack) {
+TEST(ChooseKeyLayoutTest, DifferentSortedDictionariesTranslate) {
+  // Distinct but sorted dictionaries still run on codes: the join table
+  // builds a one-time probe-code -> build-code map.
   auto d1 = std::make_shared<const std::vector<std::string>>(
       std::vector<std::string>{"x"});
   auto d2 = std::make_shared<const std::vector<std::string>>(
       std::vector<std::string>{"x"});
   ColumnData build = DictCol(d1, {0});
+  ColumnData probe = DictCol(d2, {0});
+  EXPECT_EQ(ChooseKeyLayout({&build}, {&probe}), KeyLayout::kDict32);
+}
+
+TEST(ChooseKeyLayoutTest, UnsortedDictionariesFallBack) {
+  // Code translation needs both dictionaries sorted; ad-hoc annotations
+  // that are not keep the serialized layout.
+  auto d1 = std::make_shared<const std::vector<std::string>>(
+      std::vector<std::string>{"y", "x"});
+  auto d2 = std::make_shared<const std::vector<std::string>>(
+      std::vector<std::string>{"x"});
+  ColumnData build = DictCol(d1, {0, 1});
   ColumnData probe = DictCol(d2, {0});
   EXPECT_EQ(ChooseKeyLayout({&build}, {&probe}), KeyLayout::kSerialized);
 }
@@ -125,6 +139,25 @@ TEST(JoinHashTableTest, DictCodesJoin) {
   EXPECT_EQ(ProbeAll(table, 0), (std::vector<size_t>{0, 2}));
   EXPECT_TRUE(ProbeAll(table, 1).empty());
   EXPECT_TRUE(ProbeAll(table, 2).empty());  // NULL code
+}
+
+TEST(JoinHashTableTest, TranslatedDictCodesJoin) {
+  // Build and probe sides carry different sorted dictionaries: probe
+  // codes go through the translation map. "d" exists only on the probe
+  // side (maps to -1, never matches); "a" only on the build side.
+  auto bd = std::make_shared<const std::vector<std::string>>(
+      std::vector<std::string>{"a", "b", "c"});
+  auto pd = std::make_shared<const std::vector<std::string>>(
+      std::vector<std::string>{"b", "c", "d"});
+  ColumnData build = DictCol(bd, {1, 0, 1, 2, -1});  // b a b c NULL
+  ColumnData probe = DictCol(pd, {0, 1, 2, -1});     // b c d NULL
+  JoinHashTable table({&build}, {&probe});
+  table.Build(nullptr);
+  EXPECT_EQ(table.layout(), KeyLayout::kDict32);
+  EXPECT_EQ(ProbeAll(table, 0), (std::vector<size_t>{0, 2}));  // "b"
+  EXPECT_EQ(ProbeAll(table, 1), (std::vector<size_t>{3}));     // "c"
+  EXPECT_TRUE(ProbeAll(table, 2).empty());  // "d": absent from build dict
+  EXPECT_TRUE(ProbeAll(table, 3).empty());  // NULL
 }
 
 TEST(JoinHashTableTest, PackedTwoColumnKey) {

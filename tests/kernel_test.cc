@@ -1,0 +1,348 @@
+// Differential tests for the compressed-execution kernels: every
+// dispatching entry point must agree with its scalar reference on
+// randomized inputs — including NULL codes, all-match / none-match
+// columns, varying selection densities, morsel-boundary tails
+// (length % 8 != 0), and unaligned starting offsets. When the AVX2
+// kernels are compiled in and the CPU supports them, the SIMD override
+// pins dispatch to SIMD so the comparison is real; otherwise the test
+// degenerates to scalar-vs-scalar and still checks the harness.
+#include "exec/kernels/kernels.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "types/column.h"
+
+namespace vdm {
+namespace kernels {
+namespace {
+
+class SimdOverrideGuard {
+ public:
+  explicit SimdOverrideGuard(int force) { SetSimdOverride(force); }
+  ~SimdOverrideGuard() { SetSimdOverride(-1); }
+};
+
+/// Random codes in [-1, max_code]; null_permille rows get -1 (NULL).
+std::vector<int32_t> RandomCodes(std::mt19937& rng, size_t n,
+                                 int32_t max_code, int null_permille) {
+  std::uniform_int_distribution<int32_t> code(0, max_code);
+  std::uniform_int_distribution<int> permille(0, 999);
+  std::vector<int32_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = permille(rng) < null_permille ? -1 : code(rng);
+  }
+  return out;
+}
+
+std::vector<int64_t> RandomInts(std::mt19937& rng, size_t n, int64_t lo,
+                                int64_t hi) {
+  std::uniform_int_distribution<int64_t> val(lo, hi);
+  std::vector<int64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = val(rng);
+  return out;
+}
+
+std::vector<uint8_t> RandomValidity(std::mt19937& rng, size_t n,
+                                    int null_permille) {
+  std::uniform_int_distribution<int> permille(0, 999);
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = permille(rng) < null_permille ? 0 : 1;
+  }
+  return out;
+}
+
+/// Strictly increasing selection keeping each row with probability
+/// density/1000 — the refine kernels' input shape.
+SelectionVector RandomSelection(std::mt19937& rng, size_t n, int density) {
+  std::uniform_int_distribution<int> permille(0, 999);
+  SelectionVector sel;
+  for (size_t i = 0; i < n; ++i) {
+    if (permille(rng) < density) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+// Lengths crossing every 8-lane (codes) and 4-lane (int64) boundary
+// shape, plus short inputs that never reach a full vector.
+const size_t kLengths[] = {0, 1, 3, 7, 8, 9, 15, 16, 31, 33, 100, 1021, 4096};
+// Unaligned starts: kernels must work from any base pointer.
+const size_t kOffsets[] = {0, 1, 3, 5};
+
+template <typename DispatchFn, typename ScalarFn>
+void CheckFilter(const DispatchFn& dispatch, const ScalarFn& scalar,
+                 size_t n) {
+  std::vector<uint32_t> got(n + 1, 0xABABABABu), want(n + 1, 0xABABABABu);
+  size_t kg = dispatch(got.data());
+  size_t kw = scalar(want.data());
+  ASSERT_EQ(kg, kw);
+  for (size_t i = 0; i < kg; ++i) ASSERT_EQ(got[i], want[i]) << "i=" << i;
+}
+
+TEST(KernelDispatchTest, OverrideForcesScalar) {
+  SimdOverrideGuard guard(0);
+  EXPECT_FALSE(SimdEnabled());
+}
+
+TEST(KernelDispatchTest, CompiledImpliesConsistentDispatch) {
+  // With the override at automatic, SimdEnabled() may be either value,
+  // but it must be stable across calls.
+  bool a = SimdEnabled();
+  bool b = SimdEnabled();
+  EXPECT_EQ(a, b);
+}
+
+TEST(KernelFilterTest, CodesEqNeRandomized) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(7);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      for (int null_pm : {0, 50, 1000}) {
+        std::vector<int32_t> codes = RandomCodes(rng, n + off, 12, null_pm);
+        const int32_t* base = codes.data() + off;
+        for (int32_t target : {0, 5, 12, 99}) {  // 99: none-match
+          CheckFilter(
+              [&](uint32_t* out) {
+                return FilterCodesEq(base, n, target, out);
+              },
+              [&](uint32_t* out) {
+                return scalar::FilterCodesEq(base, n, target, out);
+              },
+              n);
+          CheckFilter(
+              [&](uint32_t* out) {
+                return FilterCodesNe(base, n, target, out);
+              },
+              [&](uint32_t* out) {
+                return scalar::FilterCodesNe(base, n, target, out);
+              },
+              n);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelFilterTest, CodesRangeRandomized) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(11);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      std::vector<int32_t> codes = RandomCodes(rng, n + off, 20, 100);
+      const int32_t* base = codes.data() + off;
+      // Intervals covering all-match ([0,20]), partial, empty ([7,3]),
+      // and single-code ([9,9]) shapes.
+      const std::pair<int32_t, int32_t> ranges[] = {
+          {0, 20}, {5, 15}, {7, 3}, {9, 9}, {19, 25}};
+      for (auto [lo, hi] : ranges) {
+        CheckFilter(
+            [&](uint32_t* out) {
+              return FilterCodesRange(base, n, lo, hi, out);
+            },
+            [&](uint32_t* out) {
+              return scalar::FilterCodesRange(base, n, lo, hi, out);
+            },
+            n);
+      }
+    }
+  }
+}
+
+TEST(KernelFilterTest, CodesNullRandomized) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(13);
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      for (int null_pm : {0, 300, 1000}) {
+        std::vector<int32_t> codes = RandomCodes(rng, n + off, 6, null_pm);
+        const int32_t* base = codes.data() + off;
+        for (bool negated : {false, true}) {
+          CheckFilter(
+              [&](uint32_t* out) {
+                return FilterCodesNull(base, n, negated, out);
+              },
+              [&](uint32_t* out) {
+                return scalar::FilterCodesNull(base, n, negated, out);
+              },
+              n);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelFilterTest, Int64AllOpsRandomized) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(17);
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      std::vector<int64_t> vals = RandomInts(rng, n + off, -10, 10);
+      std::vector<uint8_t> validity = RandomValidity(rng, n + off, 100);
+      const int64_t* base = vals.data() + off;
+      const uint8_t* vbase = validity.data() + off;
+      for (CmpOp op : ops) {
+        for (int64_t lit : {-11, -3, 0, 10, 42}) {
+          for (const uint8_t* v : {static_cast<const uint8_t*>(nullptr),
+                                   vbase}) {
+            CheckFilter(
+                [&](uint32_t* out) {
+                  return FilterInt64(base, v, n, op, lit, out);
+                },
+                [&](uint32_t* out) {
+                  return scalar::FilterInt64(base, v, n, op, lit, out);
+                },
+                n);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelRefineTest, CodesRandomizedDensities) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(19);
+  for (size_t n : kLengths) {
+    for (int density : {0, 50, 500, 1000}) {
+      std::vector<int32_t> codes = RandomCodes(rng, n, 12, 100);
+      SelectionVector sel = RandomSelection(rng, n, density);
+      auto check = [&](auto refine, auto ref) {
+        SelectionVector got = sel, want = sel;
+        size_t kg = got.empty() ? refine(got.data(), size_t{0})
+                                : refine(got.data(), got.size());
+        size_t kw = want.empty() ? ref(want.data(), size_t{0})
+                                 : ref(want.data(), want.size());
+        ASSERT_EQ(kg, kw);
+        for (size_t i = 0; i < kg; ++i) ASSERT_EQ(got[i], want[i]);
+      };
+      check(
+          [&](uint32_t* s, size_t k) {
+            return RefineCodesEq(codes.data(), s, k, 5);
+          },
+          [&](uint32_t* s, size_t k) {
+            return scalar::RefineCodesEq(codes.data(), s, k, 5);
+          });
+      check(
+          [&](uint32_t* s, size_t k) {
+            return RefineCodesNe(codes.data(), s, k, 5);
+          },
+          [&](uint32_t* s, size_t k) {
+            return scalar::RefineCodesNe(codes.data(), s, k, 5);
+          });
+      check(
+          [&](uint32_t* s, size_t k) {
+            return RefineCodesRange(codes.data(), s, k, 3, 9);
+          },
+          [&](uint32_t* s, size_t k) {
+            return scalar::RefineCodesRange(codes.data(), s, k, 3, 9);
+          });
+      check(
+          [&](uint32_t* s, size_t k) {
+            return RefineCodesNull(codes.data(), s, k, true);
+          },
+          [&](uint32_t* s, size_t k) {
+            return scalar::RefineCodesNull(codes.data(), s, k, true);
+          });
+    }
+  }
+}
+
+TEST(KernelRefineTest, Int64RandomizedDensities) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(23);
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  for (size_t n : kLengths) {
+    for (int density : {50, 500, 1000}) {
+      std::vector<int64_t> vals = RandomInts(rng, n, -10, 10);
+      std::vector<uint8_t> validity = RandomValidity(rng, n, 100);
+      SelectionVector sel = RandomSelection(rng, n, density);
+      for (CmpOp op : ops) {
+        for (const uint8_t* v :
+             {static_cast<const uint8_t*>(nullptr),
+              static_cast<const uint8_t*>(validity.data())}) {
+          SelectionVector got = sel, want = sel;
+          size_t kg = RefineInt64(vals.data(), v, got.data(), got.size(),
+                                  op, 2);
+          size_t kw = scalar::RefineInt64(vals.data(), v, want.data(),
+                                          want.size(), op, 2);
+          ASSERT_EQ(kg, kw);
+          for (size_t i = 0; i < kg; ++i) ASSERT_EQ(got[i], want[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGatherTest, TypedGathersRandomized) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(29);
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    std::vector<int32_t> src32(n);
+    std::vector<int64_t> src64(n);
+    std::vector<double> srcd(n);
+    std::vector<uint8_t> srcb(n);
+    for (size_t i = 0; i < n; ++i) {
+      src32[i] = static_cast<int32_t>(rng());
+      src64[i] = static_cast<int64_t>(rng()) << 13;
+      srcd[i] = static_cast<double>(static_cast<int32_t>(rng())) / 3.0;
+      srcb[i] = static_cast<uint8_t>(rng() & 1);
+    }
+    for (int density : {50, 500, 1000}) {
+      SelectionVector sel = RandomSelection(rng, n, density);
+      size_t k = sel.size();
+      std::vector<int32_t> got32(k), want32(k);
+      std::vector<int64_t> got64(k), want64(k);
+      std::vector<double> gotd(k), wantd(k);
+      std::vector<uint8_t> gotb(k), wantb(k);
+      if (k > 0) {
+        GatherInt32(src32.data(), sel.data(), k, got32.data());
+        scalar::GatherInt32(src32.data(), sel.data(), k, want32.data());
+        GatherInt64(src64.data(), sel.data(), k, got64.data());
+        scalar::GatherInt64(src64.data(), sel.data(), k, want64.data());
+        GatherDouble(srcd.data(), sel.data(), k, gotd.data());
+        scalar::GatherDouble(srcd.data(), sel.data(), k, wantd.data());
+        GatherBytes(srcb.data(), sel.data(), k, gotb.data());
+        scalar::GatherBytes(srcb.data(), sel.data(), k, wantb.data());
+      }
+      EXPECT_EQ(got32, want32);
+      EXPECT_EQ(got64, want64);
+      EXPECT_EQ(gotd, wantd);
+      EXPECT_EQ(gotb, wantb);
+    }
+  }
+}
+
+TEST(KernelFilterTest, Int64ExtremesMatchScalar) {
+  // INT64_MIN/MAX literals exercise the sign-flip paths of the 64-bit
+  // comparators.
+  SimdOverrideGuard guard(1);
+  std::vector<int64_t> vals = {INT64_MIN, -1, 0, 1, INT64_MAX,
+                               INT64_MIN + 1, INT64_MAX - 1, 7, -7, 100};
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  for (CmpOp op : ops) {
+    for (int64_t lit : {INT64_MIN, int64_t{0}, INT64_MAX}) {
+      CheckFilter(
+          [&](uint32_t* out) {
+            return FilterInt64(vals.data(), nullptr, vals.size(), op, lit,
+                               out);
+          },
+          [&](uint32_t* out) {
+            return scalar::FilterInt64(vals.data(), nullptr, vals.size(),
+                                       op, lit, out);
+          },
+          vals.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace vdm

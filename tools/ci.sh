@@ -29,6 +29,12 @@ run_sanitizer() {
   echo "== ${san}: paper-query + property tests, VDM_PLAN_CACHE=1 =="
   VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
       -R 'paper_queries_test|property_random_test|plan_cache_test'
+  # Third pass with the SIMD kernels forced off: the exec / kernel /
+  # paper-query suites must be byte-identical through the scalar
+  # reference kernels (the default run above covers SIMD-on dispatch).
+  echo "== ${san}: exec + kernel + paper-query tests, VDM_SIMD=0 =="
+  VDM_SIMD=0 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      -R 'exec_test|exec_parallel_test|kernel_test|paper_queries_test|property_random_test'
   echo "== ${san}: all tests passed =="
 }
 
@@ -42,10 +48,10 @@ run_thread_sanitizer() {
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DVDMQO_SANITIZE=thread >/dev/null
   cmake --build "${dir}" -j "${JOBS}" \
-        --target exec_test exec_parallel_test hash_table_test plan_cache_test \
-                 governor_test
+        --target exec_test exec_parallel_test hash_table_test kernel_test \
+                 plan_cache_test governor_test
   VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-      -R 'exec_test|exec_parallel_test|hash_table_test|plan_cache_test|governor_test'
+      -R 'exec_test|exec_parallel_test|hash_table_test|kernel_test|plan_cache_test|governor_test'
   echo "== thread: executor + plan cache + governor tests passed =="
 }
 

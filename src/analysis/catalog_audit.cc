@@ -17,6 +17,8 @@ namespace {
 
 constexpr const char* kRuleRemovableJoin = "removable-join";
 constexpr const char* kRuleContradictedCardinality = "contradicted-cardinality";
+constexpr const char* kRuleStatsContradictedCardinality =
+    "stats-contradicted-cardinality";
 constexpr const char* kRuleDecimalNarrowing = "decimal-scale-narrowing";
 constexpr const char* kRuleDeadView = "dead-view";
 
@@ -206,6 +208,74 @@ void CheckDeclaredCardinalities(ViewAudit& a) {
   });
 }
 
+// --- stats-contradicted-cardinality -----------------------------------------
+
+/// A declared to-one join whose right side resolves to an analyzed base
+/// table where the collected statistics contradict the declaration: the
+/// product of the right join columns' distinct counts is smaller than the
+/// table's non-NULL row count, so on average more than one right row
+/// matches a probing key. The static rule above catches contradictions the
+/// plan alone proves; this one catches declarations the loaded data
+/// disproves (§7.3 cardinalities are trusted but unenforced).
+void CheckStatsCardinalities(ViewAudit& a) {
+  WalkPlan(a.plan, [&](const PlanRef& node) {
+    if (node->kind() != OpKind::kJoin) return;
+    const auto& join = static_cast<const JoinOp&>(*node);
+    DeclaredCardinality card = join.declared_cardinality();
+    if (card == DeclaredCardinality::kNone) return;
+    std::optional<SimpleRelation> rel = ExtractSimpleRelation(join.right());
+    // Filters below the join change the effective row and distinct counts;
+    // only the unfiltered base-table case is judged against whole-table
+    // statistics.
+    if (!rel.has_value() || !rel->base_preds.empty()) return;
+    const std::string table = ToLower(rel->scan->table_name());
+    const TableStats* stats = a.catalog->FindTableStats(table);
+    const TableSchema* schema = a.catalog->FindTable(table);
+    if (stats == nullptr || schema == nullptr || stats->row_count == 0) return;
+
+    std::vector<std::string> rn = join.right()->OutputNames();
+    std::set<std::string> right_set(rn.begin(), rn.end());
+    std::string cond = join.condition() ? join.condition()->ToString() : "";
+    double distinct_product = 1.0;
+    double nonnull_rows = static_cast<double>(stats->row_count);
+    bool any_key = false;
+    for (const ExprRef& conjunct : SplitConjuncts(join.condition())) {
+      std::optional<ColumnPair> pair = MatchColumnEqColumn(conjunct);
+      if (!pair.has_value()) continue;
+      std::string r;
+      if (right_set.count(pair->left) > 0) {
+        r = pair->left;
+      } else if (right_set.count(pair->right) > 0) {
+        r = pair->right;
+      } else {
+        continue;
+      }
+      auto base = rel->out_to_base.find(r);
+      if (base == rel->out_to_base.end()) return;  // literal or computed
+      int idx = schema->FindColumn(base->second);
+      if (idx < 0) return;
+      const ColumnStatsEntry* entry = stats->Column(static_cast<size_t>(idx));
+      if (entry == nullptr || entry->distinct_count == 0) return;  // unknown
+      any_key = true;
+      distinct_product *= static_cast<double>(entry->distinct_count);
+      nonnull_rows *= 1.0 - entry->null_fraction;
+    }
+    // A margin absorbs the multi-column independence approximation; real
+    // contradictions (duplicate keys) undershoot far below it.
+    if (!any_key || distinct_product >= nonnull_rows * 0.99) return;
+    const char* card_name =
+        card == DeclaredCardinality::kExactOne ? "exact-one" : "at-most-one";
+    a.Emit(kRuleStatsContradictedCardinality, AuditSeverity::kWarning,
+           StrFormat("join (on %s) declares %s cardinality, but collected "
+                     "statistics for '%s' show ~%.1f rows per join key "
+                     "(%.0f non-NULL rows over %.0f distinct key values)",
+                     cond.c_str(), card_name, table.c_str(),
+                     nonnull_rows / distinct_product, nonnull_rows,
+                     distinct_product),
+           {table, cond});
+  });
+}
+
 // --- decimal-scale-narrowing ------------------------------------------------
 
 void ScanRoundCalls(ViewAudit& a, const ExprRef& expr,
@@ -364,6 +434,9 @@ constexpr RuleDoc kRuleDocs[] = {
     {"contradicted-cardinality",
      "A declared to-one join cardinality (paper section 7.3) the plan "
      "statically contradicts."},
+    {"stats-contradicted-cardinality",
+     "A declared to-one join cardinality (paper section 7.3) the collected "
+     "table statistics contradict: more than one right row per join key."},
     {"decimal-scale-narrowing",
      "round(col, s) over a decimal column with declared scale greater than "
      "s: silent precision loss."},
@@ -428,6 +501,7 @@ Result<CatalogAuditReport> AuditCatalog(const Catalog& catalog,
     audit.findings = &report.findings;
     CheckRemovableJoins(audit);
     CheckDeclaredCardinalities(audit);
+    CheckStatsCardinalities(audit);
     CheckDecimalNarrowing(audit);
     CheckDeadView(audit);
   }

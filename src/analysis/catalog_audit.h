@@ -10,6 +10,11 @@
 //                       plan statically contradicts (empty right side,
 //                       nullable join column under exact-one, or no join
 //                       equality restricting a multi-row right side);
+//  * stats-contradicted-cardinality — a declared to-one cardinality the
+//                       collected table statistics contradict: the right
+//                       join columns' distinct counts multiply to fewer
+//                       than the table's non-NULL rows, i.e. the data
+//                       holds duplicate join keys;
 //  * decimal-scale-narrowing  — round(col, s) over a decimal column whose
 //                       declared scale exceeds s (silent precision loss,
 //                       §7.1 allow_precision_loss territory);
@@ -45,7 +50,8 @@ std::optional<AuditSeverity> ParseAuditSeverity(const std::string& name);
 
 struct AuditFinding {
   /// Stable rule id: "removable-join", "contradicted-cardinality",
-  /// "decimal-scale-narrowing", "dead-view".
+  /// "stats-contradicted-cardinality", "decimal-scale-narrowing",
+  /// "dead-view".
   std::string rule;
   AuditSeverity severity = AuditSeverity::kNote;
   std::string view;

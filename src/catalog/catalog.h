@@ -77,10 +77,33 @@ struct ViewDef {
   const AssociationDef* FindAssociation(const std::string& assoc_name) const;
 };
 
-/// Basic per-table statistics for cost-based decisions (join ordering,
-/// build-side selection). Collected by Database::AnalyzeTables().
+/// Per-column statistics for cardinality estimation. Distinct counts for
+/// string columns come straight from the sorted main dictionary (free to
+/// maintain — DESIGN.md §14); min/max apply to integer-backed columns
+/// (ints, decimals, dates) only.
+struct ColumnStatsEntry {
+  /// Distinct non-NULL values; 0 = unknown / never collected.
+  uint64_t distinct_count = 0;
+  /// Fraction of rows with a NULL value, in [0, 1].
+  double null_fraction = 0.0;
+  /// Value range for integer-backed columns (raw stored representation,
+  /// i.e. scaled decimals / day numbers). Meaningless when !has_minmax.
+  bool has_minmax = false;
+  int64_t min_i64 = 0;
+  int64_t max_i64 = 0;
+};
+
+/// Per-table statistics for cost-based decisions (join ordering,
+/// build-side selection, serial-vs-parallel execution). Collected by
+/// Database::AnalyzeTables(); `columns` is schema-parallel and may be
+/// empty when only row counts were gathered (VDM_STATS=0).
 struct TableStats {
   uint64_t row_count = 0;
+  std::vector<ColumnStatsEntry> columns;
+
+  const ColumnStatsEntry* Column(size_t idx) const {
+    return idx < columns.size() ? &columns[idx] : nullptr;
+  }
 };
 
 class Catalog {

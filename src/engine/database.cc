@@ -5,6 +5,8 @@
 
 #include "analysis/plan_verifier.h"
 #include "analysis/rewrite_auditor.h"
+#include "analysis/stats/cardinality.h"
+#include "analysis/stats/table_stats.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "expr/eval.h"
@@ -30,6 +32,12 @@ int64_t EnvInt64(const char* name, int64_t fallback) {
   return std::strtoll(env, nullptr, 10);
 }
 
+/// Estimated total plan cost (abstract row-touch units) below which a
+/// query runs serially even when a worker pool is available: morsel
+/// fan-out overhead exceeds the work. Results are byte-identical either
+/// way, so this is purely a latency decision.
+constexpr double kSerialCostThreshold = 50000.0;
+
 }  // namespace
 
 Database::Database()
@@ -53,10 +61,26 @@ Database::Database()
   if (max_concurrent > 0) {
     max_concurrent_ = static_cast<size_t>(max_concurrent);
   }
+  stats_enabled_ = EnvInt64("VDM_STATS", 1) != 0;
+  ApplyEnvOverrides();
+}
+
+void Database::ApplyEnvOverrides() {
+  // VDM_JOIN_REORDER=0 pins the view-text join order (the pre-§14
+  // behavior) regardless of profile; =1 forces reordering on. Applied to
+  // profile-derived configs only — an explicit SetOptimizerConfig is the
+  // caller's exact intent and is left alone.
+  if (const char* env = std::getenv("VDM_JOIN_REORDER")) {
+    if (env[0] != '\0') {
+      optimizer_config_.join_reordering = std::string(env) != "0";
+    }
+  }
+  config_fingerprint_ = FingerprintConfig(optimizer_config_);
 }
 
 void Database::SetProfile(SystemProfile profile) {
   optimizer_config_ = ConfigForProfile(profile);
+  ApplyEnvOverrides();
   OnOptimizerConfigChanged();
 }
 
@@ -428,6 +452,19 @@ Result<Chunk> Database::ExecutePlan(const PlanRef& plan, ExecMetrics* metrics,
   size_t threads = exec_options_.num_threads == 0
                        ? ThreadPool::DefaultThreads()
                        : exec_options_.num_threads;
+  if (exec_options_.num_threads == 0 && threads > 1) {
+    // Cost-based degree of parallelism (§14): when the caller left the
+    // thread count automatic, small plans skip the pool — morsel fan-out
+    // overhead exceeds the estimated work. Results are byte-identical
+    // either way. An explicit num_threads setting is always honored.
+    CardinalityOptions copt;
+    copt.use_inference = false;
+    CardinalityEstimator estimator(&catalog_, copt);
+    PlanEstimates estimates;
+    if (estimator.Annotate(plan, &estimates).cost < kSerialCostThreshold) {
+      threads = 1;
+    }
+  }
   if (threads > 1 && exec_pool_ == nullptr) {
     exec_pool_ = std::make_unique<ThreadPool>(threads);
   }
@@ -462,7 +499,17 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
                        GovernedExecute(plan, default_limits_, &metrics,
                                        /*ctx=*/nullptr));
   timing.execute_ns = NowNs() - start;
-  std::string out = PrintPlan(plan);
+  // Annotate the rendered plan with per-operator cardinality/cost
+  // estimates (§14) so estimation errors are visible next to the actual
+  // timings below.
+  PlanEstimates estimates;
+  {
+    CardinalityOptions copt;
+    copt.use_inference = false;
+    CardinalityEstimator estimator(&catalog_, copt);
+    estimator.Annotate(plan, &estimates);
+  }
+  std::string out = PrintPlan(plan, &estimates);
   auto ms = [](int64_t ns) { return static_cast<double>(ns) / 1e6; };
   out += "-- explain analyze --\n";
   out += StrFormat("plan cache: %s\n",
@@ -660,7 +707,8 @@ void Database::AnalyzeTables() {
   for (const std::string& name : catalog_.TableNames()) {
     const Table* t = storage_.FindTable(name);
     if (t != nullptr) {
-      catalog_.SetTableStats(name, TableStats{t->NumRows()});
+      catalog_.SetTableStats(name, stats_enabled_ ? CollectTableStats(*t)
+                                                  : CollectRowCountOnly(*t));
     }
   }
 }

@@ -200,8 +200,10 @@ class Database {
   /// and refreshes table statistics.
   void MergeAllDeltas();
 
-  /// Refreshes catalog row-count statistics from storage (the ANALYZE
-  /// equivalent; feeds join ordering).
+  /// Refreshes catalog table statistics from storage (the ANALYZE
+  /// equivalent; feeds join ordering and cardinality estimation). Full
+  /// per-column statistics by default; VDM_STATS=0 degrades to row counts
+  /// only. Bumps the catalog version, invalidating cached plans.
   void AnalyzeTables();
 
  private:
@@ -216,6 +218,11 @@ class Database {
   /// Recomputes the config fingerprint, clears the plan cache, and drops
   /// the hoisted optimizer. Called whenever optimizer_config_ changes.
   void OnOptimizerConfigChanged();
+
+  /// Applies environment overrides (VDM_JOIN_REORDER) to the current
+  /// profile-derived optimizer config. Called from the constructor and
+  /// SetProfile — not from SetOptimizerConfig, which is taken verbatim.
+  void ApplyEnvOverrides();
 
   /// True when this statement may use the plan cache at all (cache enabled
   /// and no per-query verification/fault-injection mode active).
@@ -246,6 +253,9 @@ class Database {
   mutable std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<PlanCache> plan_cache_;
   bool plan_cache_enabled_ = false;
+  // Full per-column statistics collection in AnalyzeTables (VDM_STATS;
+  // off = row counts only, the pre-§14 behavior).
+  bool stats_enabled_ = true;
   uint64_t config_fingerprint_ = 0;
   // Governor state. The admission gate (VDM_MAX_CONCURRENT; 0 = open)
   // bounds concurrent GovernedExecute calls; excess queries queue up to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -94,6 +95,7 @@ struct LoweredPred {
     kCodeNe,     // non-NULL and code != code
     kCodeRange,  // lo <= code <= hi (inclusive; never matches NULL)
     kCodeNull,   // IS [NOT] NULL via the code sign bit
+    kCodeSet,    // code in a union of intervals, optionally matching NULL
     kInt64Cmp,   // raw int64 compare against a literal
     kNever,      // statically false (literal absent from the dictionary)
   };
@@ -105,6 +107,11 @@ struct LoweredPred {
   bool negated = false;    // kCodeNull: true = IS NOT NULL
   kernels::CmpOp cmp = kernels::CmpOp::kEq;  // kInt64Cmp
   int64_t literal = 0;                       // kInt64Cmp
+  // kCodeSet: parallel inclusive bounds, sorted and disjoint; the lowered
+  // form of OR / NOT LIKE trees over one string column.
+  std::vector<int32_t> set_lo;
+  std::vector<int32_t> set_hi;
+  bool match_null = false;  // kCodeSet: NULL codes match too
 };
 
 /// The bottom Filter run of a pipeline, compiled once per RunPipeline.
@@ -232,6 +239,335 @@ void LowerStringCompare(BinaryOpKind op, size_t schema_idx,
   out->push_back(p);
 }
 
+// ---------------------------------------------------------------------------
+// Whole-tree lowering of boolean expressions over one string column
+// (DESIGN.md §13): OR-disjunctions, NOT LIKE, and arbitrary NOT/AND/OR
+// combinations of string comparisons reduce to a union of dictionary-code
+// intervals plus the tri-state value the tree takes on a NULL input. For a
+// non-NULL code every leaf below is definitely true or false, so AND/OR on
+// the value side are plain set intersection/union; only the NULL side needs
+// Kleene logic, and under a WHERE conjunct NULL collapses to false.
+
+enum class TriState : uint8_t { kFalse, kTrue, kNull };
+
+TriState Not3(TriState a) {
+  if (a == TriState::kNull) return TriState::kNull;
+  return a == TriState::kTrue ? TriState::kFalse : TriState::kTrue;
+}
+
+TriState And3(TriState a, TriState b) {
+  if (a == TriState::kFalse || b == TriState::kFalse) return TriState::kFalse;
+  if (a == TriState::kTrue && b == TriState::kTrue) return TriState::kTrue;
+  return TriState::kNull;
+}
+
+TriState Or3(TriState a, TriState b) {
+  if (a == TriState::kTrue || b == TriState::kTrue) return TriState::kTrue;
+  if (a == TriState::kFalse && b == TriState::kFalse) return TriState::kFalse;
+  return TriState::kNull;
+}
+
+/// Result of evaluating a predicate tree per dictionary code: the codes it
+/// matches (sorted, disjoint, inclusive intervals) and its tri-state result
+/// when the column value is NULL.
+struct CodeSet {
+  std::vector<std::pair<int32_t, int32_t>> intervals;
+  TriState on_null = TriState::kNull;
+};
+
+/// Coalesces a sorted interval list in place (overlapping or adjacent
+/// integer intervals merge: [0,2] ∪ [3,5] = [0,5]).
+void CoalesceIntervals(std::vector<std::pair<int32_t, int32_t>>* ivs) {
+  size_t m = 0;
+  for (size_t i = 0; i < ivs->size(); ++i) {
+    if (m > 0 && (*ivs)[i].first <= (*ivs)[m - 1].second + 1) {
+      (*ivs)[m - 1].second = std::max((*ivs)[m - 1].second, (*ivs)[i].second);
+    } else {
+      (*ivs)[m++] = (*ivs)[i];
+    }
+  }
+  ivs->resize(m);
+}
+
+std::vector<std::pair<int32_t, int32_t>> UnionIntervals(
+    const std::vector<std::pair<int32_t, int32_t>>& a,
+    const std::vector<std::pair<int32_t, int32_t>>& b) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  CoalesceIntervals(&out);
+  return out;
+}
+
+std::vector<std::pair<int32_t, int32_t>> IntersectIntervals(
+    const std::vector<std::pair<int32_t, int32_t>>& a,
+    const std::vector<std::pair<int32_t, int32_t>>& b) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int32_t lo = std::max(a[i].first, b[j].first);
+    const int32_t hi = std::min(a[i].second, b[j].second);
+    if (lo <= hi) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Complement within the code domain [0, size-1].
+std::vector<std::pair<int32_t, int32_t>> ComplementIntervals(
+    const std::vector<std::pair<int32_t, int32_t>>& a, int32_t size) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  int32_t next = 0;
+  for (const auto& iv : a) {
+    if (iv.first > next) out.emplace_back(next, iv.first - 1);
+    next = iv.second + 1;
+  }
+  if (next <= size - 1) out.emplace_back(next, size - 1);
+  return out;
+}
+
+/// Interval form of `<col> <cmp> <literal>` against the sorted dictionary —
+/// the CodeSet twin of LowerStringCompare, same case analysis.
+void CompareToIntervals(BinaryOpKind op,
+                        const std::vector<std::string>& dict,
+                        const std::string& s, CodeSet* set) {
+  set->on_null = TriState::kNull;
+  const int32_t size = static_cast<int32_t>(dict.size());
+  const int32_t lb = static_cast<int32_t>(
+      std::lower_bound(dict.begin(), dict.end(), s) - dict.begin());
+  const bool present = lb < size && dict[static_cast<size_t>(lb)] == s;
+  const int32_t ub = present ? lb + 1 : lb;
+  int32_t lo = 0;
+  int32_t hi = -1;
+  switch (op) {
+    case BinaryOpKind::kEq:
+      if (present) {
+        lo = lb;
+        hi = lb;
+      }
+      break;
+    case BinaryOpKind::kNotEq:
+      if (present) {
+        if (lb > 0) set->intervals.emplace_back(0, lb - 1);
+        if (lb + 1 <= size - 1) set->intervals.emplace_back(lb + 1, size - 1);
+        return;
+      }
+      lo = 0;
+      hi = size - 1;
+      break;
+    case BinaryOpKind::kLess:
+      lo = 0;
+      hi = lb - 1;
+      break;
+    case BinaryOpKind::kLessEq:
+      lo = 0;
+      hi = ub - 1;
+      break;
+    case BinaryOpKind::kGreater:
+      lo = ub;
+      hi = size - 1;
+      break;
+    default:  // kGreaterEq
+      lo = lb;
+      hi = size - 1;
+      break;
+  }
+  if (lo <= hi) set->intervals.emplace_back(lo, hi);
+}
+
+/// Resolves a leaf's column reference: must be a scan column of string
+/// type, and every leaf in the tree must name the same column.
+bool ResolveTreeColumn(const ColumnRefExpr* col, const ScanOp& scan,
+                       const Table& table, int* col_idx) {
+  if (col == nullptr) return false;
+  const int idx = FindScanColumn(scan, col->name());
+  if (idx < 0) return false;
+  if (table.schema().column(static_cast<size_t>(idx)).type.id !=
+      TypeId::kString) {
+    return false;
+  }
+  if (*col_idx >= 0 && *col_idx != idx) return false;
+  *col_idx = idx;
+  return true;
+}
+
+/// Recursively lowers a boolean tree to a CodeSet. Returns false when any
+/// node falls outside the supported shape (the conjunct then stays in the
+/// residual). `*col_idx` starts at -1 and is pinned by the first leaf.
+bool BuildCodeSet(const ExprRef& e, const ScanOp& scan, const Table& table,
+                  int* col_idx, CodeSet* set) {
+  if (e->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*e);
+    if (bin.op() == BinaryOpKind::kAnd || bin.op() == BinaryOpKind::kOr) {
+      CodeSet lhs;
+      CodeSet rhs;
+      if (!BuildCodeSet(bin.left(), scan, table, col_idx, &lhs) ||
+          !BuildCodeSet(bin.right(), scan, table, col_idx, &rhs)) {
+        return false;
+      }
+      if (bin.op() == BinaryOpKind::kAnd) {
+        set->intervals = IntersectIntervals(lhs.intervals, rhs.intervals);
+        set->on_null = And3(lhs.on_null, rhs.on_null);
+      } else {
+        set->intervals = UnionIntervals(lhs.intervals, rhs.intervals);
+        set->on_null = Or3(lhs.on_null, rhs.on_null);
+      }
+      return true;
+    }
+    if (!IsComparisonOp(bin.op())) return false;
+    const ColumnRefExpr* col = AsColumnRef(bin.left());
+    const LiteralExpr* lit = AsLiteral(bin.right());
+    BinaryOpKind op = bin.op();
+    if (col == nullptr) {
+      col = AsColumnRef(bin.right());
+      lit = AsLiteral(bin.left());
+      op = FlipComparison(op);
+    }
+    if (lit == nullptr || lit->value().is_null() ||
+        lit->value().type().id != TypeId::kString) {
+      return false;
+    }
+    if (!ResolveTreeColumn(col, scan, table, col_idx)) return false;
+    CompareToIntervals(
+        op, *table.main_column(static_cast<size_t>(*col_idx)).dictionary,
+        lit->value().AsString(), set);
+    return true;
+  }
+  if (e->kind() == ExprKind::kUnary) {
+    const auto& un = static_cast<const UnaryExpr&>(*e);
+    if (un.op() != UnaryOpKind::kNot) return false;
+    CodeSet inner;
+    if (!BuildCodeSet(un.operand(), scan, table, col_idx, &inner)) {
+      return false;
+    }
+    const int32_t size = static_cast<int32_t>(
+        table.main_column(static_cast<size_t>(*col_idx)).dictionary->size());
+    set->intervals = ComplementIntervals(inner.intervals, size);
+    set->on_null = Not3(inner.on_null);
+    return true;
+  }
+  if (e->kind() == ExprKind::kIsNull) {
+    const auto& isn = static_cast<const IsNullExpr&>(*e);
+    if (!ResolveTreeColumn(AsColumnRef(isn.operand()), scan, table, col_idx)) {
+      return false;
+    }
+    const int32_t size = static_cast<int32_t>(
+        table.main_column(static_cast<size_t>(*col_idx)).dictionary->size());
+    if (isn.negated()) {
+      if (size > 0) set->intervals.emplace_back(0, size - 1);
+      set->on_null = TriState::kFalse;
+    } else {
+      set->on_null = TriState::kTrue;
+    }
+    return true;
+  }
+  if (e->kind() == ExprKind::kFunction) {
+    const auto& fn = static_cast<const FunctionExpr&>(*e);
+    if (fn.name() != "like" || fn.children().size() != 2) return false;
+    const LiteralExpr* lit = AsLiteral(fn.children()[1]);
+    if (lit == nullptr || lit->value().is_null() ||
+        lit->value().type().id != TypeId::kString) {
+      return false;
+    }
+    if (!ResolveTreeColumn(AsColumnRef(fn.children()[0]), scan, table,
+                           col_idx)) {
+      return false;
+    }
+    const auto& dict =
+        *table.main_column(static_cast<size_t>(*col_idx)).dictionary;
+    const int32_t size = static_cast<int32_t>(dict.size());
+    const std::string& pat = lit->value().AsString();
+    const size_t wild = pat.find_first_of("%_");
+    set->on_null = TriState::kNull;
+    if (wild == std::string::npos) {
+      CompareToIntervals(BinaryOpKind::kEq, dict, pat, set);
+      return true;
+    }
+    if (wild != pat.size() - 1 || pat.back() != '%') return false;
+    const std::string prefix = pat.substr(0, pat.size() - 1);
+    if (prefix.empty()) {
+      // `x LIKE '%'`: every non-NULL value.
+      if (size > 0) set->intervals.emplace_back(0, size - 1);
+      return true;
+    }
+    auto begin_it = std::lower_bound(dict.begin(), dict.end(), prefix);
+    auto end_it = std::partition_point(
+        begin_it, dict.end(), [&](const std::string& s) {
+          return s.compare(0, prefix.size(), prefix) == 0;
+        });
+    if (begin_it != end_it) {
+      set->intervals.emplace_back(
+          static_cast<int32_t>(begin_it - dict.begin()),
+          static_cast<int32_t>(end_it - dict.begin()) - 1);
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Lowers a whole boolean tree over one string column to a single kernel
+/// predicate. Under a WHERE conjunct NULL collapses to false, so the
+/// CodeSet's NULL side contributes matches only when definitely true.
+/// Degenerate sets normalize to the cheaper single-predicate kinds.
+bool LowerStringTree(const ExprRef& e, const ScanOp& scan, const Table& table,
+                     std::vector<LoweredPred>* out) {
+  int col_idx = -1;
+  CodeSet set;
+  if (!BuildCodeSet(e, scan, table, &col_idx, &set) || col_idx < 0) {
+    return false;
+  }
+  const int32_t size = static_cast<int32_t>(
+      table.main_column(static_cast<size_t>(col_idx)).dictionary->size());
+  const bool match_null = set.on_null == TriState::kTrue;
+  LoweredPred p;
+  p.schema_idx = static_cast<size_t>(col_idx);
+  if (set.intervals.empty()) {
+    if (match_null) {
+      p.kind = LoweredPred::Kind::kCodeNull;  // NULL rows only
+    } else {
+      p.kind = LoweredPred::Kind::kNever;
+    }
+    out->push_back(p);
+    return true;
+  }
+  const bool full = set.intervals.size() == 1 && set.intervals[0].first == 0 &&
+                    set.intervals[0].second == size - 1;
+  if (full) {
+    if (match_null) return true;  // tautology over this column: no predicate
+    p.kind = LoweredPred::Kind::kCodeNull;
+    p.negated = true;  // every non-NULL row
+    out->push_back(p);
+    return true;
+  }
+  if (set.intervals.size() == 1 && !match_null) {
+    if (set.intervals[0].first == set.intervals[0].second) {
+      p.kind = LoweredPred::Kind::kCodeEq;
+      p.code = set.intervals[0].first;
+    } else {
+      p.kind = LoweredPred::Kind::kCodeRange;
+      p.lo = set.intervals[0].first;
+      p.hi = set.intervals[0].second;
+    }
+    out->push_back(p);
+    return true;
+  }
+  p.kind = LoweredPred::Kind::kCodeSet;
+  p.match_null = match_null;
+  p.set_lo.reserve(set.intervals.size());
+  p.set_hi.reserve(set.intervals.size());
+  for (const auto& iv : set.intervals) {
+    p.set_lo.push_back(iv.first);
+    p.set_hi.push_back(iv.second);
+  }
+  out->push_back(p);
+  return true;
+}
+
 /// Attempts to lower one conjunct to a kernel predicate. Returns false to
 /// leave it in the residual. Lowering must be *exactly* EvalBinary's
 /// semantics (expr/eval.cc), so only the cases that cannot raise are
@@ -244,6 +580,11 @@ bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
                    std::vector<LoweredPred>* out) {
   if (e->kind() == ExprKind::kBinary) {
     const auto& bin = static_cast<const BinaryExpr&>(*e);
+    if (bin.op() == BinaryOpKind::kOr) {
+      // OR-disjunctions over one string column lower whole: the tree
+      // reduces to a union of dictionary-code intervals.
+      return LowerStringTree(e, scan, table, out);
+    }
     if (!IsComparisonOp(bin.op())) return false;
     const ColumnRefExpr* col = AsColumnRef(bin.left());
     const LiteralExpr* lit = AsLiteral(bin.right());
@@ -378,6 +719,11 @@ bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
     out->push_back(p);
     return true;
   }
+  if (e->kind() == ExprKind::kUnary) {
+    // NOT LIKE / NOT (...) over one string column: complement of the
+    // inner tree's code intervals under 3VL.
+    return LowerStringTree(e, scan, table, out);
+  }
   return false;
 }
 
@@ -488,6 +834,15 @@ class ExecutorImpl {
 
   size_t PoolThreads() const { return pool_ == nullptr ? 1 : pool_->size(); }
 
+  /// Pool for a hash-table build of `build_rows` rows: small builds run
+  /// serially — partitioning costs more than it saves, and the table is
+  /// identical either way (descending insert makes chains independent of
+  /// the partition count), so this is a pure physical choice.
+  ThreadPool* BuildPool(size_t build_rows) const {
+    constexpr size_t kSerialBuildThreshold = 8192;
+    return build_rows < kSerialBuildThreshold ? nullptr : pool_;
+  }
+
   /// Runs fn(i) for i in [begin, begin + count) — on the pool when it
   /// pays, inline otherwise. Returns the Status of the first escaped task
   /// exception (common/thread_pool.h); fn-level governor failures travel
@@ -551,6 +906,11 @@ class ExecutorImpl {
           case LoweredPred::Kind::kCodeNull:
             k = kernels::FilterCodesNull(codes, n, p.negated, sel.data());
             break;
+          case LoweredPred::Kind::kCodeSet:
+            k = kernels::FilterCodesIntervalUnion(
+                codes, n, p.set_lo.data(), p.set_hi.data(), p.set_lo.size(),
+                p.match_null, sel.data());
+            break;
           case LoweredPred::Kind::kInt64Cmp:
             k = kernels::FilterInt64(ints, valid, n, p.cmp, p.literal,
                                      sel.data());
@@ -576,6 +936,11 @@ class ExecutorImpl {
           case LoweredPred::Kind::kCodeNull:
             k = kernels::RefineCodesNull(codes, sel.data(), sel.size(),
                                          p.negated);
+            break;
+          case LoweredPred::Kind::kCodeSet:
+            k = kernels::RefineCodesIntervalUnion(
+                codes, sel.data(), sel.size(), p.set_lo.data(),
+                p.set_hi.data(), p.set_lo.size(), p.match_null);
             break;
           case LoweredPred::Kind::kInt64Cmp:
             k = kernels::RefineInt64(ints, valid, sel.data(), sel.size(),
@@ -655,29 +1020,109 @@ class ExecutorImpl {
     return Status::OK();
   }
 
-  Result<Chunk> RunPipeline(const std::vector<const LogicalOp*>& chain,
-                            int64_t budget) {
-    const auto& scan = static_cast<const ScanOp&>(*chain.back());
-    const Table* table = storage_->FindTable(scan.table_name());
-    if (table == nullptr) {
-      return Status::NotFound("no storage for table " + scan.table_name());
+  /// One leaf pipeline, prepared once and evaluated morsel by morsel.
+  /// RunPipeline drives it for standalone pipelines; the streamed join
+  /// probe path drives the same morsels through build-table probing
+  /// without materializing the pipeline output first.
+  struct PipelinePrep {
+    const std::vector<const LogicalOp*>* chain = nullptr;
+    const ScanOp* scan = nullptr;
+    const Table* table = nullptr;
+    CompiledFilters compiled;
+    size_t n = 0;
+    size_t num_morsels = 0;
+    size_t main_rows = 0;
+  };
+
+  Result<PipelinePrep> PreparePipeline(
+      const std::vector<const LogicalOp*>& chain) {
+    PipelinePrep prep;
+    prep.chain = &chain;
+    prep.scan = static_cast<const ScanOp*>(chain.back());
+    prep.table = storage_->FindTable(prep.scan->table_name());
+    if (prep.table == nullptr) {
+      return Status::NotFound("no storage for table " +
+                              prep.scan->table_name());
     }
-    if (scan.column_indexes().empty()) {
-      return Status::Internal("scan with no columns: " + scan.table_name());
+    if (prep.scan->column_indexes().empty()) {
+      return Status::Internal("scan with no columns: " +
+                              prep.scan->table_name());
     }
-    size_t n = table->NumRows();
+    prep.n = prep.table->NumRows();
     // Always process at least one (possibly empty) morsel so the output
     // carries its column names/types even for empty tables.
-    size_t num_morsels = std::max<size_t>(1, (n + morsel_size_ - 1) / morsel_size_);
-
+    prep.num_morsels =
+        std::max<size_t>(1, (prep.n + morsel_size_ - 1) / morsel_size_);
     // Compile the bottom Filter run once per pipeline; morsels that lie
     // entirely in the main fragment take the compressed path, morsels
     // overlapping the delta fall back to the generic one (same results).
-    CompiledFilters compiled;
     if (options_.enable_compressed_exec && chain.size() > 1) {
-      compiled = CompileFilters(chain, scan, *table);
+      prep.compiled = CompileFilters(chain, *prep.scan, *prep.table);
     }
-    const size_t main_rows = table->NumMainRows();
+    prep.main_rows = prep.table->NumMainRows();
+    return prep;
+  }
+
+  Status PipelineMorsel(const PipelinePrep& prep, size_t m, Chunk* out) {
+    const std::vector<const LogicalOp*>& chain = *prep.chain;
+    size_t begin = std::min(prep.n, m * morsel_size_);
+    size_t end = std::min(prep.n, begin + morsel_size_);
+    Chunk chunk;
+    size_t top = chain.size() - 1;  // ops left for the generic loop below
+    if (prep.compiled.active && end <= prep.main_rows) {
+      VDM_RETURN_NOT_OK(CompressedMorsel(*prep.scan, *prep.table,
+                                         prep.compiled, begin, end, &chunk));
+      top -= prep.compiled.bottom_filters;
+    } else {
+      for (size_t schema_idx : prep.scan->column_indexes()) {
+        chunk.names.push_back(prep.scan->QualifiedName(schema_idx));
+        chunk.columns.push_back(
+            prep.table->ScanColumnRange(schema_idx, begin, end));
+      }
+    }
+    // Apply the remaining Filter/Project stack bottom-up (chain is
+    // top-down).
+    for (size_t i = top; i-- > 0;) {
+      const LogicalOp* op = chain[i];
+      if (op->kind() == OpKind::kFilter) {
+        const auto& filter = static_cast<const FilterOp&>(*op);
+        VDM_ASSIGN_OR_RETURN(ColumnData mask,
+                             EvalExpr(filter.predicate(), chunk));
+        SelectionVector sel;
+        for (size_t r = 0; r < mask.size(); ++r) {
+          if (!mask.IsNull(r) && mask.ints()[r] != 0) {
+            sel.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        if (sel.size() != chunk.NumRows()) {
+          Chunk filtered;
+          filtered.names = chunk.names;
+          filtered.columns.reserve(chunk.columns.size());
+          for (const ColumnData& col : chunk.columns) {
+            filtered.columns.push_back(col.GatherSelection(sel));
+          }
+          chunk = std::move(filtered);
+        }
+      } else {
+        const auto& project = static_cast<const ProjectOp&>(*op);
+        Chunk projected;
+        for (const ProjectOp::Item& item : project.items()) {
+          VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(item.expr, chunk));
+          projected.names.push_back(item.name);
+          projected.columns.push_back(std::move(col));
+        }
+        chunk = std::move(projected);
+      }
+    }
+    *out = std::move(chunk);
+    return Status::OK();
+  }
+
+  Result<Chunk> RunPipeline(const std::vector<const LogicalOp*>& chain,
+                            int64_t budget) {
+    VDM_ASSIGN_OR_RETURN(PipelinePrep prep, PreparePipeline(chain));
+    const size_t n = prep.n;
+    const size_t num_morsels = prep.num_morsels;
 
     VDM_FAULT_POINT("exec.pipeline.morsel");
     std::vector<Chunk> pieces(num_morsels);
@@ -688,67 +1133,7 @@ class ExecutorImpl {
         errors[m] = std::move(alive);
         return;
       }
-      size_t begin = std::min(n, m * morsel_size_);
-      size_t end = std::min(n, begin + morsel_size_);
-      Chunk chunk;
-      size_t top = chain.size() - 1;  // ops left for the generic loop below
-      if (compiled.active && end <= main_rows) {
-        Status s = CompressedMorsel(scan, *table, compiled, begin, end,
-                                    &chunk);
-        if (!s.ok()) {
-          errors[m] = std::move(s);
-          return;
-        }
-        top -= compiled.bottom_filters;
-      } else {
-        for (size_t schema_idx : scan.column_indexes()) {
-          chunk.names.push_back(scan.QualifiedName(schema_idx));
-          chunk.columns.push_back(
-              table->ScanColumnRange(schema_idx, begin, end));
-        }
-      }
-      // Apply the remaining Filter/Project stack bottom-up (chain is
-      // top-down).
-      for (size_t i = top; i-- > 0;) {
-        const LogicalOp* op = chain[i];
-        if (op->kind() == OpKind::kFilter) {
-          const auto& filter = static_cast<const FilterOp&>(*op);
-          Result<ColumnData> mask = EvalExpr(filter.predicate(), chunk);
-          if (!mask.ok()) {
-            errors[m] = mask.status();
-            return;
-          }
-          SelectionVector sel;
-          for (size_t r = 0; r < mask->size(); ++r) {
-            if (!mask->IsNull(r) && mask->ints()[r] != 0) {
-              sel.push_back(static_cast<uint32_t>(r));
-            }
-          }
-          if (sel.size() != chunk.NumRows()) {
-            Chunk filtered;
-            filtered.names = chunk.names;
-            filtered.columns.reserve(chunk.columns.size());
-            for (const ColumnData& col : chunk.columns) {
-              filtered.columns.push_back(col.GatherSelection(sel));
-            }
-            chunk = std::move(filtered);
-          }
-        } else {
-          const auto& project = static_cast<const ProjectOp&>(*op);
-          Chunk projected;
-          for (const ProjectOp::Item& item : project.items()) {
-            Result<ColumnData> col = EvalExpr(item.expr, chunk);
-            if (!col.ok()) {
-              errors[m] = col.status();
-              return;
-            }
-            projected.names.push_back(item.name);
-            projected.columns.push_back(std::move(*col));
-          }
-          chunk = std::move(projected);
-        }
-      }
-      pieces[m] = std::move(chunk);
+      errors[m] = PipelineMorsel(prep, m, &pieces[m]);
     };
 
     // Waves: with a LIMIT budget, schedule a couple of pool-widths of
@@ -850,7 +1235,192 @@ class ExecutorImpl {
     return true;
   }
 
+  /// Resolves the join's equi conjuncts to (probe column, build column)
+  /// index pairs at the name level — the plan-side mirror of RunJoin's
+  /// chunk split (chunk names equal the children's OutputNames). Returns
+  /// false when any conjunct fails to resolve or no equi key exists.
+  static bool ResolveStreamedKeys(const JoinOp& join,
+                                  std::vector<std::pair<int, int>>* key_cols) {
+    std::vector<std::string> ln = join.left()->OutputNames();
+    std::vector<std::string> rn = join.right()->OutputNames();
+    auto idx = [](const std::vector<std::string>& v, const std::string& s) {
+      auto it = std::find(v.begin(), v.end(), s);
+      return it == v.end() ? -1 : static_cast<int>(it - v.begin());
+    };
+    for (const ExprRef& conjunct : SplitConjuncts(join.condition())) {
+      if (IsAlwaysTrue(conjunct)) continue;
+      std::optional<ColumnPair> pair = MatchColumnEqColumn(conjunct);
+      if (!pair.has_value()) return false;
+      int l = idx(ln, pair->left);
+      int r = idx(rn, pair->right);
+      if (l < 0 || r < 0) {
+        l = idx(ln, pair->right);
+        r = idx(rn, pair->left);
+      }
+      if (l < 0 || r < 0) return false;
+      key_cols->emplace_back(l, r);
+    }
+    return !key_cols->empty();
+  }
+
+  /// Hash join with a streamed probe side: the probe child is a leaf scan
+  /// pipeline and the condition is pure equi, so each pipeline morsel is
+  /// probed against the build table as soon as it is produced — the probe
+  /// input is never materialized as one chunk. Output is byte-identical
+  /// to the materialized path: per-morsel match pairs are emitted in
+  /// (probe row, ascending build row) order and pieces are concatenated
+  /// in morsel order. With a LIMIT budget the wave loop stops *scanning*
+  /// once enough output rows exist — the materialized path could only
+  /// stop probing.
+  Result<Chunk> RunStreamedJoin(const JoinOp& join,
+                                const std::vector<const LogicalOp*>& chain,
+                                const std::vector<std::pair<int, int>>& key_cols,
+                                int64_t budget) {
+    bool left_outer = join.join_type() == JoinType::kLeftOuter;
+    VDM_ASSIGN_OR_RETURN(Chunk right, Run(join.right(), kNoBudget));
+    VDM_ASSIGN_OR_RETURN(PipelinePrep prep, PreparePipeline(chain));
+    if (metrics_ != nullptr) {
+      metrics_->operators_executed += chain.size();
+      metrics_->rows_build_input += right.NumRows();
+    }
+
+    std::vector<const ColumnData*> build_ptrs;
+    build_ptrs.reserve(key_cols.size());
+    for (const auto& [lc, rc] : key_cols) {
+      build_ptrs.push_back(&right.columns[static_cast<size_t>(rc)]);
+    }
+    JoinHashTable ht(std::move(build_ptrs), {});
+    VDM_RETURN_NOT_OK(ht.Build(BuildPool(right.NumRows()), ctx_));
+    if (metrics_ != nullptr) {
+      metrics_->peak_hash_table_entries = std::max<uint64_t>(
+          metrics_->peak_hash_table_entries, ht.num_entries());
+    }
+
+    // No residual by construction, so the LIMIT budget applies directly.
+    int64_t out_budget = budget;
+    int64_t hint = join.limit_hint();
+    if (hint >= 0 && (out_budget < 0 || hint < out_budget)) out_budget = hint;
+    if (!options_.enable_limit_early_exit) out_budget = kNoBudget;
+
+    size_t num_morsels = prep.num_morsels;
+    size_t left_ncols = join.left()->OutputNames().size();
+    std::vector<Chunk> pieces(num_morsels);
+    std::vector<size_t> probed(num_morsels, 0);
+    std::vector<Status> errors(num_morsels);
+    VDM_FAULT_POINT("exec.join.probe");
+    auto process = [&](size_t m) {
+      Status alive = ctx_->CheckAlive();
+      if (!alive.ok()) {
+        errors[m] = std::move(alive);
+        return;
+      }
+      Chunk in;
+      Status s = PipelineMorsel(prep, m, &in);
+      if (!s.ok()) {
+        errors[m] = std::move(s);
+        return;
+      }
+      probed[m] = in.NumRows();
+      std::vector<const ColumnData*> key_ptrs;
+      key_ptrs.reserve(key_cols.size());
+      for (const auto& [lc, rc] : key_cols) {
+        key_ptrs.push_back(&in.columns[static_cast<size_t>(lc)]);
+      }
+      JoinHashTable::StreamProber prober(ht);
+      prober.Bind(&key_ptrs);
+      std::vector<size_t> lrows, rrows, matches;
+      for (size_t l = 0; l < in.NumRows(); ++l) {
+        matches.clear();
+        size_t count = prober.ProbeRow(l, &matches);
+        for (size_t b : matches) {
+          lrows.push_back(l);
+          rrows.push_back(b);
+        }
+        if (count == 0 && left_outer) {
+          lrows.push_back(l);
+          rrows.push_back(ColumnData::kInvalidIndex);
+        }
+      }
+      Chunk piece;
+      piece.names = in.names;
+      piece.names.insert(piece.names.end(), right.names.begin(),
+                         right.names.end());
+      piece.columns.reserve(left_ncols + right.columns.size());
+      for (const ColumnData& col : in.columns) {
+        piece.columns.push_back(col.Gather(lrows));
+      }
+      for (const ColumnData& col : right.columns) {
+        piece.columns.push_back(col.Gather(rrows));
+      }
+      pieces[m] = std::move(piece);
+    };
+
+    // Waves: like the materialized probe loop, but the early exit now
+    // stops the scan itself. Match output is charged wave by wave.
+    ScopedMemoryCharge probe_mem(&ctx_->memory());
+    size_t processed = 0;
+    uint64_t match_rows = 0;
+    bool early = false;
+    while (processed < num_morsels) {
+      size_t wave = num_morsels - processed;
+      if (out_budget >= 0) {
+        wave = std::min(wave, std::max<size_t>(PoolThreads() * 2, 1));
+      }
+      VDM_RETURN_NOT_OK(RunTasks(processed, wave, process));
+      VDM_RETURN_NOT_OK(ctx_->CheckAlive());
+      uint64_t wave_rows = 0;
+      for (size_t i = 0; i < wave; ++i) {
+        if (!errors[processed + i].ok()) return errors[processed + i];
+        wave_rows += pieces[processed + i].NumRows();
+      }
+      match_rows += wave_rows;
+      VDM_RETURN_NOT_OK(probe_mem.Charge(
+          static_cast<int64_t>(wave_rows) * 2 * sizeof(size_t)));
+      processed += wave;
+      if (out_budget >= 0 &&
+          match_rows >= static_cast<uint64_t>(out_budget) &&
+          processed < num_morsels) {
+        early = true;
+        break;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->rows_scanned += std::min(prep.n, processed * morsel_size_);
+      metrics_->morsels_scanned += processed;
+      metrics_->morsels_probed += processed;
+      for (size_t m = 0; m < processed; ++m) {
+        metrics_->rows_probe_input += probed[m];
+      }
+      if (early) ++metrics_->limit_early_exits;
+    }
+
+    Chunk out = std::move(pieces[0]);
+    for (size_t m = 1; m < processed; ++m) {
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        out.columns[c].AppendColumn(std::move(pieces[m].columns[c]));
+      }
+    }
+    // Trim wave overshoot past the budget (the LimitOp would anyway).
+    if (out_budget >= 0 &&
+        out.NumRows() > static_cast<size_t>(out_budget)) {
+      std::vector<size_t> keep(static_cast<size_t>(out_budget));
+      for (size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+      out = GatherChunk(out, keep);
+    }
+    return out;
+  }
+
   Result<Chunk> RunJoin(const JoinOp& join, int64_t budget) {
+    // Streamed probe: a pure equi join over a leaf scan pipeline probes
+    // morsel by morsel instead of materializing the probe input first.
+    if (AllEquiConjuncts(join)) {
+      std::vector<const LogicalOp*> probe_chain;
+      std::vector<std::pair<int, int>> key_cols;
+      if (CollectPipeline(join.left().get(), &probe_chain) &&
+          ResolveStreamedKeys(join, &key_cols)) {
+        return RunStreamedJoin(join, probe_chain, key_cols, budget);
+      }
+    }
     // A residual-free LEFT OUTER join emits at least one output row per
     // probe row (null-padded on miss), so when a LIMIT budget reaches the
     // join, the probe child itself only needs to produce that many rows:
@@ -922,7 +1492,7 @@ class ExecutorImpl {
         build_ptrs.push_back(&right.columns[static_cast<size_t>(rc)]);
       }
       JoinHashTable ht(std::move(build_ptrs), std::move(probe_ptrs));
-      VDM_RETURN_NOT_OK(ht.Build(pool_, ctx_));
+      VDM_RETURN_NOT_OK(ht.Build(BuildPool(right.NumRows()), ctx_));
       if (metrics_ != nullptr) {
         metrics_->peak_hash_table_entries =
             std::max<uint64_t>(metrics_->peak_hash_table_entries,

@@ -396,66 +396,183 @@ Status JoinHashTable::BuildPartition(size_t p, QueryContext* ctx) {
   return Status::OK();
 }
 
-size_t JoinHashTable::Prober::ProbeRow(size_t row, std::vector<size_t>* out) {
-  uint64_t hash = 0;
+size_t JoinHashTable::ProbeKey64(int64_t key, std::vector<size_t>* out) const {
+  uint64_t hash = HashInt64(static_cast<uint64_t>(key));
+  const Partition& part =
+      partitions_[partitions_.size() > 1 ? PartitionOf(hash) : 0];
   uint32_t head = kEnd;
+  uint64_t slot = hash & part.mask;
+  while (true) {
+    const Slot64& s = part.slots64[slot];
+    if (s.head == kEnd) break;
+    if (s.key == key) {
+      head = s.head;
+      break;
+    }
+    slot = (slot + 1) & part.mask;
+  }
+  size_t count = 0;
+  for (uint32_t r = head; r != kEnd; r = next_[r]) {
+    out->push_back(r);
+    ++count;
+  }
+  return count;
+}
+
+size_t JoinHashTable::ProbeKey128(uint64_t lo, uint64_t hi,
+                                  std::vector<size_t>* out) const {
+  uint64_t hash = Hash128(lo, hi);
+  const Partition& part =
+      partitions_[partitions_.size() > 1 ? PartitionOf(hash) : 0];
+  uint32_t head = kEnd;
+  uint64_t slot = hash & part.mask;
+  while (true) {
+    const Slot128& s = part.slots128[slot];
+    if (s.head == kEnd) break;
+    if (s.lo == lo && s.hi == hi) {
+      head = s.head;
+      break;
+    }
+    slot = (slot + 1) & part.mask;
+  }
+  size_t count = 0;
+  for (uint32_t r = head; r != kEnd; r = next_[r]) {
+    out->push_back(r);
+    ++count;
+  }
+  return count;
+}
+
+size_t JoinHashTable::ProbeSerialized(const std::string& key,
+                                      std::vector<size_t>* out) const {
+  uint64_t hash = std::hash<std::string>{}(key);
+  const Partition& part =
+      partitions_[partitions_.size() > 1 ? PartitionOf(hash) : 0];
+  auto it = part.serialized.find(key);
+  uint32_t head = it != part.serialized.end() ? it->second : kEnd;
+  size_t count = 0;
+  for (uint32_t r = head; r != kEnd; r = next_[r]) {
+    out->push_back(r);
+    ++count;
+  }
+  return count;
+}
+
+size_t JoinHashTable::Prober::ProbeRow(size_t row, std::vector<size_t>* out) {
   switch (t_.layout_) {
     case KeyLayout::kInt64:
     case KeyLayout::kDict32: {
       int64_t key;
       if (!t_.Key64(t_.probe_cols_, row, &key)) return 0;
-      hash = HashInt64(static_cast<uint64_t>(key));
-      const Partition& part =
-          t_.partitions_[t_.partitions_.size() > 1 ? t_.PartitionOf(hash)
-                                                   : 0];
-      uint64_t slot = hash & part.mask;
-      while (true) {
-        const Slot64& s = part.slots64[slot];
-        if (s.head == kEnd) break;
-        if (s.key == key) {
-          head = s.head;
-          break;
-        }
-        slot = (slot + 1) & part.mask;
-      }
-      break;
+      return t_.ProbeKey64(key, out);
     }
     case KeyLayout::kPacked16: {
       uint64_t lo, hi;
       if (!t_.Key128(t_.probe_cols_, row, &lo, &hi)) return 0;
-      hash = Hash128(lo, hi);
-      const Partition& part =
-          t_.partitions_[t_.partitions_.size() > 1 ? t_.PartitionOf(hash)
-                                                   : 0];
-      uint64_t slot = hash & part.mask;
-      while (true) {
-        const Slot128& s = part.slots128[slot];
-        if (s.head == kEnd) break;
-        if (s.lo == lo && s.hi == hi) {
-          head = s.head;
-          break;
-        }
-        slot = (slot + 1) & part.mask;
-      }
-      break;
+      return t_.ProbeKey128(lo, hi, out);
     }
     case KeyLayout::kSerialized: {
       if (!t_.KeyBytes(t_.probe_cols_, row, &scratch_)) return 0;
-      hash = std::hash<std::string>{}(scratch_);
-      const Partition& part =
-          t_.partitions_[t_.partitions_.size() > 1 ? t_.PartitionOf(hash)
-                                                   : 0];
-      auto it = part.serialized.find(scratch_);
-      if (it != part.serialized.end()) head = it->second;
-      break;
+      return t_.ProbeSerialized(scratch_, out);
     }
   }
-  size_t count = 0;
-  for (uint32_t r = head; r != kEnd; r = t_.next_[r]) {
-    out->push_back(r);
-    ++count;
+  return 0;
+}
+
+const std::vector<int32_t>* JoinHashTable::TranslationFor(
+    const std::vector<std::string>* probe_dict) const {
+  if (probe_dict == build_cols_[0]->dict().get()) return nullptr;
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  auto it = stream_maps_.find(probe_dict);
+  if (it != stream_maps_.end()) return &it->second;
+  std::vector<int32_t>& map = stream_maps_[probe_dict];
+  const std::vector<std::string>& pd = *probe_dict;
+  map.assign(pd.size(), -1);
+  for (size_t p = 0; p < pd.size(); ++p) {
+    map[p] = BuildCodeOf(pd[p]);
   }
-  return count;
+  return &map;
+}
+
+int32_t JoinHashTable::BuildCodeOf(const std::string& s) const {
+  // Called with stream_mu_ held (from TranslationFor) or from Bind on the
+  // string-lookup path — Bind takes the lock itself before the first use.
+  const std::vector<std::string>& bd = *build_cols_[0]->dict();
+  if (!build_code_index_ready_) {
+    build_code_index_.reserve(bd.size());
+    for (size_t c = 0; c < bd.size(); ++c) {
+      build_code_index_.emplace(bd[c], static_cast<int32_t>(c));
+    }
+    build_code_index_ready_ = true;
+  }
+  auto it = build_code_index_.find(s);
+  return it != build_code_index_.end() ? it->second : -1;
+}
+
+void JoinHashTable::StreamProber::Bind(
+    const std::vector<const ColumnData*>* cols) {
+  cols_ = cols;
+  code_map_ = nullptr;
+  lookup_strings_ = false;
+  never_match_ = false;
+  for (size_t i = 0; i < t_.build_cols_.size(); ++i) {
+    bool build_str = t_.build_cols_[i]->type().id == TypeId::kString;
+    bool probe_str = (*cols_)[i]->type().id == TypeId::kString;
+    if (build_str != probe_str) {
+      never_match_ = true;
+      return;
+    }
+  }
+  if (t_.layout_ != KeyLayout::kDict32) return;
+  const ColumnData& probe = *(*cols_)[0];
+  if (probe.has_dict()) {
+    code_map_ = t_.TranslationFor(probe.dict().get());
+  } else {
+    // Materialized strings (delta-overlapping morsels): resolve each row
+    // against the build dictionary. Warm the index once under the lock so
+    // concurrent probes only read it.
+    lookup_strings_ = true;
+    std::lock_guard<std::mutex> lock(t_.stream_mu_);
+    if (!t_.build_code_index_ready_) t_.BuildCodeOf(std::string());
+  }
+}
+
+size_t JoinHashTable::StreamProber::ProbeRow(size_t row,
+                                             std::vector<size_t>* out) {
+  if (never_match_) return 0;
+  const std::vector<const ColumnData*>& cols = *cols_;
+  switch (t_.layout_) {
+    case KeyLayout::kInt64: {
+      const ColumnData& col = *cols[0];
+      if (col.IsNull(row)) return 0;
+      return t_.ProbeKey64(RawValue64(col, row), out);
+    }
+    case KeyLayout::kDict32: {
+      const ColumnData& col = *cols[0];
+      int32_t code;
+      if (lookup_strings_) {
+        if (col.IsNull(row)) return 0;
+        code = t_.BuildCodeOf(col.StringAt(row));
+      } else {
+        code = col.dict_codes()[row];
+        if (code >= 0 && code_map_ != nullptr) {
+          code = (*code_map_)[static_cast<size_t>(code)];
+        }
+      }
+      if (code < 0) return 0;
+      return t_.ProbeKey64(code, out);
+    }
+    case KeyLayout::kPacked16: {
+      uint64_t lo, hi;
+      if (!t_.Key128(cols, row, &lo, &hi)) return 0;
+      return t_.ProbeKey128(lo, hi, out);
+    }
+    case KeyLayout::kSerialized: {
+      if (!t_.KeyBytes(cols, row, &scratch_)) return 0;
+      return t_.ProbeSerialized(scratch_, out);
+    }
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,8 @@
 #define VDMQO_EXEC_HASH_TABLE_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -110,7 +112,55 @@ class JoinHashTable {
     std::string scratch_;
   };
 
+  /// Probe cursor over caller-supplied key columns — one streamed probe
+  /// morsel at a time — for tables built with empty `probe_cols`. Bind()
+  /// never fails: fixed-width layouts read the morsel directly, and the
+  /// dictionary layout accepts both code-carrying morsels (codes go
+  /// through a per-dictionary translation map, cached on the table) and
+  /// materialized string morsels (each string resolves to a build code).
+  /// Matches are identical to probing the same rows through Prober on a
+  /// fully materialized chunk.
+  class StreamProber {
+   public:
+    explicit StreamProber(const JoinHashTable& table) : t_(table) {}
+    /// Binds one morsel's key columns (column-wise parallel to the build
+    /// columns; not owned, must outlive the probes).
+    void Bind(const std::vector<const ColumnData*>* cols);
+    /// Appends build rows matching morsel row `row` to *out in ascending
+    /// order; returns the number appended (0 for NULL keys).
+    size_t ProbeRow(size_t row, std::vector<size_t>* out);
+
+   private:
+    const JoinHashTable& t_;
+    const std::vector<const ColumnData*>* cols_ = nullptr;
+    // String/non-string mismatch against the build columns: the
+    // fixed-width layouts cannot read such a morsel, and the serialized
+    // encoding those keys would use can never match across types — so
+    // every probe misses (0 matches, like NULL keys).
+    bool never_match_ = false;
+    // kDict32 binding state: exactly one of these is used per morsel.
+    const std::vector<int32_t>* code_map_ = nullptr;  // probe -> build code
+    bool lookup_strings_ = false;  // materialized strings: resolve per row
+    std::string scratch_;
+  };
+
  private:
+  friend class StreamProber;
+
+  // Shared probe tail: walks the chain for an extracted key.
+  size_t ProbeKey64(int64_t key, std::vector<size_t>* out) const;
+  size_t ProbeKey128(uint64_t lo, uint64_t hi,
+                     std::vector<size_t>* out) const;
+  size_t ProbeSerialized(const std::string& key,
+                         std::vector<size_t>* out) const;
+
+  /// kDict32 streamed probing: code translation map for `probe_dict`
+  /// (cached per dictionary; nullptr = same dictionary, no translation).
+  const std::vector<int32_t>* TranslationFor(
+      const std::vector<std::string>* probe_dict) const;
+  /// kDict32 streamed probing from materialized strings: the build code
+  /// of `s`, or -1 when absent (never matches, like a NULL key).
+  int32_t BuildCodeOf(const std::string& s) const;
   struct Slot64 {
     int64_t key;
     uint32_t head;  // kEnd marks an empty slot
@@ -147,6 +197,13 @@ class JoinHashTable {
   // remapped to build codes through this table; -1 = absent (no match).
   bool translate_codes_ = false;
   std::vector<int32_t> probe_code_map_;
+  // Streamed probing caches (kDict32 only), built lazily under a lock —
+  // StreamProbers bind morsels concurrently across workers.
+  mutable std::mutex stream_mu_;
+  mutable std::map<const std::vector<std::string>*, std::vector<int32_t>>
+      stream_maps_;
+  mutable std::unordered_map<std::string, int32_t> build_code_index_;
+  mutable bool build_code_index_ready_ = false;
   size_t build_rows_ = 0;
   size_t entries_ = 0;
   // Governor accounting for the build-side arrays; released on destruction.

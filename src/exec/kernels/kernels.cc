@@ -149,6 +149,24 @@ size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
   return k;
 }
 
+size_t FilterCodesIntervalUnion(const int32_t* codes, size_t n,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null,
+                                uint32_t* out) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t c = codes[i];
+    bool hit = match_null && c < 0;
+    for (size_t j = 0; j < num_intervals && !hit; ++j) {
+      // Same unsigned trick as FilterCodesRange: NULL wraps above any span.
+      hit = static_cast<uint32_t>(c - lo[j]) <=
+            static_cast<uint32_t>(hi[j] - lo[j]);
+    }
+    if (hit) out[k++] = static_cast<uint32_t>(i);
+  }
+  return k;
+}
+
 size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
                    CmpOp op, int64_t lit, uint32_t* out) {
   switch (op) {
@@ -214,6 +232,23 @@ size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
       const uint32_t row = sel[i];
       if (codes[row] < 0) sel[m++] = row;
     }
+  }
+  return m;
+}
+
+size_t RefineCodesIntervalUnion(const int32_t* codes, uint32_t* sel, size_t k,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null) {
+  size_t m = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t row = sel[i];
+    const int32_t c = codes[row];
+    bool hit = match_null && c < 0;
+    for (size_t j = 0; j < num_intervals && !hit; ++j) {
+      hit = static_cast<uint32_t>(c - lo[j]) <=
+            static_cast<uint32_t>(hi[j] - lo[j]);
+    }
+    if (hit) sel[m++] = row;
   }
   return m;
 }
@@ -298,6 +333,14 @@ size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
   VDM_DISPATCH(FilterCodesNull, codes, n, negated, out);
 }
 
+size_t FilterCodesIntervalUnion(const int32_t* codes, size_t n,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null,
+                                uint32_t* out) {
+  VDM_DISPATCH(FilterCodesIntervalUnion, codes, n, lo, hi, num_intervals,
+               match_null, out);
+}
+
 size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
                    CmpOp op, int64_t lit, uint32_t* out) {
   VDM_DISPATCH(FilterInt64, vals, validity, n, op, lit, out);
@@ -321,6 +364,13 @@ size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
 size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
                        bool negated) {
   VDM_DISPATCH(RefineCodesNull, codes, sel, k, negated);
+}
+
+size_t RefineCodesIntervalUnion(const int32_t* codes, uint32_t* sel, size_t k,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null) {
+  VDM_DISPATCH(RefineCodesIntervalUnion, codes, sel, k, lo, hi, num_intervals,
+               match_null);
 }
 
 size_t RefineInt64(const int64_t* vals, const uint8_t* validity,

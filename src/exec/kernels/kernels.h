@@ -68,6 +68,15 @@ size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
 // negated=false: match NULL codes (IS NULL); true: match non-NULL.
 size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
                        uint32_t* out);
+// Matches codes falling in any of the `num_intervals` inclusive intervals
+// [lo[j], hi[j]]; NULL codes match iff match_null. Intervals are the lowered
+// form of OR-disjunctions / NOT LIKE over one dictionary column (DESIGN.md
+// §13); the lowering keeps them sorted and disjoint, but the kernel only
+// requires lo[j] <= hi[j].
+size_t FilterCodesIntervalUnion(const int32_t* codes, size_t n,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null,
+                                uint32_t* out);
 // Compare int64 values against a literal; rows with validity[i]==0 never
 // match. validity may be nullptr (all rows valid).
 size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
@@ -85,6 +94,9 @@ size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
                         int32_t lo, int32_t hi);
 size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
                        bool negated);
+size_t RefineCodesIntervalUnion(const int32_t* codes, uint32_t* sel, size_t k,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null);
 size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
                    uint32_t* sel, size_t k, CmpOp op, int64_t lit);
 
@@ -114,6 +126,10 @@ size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
                         int32_t hi, uint32_t* out);
 size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
                        uint32_t* out);
+size_t FilterCodesIntervalUnion(const int32_t* codes, size_t n,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null,
+                                uint32_t* out);
 size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
                    CmpOp op, int64_t lit, uint32_t* out);
 size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
@@ -124,6 +140,9 @@ size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
                         int32_t lo, int32_t hi);
 size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
                        bool negated);
+size_t RefineCodesIntervalUnion(const int32_t* codes, uint32_t* sel, size_t k,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null);
 size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
                    uint32_t* sel, size_t k, CmpOp op, int64_t lit);
 void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,
@@ -149,6 +168,10 @@ size_t FilterCodesRange(const int32_t* codes, size_t n, int32_t lo,
                         int32_t hi, uint32_t* out);
 size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
                        uint32_t* out);
+size_t FilterCodesIntervalUnion(const int32_t* codes, size_t n,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null,
+                                uint32_t* out);
 size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
                    CmpOp op, int64_t lit, uint32_t* out);
 size_t RefineCodesEq(const int32_t* codes, uint32_t* sel, size_t k,
@@ -159,6 +182,9 @@ size_t RefineCodesRange(const int32_t* codes, uint32_t* sel, size_t k,
                         int32_t lo, int32_t hi);
 size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
                        bool negated);
+size_t RefineCodesIntervalUnion(const int32_t* codes, uint32_t* sel, size_t k,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null);
 size_t RefineInt64(const int64_t* vals, const uint8_t* validity,
                    uint32_t* sel, size_t k, CmpOp op, int64_t lit);
 void GatherInt32(const int32_t* src, const uint32_t* sel, size_t k,

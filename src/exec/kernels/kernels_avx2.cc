@@ -272,6 +272,53 @@ size_t FilterCodesNull(const int32_t* codes, size_t n, bool negated,
       [](int32_t c) { return c < 0; });
 }
 
+namespace {
+
+// Shared mask/predicate pair for the interval-union kernels: OR of one
+// unsigned-range test per interval, plus the sign mask when NULL matches.
+struct IntervalUnionPred {
+  const int32_t* lo;
+  const int32_t* hi;
+  size_t num;
+  bool match_null;
+
+  unsigned operator()(__m256i v) const {
+    __m256i m = match_null ? _mm256_cmpgt_epi32(_mm256_setzero_si256(), v)
+                           : _mm256_setzero_si256();
+    for (size_t j = 0; j < num; ++j) {
+      const __m256i vlo = _mm256_set1_epi32(lo[j]);
+      const __m256i vspan = _mm256_set1_epi32(static_cast<int32_t>(
+          static_cast<uint32_t>(hi[j]) - static_cast<uint32_t>(lo[j])));
+      const __m256i shifted = _mm256_sub_epi32(v, vlo);
+      const __m256i le =
+          _mm256_cmpeq_epi32(_mm256_min_epu32(shifted, vspan), shifted);
+      m = _mm256_or_si256(m, le);
+    }
+    return MaskI32(m);
+  }
+
+  bool operator()(int32_t c) const {
+    if (c < 0) return match_null;
+    for (size_t j = 0; j < num; ++j) {
+      if (static_cast<uint32_t>(c - lo[j]) <=
+          static_cast<uint32_t>(hi[j] - lo[j])) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+size_t FilterCodesIntervalUnion(const int32_t* codes, size_t n,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null,
+                                uint32_t* out) {
+  const IntervalUnionPred pred{lo, hi, num_intervals, match_null};
+  return DenseFilter(codes, n, out, pred, pred);
+}
+
 size_t FilterInt64(const int64_t* vals, const uint8_t* validity, size_t n,
                    CmpOp op, int64_t lit, uint32_t* out) {
   switch (op) {
@@ -348,6 +395,13 @@ size_t RefineCodesNull(const int32_t* codes, uint32_t* sel, size_t k,
       codes, sel, k,
       [zero](__m256i v) { return MaskI32(_mm256_cmpgt_epi32(zero, v)); },
       [](int32_t c) { return c < 0; });
+}
+
+size_t RefineCodesIntervalUnion(const int32_t* codes, uint32_t* sel, size_t k,
+                                const int32_t* lo, const int32_t* hi,
+                                size_t num_intervals, bool match_null) {
+  const IntervalUnionPred pred{lo, hi, num_intervals, match_null};
+  return RefineFilter(codes, sel, k, pred, pred);
 }
 
 size_t RefineInt64(const int64_t* vals, const uint8_t* validity,

@@ -139,10 +139,13 @@ Result<PlanRef> Optimizer::OptimizeChecked(const PlanRef& plan) const {
     PassFn fn;
   };
   // Pass order matters; keep in sync with the headers' pass descriptions.
+  // Join ordering is NOT in the fixpoint loop: it runs once afterwards, on
+  // the final logical shape, so its cost decisions see the plan the other
+  // rewrites actually produce (and so filter pushdown cannot re-split the
+  // conjuncts the reorderer grouped).
   const PassDef passes[] = {
       {"constant_folding", config_.constant_folding, &PassConstantFolding},
       {"filter_pushdown", config_.filter_pushdown, &PassFilterPushdown},
-      {"join_order", config_.join_reordering, &PassJoinOrder},
       {"aggregate_pushdown",
        config_.allow_precision_loss_rewrites || config_.agg_pushdown,
        &PassAggregatePushdown},
@@ -157,6 +160,31 @@ Result<PlanRef> Optimizer::OptimizeChecked(const PlanRef& plan) const {
   };
   const bool verify =
       config_.verify_rewrites && config_.verification_hook != nullptr;
+  // Post-fixpoint finishing step: cost-based join ordering (once, audited
+  // like any pass), then the limit-hint annotation.
+  auto finish = [&](PlanRef done) -> Result<PlanRef> {
+    if (config_.join_reordering) {
+      bool fired = false;
+      PlanRef before = done;
+      done = PassJoinOrder(done, config_, &fired);
+      if (fired) {
+        if (config_.debug_corrupt_pass != nullptr &&
+            std::string_view(config_.debug_corrupt_pass) == "join_order") {
+          done = DropLastColumnForTesting(done);
+        }
+        if (verify) {
+          Status audit = config_.verification_hook->AfterPass("join_order",
+                                                              before, done);
+          if (!audit.ok()) {
+            return Status(audit.code(),
+                          "rewrite audit failed in pass 'join_order': " +
+                              audit.message());
+          }
+        }
+      }
+    }
+    return AnnotateJoinLimitHints(done);
+  };
   PlanRef current = plan;
   last_converged_ = false;
   for (int pass = 0; pass < config_.max_passes; ++pass) {
@@ -184,10 +212,10 @@ Result<PlanRef> Optimizer::OptimizeChecked(const PlanRef& plan) const {
     }
     if (!changed) {
       last_converged_ = true;
-      return AnnotateJoinLimitHints(current);
+      return finish(current);
     }
   }
-  return AnnotateJoinLimitHints(current);
+  return finish(current);
 }
 
 }  // namespace vdm

@@ -171,7 +171,10 @@ PlanRef PassLimitPushdown(const PlanRef& plan, const OptimizerConfig& config,
 PlanRef PassAggregatePushdown(const PlanRef& plan,
                               const OptimizerConfig& config, bool* changed);
 
-/// Greedy cost-based reordering of inner-join chains (build sides too).
+/// Cost-based join reordering (DESIGN.md §14): exhaustive DP over small
+/// flattened chains, greedy over large ones, driven by the stats-backed
+/// cardinality estimator. Chooses build sides too. Runs once after the
+/// fixpoint loop, not inside it.
 PlanRef PassJoinOrder(const PlanRef& plan, const OptimizerConfig& config,
                       bool* changed);
 

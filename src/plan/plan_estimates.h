@@ -1,0 +1,32 @@
+// Per-operator cardinality / cost annotations, keyed by LogicalOp::id().
+//
+// The cardinality estimator (analysis/stats/cardinality.h) fills one map
+// per optimized plan; the engine threads it to the executor (build-side
+// sizing, serial-vs-parallel choice) and to ExplainAnalyze (per-operator
+// `est` lines via plan_printer.h). Node ids survive WithChildren-style
+// rewrites — in particular the plan cache's parameter rebinding — so a
+// map computed at plan time stays valid for every execution of the
+// cached plan until the stats (catalog) version moves.
+#ifndef VDMQO_PLAN_PLAN_ESTIMATES_H_
+#define VDMQO_PLAN_PLAN_ESTIMATES_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace vdm {
+
+struct PlanEstimate {
+  /// Estimated output rows of the operator.
+  double rows = 0.0;
+  /// Estimated cumulative cost of the subtree rooted here, in abstract
+  /// row-touch units (see CardinalityEstimator for the per-operator
+  /// weights). Comparable only within one plan.
+  double cost = 0.0;
+};
+
+/// LogicalOp::id() -> estimate for the whole plan tree.
+using PlanEstimates = std::unordered_map<uint64_t, PlanEstimate>;
+
+}  // namespace vdm
+
+#endif  // VDMQO_PLAN_PLAN_ESTIMATES_H_

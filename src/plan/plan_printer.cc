@@ -8,12 +8,20 @@ namespace vdm {
 
 namespace {
 
-void PrintRec(const PlanRef& plan, size_t depth, std::string* out) {
+void PrintRec(const PlanRef& plan, size_t depth, const PlanEstimates* est,
+              std::string* out) {
   out->append(depth * 2, ' ');
   out->append(plan->Describe());
+  if (est != nullptr) {
+    auto it = est->find(plan->id());
+    if (it != est->end()) {
+      out->append(StrFormat("  [est rows=%.0f cost=%.0f]", it->second.rows,
+                            it->second.cost));
+    }
+  }
   out->append("\n");
   for (const PlanRef& child : plan->children()) {
-    PrintRec(child, depth + 1, out);
+    PrintRec(child, depth + 1, est, out);
   }
 }
 
@@ -86,7 +94,13 @@ const char* OpKindName(OpKind kind) {
 
 std::string PrintPlan(const PlanRef& plan) {
   std::string out;
-  PrintRec(plan, 0, &out);
+  PrintRec(plan, 0, nullptr, &out);
+  return out;
+}
+
+std::string PrintPlan(const PlanRef& plan, const PlanEstimates* estimates) {
+  std::string out;
+  PrintRec(plan, 0, estimates, &out);
   return out;
 }
 

@@ -7,11 +7,17 @@
 #include <string>
 
 #include "plan/logical_plan.h"
+#include "plan/plan_estimates.h"
 
 namespace vdm {
 
 /// Indented tree rendering of a plan.
 std::string PrintPlan(const PlanRef& plan);
+
+/// Same rendering with per-operator cardinality/cost annotations appended
+/// (`[est rows=... cost=...]`) for nodes present in `estimates`.
+/// `estimates` may be nullptr, which degrades to the plain rendering.
+std::string PrintPlan(const PlanRef& plan, const PlanEstimates* estimates);
 
 /// Stable operator-kind name ("Scan", "Join", ...) for diagnostics such as
 /// the plan verifier's failing-op paths.

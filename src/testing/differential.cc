@@ -149,8 +149,12 @@ class Worker {
 
   DiffStats& stats() { return stats_; }
 
-  OptimizerConfig ConfigFor(SystemProfile profile) const {
+  OptimizerConfig ConfigFor(SystemProfile profile,
+                            const std::string& kind = "base") const {
     OptimizerConfig config = ConfigForProfile(profile);
+    // The reorder-off leg diffs the costed join order against the plan
+    // shape as written; reproduction must apply the same tweak.
+    if (kind == "reorder-off") config.join_reordering = false;
     config.debug_corrupt_pass = options_.debug_corrupt_pass;
     return config;
   }
@@ -183,6 +187,23 @@ class Worker {
         }
       }
       if (query_failed) break;
+    }
+
+    if (!query_failed) {
+      // Reordering leg: the cost-based join order must be invisible in
+      // the result. The base matrix runs every profile with its default
+      // reordering setting; this leg pins kHana with reordering off on
+      // the parallel no-cache database so reordered and source-order
+      // plans diff against the same oracle rows.
+      WorkerDbs::Entry& e = dbs_.entries[1];
+      e.db.SetOptimizerConfig(ConfigFor(SystemProfile::kHana, "reorder-off"));
+      ++stats_.executions;
+      Result<Chunk> actual = RunOnce(e.db, q.sql, RunMode::kPlain, &stats_);
+      if (!CheckResult(qidx, q, expected, actual,
+                       {SystemProfile::kHana, 1, RunMode::kPlain,
+                        "reorder-off"})) {
+        query_failed = true;
+      }
     }
 
     if (options_.with_metamorphic && !q.variants.empty()) {
@@ -261,7 +282,7 @@ class Worker {
     std::vector<std::string> expected = NormalizeChunk(*oracle, ordered);
 
     WorkerDbs::Entry& e = dbs_.entries[site.db_index];
-    e.db.SetOptimizerConfig(ConfigFor(site.profile));
+    e.db.SetOptimizerConfig(ConfigFor(site.profile, site.kind));
     if (site.mode == RunMode::kWarmCache) {
       // Prime the cache, then diff the warm run.
       (void)RunOnce(e.db, sql, RunMode::kColdCache, nullptr);
@@ -365,7 +386,7 @@ class Worker {
     out << "\nplan before (bound, unoptimized):\n"
         << (before.ok() ? *before : before.status().ToString());
     WorkerDbs::Entry& e = dbs_.entries[site.db_index];
-    e.db.SetOptimizerConfig(ConfigFor(site.profile));
+    e.db.SetOptimizerConfig(ConfigFor(site.profile, site.kind));
     Result<std::string> after = e.db.Explain(failing_sql);
     out << "\nplan after (optimized, " << ProfileName(site.profile)
         << "):\n" << (after.ok() ? *after : after.status().ToString());

@@ -282,8 +282,11 @@ std::string QueryGenerator::Predicate(const GenColumn& col) {
       // Deliberately exercises the sorted-dictionary lowering edge cases:
       // equality/inequality against values absent from any dictionary,
       // range endpoints that fall between dictionary entries, LIKE
-      // prefixes (present, absent, bare '%'), and exact-match LIKE.
-      switch (rng_.Uniform(0, 11)) {
+      // prefixes (present, absent, bare '%'), exact-match LIKE, and the
+      // whole-tree forms (OR disjunctions, NOT LIKE, nested NOT) that
+      // lower to code-interval unions. OR predicates are parenthesized
+      // because the WHERE clause joins conjuncts with bare " and ".
+      switch (rng_.Uniform(0, 15)) {
         case 0:
           return col.sql + " is not null";
         case 1:
@@ -306,6 +309,16 @@ std::string QueryGenerator::Predicate(const GenColumn& col) {
           return col.sql + " like '%'";
         case 10:
           return col.sql + " like 'zq%'";  // absent prefix
+        case 11:
+          return col.sql + " not like 'C%'";
+        case 12:
+          return "(" + col.sql + " = 'F' or " + col.sql + " like 'C%')";
+        case 13:
+          return "(" + col.sql + " < 'D' or " + col.sql +
+                 " > 'm' or " + col.sql + " is null)";
+        case 14:
+          return "not (" + col.sql + " like 'C%' or " + col.sql +
+                 " = 'zz#absent')";
         default:
           return col.sql + " like 'F'";  // wildcard-free LIKE = equality
       }

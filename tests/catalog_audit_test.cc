@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/catalog_audit.h"
+#include "common/string_util.h"
 #include "engine/database.h"
 #include "plan/plan_printer.h"
 #include "testing/differential.h"
@@ -229,6 +230,61 @@ TEST(CatalogAuditGoldenTest, SyntheticVdmCatalog) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->errors.empty());
   CheckGolden("audit_findings_synthetic", report->ToString());
+}
+
+// The stats rule fires only when collected statistics disprove a declared
+// to-one: duplicate join keys on the right side. A genuinely unique
+// dimension under the same declaration stays silent.
+TEST(CatalogAuditStatsTest, StatsContradictedCardinality) {
+  Database db;
+  ASSERT_TRUE(
+      db.Execute("create table fact (id int primary key, dk int not null)")
+          .ok());
+  ASSERT_TRUE(
+      db.Execute("create table dup_dim (dk int not null, dname varchar(10))")
+          .ok());
+  ASSERT_TRUE(
+      db.Execute("create table uniq_dim (dk int primary key, dname "
+                 "varchar(10))")
+          .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Execute(StrFormat("insert into fact values (%d, %d)", i,
+                                     i % 10))
+                    .ok());
+    // 50 dup_dim rows but only 10 distinct dk values: ~5 rows per key.
+    ASSERT_TRUE(db.Execute(StrFormat(
+                       "insert into dup_dim values (%d, 'd%d')", i % 10, i))
+                    .ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Execute(StrFormat(
+                       "insert into uniq_dim values (%d, 'u%d')", i, i))
+                    .ok());
+  }
+  ASSERT_TRUE(db.Execute("create view v_dup as select f.id, d.dname from "
+                         "fact f left outer many to one join dup_dim d "
+                         "on f.dk = d.dk")
+                  .ok());
+  ASSERT_TRUE(db.Execute("create view v_uniq as select f.id, d.dname from "
+                         "fact f left outer many to one join uniq_dim d "
+                         "on f.dk = d.dk")
+                  .ok());
+
+  CatalogAuditOptions options;
+  options.probe_profiles = false;
+  auto count_stats_findings = [&](const std::string& view) {
+    Result<CatalogAuditReport> report = AuditCatalog(db.catalog(), options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    int n = 0;
+    for (const AuditFinding& f : report->findings) {
+      if (f.rule == "stats-contradicted-cardinality" && f.view == view) ++n;
+    }
+    return n;
+  };
+
+  db.AnalyzeTables();
+  EXPECT_EQ(count_stats_findings("v_dup"), 1);
+  EXPECT_EQ(count_stats_findings("v_uniq"), 0);
 }
 
 TEST(CatalogAuditGoldenTest, S4JeibCatalog) {

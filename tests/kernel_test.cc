@@ -204,6 +204,73 @@ TEST(KernelFilterTest, Int64AllOpsRandomized) {
   }
 }
 
+TEST(KernelFilterTest, CodesIntervalUnionRandomized) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(17);
+  // Interval lists covering empty, single, disjoint-multi, and
+  // all-covering shapes (inclusive bounds, codes drawn from [0, 20]).
+  const std::vector<std::pair<int32_t, int32_t>> shapes[] = {
+      {},
+      {{5, 5}},
+      {{0, 3}, {7, 9}, {15, 20}},
+      {{0, 20}},
+      {{2, 4}, {6, 6}, {10, 14}, {18, 19}},
+  };
+  for (size_t n : kLengths) {
+    for (size_t off : kOffsets) {
+      for (int null_pm : {0, 200, 1000}) {
+        std::vector<int32_t> codes = RandomCodes(rng, n + off, 20, null_pm);
+        const int32_t* base = codes.data() + off;
+        for (const auto& ivs : shapes) {
+          std::vector<int32_t> lo, hi;
+          for (auto [l, h] : ivs) {
+            lo.push_back(l);
+            hi.push_back(h);
+          }
+          for (bool match_null : {false, true}) {
+            CheckFilter(
+                [&](uint32_t* out) {
+                  return FilterCodesIntervalUnion(base, n, lo.data(),
+                                                  hi.data(), lo.size(),
+                                                  match_null, out);
+                },
+                [&](uint32_t* out) {
+                  return scalar::FilterCodesIntervalUnion(base, n, lo.data(),
+                                                          hi.data(), lo.size(),
+                                                          match_null, out);
+                },
+                n);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelRefineTest, CodesIntervalUnionRandomizedDensities) {
+  SimdOverrideGuard guard(1);
+  std::mt19937 rng(29);
+  const int32_t lo[] = {0, 7, 15};
+  const int32_t hi[] = {3, 9, 20};
+  for (size_t n : kLengths) {
+    for (int density : {0, 50, 500, 1000}) {
+      std::vector<int32_t> codes = RandomCodes(rng, n, 20, 150);
+      SelectionVector sel = RandomSelection(rng, n, density);
+      for (bool match_null : {false, true}) {
+        SelectionVector got = sel, want = sel;
+        size_t kg = RefineCodesIntervalUnion(
+            codes.data(), got.empty() ? nullptr : got.data(), got.size(), lo,
+            hi, 3, match_null);
+        size_t kw = scalar::RefineCodesIntervalUnion(
+            codes.data(), want.empty() ? nullptr : want.data(), want.size(),
+            lo, hi, 3, match_null);
+        ASSERT_EQ(kg, kw);
+        for (size_t i = 0; i < kg; ++i) ASSERT_EQ(got[i], want[i]);
+      }
+    }
+  }
+}
+
 TEST(KernelRefineTest, CodesRandomizedDensities) {
   SimdOverrideGuard guard(1);
   std::mt19937 rng(19);

@@ -609,20 +609,21 @@ TEST(JoinOrderTest, ReordersByEstimatedSize) {
   catalog.SetTableStats("big", TableStats{100000});
   catalog.SetTableStats("small", TableStats{10});
 
-  PlanRef plan = PlanBuilder::ScanSchema(big, "b")
-                     .Join(PlanBuilder::ScanSchema(small, "s"),
-                           JoinType::kInner, Eq(Col("b.k"), Col("s.k")))
+  // small ⋈ big builds the hash table on `big` (the executor builds the
+  // right input) — the costed pass must flip the sides.
+  PlanRef plan = PlanBuilder::ScanSchema(small, "s")
+                     .Join(PlanBuilder::ScanSchema(big, "b"),
+                           JoinType::kInner, Eq(Col("s.k"), Col("b.k")))
                      .Build();
   OptimizerConfig config = Full();
   config.stats_catalog = &catalog;
   bool changed = false;
   PlanRef result = PassJoinOrder(plan, config, &changed);
   EXPECT_TRUE(changed);
-  // The small relation moves left (probe side grows right-to-left in
-  // greedy order; the big relation becomes the right/build... probe).
   ASSERT_EQ(result->kind(), OpKind::kProject);
   const auto& join = static_cast<const JoinOp&>(*result->child(0));
-  EXPECT_EQ(static_cast<const ScanOp&>(*join.left()).table_name(), "small");
+  EXPECT_EQ(static_cast<const ScanOp&>(*join.left()).table_name(), "big");
+  EXPECT_EQ(static_cast<const ScanOp&>(*join.right()).table_name(), "small");
   // Output names and order are preserved by the restoring projection.
   EXPECT_EQ(result->OutputNames(), plan->OutputNames());
   // Idempotent.

@@ -35,6 +35,12 @@ run_sanitizer() {
   echo "== ${san}: exec + kernel + paper-query tests, VDM_SIMD=0 =="
   VDM_SIMD=0 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
       -R 'exec_test|exec_parallel_test|kernel_test|paper_queries_test|property_random_test'
+  # Fourth pass with the cost-based join reorderer forced off: the default
+  # runs above cover reordering on (it is the default); this leg proves the
+  # paper-query, property, and estimator suites are order-independent.
+  echo "== ${san}: paper-query + property + stats tests, VDM_JOIN_REORDER=0 =="
+  VDM_JOIN_REORDER=0 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      -R 'paper_queries_test|property_random_test|cardinality_test|sql_end2end_test'
   echo "== ${san}: all tests passed =="
 }
 

@@ -1,0 +1,167 @@
+// DML benchmark (DESIGN.md §15): MVCC write throughput and the
+// merge-pause cost — what a reader pays while delta-to-main merges run.
+//
+// Cases (BENCH_dml.json):
+//   insert_autocommit   single-row INSERTs, one transaction each
+//   insert_txn_batch    the same rows through one explicit transaction
+//   update_autocommit   single-row point UPDATEs
+//   read_quiescent      point-aggregate latency, merged table, no writers
+//   read_during_merge   the same query while a writer + merge loop runs;
+//                       the median-vs-p95 spread is the merge pause
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+
+using namespace vdm;
+using bench::JsonReporter;
+using bench::Ms;
+using bench::TablePrinter;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Latencies {
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+Latencies Summarize(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  Latencies out;
+  out.median_ms = samples[samples.size() / 2];
+  out.p95_ms = samples[samples.size() * 95 / 100];
+  return out;
+}
+
+/// Runs `count` point-aggregate queries and returns their latencies.
+std::vector<double> SampleReads(Database* db, int count) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    double start = Now();
+    Result<Chunk> r = db->Execute(
+        "select count(*), sum(v) from w where k < " +
+        std::to_string(1000 + (i % 64) * 100));
+    VDM_CHECK(r.ok());
+    samples.push_back(Now() - start);
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== DML: MVCC write throughput + merge-pause cost ==\n\n");
+
+  Database db;
+  db.SetExecOptions(bench::ExecOptionsFromEnv());
+  db.SetProfile(SystemProfile::kHana);
+  VDM_CHECK(db.Execute("create table w (k int, v int, s varchar(16))").ok());
+
+  constexpr int kInserts = 2000;
+  constexpr int kUpdates = 1000;
+  constexpr int kReads = 300;
+  JsonReporter reporter("dml");
+  TablePrinter table({"case", "ops", "latency/op", "throughput"});
+  auto add_write_case = [&](const std::string& name, int ops, double ms) {
+    double per_op = ms / ops;
+    double per_sec = ops / (ms / 1e3);
+    reporter.Add(name, per_op, static_cast<size_t>(ops));
+    char rate[48];
+    std::snprintf(rate, sizeof(rate), "%.0f ops/s", per_sec);
+    table.AddRow({name, std::to_string(ops), Ms(per_op), rate});
+  };
+
+  // --- write throughput ---
+  double start = Now();
+  for (int i = 0; i < kInserts; ++i) {
+    VDM_CHECK(db.Execute("insert into w values (" + std::to_string(i) +
+                         ", " + std::to_string(i % 97) + ", 'r" +
+                         std::to_string(i % 50) + "')")
+                  .ok());
+  }
+  add_write_case("insert_autocommit", kInserts, Now() - start);
+
+  Transaction* txn = nullptr;
+  start = Now();
+  VDM_CHECK(db.ExecuteSession("begin", &txn).ok());
+  for (int i = 0; i < kInserts; ++i) {
+    VDM_CHECK(db.ExecuteSession("insert into w values (" +
+                                    std::to_string(kInserts + i) + ", " +
+                                    std::to_string(i % 97) + ", 'r" +
+                                    std::to_string(i % 50) + "')",
+                                &txn)
+                  .ok());
+  }
+  VDM_CHECK(db.ExecuteSession("commit", &txn).ok());
+  add_write_case("insert_txn_batch", kInserts, Now() - start);
+
+  start = Now();
+  for (int i = 0; i < kUpdates; ++i) {
+    VDM_CHECK(db.Execute("update w set v = v + 1 where k = " +
+                         std::to_string(i * 3))
+                  .ok());
+  }
+  add_write_case("update_autocommit", kUpdates, Now() - start);
+
+  // --- merge-pause cost ---
+  // Quiescent baseline: fully merged, no concurrent work.
+  VDM_CHECK(db.MergeTableMvcc("w").ok());
+  Latencies quiet = Summarize(SampleReads(&db, kReads));
+  reporter.Add("read_quiescent", quiet.median_ms, 1);
+  char spread[48];
+  std::snprintf(spread, sizeof(spread), "p95 %s", Ms(quiet.p95_ms).c_str());
+  table.AddRow({"read_quiescent", std::to_string(kReads),
+                Ms(quiet.median_ms), spread});
+
+  // Contended: a writer keeps re-filling the delta and a merge loop keeps
+  // folding it while the reader samples the same query. Readers never
+  // block on the merge (snapshots pin the pre-merge version); the p95
+  // spread over the quiescent leg is the observable pause.
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    int next = 3 * kInserts;
+    while (!stop.load()) {
+      for (int i = 0; i < 200 && !stop.load(); ++i) {
+        (void)db.Execute("insert into w values (" + std::to_string(next++) +
+                         ", 1, 'c')");
+      }
+      (void)db.MergeTableMvcc("w");  // kResourceExhausted = retry later
+    }
+  });
+  Latencies contended = Summarize(SampleReads(&db, kReads));
+  stop = true;
+  churn.join();
+  reporter.Add("read_during_merge", contended.median_ms, 1);
+  std::snprintf(spread, sizeof(spread), "p95 %s",
+                Ms(contended.p95_ms).c_str());
+  table.AddRow({"read_during_merge", std::to_string(kReads),
+                Ms(contended.median_ms), spread});
+
+  table.Print();
+  std::printf(
+      "\nmerge pause (read p95, during merge vs quiescent): %.3f ms vs "
+      "%.3f ms\n",
+      contended.p95_ms, quiet.p95_ms);
+  TxnStats stats = db.txn_stats();
+  std::printf(
+      "txn stats: %llu commits, %llu conflicts, %llu retries, %llu merges\n",
+      static_cast<unsigned long long>(stats.commits),
+      static_cast<unsigned long long>(stats.conflicts),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.merges));
+  reporter.Write();
+  return 0;
+}

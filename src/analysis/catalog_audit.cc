@@ -229,7 +229,8 @@ void CheckStatsCardinalities(ViewAudit& a) {
     // statistics.
     if (!rel.has_value() || !rel->base_preds.empty()) return;
     const std::string table = ToLower(rel->scan->table_name());
-    const TableStats* stats = a.catalog->FindTableStats(table);
+    const std::shared_ptr<const TableStats> stats =
+        a.catalog->FindTableStats(table);
     const TableSchema* schema = a.catalog->FindTable(table);
     if (stats == nullptr || schema == nullptr || stats->row_count == 0) return;
 

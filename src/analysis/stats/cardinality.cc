@@ -121,7 +121,7 @@ CardinalityEstimator::NodeInfo CardinalityEstimator::Compute(
   switch (plan->kind()) {
     case OpKind::kScan: {
       const auto* scan = static_cast<const ScanOp*>(plan.get());
-      const TableStats* stats =
+      const std::shared_ptr<const TableStats> stats =
           catalog_ ? catalog_->FindTableStats(scan->table_name()) : nullptr;
       out.rows = stats ? static_cast<double>(stats->row_count)
                        : options_.default_table_rows;

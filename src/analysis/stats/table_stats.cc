@@ -8,11 +8,9 @@ namespace vdm {
 
 namespace {
 
-/// Distinct/null/min-max over a fully materialized column (delta present,
-/// or non-string types). Exact, one pass.
-void CollectFromScan(const Table& table, size_t column_index,
-                     ColumnStatsEntry* entry) {
-  const ColumnData col = table.ScanColumn(column_index);
+/// Distinct/null/min-max over a fully materialized column (the gathered
+/// visible rows). Exact, one pass.
+void CollectFromColumn(const ColumnData& col, ColumnStatsEntry* entry) {
   const size_t rows = col.size();
   if (rows == 0) return;
   size_t nulls = 0;
@@ -58,25 +56,36 @@ void CollectFromScan(const Table& table, size_t column_index,
 
 TableStats CollectRowCountOnly(const Table& table) {
   TableStats stats;
-  stats.row_count = table.NumRows();
+  const TableSnapshot ts = table.PinSnapshot();
+  SelectionVector visible;
+  ts.VisibleRows(0, ts.NumRows(), &visible);
+  stats.row_count = visible.size();
   return stats;
 }
 
 TableStats CollectTableStats(const Table& table) {
   TableStats stats;
-  stats.row_count = table.NumRows();
+  // Stats describe the latest *committed* state: the collector pins a
+  // snapshot once and works entirely off it, so a concurrent merge or
+  // writer cannot race the pass (and uncommitted rows never skew it).
+  const TableSnapshot ts = table.PinSnapshot();
+  const size_t physical = ts.NumRows();
+  SelectionVector visible;
+  ts.VisibleRows(0, physical, &visible);
+  const bool all_visible = visible.size() == physical;
+  stats.row_count = visible.size();
   const TableSchema& schema = table.schema();
   stats.columns.resize(schema.NumColumns());
-  const size_t rows = table.NumRows();
+  const size_t rows = stats.row_count;
   if (rows == 0) return stats;
-  const bool main_only = table.NumDeltaRows() == 0;
+  const bool main_only = ts.delta.NumRows() == 0 && all_visible;
   for (size_t i = 0; i < schema.NumColumns(); ++i) {
     ColumnStatsEntry& entry = stats.columns[i];
     const DataType& type = schema.column(i).type;
     if (type.id == TypeId::kString && main_only) {
       // The sorted main dictionary is duplicate-free and rebuilt from the
-      // live values on every merge: its size IS the distinct count.
-      const MainColumn& mc = table.main_column(i);
+      // surviving values on every merge: its size IS the distinct count.
+      const MainColumn& mc = ts.main_column(i);
       size_t nulls = 0;
       for (uint32_t code : mc.codes) {
         nulls += (code == MainColumn::kNullCode) ? 1 : 0;
@@ -85,7 +94,10 @@ TableStats CollectTableStats(const Table& table) {
       entry.null_fraction = static_cast<double>(nulls) / rows;
       continue;
     }
-    CollectFromScan(table, i, &entry);
+    ColumnData col = ts.ScanColumnRange(i, 0, physical);
+    if (!all_visible) col = col.GatherSelection(visible);
+    col.EnsureDecoded();
+    CollectFromColumn(col, &entry);
   }
   return stats;
 }

@@ -70,6 +70,11 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("table not found: " + name);
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.erase(ToLower(name));
+    data_versions_.erase(ToLower(name));
+  }
   ++version_;
   return Status::OK();
 }

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "txn/snapshot.h"
 
 namespace vdm {
 
@@ -140,6 +141,13 @@ class QueryContext {
   MemoryTracker& memory() { return memory_; }
   const MemoryTracker& memory() const { return memory_; }
 
+  // --- MVCC snapshot ---
+  /// The transaction snapshot every table scan of this query reads under.
+  /// Default-constructed = latest committed state, no transaction of its
+  /// own (autocommit reads). Set once by the engine before execution.
+  void set_snapshot(const TxnSnapshot& snap) { snapshot_ = snap; }
+  const TxnSnapshot& snapshot() const { return snapshot_; }
+
   // --- degradation ladder ---
   /// Set by the engine when retrying serially after kResourceExhausted;
   /// hash tables switch to tight (load-factor ~0.8) slot reservations.
@@ -155,6 +163,7 @@ class QueryContext {
   std::atomic<bool> degraded_{false};
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
   std::atomic<uint64_t> checks_{0};
+  TxnSnapshot snapshot_;
   MemoryTracker memory_;
 };
 

@@ -33,6 +33,8 @@ const char* CodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kSerializationFailure:
+      return "SerializationFailure";
   }
   return "Unknown";
 }

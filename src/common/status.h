@@ -30,6 +30,9 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // A write-write conflict under snapshot isolation (first-updater-wins).
+  // Retryable: abort the transaction and re-run it on a fresh snapshot.
+  kSerializationFailure,
 };
 
 /// Operation outcome: OK or an error code plus a human-readable message.
@@ -78,6 +81,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status SerializationFailure(std::string msg) {
+    return Status(StatusCode::kSerializationFailure, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

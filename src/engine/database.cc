@@ -3,12 +3,16 @@
 #include <chrono>
 #include <cstdlib>
 
+#include <algorithm>
+#include <thread>
+
 #include "analysis/plan_verifier.h"
 #include "analysis/rewrite_auditor.h"
 #include "analysis/stats/cardinality.h"
 #include "analysis/stats/table_stats.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "engine/dml.h"
 #include "expr/eval.h"
 #include "expr/fold.h"
 #include "plan/plan_printer.h"
@@ -62,7 +66,26 @@ Database::Database()
     max_concurrent_ = static_cast<size_t>(max_concurrent);
   }
   stats_enabled_ = EnvInt64("VDM_STATS", 1) != 0;
+  txn_retries_ = static_cast<int>(
+      std::max<int64_t>(0, EnvInt64("VDM_TXN_RETRIES", txn_retries_)));
   ApplyEnvOverrides();
+  int64_t merge_threshold = EnvInt64("VDM_MERGE_THRESHOLD", 0);
+  if (merge_threshold > 0) {
+    SetMergeThreshold(static_cast<size_t>(merge_threshold));
+  }
+}
+
+Database::~Database() {
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    merge_stop_ = true;
+  }
+  merge_cv_.notify_all();
+  if (merge_thread_.joinable()) merge_thread_.join();
+  // Roll back any transaction the caller abandoned (handle destructors
+  // use the fault-free primitive).
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  open_txns_.clear();
 }
 
 void Database::ApplyEnvOverrides() {
@@ -120,15 +143,56 @@ Result<Chunk> Database::Execute(const std::string& sql) {
 Result<Chunk> Database::Execute(const std::string& sql,
                                 const ExecLimits& limits) {
   VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt, sql, limits, /*session=*/nullptr);
+}
+
+Result<Chunk> Database::ExecuteSession(const std::string& sql,
+                                       Transaction** session) {
+  VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt, sql, default_limits_, session);
+}
+
+namespace {
+
+/// The one-row result every DML statement returns.
+Chunk DmlResultChunk(size_t affected) {
+  Chunk out;
+  out.names.push_back("rows_affected");
+  ColumnData col(DataType::Int64());
+  col.AppendInt(static_cast<int64_t>(affected));
+  out.columns.push_back(std::move(col));
+  return out;
+}
+
+}  // namespace
+
+Result<Chunk> Database::ExecuteStatement(const Statement& stmt,
+                                         const std::string& sql,
+                                         const ExecLimits& limits,
+                                         Transaction** session) {
+  Transaction* txn = session != nullptr ? *session : nullptr;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
+      if (txn != nullptr) {
+        QueryContext ctx;
+        ctx.set_snapshot(txn->snapshot());
+        return Query(sql, limits, nullptr, nullptr, &ctx);
+      }
       return Query(sql, limits);
     case Statement::Kind::kCreateTable: {
+      if (txn != nullptr) {
+        return Status::InvalidArgument(
+            "DDL inside an open transaction is not supported");
+      }
       VDM_RETURN_NOT_OK(catalog_.RegisterTable(stmt.create_table->schema));
       VDM_RETURN_NOT_OK(storage_.CreateTable(stmt.create_table->schema));
       return Chunk{};
     }
     case Statement::Kind::kCreateView: {
+      if (txn != nullptr) {
+        return Status::InvalidArgument(
+            "DDL inside an open transaction is not supported");
+      }
       ViewDef view;
       view.name = stmt.create_view->name;
       view.sql = stmt.create_view->select_sql;
@@ -145,56 +209,54 @@ Result<Chunk> Database::Execute(const std::string& sql,
       }
       return Chunk{};
     }
-    case Statement::Kind::kInsert: {
-      const InsertStmt& insert = *stmt.insert;
-      const TableSchema* schema = catalog_.FindTable(insert.table);
-      if (schema == nullptr) {
-        return Status::NotFound("unknown table: " + insert.table);
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kUpdate:
+    case Statement::Kind::kDelete: {
+      if (txn == nullptr) return ExecuteDmlAutoCommit(stmt);
+      // Inside an explicit transaction a conflict surfaces immediately —
+      // the statement left no partial effects, and the caller decides
+      // whether to roll the whole transaction back and retry.
+      Result<size_t> affected =
+          ExecuteDmlStatement(stmt, catalog_, &storage_, txn);
+      if (!affected.ok()) {
+        if (affected.status().code() == StatusCode::kSerializationFailure) {
+          conflicts_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return affected.status();
       }
-      // Map target columns to schema positions.
-      std::vector<size_t> positions;
-      if (insert.columns.empty()) {
-        for (size_t c = 0; c < schema->NumColumns(); ++c) {
-          positions.push_back(c);
-        }
-      } else {
-        for (const std::string& column : insert.columns) {
-          int idx = schema->FindColumn(column);
-          if (idx < 0) {
-            return Status::BindError("unknown column " + column +
-                                     " in table " + insert.table);
-          }
-          positions.push_back(static_cast<size_t>(idx));
-        }
+      return DmlResultChunk(*affected);
+    }
+    case Statement::Kind::kBegin: {
+      if (session == nullptr) {
+        return Status::InvalidArgument(
+            "transaction control requires a session (use ExecuteSession)");
       }
-      std::vector<std::vector<Value>> rows;
-      for (const std::vector<ExprRef>& exprs : insert.rows) {
-        if (exprs.size() != positions.size()) {
-          return Status::BindError("INSERT value count mismatch");
-        }
-        std::vector<Value> row(schema->NumColumns(), Value::Null());
-        for (size_t i = 0; i < exprs.size(); ++i) {
-          std::optional<Value> value = EvaluateConstantExpr(exprs[i]);
-          if (!value.has_value()) {
-            return Status::BindError("INSERT values must be constant: " +
-                                     exprs[i]->ToString());
-          }
-          // Coerce to the column type so decimals land at the declared
-          // scale regardless of the literal's rendering.
-          const DataType& type = schema->column(positions[i]).type;
-          if (!value->is_null() && type.id == TypeId::kDecimal &&
-              value->type().id == TypeId::kDecimal &&
-              value->type().scale != type.scale) {
-            int64_t unscaled = RoundUnscaled(value->AsUnscaled(),
-                                             value->type().scale,
-                                             type.scale);
-            value = Value::Decimal(unscaled, type.scale);
-          }
-          row[positions[i]] = std::move(*value);
-        }
-        rows.push_back(std::move(row));
+      if (txn != nullptr) {
+        return Status::InvalidArgument("a transaction is already open");
       }
-      VDM_RETURN_NOT_OK(Insert(insert.table, rows));
+      *session = BeginTxn();
+      return Chunk{};
+    }
+    case Statement::Kind::kCommit: {
+      if (session == nullptr || *session == nullptr) {
+        return Status::InvalidArgument("no open transaction to commit");
+      }
+      // CommitTxn consumes the handle even on a commit-time conflict (it
+      // rolls back first), so the session slot clears either way.
+      Status st = CommitTxn(*session);
+      *session = nullptr;
+      if (!st.ok()) return st;
+      return Chunk{};
+    }
+    case Statement::Kind::kRollback: {
+      if (session == nullptr || *session == nullptr) {
+        return Status::InvalidArgument("no open transaction to roll back");
+      }
+      // An injected txn.rollback fault leaves the transaction open and
+      // the statement retryable, so the session slot is kept.
+      Status st = RollbackTxn(*session);
+      if (!st.ok()) return st;
+      *session = nullptr;
       return Chunk{};
     }
   }
@@ -257,6 +319,14 @@ Result<Chunk> Database::GovernedExecute(const PlanRef& plan,
   QueryContext* qc = ctx != nullptr ? ctx : &local_ctx;
   if (limits.timeout_ms > 0) qc->SetTimeout(limits.timeout_ms);
   if (limits.memory_budget > 0) qc->memory().set_limit(limits.memory_budget);
+  // Pin the read snapshot at the latest PUBLISHED commit unless the
+  // caller installed one (an explicit transaction's repeatable-read
+  // snapshot). The commit clock is published only after every write of a
+  // committing transaction is stamped, so a query admitted here can never
+  // observe a torn commit even while writers run concurrently.
+  if (qc->snapshot().read_ts == kMaxTs && qc->snapshot().txn_id == 0) {
+    qc->set_snapshot(TxnSnapshot{txn_mgr_.clock(), 0});
+  }
 
   // Admission gate: bounded queueing, not rejection. Nested engine work
   // (cache refresh snapshots) goes through ExecutePlan directly and never
@@ -345,15 +415,29 @@ Result<PlanRef> Database::PlanQueryCached(const std::string& sql,
   const std::string key =
       ComposePlanCacheKey(ps->key, config_fingerprint_, catalog_.version());
   if (std::shared_ptr<const CachedPlan> hit = plan_cache_->Lookup(key)) {
-    start = NowNs();
-    Result<PlanRef> rebound =
-        BindCachedPlan(*hit, ps->params, ps->limit, ps->offset);
-    timing->rebind_ns += NowNs() - start;
-    if (rebound.ok()) {
-      timing->cache_hit = true;
-      return rebound;
+    // The key covers the schema version only; data changes bump the
+    // written table's data version instead, validated per hit — DML on
+    // table A must not evict plans that only touch table B.
+    bool data_current = true;
+    for (const auto& [table, dv] : hit->table_data_versions) {
+      if (catalog_.data_version(table) != dv) {
+        data_current = false;
+        break;
+      }
     }
-    // Rebind mismatch: recompile from scratch below.
+    if (!data_current) {
+      plan_cache_->Invalidate(key);
+    } else {
+      start = NowNs();
+      Result<PlanRef> rebound =
+          BindCachedPlan(*hit, ps->params, ps->limit, ps->offset);
+      timing->rebind_ns += NowNs() - start;
+      if (rebound.ok()) {
+        timing->cache_hit = true;
+        return rebound;
+      }
+      // Rebind mismatch: recompile from scratch below.
+    }
   }
   start = NowNs();
   Result<Statement> stmt = ParseTokenStream(sql, ps->tokens);
@@ -389,6 +473,20 @@ Result<PlanRef> Database::PlanQueryCached(const std::string& sql,
   cached->param_types = ps->param_types;
   cached->has_limit = ps->has_limit;
   cached->has_offset = ps->has_offset;
+  // Record the data version of every base table the *bound* plan scans
+  // (the optimizer may prove scans redundant and drop them, but the
+  // statement's result still only depends on tables the bound form
+  // reads). Validated on every hit.
+  VisitPlan(*bound, [&](const PlanRef& node) {
+    if (node->kind() != OpKind::kScan) return;
+    const std::string table =
+        ToLower(static_cast<const ScanOp&>(*node).table_name());
+    for (const auto& [existing, version] : cached->table_data_versions) {
+      if (existing == table) return;
+    }
+    cached->table_data_versions.emplace_back(table,
+                                             catalog_.data_version(table));
+  });
   start = NowNs();
   Result<PlanRef> rebound =
       BindCachedPlan(*cached, ps->params, ps->limit, ps->offset);
@@ -408,6 +506,203 @@ Status Database::Insert(const std::string& table,
   for (const std::vector<Value>& row : rows) {
     VDM_RETURN_NOT_OK(t->AppendRow(row));
   }
+  catalog_.BumpDataVersion(table);
+  return Status::OK();
+}
+
+// --- transactions (DESIGN.md §15) --------------------------------------
+
+Transaction* Database::BeginTxn() {
+  std::unique_ptr<Transaction> txn = txn_mgr_.Begin();
+  Transaction* raw = txn.get();
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  open_txns_.emplace(raw, std::move(txn));
+  return raw;
+}
+
+Status Database::CommitTxn(Transaction* txn) {
+  if (txn == nullptr || txn->finished()) {
+    return Status::InvalidArgument("commit of a finished transaction");
+  }
+  // The injected commit-time conflict models a validation failure another
+  // engine would detect here: the transaction rolls back (leaving the
+  // database exactly as if it never ran) and the caller sees a retryable
+  // kSerializationFailure.
+  Status injected = FaultInjection::Check("txn.commit.conflict");
+  if (!injected.ok()) {
+    conflicts_.fetch_add(1, std::memory_order_relaxed);
+    FinishRollback(txn);
+    return Status::SerializationFailure(
+        "transaction aborted by commit-time conflict (injected)");
+  }
+  std::vector<Table*> written = txn->written_tables();
+  txn_mgr_.Commit(txn);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  ReleaseTxnHandle(txn);
+  AfterCommit(written);
+  return Status::OK();
+}
+
+Status Database::RollbackTxn(Transaction* txn) {
+  if (txn == nullptr || txn->finished()) {
+    return Status::InvalidArgument("rollback of a finished transaction");
+  }
+  // The fault fires BEFORE any state changes: the transaction stays open
+  // and fully intact, so the caller can simply retry the rollback.
+  Status injected = FaultInjection::Check("txn.rollback");
+  if (!injected.ok()) return injected;
+  FinishRollback(txn);
+  return Status::OK();
+}
+
+void Database::FinishRollback(Transaction* txn) {
+  txn_mgr_.Rollback(txn);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  ReleaseTxnHandle(txn);
+}
+
+void Database::ReleaseTxnHandle(Transaction* txn) {
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  open_txns_.erase(txn);
+}
+
+TxnStats Database::txn_stats() const {
+  TxnStats out;
+  out.commits = commits_.load(std::memory_order_relaxed);
+  out.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  out.conflicts = conflicts_.load(std::memory_order_relaxed);
+  out.retries = txn_retries_used_.load(std::memory_order_relaxed);
+  out.merges = merges_done_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Result<Chunk> Database::ExecuteDmlAutoCommit(const Statement& stmt) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= txn_retries_; ++attempt) {
+    if (attempt > 0) {
+      txn_retries_used_.fetch_add(1, std::memory_order_relaxed);
+      // Exponential backoff (1, 2, 4, ... ms, capped) so colliding
+      // writers de-synchronize instead of re-conflicting in lockstep.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(int64_t{1} << std::min(attempt - 1, 5)));
+    }
+    Transaction* txn = BeginTxn();
+    Result<size_t> affected =
+        ExecuteDmlStatement(stmt, catalog_, &storage_, txn);
+    if (!affected.ok()) {
+      FinishRollback(txn);
+      if (affected.status().code() == StatusCode::kSerializationFailure) {
+        conflicts_.fetch_add(1, std::memory_order_relaxed);
+        last = affected.status();
+        continue;
+      }
+      return affected.status();
+    }
+    Status committed = CommitTxn(txn);
+    if (!committed.ok()) {
+      if (committed.code() == StatusCode::kSerializationFailure) {
+        last = committed;
+        continue;
+      }
+      return committed;
+    }
+    return DmlResultChunk(*affected);
+  }
+  return last;
+}
+
+void Database::AfterCommit(const std::vector<Table*>& written) {
+  size_t threshold;
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    threshold = merge_threshold_;
+  }
+  for (Table* t : written) {
+    const std::string& name = t->schema().name();
+    catalog_.BumpDataVersion(name);
+    const size_t delta = t->NumDeltaRows();
+    const size_t total = t->NumRows();
+    // Delta-heavy auto-analyze: once the delta outgrows a fifth of the
+    // table the collected statistics (and the optimizer decisions built
+    // on them) have drifted too far — recollect from the committed state.
+    if (delta > std::max<size_t>(64, total / 5)) {
+      RefreshTableStats(name);
+    }
+    if (threshold > 0 && delta >= threshold) EnqueueMerge(name);
+  }
+}
+
+void Database::RefreshTableStats(const std::string& name) {
+  const Table* t = storage_.FindTable(name);
+  if (t == nullptr) return;
+  catalog_.SetTableStats(name, stats_enabled_ ? CollectTableStats(*t)
+                                              : CollectRowCountOnly(*t));
+}
+
+// --- background MVCC merge ---------------------------------------------
+
+void Database::SetMergeThreshold(size_t rows) {
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  merge_threshold_ = rows;
+  if (rows > 0 && !merge_thread_.joinable()) {
+    merge_thread_ = std::thread([this] { MergeWorkerLoop(); });
+  }
+}
+
+void Database::EnqueueMerge(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (merge_stop_) return;
+    for (const std::string& queued : merge_queue_) {
+      if (queued == table) return;
+    }
+    merge_queue_.push_back(table);
+  }
+  merge_cv_.notify_one();
+}
+
+void Database::MergeWorkerLoop() {
+  std::unique_lock<std::mutex> lock(merge_mu_);
+  while (true) {
+    merge_cv_.wait(lock, [&] { return merge_stop_ || !merge_queue_.empty(); });
+    if (merge_stop_) return;
+    std::string table = std::move(merge_queue_.front());
+    merge_queue_.pop_front();
+    lock.unlock();
+    Status st = MergeTableMvcc(table);
+    lock.lock();
+    if (!st.ok() && st.code() == StatusCode::kResourceExhausted &&
+        !merge_stop_) {
+      // Active writers or a racing version publish: requeue and back off
+      // so the writer can finish (commit/rollback wakes nothing — the
+      // timeout is the retry tick).
+      merge_queue_.push_back(std::move(table));
+      merge_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                         [&] { return merge_stop_; });
+    }
+    // Any other failure (injected merge fault, cancelled) drops the
+    // request: the next threshold-crossing commit re-enqueues it, and the
+    // aborted merge left the table untouched.
+  }
+}
+
+Status Database::MergeTableMvcc(const std::string& table) {
+  Table* t = storage_.FindTable(table);
+  if (t == nullptr) return Status::NotFound("unknown table: " + table);
+  MergeOptions opts;
+  opts.watermark = txn_mgr_.Watermark();
+  opts.has_active_writers = [this, t] { return txn_mgr_.HasActiveWriters(t); };
+  opts.check_alive = [this] {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    return merge_stop_ ? Status::Cancelled("database shutting down")
+                       : Status::OK();
+  };
+  VDM_RETURN_NOT_OK(t->MergeDeltaMvcc(opts));
+  merges_done_.fetch_add(1, std::memory_order_relaxed);
+  // A merge rewrites the physical layout and purges dead rows: refresh
+  // the table's statistics (which also bumps its data version, retiring
+  // cached plans compiled against the pre-merge state).
+  RefreshTableStats(table);
   return Status::OK();
 }
 
@@ -546,6 +841,18 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql) {
     out += StrFormat("degraded: %llu serial retry within memory budget\n",
                      static_cast<unsigned long long>(
                          metrics.degraded_serial_retries));
+  }
+  const TxnStats txn = txn_stats();
+  if (txn.commits > 0 || txn.rollbacks > 0 || txn.conflicts > 0 ||
+      txn.merges > 0) {
+    out += StrFormat(
+        "txn: %llu commits, %llu rollbacks, %llu conflicts, %llu retries, "
+        "%llu merges\n",
+        static_cast<unsigned long long>(txn.commits),
+        static_cast<unsigned long long>(txn.rollbacks),
+        static_cast<unsigned long long>(txn.conflicts),
+        static_cast<unsigned long long>(txn.retries),
+        static_cast<unsigned long long>(txn.merges));
   }
   return out;
 }
@@ -698,18 +1005,26 @@ Result<bool> Database::VerifyDeclaredUnique(
 void Database::MergeAllDeltas() {
   for (const std::string& name : catalog_.TableNames()) {
     Table* t = storage_.FindTable(name);
-    if (t != nullptr) t->MergeDelta();
+    if (t == nullptr) continue;
+    // Merge at the transaction watermark with fault injection off: this
+    // is the bulk-load / maintenance API, safe to call while transactions
+    // are open (tables with active writers are skipped and stay
+    // mergeable later).
+    MergeOptions opts;
+    opts.watermark = txn_mgr_.Watermark();
+    opts.inject_faults = false;
+    opts.has_active_writers = [this, t] {
+      return txn_mgr_.HasActiveWriters(t);
+    };
+    Status st = t->MergeDeltaMvcc(opts);
+    if (st.ok()) merges_done_.fetch_add(1, std::memory_order_relaxed);
   }
   AnalyzeTables();
 }
 
 void Database::AnalyzeTables() {
   for (const std::string& name : catalog_.TableNames()) {
-    const Table* t = storage_.FindTable(name);
-    if (t != nullptr) {
-      catalog_.SetTableStats(name, stats_enabled_ ? CollectTableStats(*t)
-                                                  : CollectRowCountOnly(*t));
-    }
+    RefreshTableStats(name);
   }
 }
 

@@ -14,10 +14,14 @@
 #ifndef VDMQO_ENGINE_DATABASE_H_
 #define VDMQO_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -28,7 +32,9 @@
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
+#include "sql/ast.h"
 #include "storage/table.h"
+#include "txn/transaction.h"
 #include "types/column.h"
 
 namespace vdm {
@@ -54,6 +60,19 @@ struct ExecLimits {
   int64_t max_queued_ms = 10000;
 };
 
+/// Session-level transaction counters (rendered by ExplainAnalyze and the
+/// vdmsql `.analyze` output).
+struct TxnStats {
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+  /// kSerializationFailure conflicts observed (statement- or commit-time).
+  uint64_t conflicts = 0;
+  /// Auto-commit DML statements re-run after a conflict.
+  uint64_t retries = 0;
+  /// Background / explicit MVCC delta merges completed.
+  uint64_t merges = 0;
+};
+
 struct QueryTiming {
   int64_t parameterize_ns = 0;
   int64_t parse_ns = 0;
@@ -77,6 +96,8 @@ class Database {
 
   /// Honors VDM_PLAN_CACHE / VDM_PLAN_CACHE_CAPACITY environment knobs.
   Database();
+  /// Stops the background merge worker and rolls back open transactions.
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -102,11 +123,50 @@ class Database {
   }
   const ExecOptions& exec_options() const { return exec_options_; }
 
-  /// Executes a DDL or query statement. For SELECT, returns the result
-  /// chunk; for DDL, returns an empty chunk. The overload taking
-  /// ExecLimits applies them to SELECTs (DDL is not governed).
+  /// Executes a DDL, DML, or query statement. For SELECT, returns the
+  /// result chunk; for DML, a one-row `rows_affected` chunk; for DDL, an
+  /// empty chunk. DML auto-commits (with bounded retry on serialization
+  /// failures — VDM_TXN_RETRIES); transaction control statements require
+  /// ExecuteSession. The overload taking ExecLimits applies them to
+  /// SELECTs (DDL and DML are not governed).
   Result<Chunk> Execute(const std::string& sql);
   Result<Chunk> Execute(const std::string& sql, const ExecLimits& limits);
+
+  // --- transactions (DESIGN.md §15) ---
+  /// Opens an explicit snapshot-isolation transaction. The handle stays
+  /// valid until CommitTxn or RollbackTxn finishes it (Database teardown
+  /// rolls back any still-open transaction).
+  Transaction* BeginTxn();
+  /// Commits. On a serialization failure (including the injected
+  /// `txn.commit.conflict` fault) the transaction is rolled back before
+  /// kSerializationFailure is returned, so the handle is consumed either
+  /// way — never reuse it after CommitTxn returns.
+  Status CommitTxn(Transaction* txn);
+  /// Rolls back. Under the injected `txn.rollback` fault this returns the
+  /// injected error with the transaction STILL OPEN — the call is
+  /// retryable, and teardown cleans up if the caller gives up.
+  Status RollbackTxn(Transaction* txn);
+
+  /// Session-statement entry point: like Execute, but BEGIN / COMMIT /
+  /// ROLLBACK manage `*session`, and while `*session` is non-null every
+  /// SELECT reads the transaction's snapshot and every DML statement
+  /// joins its write set (conflicts surface immediately — the caller owns
+  /// retry; auto-commit retry applies only outside a transaction).
+  Result<Chunk> ExecuteSession(const std::string& sql, Transaction** session);
+
+  TxnManager& txn_manager() { return txn_mgr_; }
+  TxnStats txn_stats() const;
+
+  /// Sets the delta-rows threshold at which a commit enqueues the written
+  /// table for a background MVCC merge (0 disables; also settable via
+  /// VDM_MERGE_THRESHOLD at construction). Starts the worker on demand.
+  void SetMergeThreshold(size_t rows);
+  /// Runs one MVCC delta-to-main merge of `table` synchronously at the
+  /// current transaction watermark, then refreshes its statistics and data
+  /// version. kResourceExhausted = concurrent writers or a racing version
+  /// publish; retry later. Fault points: storage.merge.remap,
+  /// storage.merge.abort.
+  Status MergeTableMvcc(const std::string& table);
 
   /// Executes a SELECT and returns its result. Refreshes any stale
   /// dynamic cached views first (DCV semantics, §3). With the plan cache
@@ -209,6 +269,32 @@ class Database {
  private:
   Status BuildSnapshot(ViewDef view, bool replace_existing);
 
+  /// Shared statement dispatch behind Execute and ExecuteSession.
+  /// `session` may be null (plain Execute): transaction control then
+  /// fails and DML auto-commits.
+  Result<Chunk> ExecuteStatement(const Statement& stmt, const std::string& sql,
+                                 const ExecLimits& limits,
+                                 Transaction** session);
+
+  /// Auto-commit DML: begin, execute, commit; on kSerializationFailure
+  /// roll back and retry up to txn_retries_ times with exponential
+  /// backoff before surfacing the failure.
+  Result<Chunk> ExecuteDmlAutoCommit(const Statement& stmt);
+
+  /// Fault-free rollback primitive (internal cleanup paths; the
+  /// fault-checked RollbackTxn wraps it).
+  void FinishRollback(Transaction* txn);
+  /// Post-commit bookkeeping for every written table: bump its data
+  /// version, auto-analyze delta-heavy tables, enqueue background merges.
+  void AfterCommit(const std::vector<Table*>& written);
+  void EnqueueMerge(const std::string& table);
+  void MergeWorkerLoop();
+  /// Drops the handle from open_txns_ (destroying the Transaction).
+  void ReleaseTxnHandle(Transaction* txn);
+  /// Recollects one table's statistics under the current VDM_STATS mode
+  /// (bumps its data version via SetTableStats).
+  void RefreshTableStats(const std::string& name);
+
   /// The governed execution path shared by Query and ExplainAnalyze:
   /// admission gate, context setup from `limits`, parallel execution, and
   /// the serial degradation retry on kResourceExhausted.
@@ -265,6 +351,28 @@ class Database {
   mutable std::mutex admit_mu_;
   mutable std::condition_variable admit_cv_;
   mutable size_t running_queries_ = 0;  // guarded by admit_mu_
+
+  // --- transactions & background merge (§15) ---
+  // txn_mgr_ must outlive open_txns_ (handle destructors roll back into
+  // it) — declared first so it is destroyed last.
+  TxnManager txn_mgr_;
+  std::mutex txns_mu_;
+  std::map<Transaction*, std::unique_ptr<Transaction>> open_txns_;
+  int txn_retries_ = 5;  // VDM_TXN_RETRIES
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> rollbacks_{0};
+  std::atomic<uint64_t> conflicts_{0};
+  std::atomic<uint64_t> txn_retries_used_{0};
+  std::atomic<uint64_t> merges_done_{0};
+  // Background merge worker: commits enqueue tables whose delta crossed
+  // merge_threshold_; the worker merges at the transaction watermark and
+  // retries kResourceExhausted with backoff. Joined in the destructor.
+  std::mutex merge_mu_;
+  std::condition_variable merge_cv_;
+  std::deque<std::string> merge_queue_;  // guarded by merge_mu_
+  bool merge_stop_ = false;              // guarded by merge_mu_
+  size_t merge_threshold_ = 0;           // guarded by merge_mu_
+  std::thread merge_thread_;
 };
 
 }  // namespace vdm

@@ -1,0 +1,183 @@
+#include "engine/dml.h"
+
+#include <utility>
+
+#include "expr/eval.h"
+#include "expr/fold.h"
+
+namespace vdm {
+
+/// Rescales decimals to the column's declared scale (the same rule the
+/// INSERT literal path applies); every other promotion is AppendValue's.
+Value CoerceToColumnType(Value value, const DataType& type) {
+  if (value.is_null() || type.id != TypeId::kDecimal ||
+      value.type().id != TypeId::kDecimal || value.type().scale == type.scale) {
+    return value;
+  }
+  int64_t unscaled = value.AsUnscaled();
+  if (value.type().scale > type.scale) {
+    unscaled = RoundUnscaled(unscaled, value.type().scale, type.scale);
+  } else {
+    for (uint8_t s = value.type().scale; s < type.scale; ++s) unscaled *= 10;
+  }
+  return Value::Decimal(unscaled, type.scale);
+}
+
+namespace {
+
+/// WHERE evaluation over the statement-visible chunk: SQL boolean
+/// semantics, NULL = not selected. A null predicate selects every row.
+Result<SelectionVector> EvalWhere(const ExprRef& where, const Chunk& visible) {
+  SelectionVector selected;
+  const size_t n = visible.NumRows();
+  if (where == nullptr) {
+    for (size_t r = 0; r < n; ++r) selected.push_back(static_cast<uint32_t>(r));
+    return selected;
+  }
+  VDM_ASSIGN_OR_RETURN(ColumnData mask, EvalExpr(where, visible));
+  for (size_t r = 0; r < n; ++r) {
+    if (!mask.IsNull(r) && mask.ints()[r] != 0) {
+      selected.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return selected;
+}
+
+Result<size_t> RunInsert(const InsertStmt& insert, const Catalog& catalog,
+                         StorageManager* storage, Transaction* txn) {
+  const TableSchema* schema = catalog.FindTable(insert.table);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown table: " + insert.table);
+  }
+  Table* table = storage->FindTable(insert.table);
+  if (table == nullptr) {
+    return Status::NotFound("unknown table: " + insert.table);
+  }
+  std::vector<size_t> positions;
+  if (insert.columns.empty()) {
+    for (size_t c = 0; c < schema->NumColumns(); ++c) positions.push_back(c);
+  } else {
+    for (const std::string& column : insert.columns) {
+      int idx = schema->FindColumn(column);
+      if (idx < 0) {
+        return Status::BindError("unknown column " + column + " in table " +
+                                 insert.table);
+      }
+      positions.push_back(static_cast<size_t>(idx));
+    }
+  }
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(insert.rows.size());
+  for (const std::vector<ExprRef>& exprs : insert.rows) {
+    if (exprs.size() != positions.size()) {
+      return Status::BindError("INSERT value count mismatch");
+    }
+    std::vector<Value> row(schema->NumColumns(), Value::Null());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      std::optional<Value> value = EvaluateConstantExpr(exprs[i]);
+      if (!value.has_value()) {
+        return Status::BindError("INSERT values must be constant: " +
+                                 exprs[i]->ToString());
+      }
+      row[positions[i]] = CoerceToColumnType(
+          std::move(*value), schema->column(positions[i]).type);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<WriteOp>* ops = txn->WritesFor(table);
+  for (const std::vector<Value>& row : rows) {
+    VDM_RETURN_NOT_OK(table->InsertRowTxn(row, txn->marker(), ops));
+  }
+  return rows.size();
+}
+
+Result<size_t> RunUpdate(const UpdateStmt& update, const Catalog& catalog,
+                         StorageManager* storage, Transaction* txn) {
+  const TableSchema* schema = catalog.FindTable(update.table);
+  Table* table = storage->FindTable(update.table);
+  if (schema == nullptr || table == nullptr) {
+    return Status::NotFound("unknown table: " + update.table);
+  }
+  std::vector<size_t> set_cols;
+  set_cols.reserve(update.sets.size());
+  for (const auto& [name, expr] : update.sets) {
+    int idx = schema->FindColumn(name);
+    if (idx < 0) {
+      return Status::BindError("unknown column " + name + " in table " +
+                               update.table);
+    }
+    set_cols.push_back(static_cast<size_t>(idx));
+  }
+  // The MutationFn runs under the table's unique lock; any error it
+  // returns aborts the statement before a single end stamp is written.
+  MutationFn fn = [&](const Chunk& visible) -> Result<MutationPlan> {
+    MutationPlan plan;
+    VDM_ASSIGN_OR_RETURN(plan.selected, EvalWhere(update.where, visible));
+    if (plan.selected.empty()) return plan;
+    // Every SET right-hand side is evaluated against the pre-update rows,
+    // so `set a = b, b = a` swaps.
+    std::vector<ColumnData> rhs;
+    rhs.reserve(update.sets.size());
+    for (const auto& [name, expr] : update.sets) {
+      VDM_ASSIGN_OR_RETURN(ColumnData col, EvalExpr(expr, visible));
+      rhs.push_back(std::move(col));
+    }
+    plan.replacements.reserve(plan.selected.size());
+    for (uint32_t li : plan.selected) {
+      std::vector<Value> row(schema->NumColumns());
+      for (size_t c = 0; c < schema->NumColumns(); ++c) {
+        row[c] = visible.columns[c].GetValue(li);
+      }
+      for (size_t i = 0; i < set_cols.size(); ++i) {
+        const ColumnDef& col = schema->column(set_cols[i]);
+        Value v = CoerceToColumnType(rhs[i].GetValue(li), col.type);
+        if (v.is_null() && !col.nullable) {
+          return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                             col.name + " of " + update.table);
+        }
+        row[set_cols[i]] = std::move(v);
+      }
+      plan.replacements.push_back(std::move(row));
+    }
+    return plan;
+  };
+  return table->Mutate(txn->snapshot(), txn->marker(), fn,
+                       txn->WritesFor(table));
+}
+
+Result<size_t> RunDelete(const DeleteStmt& del, const Catalog& catalog,
+                         StorageManager* storage, Transaction* txn) {
+  if (catalog.FindTable(del.table) == nullptr) {
+    return Status::NotFound("unknown table: " + del.table);
+  }
+  Table* table = storage->FindTable(del.table);
+  if (table == nullptr) {
+    return Status::NotFound("unknown table: " + del.table);
+  }
+  MutationFn fn = [&](const Chunk& visible) -> Result<MutationPlan> {
+    MutationPlan plan;
+    VDM_ASSIGN_OR_RETURN(plan.selected, EvalWhere(del.where, visible));
+    return plan;
+  };
+  return table->Mutate(txn->snapshot(), txn->marker(), fn,
+                       txn->WritesFor(table));
+}
+
+}  // namespace
+
+Result<size_t> ExecuteDmlStatement(const Statement& stmt,
+                                   const Catalog& catalog,
+                                   StorageManager* storage, Transaction* txn) {
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      return RunInsert(*stmt.insert, catalog, storage, txn);
+    case Statement::Kind::kUpdate:
+      return RunUpdate(*stmt.update, catalog, storage, txn);
+    case Statement::Kind::kDelete:
+      return RunDelete(*stmt.del, catalog, storage, txn);
+    default:
+      return Status::InvalidArgument("not a DML statement");
+  }
+}
+
+}  // namespace vdm

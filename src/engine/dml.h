@@ -1,0 +1,34 @@
+// DML statement execution (INSERT / UPDATE / DELETE) over the MVCC delta
+// store (DESIGN.md §15). Expression evaluation stays up here: storage only
+// sees a MutationFn that maps the statement-visible rows to a selection
+// plus replacement rows, so find-and-stamp is atomic under the table lock
+// while WHERE / SET evaluation reuses the engine's vectorized EvalExpr.
+#ifndef VDMQO_ENGINE_DML_H_
+#define VDMQO_ENGINE_DML_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+#include "txn/transaction.h"
+
+namespace vdm {
+
+/// Executes one INSERT / UPDATE / DELETE statement inside `txn`,
+/// registering every stamped or appended row in the transaction's write
+/// set. Returns the number of affected rows. kSerializationFailure means a
+/// first-updater-wins conflict with a concurrent transaction; the
+/// statement left no partial effects, and the caller decides whether to
+/// roll back the whole transaction and retry.
+Result<size_t> ExecuteDmlStatement(const Statement& stmt,
+                                   const Catalog& catalog,
+                                   StorageManager* storage, Transaction* txn);
+
+/// Rescales decimals to the column's declared scale (the rule every DML
+/// value path applies before storing). Exposed so the DML differential
+/// shadow (testing/dml_differential.cc) mirrors the engine exactly.
+Value CoerceToColumnType(Value value, const DataType& type);
+
+}  // namespace vdm
+
+#endif  // VDMQO_ENGINE_DML_H_

@@ -36,6 +36,15 @@ void PlanCache::Insert(const std::string& key,
   }
 }
 
+void PlanCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.invalidations;
+}
+
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.invalidations += lru_.size();

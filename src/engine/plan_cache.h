@@ -42,6 +42,12 @@ struct CachedPlan {
   std::vector<DataType> param_types;
   bool has_limit = false;
   bool has_offset = false;
+  /// Data version of every base table the bound plan scans, recorded at
+  /// compile time. A hit is only served while all of them still match:
+  /// DML or a delta merge bumps the written table's data version, so
+  /// plans over *other* tables stay warm (the schema version in the key
+  /// only covers DDL).
+  std::vector<std::pair<std::string, uint64_t>> table_data_versions;
 };
 
 struct PlanCacheStats {
@@ -63,6 +69,10 @@ class PlanCache {
   /// Inserts (or replaces) the entry, evicting the least recently used
   /// entry when over capacity.
   void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops one entry whose recorded table data versions no longer match
+  /// (counted as an invalidation, not an eviction). No-op when absent.
+  void Invalidate(const std::string& key);
 
   /// Drops every entry (profile / optimizer-config change).
   void Clear();

@@ -383,11 +383,11 @@ void CompareToIntervals(BinaryOpKind op,
 /// Resolves a leaf's column reference: must be a scan column of string
 /// type, and every leaf in the tree must name the same column.
 bool ResolveTreeColumn(const ColumnRefExpr* col, const ScanOp& scan,
-                       const Table& table, int* col_idx) {
+                       const TableSnapshot& table, int* col_idx) {
   if (col == nullptr) return false;
   const int idx = FindScanColumn(scan, col->name());
   if (idx < 0) return false;
-  if (table.schema().column(static_cast<size_t>(idx)).type.id !=
+  if (table.schema->column(static_cast<size_t>(idx)).type.id !=
       TypeId::kString) {
     return false;
   }
@@ -399,7 +399,8 @@ bool ResolveTreeColumn(const ColumnRefExpr* col, const ScanOp& scan,
 /// Recursively lowers a boolean tree to a CodeSet. Returns false when any
 /// node falls outside the supported shape (the conjunct then stays in the
 /// residual). `*col_idx` starts at -1 and is pinned by the first leaf.
-bool BuildCodeSet(const ExprRef& e, const ScanOp& scan, const Table& table,
+bool BuildCodeSet(const ExprRef& e, const ScanOp& scan,
+                  const TableSnapshot& table,
                   int* col_idx, CodeSet* set) {
   if (e->kind() == ExprKind::kBinary) {
     const auto& bin = static_cast<const BinaryExpr&>(*e);
@@ -514,7 +515,8 @@ bool BuildCodeSet(const ExprRef& e, const ScanOp& scan, const Table& table,
 /// predicate. Under a WHERE conjunct NULL collapses to false, so the
 /// CodeSet's NULL side contributes matches only when definitely true.
 /// Degenerate sets normalize to the cheaper single-predicate kinds.
-bool LowerStringTree(const ExprRef& e, const ScanOp& scan, const Table& table,
+bool LowerStringTree(const ExprRef& e, const ScanOp& scan,
+                     const TableSnapshot& table,
                      std::vector<LoweredPred>* out) {
   int col_idx = -1;
   CodeSet set;
@@ -576,7 +578,8 @@ bool LowerStringTree(const ExprRef& e, const ScanOp& scan, const Table& table,
 /// literals, double/mixed-scale comparisons, and anything non-trivial stay
 /// residual — and the residual is evaluated even for zero survivors, so
 /// row-independent type errors surface exactly as on the generic path.
-bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
+bool LowerConjunct(const ExprRef& e, const ScanOp& scan,
+                   const TableSnapshot& table,
                    std::vector<LoweredPred>* out) {
   if (e->kind() == ExprKind::kBinary) {
     const auto& bin = static_cast<const BinaryExpr&>(*e);
@@ -599,7 +602,7 @@ bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
     }
     int idx = FindScanColumn(scan, col->name());
     if (idx < 0) return false;
-    const DataType& ct = table.schema().column(static_cast<size_t>(idx)).type;
+    const DataType& ct = table.schema->column(static_cast<size_t>(idx)).type;
     const DataType& lt = lit->value().type();
     if (ct.id == TypeId::kString && lt.id == TypeId::kString) {
       LowerStringCompare(op, static_cast<size_t>(idx),
@@ -644,7 +647,7 @@ bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
     if (col == nullptr) return false;
     int idx = FindScanColumn(scan, col->name());
     if (idx < 0) return false;
-    const DataType& ct = table.schema().column(static_cast<size_t>(idx)).type;
+    const DataType& ct = table.schema->column(static_cast<size_t>(idx)).type;
     if (ct.id == TypeId::kString) {
       LoweredPred p;
       p.kind = LoweredPred::Kind::kCodeNull;
@@ -679,7 +682,7 @@ bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
     }
     int idx = FindScanColumn(scan, col->name());
     if (idx < 0) return false;
-    const DataType& ct = table.schema().column(static_cast<size_t>(idx)).type;
+    const DataType& ct = table.schema->column(static_cast<size_t>(idx)).type;
     if (ct.id != TypeId::kString) return false;
     const std::string& pat = lit->value().AsString();
     const size_t wild = pat.find_first_of("%_");
@@ -731,7 +734,8 @@ bool LowerConjunct(const ExprRef& e, const ScanOp& scan, const Table& table,
 /// filters all see the same scan columns, and conjuncts of ANDed filters
 /// commute, so they lower as one batch.
 CompiledFilters CompileFilters(const std::vector<const LogicalOp*>& chain,
-                               const ScanOp& scan, const Table& table) {
+                               const ScanOp& scan,
+                               const TableSnapshot& table) {
   CompiledFilters cf;
   std::vector<ExprRef> residual;
   for (size_t i = chain.size() - 1; i-- > 0;) {
@@ -869,7 +873,7 @@ class ExecutorImpl {
   /// (strings stay lazy as dictionary codes), then the residual conjuncts
   /// run on the gathered chunk. The residual is evaluated even with zero
   /// survivors so type errors match the generic path exactly.
-  Status CompressedMorsel(const ScanOp& scan, const Table& table,
+  Status CompressedMorsel(const ScanOp& scan, const TableSnapshot& table,
                           const CompiledFilters& cf, size_t begin, size_t end,
                           Chunk* out_chunk) {
     const size_t n = end - begin;
@@ -959,7 +963,7 @@ class ExecutorImpl {
     for (size_t schema_idx : scan.column_indexes()) {
       chunk.names.push_back(scan.QualifiedName(schema_idx));
       const MainColumn& mc = table.main_column(schema_idx);
-      const DataType& t = table.schema().column(schema_idx).type;
+      const DataType& t = table.schema->column(schema_idx).type;
       if (t.id == TypeId::kString) {
         std::vector<int32_t> codes(k);
         if (k > 0) {
@@ -1027,11 +1031,12 @@ class ExecutorImpl {
   struct PipelinePrep {
     const std::vector<const LogicalOp*>* chain = nullptr;
     const ScanOp* scan = nullptr;
-    const Table* table = nullptr;
+    TableSnapshot snap;
     CompiledFilters compiled;
     size_t n = 0;
     size_t num_morsels = 0;
     size_t main_rows = 0;
+    bool all_visible = false;  // every physical row visible: no MVCC gather
   };
 
   Result<PipelinePrep> PreparePipeline(
@@ -1039,8 +1044,8 @@ class ExecutorImpl {
     PipelinePrep prep;
     prep.chain = &chain;
     prep.scan = static_cast<const ScanOp*>(chain.back());
-    prep.table = storage_->FindTable(prep.scan->table_name());
-    if (prep.table == nullptr) {
+    const Table* table = storage_->FindTable(prep.scan->table_name());
+    if (table == nullptr) {
       return Status::NotFound("no storage for table " +
                               prep.scan->table_name());
     }
@@ -1048,18 +1053,24 @@ class ExecutorImpl {
       return Status::Internal("scan with no columns: " +
                               prep.scan->table_name());
     }
-    prep.n = prep.table->NumRows();
+    // Pin the MVCC read view once per pipeline: the immutable main version
+    // plus a copy of the delta. Workers never touch the Table again, so
+    // concurrent DML and merges cannot race the scan.
+    prep.snap = table->PinSnapshot(ctx_->snapshot());
+    prep.n = prep.snap.NumRows();
     // Always process at least one (possibly empty) morsel so the output
     // carries its column names/types even for empty tables.
     prep.num_morsels =
         std::max<size_t>(1, (prep.n + morsel_size_ - 1) / morsel_size_);
     // Compile the bottom Filter run once per pipeline; morsels that lie
-    // entirely in the main fragment take the compressed path, morsels
-    // overlapping the delta fall back to the generic one (same results).
+    // entirely in the main fragment with no hidden rows take the
+    // compressed path, morsels overlapping the delta or MVCC-filtered
+    // rows fall back to the generic one (same results).
     if (options_.enable_compressed_exec && chain.size() > 1) {
-      prep.compiled = CompileFilters(chain, *prep.scan, *prep.table);
+      prep.compiled = CompileFilters(chain, *prep.scan, prep.snap);
     }
-    prep.main_rows = prep.table->NumMainRows();
+    prep.main_rows = prep.snap.main_rows();
+    prep.all_visible = prep.snap.AllVisible(0, prep.n);
     return prep;
   }
 
@@ -1069,15 +1080,30 @@ class ExecutorImpl {
     size_t end = std::min(prep.n, begin + morsel_size_);
     Chunk chunk;
     size_t top = chain.size() - 1;  // ops left for the generic loop below
-    if (prep.compiled.active && end <= prep.main_rows) {
-      VDM_RETURN_NOT_OK(CompressedMorsel(*prep.scan, *prep.table,
+    const bool all_visible =
+        prep.all_visible || prep.snap.AllVisible(begin, end);
+    if (prep.compiled.active && end <= prep.main_rows && all_visible) {
+      VDM_RETURN_NOT_OK(CompressedMorsel(*prep.scan, prep.snap,
                                          prep.compiled, begin, end, &chunk));
       top -= prep.compiled.bottom_filters;
     } else {
       for (size_t schema_idx : prep.scan->column_indexes()) {
         chunk.names.push_back(prep.scan->QualifiedName(schema_idx));
         chunk.columns.push_back(
-            prep.table->ScanColumnRange(schema_idx, begin, end));
+            prep.snap.ScanColumnRange(schema_idx, begin, end));
+      }
+      if (!all_visible) {
+        // Visibility-checked residual path: drop the rows this snapshot
+        // cannot see before any predicate runs.
+        SelectionVector vis;
+        prep.snap.VisibleRows(begin, end, &vis);
+        Chunk filtered;
+        filtered.names = chunk.names;
+        filtered.columns.reserve(chunk.columns.size());
+        for (const ColumnData& col : chunk.columns) {
+          filtered.columns.push_back(col.GatherSelection(vis));
+        }
+        chunk = std::move(filtered);
       }
     }
     // Apply the remaining Filter/Project stack bottom-up (chain is

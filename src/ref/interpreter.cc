@@ -67,7 +67,8 @@ Chunk GatherRows(const Chunk& input, const std::vector<size_t>& rows) {
 
 class Interp {
  public:
-  explicit Interp(const StorageManager* storage) : storage_(storage) {}
+  Interp(const StorageManager* storage, const TxnSnapshot& snap)
+      : storage_(storage), snap_(snap) {}
 
   Result<Chunk> Run(const PlanRef& plan) {
     switch (plan->kind()) {
@@ -94,16 +95,26 @@ class Interp {
   }
 
  private:
+  // Scans read through a pinned TableSnapshot: one visibility pass over
+  // all physical rows, then a gather per column. With the default
+  // snapshot every committed row is visible and the gather is skipped.
   Result<Chunk> RunScan(const ScanOp& scan) {
     const Table* table = storage_->FindTable(scan.table_name());
     if (table == nullptr) {
       return Status::ExecutionError("reference interpreter: no table '" +
                                     scan.table_name() + "'");
     }
+    TableSnapshot pinned = table->PinSnapshot(snap_);
+    const size_t n = pinned.NumRows();
+    const bool all = pinned.AllVisible(0, n);
+    SelectionVector visible;
+    if (!all) pinned.VisibleRows(0, n, &visible);
     Chunk out;
     for (size_t schema_idx : scan.column_indexes()) {
+      ColumnData col = pinned.ScanColumnRange(schema_idx, 0, n);
+      if (!all) col = col.GatherSelection(visible);
       out.names.push_back(scan.QualifiedName(schema_idx));
-      out.columns.push_back(table->ScanColumn(schema_idx));
+      out.columns.push_back(std::move(col));
     }
     return out;
   }
@@ -509,13 +520,14 @@ class Interp {
   }
 
   const StorageManager* storage_;
+  TxnSnapshot snap_;
 };
 
 }  // namespace
 
 Result<Chunk> RefInterpreter::Execute(const PlanRef& plan) const {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  Interp interp(storage_);
+  Interp interp(storage_, snap_);
   try {
     return interp.Run(plan);
   } catch (...) {

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
+#include "txn/snapshot.h"
 #include "types/column.h"
 
 namespace vdm {
@@ -30,6 +31,11 @@ class RefInterpreter {
   explicit RefInterpreter(const StorageManager* storage)
       : storage_(storage) {}
 
+  /// Pins the MVCC snapshot every scan reads under. The default snapshot
+  /// (read_ts = kMaxTs, no transaction) sees all committed rows.
+  void set_snapshot(const TxnSnapshot& snap) { snap_ = snap; }
+  const TxnSnapshot& snapshot() const { return snap_; }
+
   /// Evaluates `plan` bottom-up, materializing each operator fully.
   /// Intended for the raw bound plan (Database::BindQuery), but accepts
   /// any logical plan.
@@ -37,6 +43,7 @@ class RefInterpreter {
 
  private:
   const StorageManager* storage_;
+  TxnSnapshot snap_;
 };
 
 }  // namespace vdm

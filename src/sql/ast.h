@@ -81,12 +81,38 @@ struct InsertStmt {
   std::vector<std::vector<ExprRef>> rows;
 };
 
+struct UpdateStmt {
+  std::string table;
+  /// SET column = expr assignments, applied simultaneously (every RHS is
+  /// evaluated against the pre-update row).
+  std::vector<std::pair<std::string, ExprRef>> sets;
+  ExprRef where;  // may be null = all rows
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprRef where;  // may be null = all rows
+};
+
 struct Statement {
-  enum class Kind { kSelect, kCreateTable, kCreateView, kInsert } kind;
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateView,
+    kInsert,
+    kUpdate,
+    kDelete,
+    // Transaction control; carry no payload.
+    kBegin,
+    kCommit,
+    kRollback,
+  } kind;
   std::shared_ptr<SelectStmt> select;
   std::shared_ptr<CreateTableStmt> create_table;
   std::shared_ptr<CreateViewStmt> create_view;
   std::shared_ptr<InsertStmt> insert;
+  std::shared_ptr<UpdateStmt> update;
+  std::shared_ptr<DeleteStmt> del;
 };
 
 }  // namespace vdm

@@ -107,6 +107,12 @@ class Parser {
   Result<Statement> ParseOneStatement() {
     if (PeekKeyword("create")) return ParseCreate();
     if (PeekKeyword("insert")) return ParseInsert();
+    if (PeekKeyword("update")) return ParseUpdate();
+    if (PeekKeyword("delete")) return ParseDelete();
+    if (PeekKeyword("begin") || PeekKeyword("commit") ||
+        PeekKeyword("rollback") || PeekKeyword("abort")) {
+      return ParseTxnControl();
+    }
     if (PeekKeyword("select") || PeekSymbol("(")) {
       Statement stmt;
       stmt.kind = Statement::Kind::kSelect;
@@ -114,7 +120,59 @@ class Parser {
       stmt.select = std::make_shared<SelectStmt>(std::move(select));
       return stmt;
     }
-    return Error("expected SELECT, INSERT, or CREATE");
+    return Error("expected SELECT, INSERT, UPDATE, DELETE, or CREATE");
+  }
+
+  Result<Statement> ParseTxnControl() {
+    Statement stmt;
+    if (ConsumeKeyword("begin")) {
+      ConsumeKeyword("transaction");  // optional noise word
+      stmt.kind = Statement::Kind::kBegin;
+      return stmt;
+    }
+    if (ConsumeKeyword("commit")) {
+      stmt.kind = Statement::Kind::kCommit;
+      return stmt;
+    }
+    if (ConsumeKeyword("rollback") || ConsumeKeyword("abort")) {
+      stmt.kind = Statement::Kind::kRollback;
+      return stmt;
+    }
+    return Error("expected BEGIN, COMMIT, or ROLLBACK");
+  }
+
+  Result<Statement> ParseUpdate() {
+    VDM_RETURN_NOT_OK(ExpectKeyword("update"));
+    auto update = std::make_shared<UpdateStmt>();
+    VDM_ASSIGN_OR_RETURN(update->table, ExpectIdentifier());
+    VDM_RETURN_NOT_OK(ExpectKeyword("set"));
+    do {
+      VDM_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      VDM_RETURN_NOT_OK(ExpectSymbol("="));
+      VDM_ASSIGN_OR_RETURN(ExprRef value, ParseExpr());
+      update->sets.emplace_back(std::move(column), std::move(value));
+    } while (ConsumeSymbol(","));
+    if (ConsumeKeyword("where")) {
+      VDM_ASSIGN_OR_RETURN(update->where, ParseExpr());
+    }
+    Statement stmt;
+    stmt.kind = Statement::Kind::kUpdate;
+    stmt.update = std::move(update);
+    return stmt;
+  }
+
+  Result<Statement> ParseDelete() {
+    VDM_RETURN_NOT_OK(ExpectKeyword("delete"));
+    VDM_RETURN_NOT_OK(ExpectKeyword("from"));
+    auto del = std::make_shared<DeleteStmt>();
+    VDM_ASSIGN_OR_RETURN(del->table, ExpectIdentifier());
+    if (ConsumeKeyword("where")) {
+      VDM_ASSIGN_OR_RETURN(del->where, ParseExpr());
+    }
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDelete;
+    stmt.del = std::move(del);
+    return stmt;
   }
 
   Result<Statement> ParseInsert() {

@@ -1,0 +1,89 @@
+// DML differential runner: the MVCC delta store vs. a shadow mirror.
+//
+// Each generated script (testing/query_gen.h, GenerateDmlScript) is a
+// serial list of interleaved-session steps: BEGIN / COMMIT / ROLLBACK,
+// INSERT / UPDATE / DELETE, mid-script SELECTs, and explicit
+// delta-to-main merges. Every script runs once per leg of a matrix that
+// varies what must NOT matter for correctness:
+//
+//   optimizer profile (kHana / kPostgres / kNone)
+//     x executor threads {1, N}
+//     x merge timing (never / explicit script ops / background threshold)
+//     x plan cache (off / on — exercising per-table data-version
+//       invalidation under DML)
+//
+// and, in a VDMQO_FAULT_INJECTION build with DmlDiffOptions::with_faults,
+// once more with the four txn/merge fault points armed
+// (txn.commit.conflict, txn.rollback, storage.merge.remap,
+// storage.merge.abort): every injected failure must leave the database in
+// a state the oracle still agrees with.
+//
+// Two oracles check each run:
+//  * mid-script SELECTs are diffed against the reference interpreter
+//    pinned to the same MVCC snapshot (executor visibility fast/residual
+//    paths vs. the naive one-pass scan);
+//  * the final committed state of every table is diffed against a shadow
+//    database — plain row maps keyed by a synthetic rid — that applies an
+//    operation if and only if the engine reported success for it, so
+//    conflicts, rollbacks, and injected faults converge by construction
+//    and any divergence is an engine MVCC/merge bug. The check repeats
+//    after MergeAllDeltas() so a merge can be diffed in isolation.
+#ifndef VDMQO_TESTING_DML_DIFFERENTIAL_H_
+#define VDMQO_TESTING_DML_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "testing/query_gen.h"
+
+namespace vdm {
+
+struct DmlDiffOptions {
+  uint64_t seed = 7;
+  int num_scripts = 100;
+  DmlScriptOptions script;
+  /// The "N" in the parallel-executor legs.
+  size_t exec_threads = 4;
+  /// Worker threads over scripts; 0 = hardware concurrency capped at 8.
+  int workers = 0;
+  /// Repro dumps are written here on mismatch ("" disables dumping).
+  std::string artifacts_dir;
+  /// Arms the four txn/merge fault points (probability draw, seeded by
+  /// `seed`) for the whole run. No-op unless FaultInjection::CompiledIn().
+  bool with_faults = false;
+  /// Print a progress line every N scripts (0 = quiet).
+  int progress_every = 0;
+};
+
+struct DmlDiffStats {
+  int64_t scripts = 0;
+  int64_t ops = 0;
+  /// Mid-script engine-vs-interpreter query diffs performed.
+  int64_t query_checks = 0;
+  /// Final-state table diffs performed (pre- and post-merge).
+  int64_t final_checks = 0;
+  /// Statements the engine rejected with kSerializationFailure.
+  int64_t conflicts = 0;
+  /// Other statement failures (injected faults, retries exhausted).
+  int64_t op_errors = 0;
+  /// Explicit script merges that installed.
+  int64_t merges = 0;
+  /// Scripts with at least one diff against an oracle.
+  int64_t mismatches = 0;
+  std::vector<std::string> repro_files;
+};
+
+/// Creates and deterministically seeds the two DML script tables
+/// (kDmlTables) on `db`.
+Status SetUpDmlTables(Database* db);
+
+/// Runs the full matrix. Returns an error only on harness failure;
+/// engine-vs-oracle diffs are reported via DmlDiffStats::mismatches.
+Result<DmlDiffStats> RunDmlDifferential(const DmlDiffOptions& options);
+
+}  // namespace vdm
+
+#endif  // VDMQO_TESTING_DML_DIFFERENTIAL_H_

@@ -483,4 +483,138 @@ GeneratedQuery QueryGenerator::Next() {
   return q;
 }
 
+// ---------------------------------------------------------------------
+// Interleaved DML scripts.
+
+const char* const kDmlTables[2] = {"dml_a", "dml_b"};
+
+namespace {
+
+/// Predicates the DML shadow can mirror exactly: row-local comparisons
+/// over the fixed DML schema.
+std::string DmlPredicate(Rng* rng) {
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      return StrFormat("k < %lld",
+                       static_cast<long long>(rng->Uniform(1, 600)));
+    case 1:
+      return StrFormat("grp = %lld",
+                       static_cast<long long>(rng->Uniform(0, 7)));
+    case 2: {
+      int64_t lo = rng->Uniform(0, 800);
+      return StrFormat("v >= %lld and v < %lld", static_cast<long long>(lo),
+                       static_cast<long long>(lo + rng->Uniform(50, 400)));
+    }
+    default:
+      return StrFormat("s = 's%02lld'",
+                       static_cast<long long>(rng->Uniform(0, 19)));
+  }
+}
+
+std::string DmlInsert(Rng* rng, const std::string& table) {
+  int rows = static_cast<int>(rng->Uniform(1, 3));
+  std::string sql = "insert into " + table + " values ";
+  for (int r = 0; r < rows; ++r) {
+    if (r > 0) sql += ", ";
+    sql += StrFormat(
+        "(%lld, %lld, %lld, 's%02lld', %lld.%02lld)",
+        static_cast<long long>(rng->Uniform(1, 999)),
+        static_cast<long long>(rng->Uniform(0, 7)),
+        static_cast<long long>(rng->Uniform(0, 1200)),
+        static_cast<long long>(rng->Uniform(0, 19)),
+        static_cast<long long>(rng->Uniform(0, 99)),
+        static_cast<long long>(rng->Uniform(0, 99)));
+  }
+  return sql;
+}
+
+std::string DmlUpdate(Rng* rng, const std::string& table) {
+  std::string set;
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      set = StrFormat("v = v + %lld",
+                      static_cast<long long>(rng->Uniform(1, 9)));
+      break;
+    case 1:
+      set = StrFormat("s = 's%02lld'",
+                      static_cast<long long>(rng->Uniform(0, 19)));
+      break;
+    case 2:
+      set = StrFormat("d = d + %lld.%02lld",
+                      static_cast<long long>(rng->Uniform(0, 9)),
+                      static_cast<long long>(rng->Uniform(0, 99)));
+      break;
+    default:
+      set = StrFormat("v = %lld, grp = %lld",
+                      static_cast<long long>(rng->Uniform(0, 1200)),
+                      static_cast<long long>(rng->Uniform(0, 7)));
+      break;
+  }
+  return "update " + table + " set " + set + " where " + DmlPredicate(rng);
+}
+
+std::string DmlQuery(Rng* rng, const std::string& table) {
+  switch (rng->Uniform(0, 2)) {
+    case 0:
+      return "select grp, count(*) as n, sum(v) as sv from " + table +
+             " group by grp";
+    case 1:
+      return "select k, v, s from " + table + " where " + DmlPredicate(rng);
+    default:
+      return "select count(*) as n, sum(d) as sd from " + table;
+  }
+}
+
+}  // namespace
+
+DmlScript GenerateDmlScript(uint64_t seed, size_t index,
+                            const DmlScriptOptions& options) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + index * 1000003 + 17);
+  DmlScript script;
+  std::vector<bool> open(static_cast<size_t>(options.sessions), false);
+  auto pick_table = [&] {
+    return std::string(kDmlTables[rng.Bernoulli(0.7) ? 0 : 1]);
+  };
+  for (int i = 0; i < options.num_ops; ++i) {
+    const int session =
+        static_cast<int>(rng.Uniform(0, options.sessions - 1));
+    const size_t s = static_cast<size_t>(session);
+    const int64_t dice = rng.Uniform(0, 99);
+    if (!open[s] && dice < 30) {
+      script.ops.push_back({DmlOp::Kind::kBegin, session, "", ""});
+      open[s] = true;
+    } else if (open[s] && dice < 14) {
+      script.ops.push_back({rng.Bernoulli(0.75) ? DmlOp::Kind::kCommit
+                                                : DmlOp::Kind::kRollback,
+                            session, "", ""});
+      open[s] = false;
+    } else if (dice < 44) {
+      script.ops.push_back(
+          {DmlOp::Kind::kQuery, session, DmlQuery(&rng, pick_table()), ""});
+    } else if (dice < 52) {
+      script.ops.push_back({DmlOp::Kind::kMerge, 0, "", pick_table()});
+    } else {
+      const std::string table = pick_table();
+      std::string sql;
+      const int64_t kind = rng.Uniform(0, 9);
+      if (kind < 4) {
+        sql = DmlInsert(&rng, table);
+      } else if (kind < 8) {
+        sql = DmlUpdate(&rng, table);
+      } else {
+        sql = "delete from " + table + " where " + DmlPredicate(&rng);
+      }
+      script.ops.push_back({DmlOp::Kind::kDml, session, sql, ""});
+    }
+  }
+  // Close every still-open session so the final state is all-committed.
+  for (int session = 0; session < options.sessions; ++session) {
+    if (!open[static_cast<size_t>(session)]) continue;
+    script.ops.push_back({rng.Bernoulli(0.75) ? DmlOp::Kind::kCommit
+                                              : DmlOp::Kind::kRollback,
+                          session, "", ""});
+  }
+  return script;
+}
+
 }  // namespace vdm

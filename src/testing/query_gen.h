@@ -134,6 +134,51 @@ class QueryGenerator {
   Rng rng_;
 };
 
+// ---------------------------------------------------------------------
+// Interleaved DML scripts (MVCC differential testing, DESIGN.md §15).
+//
+// A script is a *serial* list of steps over the fixed DML tables
+// (testing/dml_differential.h creates them); each step belongs to one of
+// a handful of transaction sessions, so transactions overlap in script
+// order without the generator needing threads: session 0 can read twice
+// around a step where session 1 commits — exactly the snapshot-isolation
+// surface the differential oracle pins down. Steps outside an open
+// session transaction run autocommit.
+
+struct DmlOp {
+  enum class Kind {
+    kBegin,     // open the session's transaction
+    kCommit,
+    kRollback,
+    kDml,       // INSERT / UPDATE / DELETE in `sql`
+    kQuery,     // SELECT in `sql`; diffed engine-vs-interpreter mid-script
+    kMerge,     // explicit delta-to-main merge of `table`
+  };
+  Kind kind = Kind::kDml;
+  int session = 0;
+  std::string sql;
+  std::string table;  // kMerge target
+};
+
+struct DmlScript {
+  std::vector<DmlOp> ops;
+};
+
+struct DmlScriptOptions {
+  int sessions = 3;
+  int num_ops = 40;
+};
+
+/// The tables DML scripts write. Both have columns
+/// (k int, grp int, v int, s varchar(12), d decimal(10,2)).
+extern const char* const kDmlTables[2];
+
+/// Deterministically generates the `index`-th script for `seed`. Every
+/// session transaction opened by the script is closed by it (commit or
+/// rollback) before the script ends.
+DmlScript GenerateDmlScript(uint64_t seed, size_t index,
+                            const DmlScriptOptions& options = {});
+
 }  // namespace vdm
 
 #endif  // VDMQO_TESTING_QUERY_GEN_H_

@@ -1,0 +1,79 @@
+// MVCC snapshot visibility (DESIGN.md §15). Every delta row (and, after
+// deletes reach the main fragment, every main row) carries a begin and an
+// end timestamp. Committed stamps are commit-clock values; in-flight stamps
+// are the writing transaction's id with the high bit set, so a reader can
+// tell "committed at time T" from "uncommitted, owned by txn X" without a
+// lookup. A snapshot sees a row iff the row began at or before the
+// snapshot's read timestamp (or is the snapshot's own uncommitted write)
+// and has not ended by then.
+#ifndef VDMQO_TXN_SNAPSHOT_H_
+#define VDMQO_TXN_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vdm {
+
+/// High bit set = the stamp is an in-flight transaction id, not a commit
+/// timestamp. Txn ids start at 1; commit timestamps start at 1 (0 is the
+/// loader's "visible since always" stamp).
+inline constexpr uint64_t kTxnFlag = 1ull << 63;
+
+/// Largest commit timestamp; a snapshot at kMaxTs sees every committed row.
+inline constexpr uint64_t kMaxTs = kTxnFlag - 1;
+
+/// End stamp meaning "not deleted".
+inline constexpr uint64_t kInfinity = ~0ull;
+
+/// Begin stamp for rows whose inserting transaction aborted: the flag with
+/// txn id 0, which no live transaction ever holds, so the row is invisible
+/// to every snapshot forever. (Physically reclaimed by the next merge.)
+inline constexpr uint64_t kNeverVisible = kTxnFlag;
+
+/// A transaction's read view: committed state as of `read_ts`, plus its own
+/// uncommitted writes (`txn_id`). Default-constructed = autocommit read of
+/// the latest committed state with no writes of its own.
+struct TxnSnapshot {
+  uint64_t read_ts = kMaxTs;
+  uint64_t txn_id = 0;
+};
+
+/// True if a row with begin stamp `begin` is visible to `snap` (ignoring
+/// deletion, which EndHides handles).
+inline bool BeginVisible(uint64_t begin, const TxnSnapshot& snap) {
+  if (begin & kTxnFlag) {
+    const uint64_t tid = begin & ~kTxnFlag;
+    return tid != 0 && tid == snap.txn_id;  // own uncommitted insert
+  }
+  return begin <= snap.read_ts;
+}
+
+/// True if a row with end stamp `end` is deleted from `snap`'s view.
+inline bool EndHides(uint64_t end, const TxnSnapshot& snap) {
+  if (end == kInfinity) return false;
+  if (end & kTxnFlag) {
+    const uint64_t tid = end & ~kTxnFlag;
+    return tid != 0 && tid == snap.txn_id;  // own uncommitted delete
+  }
+  return end <= snap.read_ts;
+}
+
+inline bool RowVisible(uint64_t begin, uint64_t end, const TxnSnapshot& snap) {
+  return BeginVisible(begin, snap) && !EndHides(end, snap);
+}
+
+/// One uncommitted mutation, recorded in the owning transaction's write set
+/// so commit can stamp it with the commit timestamp and abort can revert
+/// it. Row positions are stable while the transaction is live: the merge
+/// refuses to install while any writer is active on the table, and the
+/// delta only grows.
+struct WriteOp {
+  bool in_main = false;   // row lives in the main fragment (delete only)
+  size_t row = 0;         // position within the fragment
+  bool is_insert = false; // true: this txn appended the row (begin stamped);
+                          // false: this txn deleted it (end stamped)
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_TXN_SNAPSHOT_H_

@@ -1,0 +1,90 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+namespace vdm {
+
+Transaction::~Transaction() {
+  if (!finished_) mgr_->Rollback(this);
+}
+
+std::vector<WriteOp>* Transaction::WritesFor(Table* t) {
+  auto it = writes_.find(t);
+  if (it == writes_.end()) {
+    mgr_->NoteWriter(t);
+    it = writes_.emplace(t, std::vector<WriteOp>()).first;
+  }
+  return &it->second;
+}
+
+std::unique_ptr<Transaction> TxnManager::Begin() {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxnSnapshot snap;
+  snap.read_ts = clock_.load(std::memory_order_acquire);
+  snap.txn_id = next_txn_id_++;
+  txns_begun_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this, snap));
+  active_[snap.txn_id] = txn.get();
+  return txn;
+}
+
+void TxnManager::Commit(Transaction* txn) {
+  if (txn->finished_) return;
+  if (txn->writes_.empty()) {
+    Retire(txn);
+    return;
+  }
+  {
+    // Stamp every table's ops, then publish the clock. Snapshots taken
+    // while stamping is in progress read the old clock and so see none of
+    // the new stamps (they carry a timestamp above the old clock);
+    // snapshots taken after the publish see all of them.
+    std::lock_guard<std::mutex> commit_lk(commit_mu_);
+    const uint64_t commit_ts = clock_.load(std::memory_order_relaxed) + 1;
+    for (auto& [table, ops] : txn->writes_) {
+      table->FinalizeWrites(ops, commit_ts);
+    }
+    clock_.store(commit_ts, std::memory_order_release);
+  }
+  Retire(txn);
+}
+
+void TxnManager::Rollback(Transaction* txn) {
+  if (txn->finished_) return;
+  for (auto& [table, ops] : txn->writes_) {
+    table->AbortWrites(ops);
+  }
+  Retire(txn);
+}
+
+void TxnManager::Retire(Transaction* txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  active_.erase(txn->snap_.txn_id);
+  for (const auto& [table, ops] : txn->writes_) {
+    auto it = writers_.find(table);
+    if (it != writers_.end() && --it->second == 0) writers_.erase(it);
+  }
+  txn->finished_ = true;
+}
+
+void TxnManager::NoteWriter(Table* t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++writers_[t];
+}
+
+uint64_t TxnManager::Watermark() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t wm = clock_.load(std::memory_order_acquire);
+  for (const auto& [id, txn] : active_) {
+    wm = std::min(wm, txn->snap_.read_ts);
+  }
+  return wm;
+}
+
+bool TxnManager::HasActiveWriters(const Table* t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = writers_.find(t);
+  return it != writers_.end() && it->second > 0;
+}
+
+}  // namespace vdm

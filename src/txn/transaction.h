@@ -1,0 +1,117 @@
+// Transaction manager (DESIGN.md §15): monotonic transaction ids, a commit
+// clock whose published value is every new snapshot's read timestamp, and
+// per-transaction write sets that commit stamps and abort reverts.
+//
+// Lock ordering (deadlock freedom): commit_mu_ → a table's shared_mutex →
+// mu_. No path acquires a table lock while holding mu_, and the merge's
+// install phase (table lock held, then HasActiveWriters → mu_) follows the
+// same order. The commit clock is published only after every write of the
+// committing transaction is stamped, so a snapshot taken at read_ts T sees
+// either all or none of any transaction's writes — never a torn commit.
+#ifndef VDMQO_TXN_TRANSACTION_H_
+#define VDMQO_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "txn/snapshot.h"
+
+namespace vdm {
+
+class TxnManager;
+
+/// One open transaction: a fixed snapshot (repeatable reads) plus per-table
+/// write sets of uncommitted stamps. Destroying an unfinished transaction
+/// rolls it back.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t id() const { return snap_.txn_id; }
+  /// The in-flight stamp this transaction writes into begin/end slots.
+  uint64_t marker() const { return kTxnFlag | snap_.txn_id; }
+  const TxnSnapshot& snapshot() const { return snap_; }
+
+  /// The write set for `t`, created on first use — which also registers
+  /// this transaction as an active writer on `t`, blocking merge installs
+  /// until commit or rollback retires the raw row positions the ops hold.
+  std::vector<WriteOp>* WritesFor(Table* t);
+  bool has_writes() const { return !writes_.empty(); }
+  bool finished() const { return finished_; }
+
+  /// Tables this transaction has written (non-empty write sets).
+  std::vector<Table*> written_tables() const {
+    std::vector<Table*> out;
+    for (const auto& [t, ops] : writes_) {
+      if (!ops.empty()) out.push_back(t);
+    }
+    return out;
+  }
+
+ private:
+  friend class TxnManager;
+  Transaction(TxnManager* mgr, TxnSnapshot snap) : mgr_(mgr), snap_(snap) {}
+
+  TxnManager* mgr_;
+  TxnSnapshot snap_;
+  bool finished_ = false;
+  std::map<Table*, std::vector<WriteOp>> writes_;
+};
+
+class TxnManager {
+ public:
+  TxnManager() = default;
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  /// Opens a transaction reading the latest published commit state.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Stamps every write with the next commit timestamp, publishes the
+  /// clock, and retires the transaction. Cannot fail: write-write
+  /// conflicts were already rejected statement-side (first-updater-wins).
+  void Commit(Transaction* txn);
+
+  /// Reverts every write and retires the transaction.
+  void Rollback(Transaction* txn);
+
+  /// Latest published commit timestamp.
+  uint64_t clock() const { return clock_.load(std::memory_order_acquire); }
+
+  /// Highest commit timestamp a merge may fold: commits at or below it are
+  /// visible to every active and every future snapshot.
+  uint64_t Watermark() const;
+
+  /// True while any live transaction holds uncommitted writes on `t`.
+  bool HasActiveWriters(const Table* t) const;
+
+  /// Number of transactions begun (diagnostics).
+  uint64_t txns_begun() const {
+    return txns_begun_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Transaction;
+  void NoteWriter(Table* t);
+  void Retire(Transaction* txn);
+
+  mutable std::mutex mu_;
+  std::mutex commit_mu_;  // serializes stamp-then-publish sequences
+  uint64_t next_txn_id_ = 1;
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> txns_begun_{0};
+  std::map<uint64_t, Transaction*> active_;
+  std::map<const Table*, size_t> writers_;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_TXN_TRANSACTION_H_

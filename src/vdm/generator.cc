@@ -298,4 +298,80 @@ std::string SyntheticPagingQuery(const SyntheticViewSpec& spec,
                    static_cast<long long>(limit));
 }
 
+namespace {
+
+/// Renders a value as a SQL literal round-trippable through the parser.
+std::string SqlLiteral(const Value& v) {
+  if (v.is_null()) return "null";
+  if (v.type().id == TypeId::kString) {
+    std::string out = "'";
+    for (char c : v.AsString()) {
+      if (c == '\'') out += "''";
+      else out += c;
+    }
+    out += "'";
+    return out;
+  }
+  if (v.type().id == TypeId::kDate) return "date '" + v.ToString() + "'";
+  return v.ToString();
+}
+
+}  // namespace
+
+Status ActivateDraftRow(Database* db, const std::string& base_active,
+                        const std::string& base_draft, int64_t key) {
+  Transaction* txn = nullptr;
+  // An injected txn.rollback fault leaves the transaction open and the
+  // rollback retryable; loop until it lands (fault probability < 1).
+  auto Rollback = [&] {
+    for (int i = 0; txn != nullptr && i < 64; ++i) {
+      if (db->RollbackTxn(txn).ok()) break;
+    }
+    txn = nullptr;
+  };
+  Result<Chunk> begun = db->ExecuteSession("begin", &txn);
+  if (!begun.ok()) return begun.status();
+  Result<Chunk> draft = db->ExecuteSession(
+      StrFormat("select * from %s where k = %lld", base_draft.c_str(),
+                static_cast<long long>(key)),
+      &txn);
+  if (!draft.ok()) {
+    Rollback();
+    return draft.status();
+  }
+  if (draft->NumRows() == 0) {
+    Rollback();
+    return Status::NotFound(StrFormat("no draft row with key %lld in %s",
+                                      static_cast<long long>(key),
+                                      base_draft.c_str()));
+  }
+  // Replace-then-move: clear any stale active version of the document,
+  // copy the draft row over, retire the draft. All three statements stamp
+  // under this transaction's marker; any conflict aborts the whole move.
+  std::string vals;
+  for (const ColumnData& col : draft->columns) {
+    if (!vals.empty()) vals += ", ";
+    vals += SqlLiteral(col.GetValue(0));
+  }
+  const std::string steps[] = {
+      StrFormat("delete from %s where k = %lld", base_active.c_str(),
+                static_cast<long long>(key)),
+      StrFormat("insert into %s values (%s)", base_active.c_str(),
+                vals.c_str()),
+      StrFormat("delete from %s where k = %lld", base_draft.c_str(),
+                static_cast<long long>(key)),
+  };
+  for (const std::string& sql : steps) {
+    Result<Chunk> step = db->ExecuteSession(sql, &txn);
+    if (!step.ok()) {
+      Rollback();
+      return step.status();
+    }
+  }
+  // CommitTxn always consumes the handle (an injected commit-time conflict
+  // rolls back internally), so no Rollback() on failure here.
+  Result<Chunk> committed = db->ExecuteSession("commit", &txn);
+  return committed.ok() ? Status::OK() : committed.status();
+}
+
 }  // namespace vdm

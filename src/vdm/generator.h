@@ -75,6 +75,16 @@ Status ExtendSyntheticView(Database* db, SyntheticViewSpec* spec,
 std::string SyntheticPagingQuery(const SyntheticViewSpec& spec,
                                  bool extended, int64_t limit = 10);
 
+/// §6 draft activation as a real transaction: moves the document with key
+/// `key` from `base_draft` to `base_active` (replacing any existing active
+/// row with that key) atomically, so a concurrent draft/active UNION ALL
+/// reader sees the document exactly once — never zero or two copies.
+/// Returns kNotFound when no draft row has that key, and
+/// kSerializationFailure when a concurrent writer touched one of the rows
+/// first (the transaction is rolled back; callers retry).
+Status ActivateDraftRow(Database* db, const std::string& base_active,
+                        const std::string& base_draft, int64_t key);
+
 /// Seeded fixture for the general self-join elimination rule and the
 /// vdmlint catalog audit (DESIGN.md §12): views over the synthetic schema
 /// whose self-joins are provably removable, paired with near-miss views

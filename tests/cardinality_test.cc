@@ -263,7 +263,7 @@ class StatsDatabaseTest : public ::testing::Test {
 };
 
 TEST_F(StatsDatabaseTest, AnalyzeCollectsExactCounts) {
-  const TableStats* fs = db_.catalog().FindTableStats("f");
+  const std::shared_ptr<const TableStats> fs = db_.catalog().FindTableStats("f");
   ASSERT_NE(fs, nullptr);
   EXPECT_EQ(fs->row_count, 200u);
   ASSERT_EQ(fs->columns.size(), 3u);
@@ -273,7 +273,7 @@ TEST_F(StatsDatabaseTest, AnalyzeCollectsExactCounts) {
   ASSERT_TRUE(fs->columns[2].has_minmax);
   EXPECT_EQ(fs->columns[2].min_i64, 0);
   EXPECT_EQ(fs->columns[2].max_i64, 99);
-  const TableStats* ds = db_.catalog().FindTableStats("d");
+  const std::shared_ptr<const TableStats> ds = db_.catalog().FindTableStats("d");
   ASSERT_NE(ds, nullptr);
   EXPECT_EQ(ds->row_count, 10u);
   ASSERT_EQ(ds->columns.size(), 2u);
@@ -316,7 +316,7 @@ TEST(StatsKnobTest, VdmStatsZeroDegradesToRowCounts) {
                     .ok());
     db.MergeAllDeltas();
     db.AnalyzeTables();
-    const TableStats* stats = db.catalog().FindTableStats("t");
+    const std::shared_ptr<const TableStats> stats = db.catalog().FindTableStats("t");
     ASSERT_NE(stats, nullptr);
     EXPECT_EQ(stats->row_count, 2u);
     EXPECT_TRUE(stats->columns.empty());  // degraded: no per-column stats

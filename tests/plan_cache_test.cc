@@ -259,6 +259,38 @@ TEST_F(PlanCacheDbTest, InvalidationOnDdlProfileAndConfig) {
   EXPECT_FALSE(timing.cache_hit);
 }
 
+TEST_F(PlanCacheDbTest, DmlOnOneTableKeepsOtherTablesPlansWarm) {
+  const std::string orders_sql =
+      "select o_orderkey from orders where o_totalprice > 500.0";
+  const std::string lineitem_sql =
+      "select l_orderkey from lineitem where l_quantity > 40.0";
+  QueryTiming timing;
+  ASSERT_TRUE(db_->Query(orders_sql).ok());
+  ASSERT_TRUE(db_->Query(lineitem_sql).ok());
+  ASSERT_TRUE(db_->Query(orders_sql, nullptr, &timing).ok());
+  EXPECT_TRUE(timing.cache_hit);
+  ASSERT_TRUE(db_->Query(lineitem_sql, nullptr, &timing).ok());
+  EXPECT_TRUE(timing.cache_hit);
+
+  // DML on orders bumps only its data version: the catalog schema version
+  // is untouched, lineitem plans stay warm, orders plans recompile.
+  const uint64_t schema_before = db_->catalog().version();
+  const uint64_t inval_before = db_->plan_cache_stats().invalidations;
+  Result<Chunk> dml = db_->Execute(
+      "update orders set o_custkey = o_custkey where o_orderkey = 1");
+  ASSERT_TRUE(dml.ok()) << dml.status().ToString();
+  EXPECT_EQ(db_->catalog().version(), schema_before);
+  ASSERT_TRUE(db_->Query(lineitem_sql, nullptr, &timing).ok());
+  EXPECT_TRUE(timing.cache_hit);
+  ASSERT_TRUE(db_->Query(orders_sql, nullptr, &timing).ok());
+  EXPECT_FALSE(timing.cache_hit);
+  EXPECT_GT(db_->plan_cache_stats().invalidations, inval_before);
+
+  // The recompiled orders plan is warm again afterwards.
+  ASSERT_TRUE(db_->Query(orders_sql, nullptr, &timing).ok());
+  EXPECT_TRUE(timing.cache_hit);
+}
+
 TEST_F(PlanCacheDbTest, EvictionAtDatabaseLevel) {
   db_->EnablePlanCache(/*capacity=*/2);
   for (const char* sql :

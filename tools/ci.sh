@@ -50,15 +50,15 @@ run_thread_sanitizer() {
   # Only these run: the rest of the test battery is single-threaded and
   # TSan slows it ~10x for no signal.
   local dir="build-thread"
-  echo "== thread sanitizer build (executor + plan cache tests) =="
+  echo "== thread sanitizer build (executor + plan cache + txn tests) =="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DVDMQO_SANITIZE=thread >/dev/null
   cmake --build "${dir}" -j "${JOBS}" \
         --target exec_test exec_parallel_test hash_table_test kernel_test \
-                 plan_cache_test governor_test
+                 plan_cache_test governor_test txn_test
   VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-      -R 'exec_test|exec_parallel_test|hash_table_test|kernel_test|plan_cache_test|governor_test'
-  echo "== thread: executor + plan cache + governor tests passed =="
+      -R 'exec_test|exec_parallel_test|hash_table_test|kernel_test|plan_cache_test|governor_test|txn_test'
+  echo "== thread: executor + plan cache + governor + txn tests passed =="
 }
 
 run_fault() {
@@ -81,6 +81,14 @@ run_fault() {
   echo "== fault: soak through the plan-cache path =="
   VDM_PLAN_CACHE=1 ctest --test-dir "${dir}" --output-on-failure \
       -R 'governor_test|property_random_test'
+  # Armed-merge-fault DML soak: interleaved-transaction scripts with all
+  # four txn/merge fault points firing at random; every injected failure
+  # must leave the database in a state the differential oracle agrees
+  # with (0 mismatches, nonzero conflicts/op-errors).
+  echo "== fault: armed-merge-fault DML soak =="
+  cmake --build "${dir}" -j "${JOBS}" --target vdmfuzz
+  "${dir}/tools/vdmfuzz" --dml 300 --dml-faults --seed 1337 --progress 100 \
+      --artifacts "${dir}/fuzz-artifacts"
   echo "== fault: soak passed =="
 }
 
@@ -106,7 +114,10 @@ run_fuzz() {
   echo "== fuzz: harness self-test (planted bug must be caught) =="
   ctest --test-dir "${dir}" --output-on-failure -C fuzz -R vdmfuzz_self_test
   echo "== fuzz: 10k-query sweep, seed 42 =="
-  ctest --test-dir "${dir}" --output-on-failure -C fuzz -R vdmfuzz_sweep
+  ctest --test-dir "${dir}" --output-on-failure -C fuzz -R 'vdmfuzz_sweep$'
+  echo "== fuzz: 5k DML-script sweep + fault-armed leg =="
+  ctest --test-dir "${dir}" --output-on-failure -C fuzz \
+      -R 'vdmfuzz_dml_sweep|vdmfuzz_dml_faults'
   echo "== fuzz: zero engine-vs-oracle mismatches =="
 }
 

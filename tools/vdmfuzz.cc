@@ -20,10 +20,21 @@
 //   --progress N        progress line every N queries (default 500; 0 off)
 //   --corrupt PASS      plant a wrong-result bug after the named optimizer
 //                       pass (debug; the run SHOULD then report mismatches)
+//   --dml N             run the DML differential instead: N interleaved
+//                       transaction scripts over the MVCC delta store,
+//                       diffed mid-script against the reference
+//                       interpreter and at end-of-script against the
+//                       shadow database (testing/dml_differential.h)
+//   --dml-faults        arm the txn/merge fault points for the --dml run
+//                       (txn.commit.conflict, txn.rollback,
+//                       storage.merge.remap, storage.merge.abort); every
+//                       injected failure must still converge to the
+//                       oracle state. Requires a fault-injection build.
 //   --self-test         verify the harness itself: a clean batch must pass,
 //                       a deliberately corrupted batch must fail with a
 //                       repro dump, and (in fault builds) an injected-fault
-//                       batch must be detected
+//                       batch must be detected; also runs a clean and (in
+//                       fault builds) a fault-armed DML script batch
 //
 // Exit status: 0 clean, 1 mismatches found, 2 usage or harness error.
 #include <cstdio>
@@ -33,6 +44,7 @@
 
 #include "common/fault_injection.h"
 #include "testing/differential.h"
+#include "testing/dml_differential.h"
 
 using namespace vdm;
 
@@ -63,6 +75,43 @@ int RunOnce(const DiffOptions& options) {
     return 2;
   }
   PrintStats(*stats);
+  return stats->mismatches > 0 ? 1 : 0;
+}
+
+void PrintDmlStats(const DmlDiffStats& stats) {
+  std::printf(
+      "vdmfuzz dml: %lld scripts, %lld ops, %lld query checks, "
+      "%lld final-state checks, %lld merges\n",
+      static_cast<long long>(stats.scripts),
+      static_cast<long long>(stats.ops),
+      static_cast<long long>(stats.query_checks),
+      static_cast<long long>(stats.final_checks),
+      static_cast<long long>(stats.merges));
+  std::printf(
+      "vdmfuzz dml: %lld mismatches, %lld serialization conflicts, "
+      "%lld op errors (injected faults / retries exhausted)\n",
+      static_cast<long long>(stats.mismatches),
+      static_cast<long long>(stats.conflicts),
+      static_cast<long long>(stats.op_errors));
+  for (const std::string& file : stats.repro_files) {
+    std::printf("vdmfuzz dml: repro dump: %s\n", file.c_str());
+  }
+}
+
+int RunDmlOnce(const DmlDiffOptions& options) {
+  if (options.with_faults && !FaultInjection::CompiledIn()) {
+    std::fprintf(stderr,
+                 "vdmfuzz: --dml-faults requires a VDMQO_FAULT_INJECTION "
+                 "build\n");
+    return 2;
+  }
+  Result<DmlDiffStats> stats = RunDmlDifferential(options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "vdmfuzz: harness error: %s\n",
+                 stats.status().ToString().c_str());
+    return 2;
+  }
+  PrintDmlStats(*stats);
   return stats->mismatches > 0 ? 1 : 0;
 }
 
@@ -149,6 +198,63 @@ int SelfTest(DiffOptions base) {
         "VDMQO_FAULT_INJECTION)\n");
   }
 
+  // DML differential legs: a clean script batch must converge to the
+  // shadow state, and in fault builds an armed batch must converge too —
+  // with the harness actually observing injected failures along the way.
+  std::printf("vdmfuzz self-test [dml 1/2]: clean DML script batch...\n");
+  DmlDiffOptions dml;
+  dml.seed = base.seed;
+  dml.num_scripts = 12;
+  dml.exec_threads = base.exec_threads;
+  dml.artifacts_dir = "";
+  Result<DmlDiffStats> dml_stats = RunDmlDifferential(dml);
+  if (!dml_stats.ok()) {
+    std::fprintf(stderr, "vdmfuzz self-test: DML harness error: %s\n",
+                 dml_stats.status().ToString().c_str());
+    return 2;
+  }
+  if (dml_stats->mismatches != 0) {
+    std::fprintf(stderr,
+                 "vdmfuzz self-test FAILED: clean DML batch reported %lld "
+                 "mismatches (expected 0)\n",
+                 static_cast<long long>(dml_stats->mismatches));
+    return 2;
+  }
+  if (FaultInjection::CompiledIn()) {
+    std::printf(
+        "vdmfuzz self-test [dml 2/2]: fault-armed DML script batch...\n");
+    DmlDiffOptions armed = dml;
+    armed.with_faults = true;
+    Result<DmlDiffStats> armed_stats = RunDmlDifferential(armed);
+    if (!armed_stats.ok()) {
+      std::fprintf(stderr, "vdmfuzz self-test: DML harness error: %s\n",
+                   armed_stats.status().ToString().c_str());
+      return 2;
+    }
+    if (armed_stats->mismatches != 0) {
+      std::fprintf(stderr,
+                   "vdmfuzz self-test FAILED: fault-armed DML batch "
+                   "diverged from the oracle (%lld mismatches)\n",
+                   static_cast<long long>(armed_stats->mismatches));
+      return 2;
+    }
+    if (armed_stats->op_errors + armed_stats->conflicts == 0) {
+      std::fprintf(stderr,
+                   "vdmfuzz self-test FAILED: armed txn/merge faults "
+                   "produced no observed failures\n");
+      return 2;
+    }
+    std::printf(
+        "  converged: %lld injected/op errors, %lld conflicts, 0 "
+        "mismatches\n",
+        static_cast<long long>(armed_stats->op_errors),
+        static_cast<long long>(armed_stats->conflicts));
+  } else {
+    std::printf(
+        "vdmfuzz self-test [dml 2/2]: skipped (built without "
+        "VDMQO_FAULT_INJECTION)\n");
+  }
+
   std::printf("vdmfuzz self-test PASSED\n");
   return 0;
 }
@@ -157,7 +263,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--queries N] [--workers N] "
                "[--exec-threads N] [--artifacts DIR] [--no-metamorphic] "
-               "[--progress N] [--corrupt PASS] [--self-test]\n",
+               "[--progress N] [--corrupt PASS] [--dml N] [--dml-faults] "
+               "[--self-test]\n",
                argv0);
   return 2;
 }
@@ -169,6 +276,8 @@ int main(int argc, char** argv) {
   options.artifacts_dir = "fuzz-artifacts";
   options.progress_every = 500;
   bool self_test = false;
+  int dml_scripts = 0;
+  bool dml_faults = false;
   static std::string corrupt_pass;  // keeps the c_str alive for the run
 
   for (int i = 1; i < argc; ++i) {
@@ -207,13 +316,30 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage(argv[0]);
       corrupt_pass = v;
       options.debug_corrupt_pass = corrupt_pass.c_str();
+    } else if (arg == "--dml") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      dml_scripts = std::atoi(v);
+    } else if (arg == "--dml-faults") {
+      dml_faults = true;
     } else if (arg == "--self-test") {
       self_test = true;
     } else {
       return Usage(argv[0]);
     }
   }
+  if (self_test) return SelfTest(options);
+  if (dml_scripts > 0) {
+    DmlDiffOptions dml;
+    dml.seed = options.seed;
+    dml.num_scripts = dml_scripts;
+    dml.workers = options.workers;
+    dml.exec_threads = options.exec_threads;
+    dml.artifacts_dir = options.artifacts_dir;
+    dml.with_faults = dml_faults;
+    dml.progress_every = options.progress_every;
+    return RunDmlOnce(dml);
+  }
   if (options.num_queries <= 0) return Usage(argv[0]);
-
-  return self_test ? SelfTest(options) : RunOnce(options);
+  return RunOnce(options);
 }

@@ -23,7 +23,14 @@
 //   .export <csv> <sql>    run a query and write the result as CSV
 //   .materialize <view> [dynamic]   cache a view (SCV / DCV)
 //   .refresh <view>        refresh a static cached view
+//   .begin / .commit / .rollback    explicit snapshot-isolation transaction
+//                          (SQL `begin; ... commit;` works too); while a
+//                          transaction is open the prompt shows `txn>`
 //   .quit
+//
+// Exit codes: 0 clean, 1 on any error, 3 when a statement failed with a
+// serialization conflict (after the auto-commit retry budget,
+// VDM_TXN_RETRIES, was exhausted) — scripted callers re-run on 3.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -51,19 +58,37 @@ std::vector<std::string> SplitWords(const std::string& line) {
   return words;
 }
 
-// Sticky failure flag: the shell keeps accepting input after an error but
-// exits nonzero, so scripted runs (vdmsql < file.sql) fail loudly.
+// Sticky failure flags: the shell keeps accepting input after an error but
+// exits nonzero, so scripted runs (vdmsql < file.sql) fail loudly. A
+// serialization conflict that survived the retry budget is reported with
+// its own exit code (3) so callers can distinguish "retry me" from "fix
+// your SQL".
 bool g_had_error = false;
+bool g_had_conflict = false;
 
 void PrintStatus(const Status& status) {
   if (status.ok()) return;
   // status.ToString() leads with the typed code (e.g. "DeadlineExceeded:",
-  // "ResourceExhausted:"), which scripts match on.
+  // "SerializationFailure:"), which scripts match on.
   std::printf("error: %s\n", status.ToString().c_str());
   g_had_error = true;
+  if (status.code() == StatusCode::kSerializationFailure) {
+    g_had_conflict = true;
+  }
 }
 
-bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
+// Runs a transaction-control statement against the shell's session.
+void RunTxnControl(Database* db, const char* sql, Transaction** session) {
+  Result<Chunk> r = db->ExecuteSession(sql, session);
+  if (r.ok()) {
+    std::printf("ok\n");
+  } else {
+    PrintStatus(r.status());
+  }
+}
+
+bool HandleDotCommand(Database* db, const std::string& line, bool* timing,
+                      Transaction** session) {
   std::vector<std::string> words = SplitWords(line);
   if (words.empty()) return true;
   const std::string& cmd = words[0];
@@ -75,7 +100,12 @@ bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
         ".analyze <sql>  .cache on|off|stats  .timing on|off\n"
         ".load tpch [scale] | s4  .import <table> <csv>\n"
         ".export <csv> <sql>  .materialize <view> [dynamic]  "
-        ".refresh <view>  .quit\n");
+        ".refresh <view>\n"
+        ".begin .commit .rollback  .quit\n");
+    return true;
+  }
+  if (cmd == ".begin" || cmd == ".commit" || cmd == ".rollback") {
+    RunTxnControl(db, cmd.c_str() + 1, session);
     return true;
   }
   if (cmd == ".tables") {
@@ -221,16 +251,21 @@ bool HandleDotCommand(Database* db, const std::string& line, bool* timing) {
 int main() {
   Database db;
   bool timing = false;
+  // One explicit transaction at a time; null = auto-commit. BEGIN /
+  // COMMIT / ROLLBACK (SQL or dot-command) manage it via ExecuteSession.
+  Transaction* session = nullptr;
   std::printf("vdmsql — VDM/HTAP engine shell (.help for commands)\n");
   std::string buffer;
   std::string line;
   while (true) {
-    std::printf(buffer.empty() ? "vdmsql> " : "   ...> ");
+    std::printf(buffer.empty() ? (session != nullptr ? "   txn> "
+                                                     : "vdmsql> ")
+                               : "   ...> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     // Dot-commands are single-line.
     if (buffer.empty() && !line.empty() && line[0] == '.') {
-      if (!HandleDotCommand(&db, line, &timing)) break;
+      if (!HandleDotCommand(&db, line, &timing, &session)) break;
       continue;
     }
     buffer += line;
@@ -242,7 +277,7 @@ int main() {
     buffer.clear();
     if (sql.find_first_not_of(" \t\n") == std::string::npos) continue;
     auto start = std::chrono::steady_clock::now();
-    Result<Chunk> result = db.Execute(sql);
+    Result<Chunk> result = db.ExecuteSession(sql, &session);
     auto end = std::chrono::steady_clock::now();
     if (!result.ok()) {
       PrintStatus(result.status());
@@ -260,5 +295,10 @@ int main() {
                       .count());
     }
   }
+  // An open transaction at EOF rolls back (Database teardown); say so.
+  if (session != nullptr) {
+    std::printf("rolling back open transaction\n");
+  }
+  if (g_had_conflict) return 3;
   return g_had_error ? 1 : 0;
 }

@@ -109,6 +109,12 @@ class ScopedMemoryCharge {
 class QueryContext {
  public:
   QueryContext() : memory_(MemoryTracker::kUnlimited, &MemoryTracker::Process()) {}
+  /// Charges this query's memory into `parent` instead of directly into
+  /// the process tracker — the hook the server uses to interpose a
+  /// per-tenant tracker (common/tenant.h) between query and process.
+  explicit QueryContext(MemoryTracker* parent)
+      : memory_(MemoryTracker::kUnlimited,
+                parent != nullptr ? parent : &MemoryTracker::Process()) {}
 
   // --- cancellation ---
   /// Requests cooperative cancellation; callable from any thread.

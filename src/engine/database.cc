@@ -114,7 +114,10 @@ void Database::SetOptimizerConfig(OptimizerConfig config) {
 
 void Database::OnOptimizerConfigChanged() {
   config_fingerprint_ = FingerprintConfig(optimizer_config_);
-  optimizer_.reset();
+  {
+    std::lock_guard<std::mutex> lock(optimizer_mu_);
+    optimizer_.reset();
+  }
   plan_cache_->Clear();
 }
 
@@ -152,6 +155,15 @@ Result<Chunk> Database::ExecuteSession(const std::string& sql,
   return ExecuteStatement(stmt, sql, default_limits_, session);
 }
 
+Result<Chunk> Database::ExecuteSession(const std::string& sql,
+                                       Transaction** session,
+                                       const ExecLimits& limits,
+                                       QueryContext* ctx,
+                                       QueryTiming* timing) {
+  VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt, sql, limits, session, ctx, timing);
+}
+
 namespace {
 
 /// The one-row result every DML statement returns.
@@ -169,16 +181,19 @@ Chunk DmlResultChunk(size_t affected) {
 Result<Chunk> Database::ExecuteStatement(const Statement& stmt,
                                          const std::string& sql,
                                          const ExecLimits& limits,
-                                         Transaction** session) {
+                                         Transaction** session,
+                                         QueryContext* ctx,
+                                         QueryTiming* timing) {
   Transaction* txn = session != nullptr ? *session : nullptr;
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
       if (txn != nullptr) {
-        QueryContext ctx;
-        ctx.set_snapshot(txn->snapshot());
-        return Query(sql, limits, nullptr, nullptr, &ctx);
+        QueryContext local_ctx;
+        QueryContext* qc = ctx != nullptr ? ctx : &local_ctx;
+        qc->set_snapshot(txn->snapshot());
+        return Query(sql, limits, nullptr, timing, qc);
       }
-      return Query(sql, limits);
+      return Query(sql, limits, nullptr, timing, ctx);
     case Statement::Kind::kCreateTable: {
       if (txn != nullptr) {
         return Status::InvalidArgument(
@@ -499,6 +514,173 @@ Result<PlanRef> Database::PlanQueryCached(const std::string& sql,
   return rebound;
 }
 
+// --- prepared statements (server EXECUTE-BOUND path) --------------------
+
+Result<std::shared_ptr<const PreparedStatement>> Database::Prepare(
+    const std::string& sql) {
+  VDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect || stmt.select == nullptr) {
+    return Status::NotImplemented(
+        "only SELECT statements can be prepared; run DML/DDL as plain "
+        "statements");
+  }
+  auto out = std::make_shared<PreparedStatement>();
+  out->sql = sql;
+  Result<ParameterizedStatement> ps = ParameterizeStatement(sql);
+  if (ps.ok() && ps->cacheable) {
+    // Trial compile: prove the stored token stream parses + binds and the
+    // limit sentinels rebind unambiguously NOW, so an EXECUTE can only
+    // fail for reasons that would fail the plain query path too.
+    Result<Statement> tok_stmt = ParseTokenStream(sql, ps->tokens);
+    if (tok_stmt.ok() && tok_stmt->kind == Statement::Kind::kSelect &&
+        tok_stmt->select != nullptr) {
+      Binder binder(&catalog_);
+      Result<PlanRef> bound = binder.BindSelect(*tok_stmt->select);
+      if (bound.ok() &&
+          LimitSentinelsUnambiguous(*bound, ps->has_limit, ps->has_offset)) {
+        out->parameterized = std::move(*ps);
+        out->parameterized_ok = true;
+      }
+    }
+  }
+  if (!out->parameterized_ok) {
+    // Direct mode: validate the text binds at all (same check CREATE VIEW
+    // makes), then EXECUTE re-runs it verbatim.
+    Binder binder(&catalog_);
+    Result<PlanRef> bound = binder.BindSelect(*stmt.select);
+    if (!bound.ok()) return bound.status();
+  }
+  return std::shared_ptr<const PreparedStatement>(std::move(out));
+}
+
+Result<PlanRef> Database::PlanPrepared(const PreparedStatement& stmt,
+                                       const std::vector<Value>& params,
+                                       int64_t limit, int64_t offset,
+                                       QueryTiming* timing) {
+  const ParameterizedStatement& ps = stmt.parameterized;
+  std::string key;
+  if (PlanCacheUsable()) {
+    timing->used_cache = true;
+    key = ComposePlanCacheKey(ps.key, config_fingerprint_, catalog_.version());
+    if (std::shared_ptr<const CachedPlan> hit = plan_cache_->Lookup(key)) {
+      bool data_current = true;
+      for (const auto& [table, dv] : hit->table_data_versions) {
+        if (catalog_.data_version(table) != dv) {
+          data_current = false;
+          break;
+        }
+      }
+      if (!data_current) {
+        plan_cache_->Invalidate(key);
+      } else {
+        int64_t start = NowNs();
+        Result<PlanRef> rebound = BindCachedPlan(*hit, params, limit, offset);
+        timing->rebind_ns += NowNs() - start;
+        if (rebound.ok()) {
+          timing->cache_hit = true;
+          return rebound;
+        }
+        // Rebind mismatch: recompile from the token stream below.
+      }
+    }
+  }
+  // Miss (or cache unusable): recompile from the stored token stream.
+  // There is deliberately no original-text fallback here — the text
+  // carries the PREPARE-time literals, not this call's `params`.
+  int64_t start = NowNs();
+  Result<Statement> tok_stmt = ParseTokenStream(stmt.sql, ps.tokens);
+  timing->parse_ns += NowNs() - start;
+  if (!tok_stmt.ok()) return tok_stmt.status();
+  if (tok_stmt->kind != Statement::Kind::kSelect ||
+      tok_stmt->select == nullptr) {
+    return Status::Internal("prepared token stream is no longer a SELECT");
+  }
+  start = NowNs();
+  Binder binder(&catalog_);
+  Result<PlanRef> bound = binder.BindSelect(*tok_stmt->select);
+  timing->bind_ns += NowNs() - start;
+  if (!bound.ok()) return bound.status();
+  if (!LimitSentinelsUnambiguous(*bound, ps.has_limit, ps.has_offset)) {
+    // A view replacement introduced a colliding literal since Prepare.
+    return Status::InvalidArgument(
+        "prepared statement is no longer rebindable (limit-sentinel "
+        "collision after a view change); re-prepare it");
+  }
+  start = NowNs();
+  VDM_ASSIGN_OR_RETURN(PlanRef optimized, OptimizePlan(*bound));
+  timing->optimize_ns += NowNs() - start;
+  auto cached = std::make_shared<CachedPlan>();
+  cached->plan = optimized;
+  cached->param_types = ps.param_types;
+  cached->has_limit = ps.has_limit;
+  cached->has_offset = ps.has_offset;
+  VisitPlan(*bound, [&](const PlanRef& node) {
+    if (node->kind() != OpKind::kScan) return;
+    const std::string table =
+        ToLower(static_cast<const ScanOp&>(*node).table_name());
+    for (const auto& [existing, version] : cached->table_data_versions) {
+      if (existing == table) return;
+    }
+    cached->table_data_versions.emplace_back(table,
+                                             catalog_.data_version(table));
+  });
+  start = NowNs();
+  Result<PlanRef> rebound = BindCachedPlan(*cached, params, limit, offset);
+  timing->rebind_ns += NowNs() - start;
+  if (!rebound.ok()) return rebound.status();
+  // Integrity-check once at insertion, like PlanQueryCached; a failed
+  // verify keeps the plan out of the cache but this call still runs it —
+  // the verifier flags structural invariants, not wrong results.
+  if (PlanCacheUsable() && PlanVerifier::Verify(optimized).ok()) {
+    plan_cache_->Insert(key, std::move(cached));
+  }
+  return rebound;
+}
+
+Result<Chunk> Database::ExecutePrepared(const PreparedStatement& stmt,
+                                        const std::vector<Value>& params,
+                                        int64_t limit, int64_t offset,
+                                        const ExecLimits& limits,
+                                        ExecMetrics* metrics,
+                                        QueryTiming* timing,
+                                        QueryContext* ctx) {
+  QueryTiming local_timing;
+  QueryTiming* t = timing != nullptr ? timing : &local_timing;
+  if (!stmt.parameterized_ok) {
+    if (!params.empty() || limit >= 0 || offset >= 0) {
+      return Status::InvalidArgument(
+          "prepared statement is not parameterized; EXECUTE it without "
+          "values");
+    }
+    return Query(stmt.sql, limits, metrics, timing, ctx);
+  }
+  const ParameterizedStatement& ps = stmt.parameterized;
+  if (!params.empty() && params.size() != ps.param_types.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "prepared statement takes %zu parameters, got %zu",
+        ps.param_types.size(), params.size()));
+  }
+  if (limit >= 0 && !ps.has_limit) {
+    return Status::InvalidArgument(
+        "prepared statement has no LIMIT clause to bind");
+  }
+  if (offset >= 0 && !ps.has_offset) {
+    return Status::InvalidArgument(
+        "prepared statement has no OFFSET clause to bind");
+  }
+  const std::vector<Value>& values = params.empty() ? ps.params : params;
+  const int64_t eff_limit = limit >= 0 ? limit : ps.limit;
+  const int64_t eff_offset = offset >= 0 ? offset : ps.offset;
+  VDM_RETURN_NOT_OK(EnsureFreshCaches());
+  *t = QueryTiming{};
+  VDM_ASSIGN_OR_RETURN(PlanRef plan,
+                       PlanPrepared(stmt, values, eff_limit, eff_offset, t));
+  int64_t start = NowNs();
+  Result<Chunk> result = GovernedExecute(plan, limits, metrics, ctx);
+  t->execute_ns = NowNs() - start;
+  return result;
+}
+
 Status Database::Insert(const std::string& table,
                         const std::vector<std::vector<Value>>& rows) {
   Table* t = storage_.FindTable(table);
@@ -734,6 +916,10 @@ Result<PlanRef> Database::OptimizePlan(const PlanRef& plan) const {
   // Common path: the Optimizer (and its config copy) is built once per
   // config change, not once per query. stats_catalog points at the live
   // catalog, so refreshed statistics are picked up without a rebuild.
+  // The lock spans the OptimizeChecked call too: the hoisted instance
+  // keeps per-run state (last_run_converged), and with the plan cache
+  // warm concurrent sessions rarely compile at all.
+  std::lock_guard<std::mutex> lock(optimizer_mu_);
   if (optimizer_ == nullptr) {
     OptimizerConfig config = optimizer_config_;
     config.stats_catalog = &catalog_;
@@ -760,11 +946,18 @@ Result<Chunk> Database::ExecutePlan(const PlanRef& plan, ExecMetrics* metrics,
       threads = 1;
     }
   }
-  if (threads > 1 && exec_pool_ == nullptr) {
-    exec_pool_ = std::make_unique<ThreadPool>(threads);
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    // Guarded lazy creation: concurrent sessions reach the first parallel
+    // query together. The built pool is used without the lock
+    // (ParallelFor serializes internally; extra callers run inline).
+    std::lock_guard<std::mutex> lock(exec_pool_mu_);
+    if (exec_pool_ == nullptr) {
+      exec_pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    pool = exec_pool_.get();
   }
-  Executor executor(&storage_, exec_options_,
-                    threads > 1 ? exec_pool_.get() : nullptr);
+  Executor executor(&storage_, exec_options_, pool);
   return executor.Execute(plan, metrics, ctx);
 }
 
@@ -974,6 +1167,10 @@ Status Database::DematerializeView(const std::string& name) {
 }
 
 Status Database::EnsureFreshCaches() {
+  // One session at a time: a refresh rewrites catalog + storage state,
+  // and two sessions observing the same stale DCV must not race to
+  // rebuild it. The no-stale-view common case only pays the lock.
+  std::lock_guard<std::mutex> lock(caches_mu_);
   for (const std::string& name : catalog_.ViewNames()) {
     const ViewDef* view = catalog_.FindView(name);
     if (view == nullptr || view->materialized_table.empty() ||

@@ -33,6 +33,7 @@
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
+#include "sql/parameterize.h"
 #include "storage/table.h"
 #include "txn/transaction.h"
 #include "types/column.h"
@@ -71,6 +72,23 @@ struct TxnStats {
   uint64_t retries = 0;
   /// Background / explicit MVCC delta merges completed.
   uint64_t merges = 0;
+};
+
+/// A prepared statement (server EXECUTE-BOUND path): one SELECT's
+/// parameterization, captured once at Prepare. Execution goes through the
+/// parameterized plan cache with the caller's values, so DML-driven
+/// invalidation transparently recompiles ("rebind across invalidation") —
+/// the handle itself never goes stale. Immutable after Prepare; safe to
+/// share across threads and sessions.
+struct PreparedStatement {
+  /// Original statement text (also the direct-mode execution form).
+  std::string sql;
+  /// Parameterized form; `parameterized.params` are the prepare-time
+  /// literal values, used as defaults when EXECUTE passes none.
+  ParameterizedStatement parameterized;
+  /// False = not parameterizable (or limit-sentinel-ambiguous): EXECUTE
+  /// re-runs the original text and accepts no parameter overrides.
+  bool parameterized_ok = false;
 };
 
 struct QueryTiming {
@@ -118,6 +136,7 @@ class Database {
   /// for subsequent queries. The worker pool is recreated lazily on the
   /// next query.
   void SetExecOptions(ExecOptions options) {
+    std::lock_guard<std::mutex> lock(exec_pool_mu_);
     exec_options_ = options;
     exec_pool_.reset();
   }
@@ -153,6 +172,33 @@ class Database {
   /// joins its write set (conflicts surface immediately — the caller owns
   /// retry; auto-commit retry applies only outside a transaction).
   Result<Chunk> ExecuteSession(const std::string& sql, Transaction** session);
+  /// Server variant: explicit limits, an optional caller-owned governor
+  /// context (cross-thread CANCEL; its memory tracker may charge into a
+  /// tenant class), and an optional timing sink (the server's RESULT frame
+  /// reports the plan-cache outcome).
+  Result<Chunk> ExecuteSession(const std::string& sql, Transaction** session,
+                               const ExecLimits& limits,
+                               QueryContext* ctx = nullptr,
+                               QueryTiming* timing = nullptr);
+
+  // --- prepared statements (server EXECUTE-BOUND path) ---
+  /// Parameterizes and trial-compiles one SELECT. Statements that cannot
+  /// be parameterized still prepare (direct mode: EXECUTE re-runs the
+  /// text); non-SELECT statements are rejected.
+  Result<std::shared_ptr<const PreparedStatement>> Prepare(
+      const std::string& sql);
+  /// Executes a prepared statement with `params` (empty = prepare-time
+  /// values; count and types must otherwise match). `limit` / `offset`
+  /// < 0 keep the prepare-time values. Plans come from the parameterized
+  /// plan cache when enabled (DML invalidation forces a recompile), or
+  /// are recompiled from the stored token stream per call.
+  Result<Chunk> ExecutePrepared(const PreparedStatement& stmt,
+                                const std::vector<Value>& params,
+                                int64_t limit, int64_t offset,
+                                const ExecLimits& limits,
+                                ExecMetrics* metrics = nullptr,
+                                QueryTiming* timing = nullptr,
+                                QueryContext* ctx = nullptr);
 
   TxnManager& txn_manager() { return txn_mgr_; }
   TxnStats txn_stats() const;
@@ -274,7 +320,9 @@ class Database {
   /// fails and DML auto-commits.
   Result<Chunk> ExecuteStatement(const Statement& stmt, const std::string& sql,
                                  const ExecLimits& limits,
-                                 Transaction** session);
+                                 Transaction** session,
+                                 QueryContext* ctx = nullptr,
+                                 QueryTiming* timing = nullptr);
 
   /// Auto-commit DML: begin, execute, commit; on kSerializationFailure
   /// roll back and retry up to txn_retries_ times with exponential
@@ -321,6 +369,15 @@ class Database {
   Result<PlanRef> PlanQueryCached(const std::string& sql,
                                   QueryTiming* timing);
 
+  /// Plans a prepared statement with the given values: plan-cache lookup
+  /// and rebind when usable, otherwise recompile from the stored token
+  /// stream. Unlike PlanQueryCached there is no original-text fallback —
+  /// the text carries prepare-time literals, not `params`.
+  Result<PlanRef> PlanPrepared(const PreparedStatement& stmt,
+                               const std::vector<Value>& params,
+                               int64_t limit, int64_t offset,
+                               QueryTiming* timing);
+
   /// Uncached compile pipeline with the same timing breakdown.
   Result<PlanRef> PlanQueryTimed(const std::string& sql,
                                  QueryTiming* timing) const;
@@ -331,12 +388,22 @@ class Database {
   ExecOptions exec_options_;
   // Shared worker pool, created on first parallel query and reused across
   // ExecutePlan calls (thread spawn cost amortizes over the session).
+  // Creation is guarded by exec_pool_mu_ — concurrent server sessions hit
+  // the first parallel query at the same time; use of the built pool is
+  // lock-free (ParallelFor serializes internally, extra callers inline).
+  mutable std::mutex exec_pool_mu_;
   mutable std::unique_ptr<ThreadPool> exec_pool_;
   // Hoisted optimizer for the common non-verifying path: constructed once
   // per config change instead of per query (the config copy is large
   // enough to show up on short compile paths). Lazily built because
-  // OptimizePlan is const.
+  // OptimizePlan is const. optimizer_mu_ covers creation AND the
+  // OptimizeChecked call (the instance keeps per-run state); compiles are
+  // rare once the plan cache is warm, so serializing them is cheap.
+  mutable std::mutex optimizer_mu_;
   mutable std::unique_ptr<Optimizer> optimizer_;
+  // Serializes dynamic-cached-view freshness checks/refreshes across
+  // concurrent sessions (a refresh rewrites catalog + storage state).
+  mutable std::mutex caches_mu_;
   std::unique_ptr<PlanCache> plan_cache_;
   bool plan_cache_enabled_ = false;
   // Full per-column statistics collection in AnalyzeTables (VDM_STATS;

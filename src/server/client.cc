@@ -1,0 +1,225 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vdm {
+
+Status VdmClient::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd_);
+    fd_ = -1;
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd_);
+    fd_ = -1;
+    return Status::ExecutionError("connect() failed: " + err);
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void VdmClient::Abort() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status VdmClient::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal("setsockopt(SO_RCVTIMEO) failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status VdmClient::SendBytes(const void* data, size_t size) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::ExecutionError("send() failed: " +
+                                    std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status VdmClient::SendFrame(const std::vector<uint8_t>& frame) {
+  return SendBytes(frame.data(), frame.size());
+}
+
+Result<std::pair<MsgType, std::vector<uint8_t>>> VdmClient::ReadFrame() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  uint8_t header[kFrameHeaderBytes];
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = recv(fd_, header + got, sizeof(header) - got, 0);
+    if (n == 0) return Status::ExecutionError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError("recv() failed: " +
+                                    std::string(std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  if (len == 0 || len > kMaxFrameBytes) {
+    return Status::ExecutionError("bad frame length from server");
+  }
+  std::vector<uint8_t> payload(len);
+  got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd_, payload.data() + got, len - got, 0);
+    if (n == 0) return Status::ExecutionError("connection closed mid-frame");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError("recv() failed: " +
+                                    std::string(std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  const MsgType type = static_cast<MsgType>(payload[0]);
+  payload.erase(payload.begin());
+  return std::make_pair(type, std::move(payload));
+}
+
+Status VdmClient::Hello(const HelloMsg& hello, uint64_t* session_id,
+                        std::string* tenant) {
+  VDM_RETURN_NOT_OK(SendFrame(EncodeHello(hello)));
+  VDM_ASSIGN_OR_RETURN(auto frame, ReadFrame());
+  WireReader r(frame.second.data(), frame.second.size());
+  if (frame.first == MsgType::kError) {
+    ErrorMsg err;
+    VDM_RETURN_NOT_OK(DecodeError(&r, &err));
+    return Status(err.code, err.message);
+  }
+  if (frame.first != MsgType::kHelloOk) {
+    return Status::ExecutionError("unexpected response to HELLO");
+  }
+  uint64_t sid = 0;
+  std::string t;
+  VDM_RETURN_NOT_OK(DecodeHelloOk(&r, &sid, &t));
+  if (session_id != nullptr) *session_id = sid;
+  if (tenant != nullptr) *tenant = std::move(t);
+  return Status::OK();
+}
+
+Result<Chunk> VdmClient::RoundTripResult(const std::vector<uint8_t>& frame) {
+  VDM_RETURN_NOT_OK(SendFrame(frame));
+  VDM_ASSIGN_OR_RETURN(auto resp, ReadFrame());
+  WireReader r(resp.second.data(), resp.second.size());
+  if (resp.first == MsgType::kError) {
+    ErrorMsg err;
+    VDM_RETURN_NOT_OK(DecodeError(&r, &err));
+    return Status(err.code, err.message);
+  }
+  if (resp.first != MsgType::kResult) {
+    return Status::ExecutionError("unexpected response type to statement");
+  }
+  ResultMsg msg;
+  VDM_RETURN_NOT_OK(DecodeResult(&r, &msg));
+  last_cache_hit_ = (msg.flags & kResultFlagCacheHit) != 0;
+  return std::move(msg.chunk);
+}
+
+Status VdmClient::RoundTripAck(const std::vector<uint8_t>& frame) {
+  VDM_RETURN_NOT_OK(SendFrame(frame));
+  VDM_ASSIGN_OR_RETURN(auto resp, ReadFrame());
+  WireReader r(resp.second.data(), resp.second.size());
+  if (resp.first == MsgType::kError) {
+    ErrorMsg err;
+    VDM_RETURN_NOT_OK(DecodeError(&r, &err));
+    return Status(err.code, err.message);
+  }
+  if (resp.first != MsgType::kAck) {
+    return Status::ExecutionError("expected ACK");
+  }
+  return Status::OK();
+}
+
+Result<Chunk> VdmClient::Query(const std::string& sql) {
+  return RoundTripResult(EncodeQuery(sql));
+}
+
+Result<PreparedMsg> VdmClient::Prepare(const std::string& sql) {
+  VDM_RETURN_NOT_OK(SendFrame(EncodePrepare(sql)));
+  VDM_ASSIGN_OR_RETURN(auto resp, ReadFrame());
+  WireReader r(resp.second.data(), resp.second.size());
+  if (resp.first == MsgType::kError) {
+    ErrorMsg err;
+    VDM_RETURN_NOT_OK(DecodeError(&r, &err));
+    return Status(err.code, err.message);
+  }
+  if (resp.first != MsgType::kPrepared) {
+    return Status::ExecutionError("unexpected response to PREPARE");
+  }
+  PreparedMsg msg;
+  VDM_RETURN_NOT_OK(DecodePrepared(&r, &msg));
+  return msg;
+}
+
+Result<Chunk> VdmClient::Execute(uint32_t stmt_id,
+                                 const std::vector<Value>& params,
+                                 int64_t limit, int64_t offset) {
+  ExecuteMsg msg;
+  msg.stmt_id = stmt_id;
+  msg.params = params;
+  msg.limit = limit;
+  msg.offset = offset;
+  return RoundTripResult(EncodeExecute(msg));
+}
+
+Status VdmClient::CloseStmt(uint32_t stmt_id) {
+  return RoundTripAck(EncodeCloseStmt(stmt_id));
+}
+
+Status VdmClient::Begin() { return RoundTripAck(EncodeEmpty(MsgType::kBegin)); }
+Status VdmClient::Commit() {
+  return RoundTripAck(EncodeEmpty(MsgType::kCommit));
+}
+Status VdmClient::Rollback() {
+  return RoundTripAck(EncodeEmpty(MsgType::kRollback));
+}
+
+Status VdmClient::Cancel() {
+  return SendFrame(EncodeEmpty(MsgType::kCancel));
+}
+
+Status VdmClient::Close() {
+  Status st = RoundTripAck(EncodeEmpty(MsgType::kClose));
+  Abort();
+  return st;
+}
+
+}  // namespace vdm

@@ -1,0 +1,86 @@
+// Blocking wire-protocol client for vdmserve (tests, vdmload, and the
+// vdmfuzz --server leg).
+//
+// One VdmClient is one connection. All request methods are synchronous
+// (send one frame, read the one response frame) and must be called from a
+// single thread — with one exception: Cancel() only writes (CANCEL has no
+// response frame), takes the write lock, and is safe to fire from another
+// thread while Query()/Execute() is blocked awaiting its result.
+#ifndef VDMQO_SERVER_CLIENT_H_
+#define VDMQO_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/wire.h"
+#include "types/column.h"
+
+namespace vdm {
+
+class VdmClient {
+ public:
+  VdmClient() = default;
+  ~VdmClient() { Abort(); }
+  VdmClient(const VdmClient&) = delete;
+  VdmClient& operator=(const VdmClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+
+  /// HELLO handshake; must be the first message. `session_id` /
+  /// `tenant`, when given, receive the server's assignment.
+  Status Hello(const HelloMsg& hello, uint64_t* session_id = nullptr,
+               std::string* tenant = nullptr);
+
+  /// Runs any statement (SELECT, DML, BEGIN/COMMIT/ROLLBACK text).
+  Result<Chunk> Query(const std::string& sql);
+  Result<PreparedMsg> Prepare(const std::string& sql);
+  /// limit/offset < 0 keep the statement's prepare-time values.
+  Result<Chunk> Execute(uint32_t stmt_id, const std::vector<Value>& params,
+                        int64_t limit = -1, int64_t offset = -1);
+  Status CloseStmt(uint32_t stmt_id);
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+
+  /// Fire-and-forget cancellation of whatever this connection is running.
+  /// The cancelled call observes kCancelled in its ERROR response.
+  Status Cancel();
+
+  /// Polite goodbye: CLOSE, await the ACK, shut the socket.
+  Status Close();
+  /// Hard close without CLOSE — simulates a client dying mid-anything.
+  void Abort();
+
+  /// True when the last Query/Execute RESULT was served by a plan-cache
+  /// hit (wire flag bit 0).
+  bool last_cache_hit() const { return last_cache_hit_; }
+
+  // --- raw access for protocol-robustness tests ---
+  Status SendBytes(const void* data, size_t size);
+  /// Reads one whole frame; returns {type, payload-after-type-byte}.
+  Result<std::pair<MsgType, std::vector<uint8_t>>> ReadFrame();
+  /// Bounds every subsequent read (SO_RCVTIMEO). Fuzzing aid: a frame the
+  /// server rightly ignores (truncated, CANCEL) must not hang the reader.
+  /// 0 restores blocking reads.
+  Status SetRecvTimeout(int timeout_ms);
+
+ private:
+  Status SendFrame(const std::vector<uint8_t>& frame);
+  /// Sends a frame and decodes the single RESULT/ERROR response.
+  Result<Chunk> RoundTripResult(const std::vector<uint8_t>& frame);
+  /// Sends a frame and expects an ACK (or ERROR) response.
+  Status RoundTripAck(const std::vector<uint8_t>& frame);
+
+  int fd_ = -1;
+  std::mutex write_mu_;
+  bool last_cache_hit_ = false;
+};
+
+}  // namespace vdm
+
+#endif  // VDMQO_SERVER_CLIENT_H_

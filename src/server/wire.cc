@@ -1,0 +1,496 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace vdm {
+
+// --- WireWriter ---------------------------------------------------------
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+namespace {
+
+// Value tags. Distinct from TypeId on purpose: the tag space is wire ABI
+// and includes NULL, which TypeId does not model.
+enum : uint8_t {
+  kValNull = 0,
+  kValBool = 1,
+  kValInt64 = 2,
+  kValDouble = 3,
+  kValDecimal = 4,  // u8 scale + i64 unscaled
+  kValString = 5,
+  kValDate = 6,
+};
+
+}  // namespace
+
+void WireWriter::Val(const Value& v) {
+  if (v.is_null()) {
+    U8(kValNull);
+    return;
+  }
+  switch (v.type().id) {
+    case TypeId::kBool:
+      U8(kValBool);
+      U8(v.AsBool() ? 1 : 0);
+      return;
+    case TypeId::kInt64:
+      U8(kValInt64);
+      I64(v.AsInt64());
+      return;
+    case TypeId::kDouble:
+      U8(kValDouble);
+      F64(v.AsDouble());
+      return;
+    case TypeId::kDecimal:
+      U8(kValDecimal);
+      U8(v.type().scale);
+      I64(v.AsUnscaled());
+      return;
+    case TypeId::kString:
+      U8(kValString);
+      Str(v.AsString());
+      return;
+    case TypeId::kDate:
+      U8(kValDate);
+      I64(v.AsInt64());
+      return;
+  }
+  U8(kValNull);  // unreachable; keep the stream well-formed
+}
+
+// --- WireReader ---------------------------------------------------------
+
+Status WireReader::U8(uint8_t* v) {
+  if (remaining() < 1) return Status::InvalidArgument("frame truncated (u8)");
+  *v = *p_++;
+  return Status::OK();
+}
+
+Status WireReader::U32(uint32_t* v) {
+  if (remaining() < 4) return Status::InvalidArgument("frame truncated (u32)");
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) out |= static_cast<uint32_t>(p_[i]) << (8 * i);
+  p_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::U64(uint64_t* v) {
+  if (remaining() < 8) return Status::InvalidArgument("frame truncated (u64)");
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(p_[i]) << (8 * i);
+  p_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::I64(int64_t* v) {
+  uint64_t u = 0;
+  VDM_RETURN_NOT_OK(U64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  uint64_t bits = 0;
+  VDM_RETURN_NOT_OK(U64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status WireReader::Str(std::string* s) {
+  uint32_t len = 0;
+  VDM_RETURN_NOT_OK(U32(&len));
+  if (len > remaining()) {
+    return Status::InvalidArgument("frame truncated (string length " +
+                                   std::to_string(len) + " exceeds payload)");
+  }
+  s->assign(reinterpret_cast<const char*>(p_), len);
+  p_ += len;
+  return Status::OK();
+}
+
+Status WireReader::Val(Value* v) {
+  uint8_t tag = 0;
+  VDM_RETURN_NOT_OK(U8(&tag));
+  switch (tag) {
+    case kValNull:
+      *v = Value::Null();
+      return Status::OK();
+    case kValBool: {
+      uint8_t b = 0;
+      VDM_RETURN_NOT_OK(U8(&b));
+      *v = Value::Bool(b != 0);
+      return Status::OK();
+    }
+    case kValInt64: {
+      int64_t i = 0;
+      VDM_RETURN_NOT_OK(I64(&i));
+      *v = Value::Int64(i);
+      return Status::OK();
+    }
+    case kValDouble: {
+      double d = 0;
+      VDM_RETURN_NOT_OK(F64(&d));
+      *v = Value::Double(d);
+      return Status::OK();
+    }
+    case kValDecimal: {
+      uint8_t scale = 0;
+      int64_t unscaled = 0;
+      VDM_RETURN_NOT_OK(U8(&scale));
+      VDM_RETURN_NOT_OK(I64(&unscaled));
+      if (scale > 18) {
+        return Status::InvalidArgument("decimal scale out of range");
+      }
+      *v = Value::Decimal(unscaled, scale);
+      return Status::OK();
+    }
+    case kValString: {
+      std::string s;
+      VDM_RETURN_NOT_OK(Str(&s));
+      *v = Value::String(std::move(s));
+      return Status::OK();
+    }
+    case kValDate: {
+      int64_t d = 0;
+      VDM_RETURN_NOT_OK(I64(&d));
+      *v = Value::Date(d);
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown value tag " +
+                                     std::to_string(tag));
+  }
+}
+
+Status WireReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument(
+        std::to_string(remaining()) + " trailing bytes after message body");
+  }
+  return Status::OK();
+}
+
+// --- chunk codec --------------------------------------------------------
+
+void EncodeChunk(WireWriter* w, const Chunk& chunk) {
+  const size_t ncols = chunk.NumColumns();
+  const size_t nrows = chunk.NumRows();
+  w->U32(static_cast<uint32_t>(ncols));
+  w->U64(static_cast<uint64_t>(nrows));
+  for (size_t c = 0; c < ncols; ++c) {
+    const ColumnData& col = chunk.columns[c];
+    w->Str(c < chunk.names.size() ? chunk.names[c] : "");
+    w->U8(static_cast<uint8_t>(col.type().id));
+    w->U8(col.type().scale);
+    const bool has_nulls = col.HasNulls();
+    w->U8(has_nulls ? 1 : 0);
+    if (has_nulls) {
+      for (size_t i = 0; i < nrows; ++i) w->U8(col.IsNull(i) ? 0 : 1);
+    }
+    switch (col.type().id) {
+      case TypeId::kBool:
+      case TypeId::kInt64:
+      case TypeId::kDecimal:
+      case TypeId::kDate:
+        for (size_t i = 0; i < nrows; ++i) w->I64(col.ints()[i]);
+        break;
+      case TypeId::kDouble:
+        for (size_t i = 0; i < nrows; ++i) w->F64(col.doubles()[i]);
+        break;
+      case TypeId::kString:
+        // StringAt reads through the dictionary on lazy columns without
+        // materializing; NULL rows encode as "".
+        for (size_t i = 0; i < nrows; ++i) w->Str(col.StringAt(i));
+        break;
+    }
+  }
+}
+
+Status DecodeChunk(WireReader* r, Chunk* chunk) {
+  uint32_t ncols = 0;
+  uint64_t nrows = 0;
+  VDM_RETURN_NOT_OK(r->U32(&ncols));
+  VDM_RETURN_NOT_OK(r->U64(&nrows));
+  // Cheap sanity bound before any allocation: every column needs at least
+  // a name length + type + validity flag, every row at least one byte.
+  if (ncols > kMaxFrameBytes / 8 || nrows > kMaxFrameBytes) {
+    return Status::InvalidArgument("chunk header exceeds frame bounds");
+  }
+  chunk->names.clear();
+  chunk->columns.clear();
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string name;
+    uint8_t type_id = 0;
+    uint8_t scale = 0;
+    uint8_t has_nulls = 0;
+    VDM_RETURN_NOT_OK(r->Str(&name));
+    VDM_RETURN_NOT_OK(r->U8(&type_id));
+    VDM_RETURN_NOT_OK(r->U8(&scale));
+    VDM_RETURN_NOT_OK(r->U8(&has_nulls));
+    if (type_id > static_cast<uint8_t>(TypeId::kDate) || scale > 18) {
+      return Status::InvalidArgument("bad column type in chunk");
+    }
+    const DataType type(static_cast<TypeId>(type_id), scale);
+    std::vector<uint8_t> validity;
+    if (has_nulls != 0) {
+      if (r->remaining() < nrows) {
+        return Status::InvalidArgument("frame truncated (validity)");
+      }
+      validity.resize(nrows);
+      for (uint64_t i = 0; i < nrows; ++i) VDM_RETURN_NOT_OK(r->U8(&validity[i]));
+    }
+    ColumnData col(type);
+    col.Reserve(nrows);
+    for (uint64_t i = 0; i < nrows; ++i) {
+      const bool is_null = has_nulls != 0 && validity[i] == 0;
+      switch (type.id) {
+        case TypeId::kBool:
+        case TypeId::kInt64:
+        case TypeId::kDecimal:
+        case TypeId::kDate: {
+          int64_t v = 0;
+          VDM_RETURN_NOT_OK(r->I64(&v));
+          if (is_null) {
+            col.AppendNull();
+          } else {
+            col.AppendInt(v);
+          }
+          break;
+        }
+        case TypeId::kDouble: {
+          double v = 0;
+          VDM_RETURN_NOT_OK(r->F64(&v));
+          if (is_null) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(v);
+          }
+          break;
+        }
+        case TypeId::kString: {
+          std::string v;
+          VDM_RETURN_NOT_OK(r->Str(&v));
+          if (is_null) {
+            col.AppendNull();
+          } else {
+            col.AppendString(std::move(v));
+          }
+          break;
+        }
+      }
+    }
+    chunk->names.push_back(std::move(name));
+    chunk->columns.push_back(std::move(col));
+  }
+  return Status::OK();
+}
+
+// --- status taxonomy ----------------------------------------------------
+
+uint8_t WireStatusCode(StatusCode code) {
+  // The enum is dense and append-only; the numeric value IS the wire code.
+  return static_cast<uint8_t>(code);
+}
+
+StatusCode StatusCodeFromWire(uint8_t wire) {
+  if (wire > static_cast<uint8_t>(StatusCode::kSerializationFailure)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(wire);
+}
+
+// --- framing ------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(MsgType type,
+                                 const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> frame;
+  const uint32_t len = static_cast<uint32_t>(body.size() + 1);
+  frame.reserve(kFrameHeaderBytes + len);
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  frame.push_back(static_cast<uint8_t>(type));
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+// --- whole-message helpers ----------------------------------------------
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg) {
+  WireWriter w;
+  w.U32(msg.version);
+  w.Str(msg.tenant);
+  w.I64(msg.timeout_ms);
+  w.I64(msg.memory_budget);
+  w.I64(msg.max_queued_ms);
+  return EncodeFrame(MsgType::kHello, w.buf());
+}
+
+std::vector<uint8_t> EncodeQuery(const std::string& sql) {
+  WireWriter w;
+  w.Str(sql);
+  return EncodeFrame(MsgType::kQuery, w.buf());
+}
+
+std::vector<uint8_t> EncodePrepare(const std::string& sql) {
+  WireWriter w;
+  w.Str(sql);
+  return EncodeFrame(MsgType::kPrepare, w.buf());
+}
+
+std::vector<uint8_t> EncodeExecute(const ExecuteMsg& msg) {
+  WireWriter w;
+  w.U32(msg.stmt_id);
+  w.U32(static_cast<uint32_t>(msg.params.size()));
+  for (const Value& v : msg.params) w.Val(v);
+  w.I64(msg.limit);
+  w.I64(msg.offset);
+  return EncodeFrame(MsgType::kExecute, w.buf());
+}
+
+std::vector<uint8_t> EncodeCloseStmt(uint32_t stmt_id) {
+  WireWriter w;
+  w.U32(stmt_id);
+  return EncodeFrame(MsgType::kCloseStmt, w.buf());
+}
+
+std::vector<uint8_t> EncodeEmpty(MsgType type) {
+  return EncodeFrame(type, {});
+}
+
+std::vector<uint8_t> EncodeHelloOk(uint64_t session_id,
+                                   const std::string& tenant) {
+  WireWriter w;
+  w.U64(session_id);
+  w.Str(tenant);
+  return EncodeFrame(MsgType::kHelloOk, w.buf());
+}
+
+std::vector<uint8_t> EncodeResult(uint8_t flags, const Chunk& chunk) {
+  WireWriter w;
+  w.U8(flags);
+  EncodeChunk(&w, chunk);
+  return EncodeFrame(MsgType::kResult, w.buf());
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  WireWriter w;
+  w.U8(WireStatusCode(status.code()));
+  w.Str(status.message());
+  return EncodeFrame(MsgType::kError, w.buf());
+}
+
+std::vector<uint8_t> EncodePrepared(const PreparedMsg& msg) {
+  WireWriter w;
+  w.U32(msg.stmt_id);
+  w.U32(static_cast<uint32_t>(msg.param_types.size()));
+  for (const DataType& t : msg.param_types) {
+    w.U8(static_cast<uint8_t>(t.id));
+    w.U8(t.scale);
+  }
+  w.U8(msg.has_limit ? 1 : 0);
+  w.U8(msg.has_offset ? 1 : 0);
+  return EncodeFrame(MsgType::kPrepared, w.buf());
+}
+
+Status DecodeHello(WireReader* r, HelloMsg* msg) {
+  VDM_RETURN_NOT_OK(r->U32(&msg->version));
+  VDM_RETURN_NOT_OK(r->Str(&msg->tenant));
+  VDM_RETURN_NOT_OK(r->I64(&msg->timeout_ms));
+  VDM_RETURN_NOT_OK(r->I64(&msg->memory_budget));
+  VDM_RETURN_NOT_OK(r->I64(&msg->max_queued_ms));
+  return r->ExpectEnd();
+}
+
+Status DecodeQuery(WireReader* r, std::string* sql) {
+  VDM_RETURN_NOT_OK(r->Str(sql));
+  return r->ExpectEnd();
+}
+
+Status DecodeExecute(WireReader* r, ExecuteMsg* msg) {
+  VDM_RETURN_NOT_OK(r->U32(&msg->stmt_id));
+  uint32_t n = 0;
+  VDM_RETURN_NOT_OK(r->U32(&n));
+  if (n > r->remaining()) {
+    return Status::InvalidArgument("frame truncated (parameter count)");
+  }
+  msg->params.resize(n);
+  for (uint32_t i = 0; i < n; ++i) VDM_RETURN_NOT_OK(r->Val(&msg->params[i]));
+  VDM_RETURN_NOT_OK(r->I64(&msg->limit));
+  VDM_RETURN_NOT_OK(r->I64(&msg->offset));
+  return r->ExpectEnd();
+}
+
+Status DecodeCloseStmt(WireReader* r, uint32_t* stmt_id) {
+  VDM_RETURN_NOT_OK(r->U32(stmt_id));
+  return r->ExpectEnd();
+}
+
+Status DecodeHelloOk(WireReader* r, uint64_t* session_id,
+                     std::string* tenant) {
+  VDM_RETURN_NOT_OK(r->U64(session_id));
+  VDM_RETURN_NOT_OK(r->Str(tenant));
+  return r->ExpectEnd();
+}
+
+Status DecodeResult(WireReader* r, ResultMsg* msg) {
+  VDM_RETURN_NOT_OK(r->U8(&msg->flags));
+  VDM_RETURN_NOT_OK(DecodeChunk(r, &msg->chunk));
+  return r->ExpectEnd();
+}
+
+Status DecodeError(WireReader* r, ErrorMsg* msg) {
+  uint8_t code = 0;
+  VDM_RETURN_NOT_OK(r->U8(&code));
+  msg->code = StatusCodeFromWire(code);
+  VDM_RETURN_NOT_OK(r->Str(&msg->message));
+  return r->ExpectEnd();
+}
+
+Status DecodePrepared(WireReader* r, PreparedMsg* msg) {
+  VDM_RETURN_NOT_OK(r->U32(&msg->stmt_id));
+  uint32_t n = 0;
+  VDM_RETURN_NOT_OK(r->U32(&n));
+  if (n * 2 > r->remaining()) {
+    return Status::InvalidArgument("frame truncated (param type count)");
+  }
+  msg->param_types.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t id = 0;
+    uint8_t scale = 0;
+    VDM_RETURN_NOT_OK(r->U8(&id));
+    VDM_RETURN_NOT_OK(r->U8(&scale));
+    if (id > static_cast<uint8_t>(TypeId::kDate) || scale > 18) {
+      return Status::InvalidArgument("bad parameter type");
+    }
+    msg->param_types[i] = DataType(static_cast<TypeId>(id), scale);
+  }
+  uint8_t has_limit = 0;
+  uint8_t has_offset = 0;
+  VDM_RETURN_NOT_OK(r->U8(&has_limit));
+  VDM_RETURN_NOT_OK(r->U8(&has_offset));
+  msg->has_limit = has_limit != 0;
+  msg->has_offset = has_offset != 0;
+  return r->ExpectEnd();
+}
+
+}  // namespace vdm

@@ -1,0 +1,187 @@
+// Wire protocol for vdmserve (DESIGN.md §16): length-prefixed binary
+// frames over a byte stream.
+//
+// A frame is a little-endian u32 payload length N (1 <= N <=
+// kMaxFrameBytes) followed by N payload bytes; payload[0] is the MsgType.
+// All integers are little-endian; a string is a u32 length + raw bytes; a
+// Value is a 1-byte type tag + its payload. The codec is strict on decode:
+// every read is bounds-checked, trailing bytes are an error, and a
+// malformed frame surfaces as a typed Status — never a crash (the frame
+// fuzzer in tests/server_test.cc holds the server to this).
+//
+// One request frame yields exactly one response frame, in order, with one
+// exception: CANCEL is fire-and-forget (no response), so a client can
+// interleave it while awaiting a running query's RESULT without creating
+// response-ordering ambiguity.
+#ifndef VDMQO_SERVER_WIRE_H_
+#define VDMQO_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/column.h"
+#include "types/value.h"
+
+namespace vdm {
+
+/// Protocol version announced in HELLO; the server rejects mismatches.
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Upper bound on a frame payload; larger length prefixes are a protocol
+/// error (the connection is poisoned and closed, nothing is allocated).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+/// Bytes of the length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class MsgType : uint8_t {
+  // client -> server
+  kHello = 0x01,      // u32 version, str tenant, i64 timeout_ms,
+                      // i64 memory_budget, i64 max_queued_ms
+  kQuery = 0x02,      // str sql (any statement incl. BEGIN/COMMIT/ROLLBACK)
+  kPrepare = 0x03,    // str sql (SELECT only)
+  kExecute = 0x04,    // u32 stmt_id, u32 n, Value*n, i64 limit, i64 offset
+  kCloseStmt = 0x05,  // u32 stmt_id
+  kBegin = 0x06,      // empty
+  kCommit = 0x07,     // empty
+  kRollback = 0x08,   // empty
+  kCancel = 0x09,     // empty; NO response frame
+  kClose = 0x0A,      // empty; server ACKs then closes
+  // server -> client
+  kHelloOk = 0x81,   // u64 session_id, str tenant class resolved
+  kResult = 0x82,    // u8 flags (bit0 = plan-cache hit), chunk
+  kError = 0x83,     // u8 status code, str message
+  kPrepared = 0x84,  // u32 stmt_id, u32 n, (u8 id, u8 scale)*n,
+                     // u8 has_limit, u8 has_offset
+  kAck = 0x85,       // empty
+};
+
+/// RESULT flags bit 0: the statement was served by a plan-cache hit.
+inline constexpr uint8_t kResultFlagCacheHit = 0x01;
+
+// --- decoded message bodies ---
+
+struct HelloMsg {
+  uint32_t version = kProtocolVersion;
+  std::string tenant;
+  int64_t timeout_ms = 0;
+  int64_t memory_budget = 0;
+  int64_t max_queued_ms = 10000;
+};
+
+struct ExecuteMsg {
+  uint32_t stmt_id = 0;
+  std::vector<Value> params;
+  int64_t limit = -1;   // < 0 = keep the prepare-time value
+  int64_t offset = -1;  // < 0 = keep the prepare-time value
+};
+
+struct PreparedMsg {
+  uint32_t stmt_id = 0;
+  std::vector<DataType> param_types;
+  bool has_limit = false;
+  bool has_offset = false;
+};
+
+struct ErrorMsg {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+struct ResultMsg {
+  uint8_t flags = 0;
+  Chunk chunk;
+};
+
+// --- primitives ---
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Str(const std::string& s);
+  void Val(const Value& v);
+
+  std::vector<uint8_t>& buf() { return buf_; }
+  const std::vector<uint8_t>& buf() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : p_(data), end_(data + size) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  Status Str(std::string* s);
+  Status Val(Value* v);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  /// Error unless every byte was consumed (strict framing).
+  Status ExpectEnd() const;
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+// --- chunk codec ---
+
+/// Column-major: u32 ncols, u64 nrows, then per column name + type +
+/// validity + values. Lazy string columns encode through StringAt (the
+/// dictionary never crosses the wire), so a decoded chunk compares equal
+/// to the in-process chunk value-for-value.
+void EncodeChunk(WireWriter* w, const Chunk& chunk);
+Status DecodeChunk(WireReader* r, Chunk* chunk);
+
+// --- status taxonomy across the wire ---
+
+uint8_t WireStatusCode(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t wire);
+
+// --- framing ---
+
+/// Wraps a payload (starting with its MsgType byte) in a length prefix.
+std::vector<uint8_t> EncodeFrame(MsgType type,
+                                 const std::vector<uint8_t>& body);
+
+// --- whole-message encode helpers (each returns a ready-to-send frame) ---
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg);
+std::vector<uint8_t> EncodeQuery(const std::string& sql);
+std::vector<uint8_t> EncodePrepare(const std::string& sql);
+std::vector<uint8_t> EncodeExecute(const ExecuteMsg& msg);
+std::vector<uint8_t> EncodeCloseStmt(uint32_t stmt_id);
+std::vector<uint8_t> EncodeEmpty(MsgType type);  // BEGIN/COMMIT/ROLLBACK/...
+std::vector<uint8_t> EncodeHelloOk(uint64_t session_id,
+                                   const std::string& tenant);
+std::vector<uint8_t> EncodeResult(uint8_t flags, const Chunk& chunk);
+std::vector<uint8_t> EncodeError(const Status& status);
+std::vector<uint8_t> EncodePrepared(const PreparedMsg& msg);
+
+// --- whole-message decode helpers (payload excludes the length prefix
+// but includes the MsgType byte, which the caller has already read) ---
+
+Status DecodeHello(WireReader* r, HelloMsg* msg);
+Status DecodeQuery(WireReader* r, std::string* sql);
+Status DecodeExecute(WireReader* r, ExecuteMsg* msg);
+Status DecodeCloseStmt(WireReader* r, uint32_t* stmt_id);
+Status DecodeHelloOk(WireReader* r, uint64_t* session_id,
+                     std::string* tenant);
+Status DecodeResult(WireReader* r, ResultMsg* msg);
+Status DecodeError(WireReader* r, ErrorMsg* msg);
+Status DecodePrepared(WireReader* r, PreparedMsg* msg);
+
+}  // namespace vdm
+
+#endif  // VDMQO_SERVER_WIRE_H_

@@ -12,6 +12,8 @@
 
 #include "common/string_util.h"
 #include "ref/interpreter.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "vdm/generator.h"
 #include "workload/s4.h"
 #include "workload/tpch.h"
@@ -50,24 +52,6 @@ ExecLimits GenerousLimits() {
   return limits;
 }
 
-Result<Chunk> RunOnce(Database& db, const std::string& sql, RunMode mode,
-                      DiffStats* stats) {
-  switch (mode) {
-    case RunMode::kGoverned:
-      return db.Query(sql, GenerousLimits());
-    case RunMode::kWarmCache: {
-      QueryTiming timing;
-      Result<Chunk> result = db.Query(sql, nullptr, &timing);
-      if (stats != nullptr && timing.cache_hit) ++stats->plan_cache_hits;
-      return result;
-    }
-    case RunMode::kPlain:
-    case RunMode::kColdCache:
-      return db.Query(sql);
-  }
-  return Status::Internal("unknown run mode");
-}
-
 /// One worker's set of engine databases (threads x plan cache) plus the
 /// oracle. dbs[0] (1 thread, cache off) doubles as the binding/oracle
 /// database: BindQuery is const and leaves no cache state behind.
@@ -76,12 +60,17 @@ struct WorkerDbs {
     Database db;
     size_t threads = 1;
     bool cache = false;
+    /// --server leg: a loopback vdmserve front end over `db` plus one
+    /// connection per limits flavor. Null / disconnected otherwise.
+    std::unique_ptr<Server> server;
+    VdmClient client_open;
+    VdmClient client_governed;
   };
   // 0: 1-thread/no-cache, 1: N-thread/no-cache, 2: 1-thread/cache,
   // 3: N-thread/cache.
   Entry entries[4];
 
-  Status SetUp(size_t exec_threads) {
+  Status SetUp(size_t exec_threads, bool through_server) {
     size_t thread_legs[2] = {1, exec_threads};
     for (int i = 0; i < 4; ++i) {
       Entry& e = entries[i];
@@ -108,12 +97,62 @@ struct WorkerDbs {
       open.memory_budget = 0;
       open.max_queued_ms = 10000;
       e.db.set_default_limits(open);
+      if (through_server) {
+        ServerOptions sopts;
+        sopts.workers = 1;  // requests are strictly serial per worker
+        e.server = std::make_unique<Server>(&e.db, sopts);
+        VDM_RETURN_NOT_OK(e.server->Start());
+        VDM_RETURN_NOT_OK(
+            e.client_open.Connect("127.0.0.1", e.server->port()));
+        VDM_RETURN_NOT_OK(e.client_open.Hello(HelloMsg{}));
+        VDM_RETURN_NOT_OK(
+            e.client_governed.Connect("127.0.0.1", e.server->port()));
+        HelloMsg governed;
+        ExecLimits limits = GenerousLimits();
+        governed.timeout_ms = static_cast<uint64_t>(limits.timeout_ms);
+        governed.memory_budget =
+            static_cast<uint64_t>(limits.memory_budget);
+        governed.max_queued_ms =
+            static_cast<uint64_t>(limits.max_queued_ms);
+        VDM_RETURN_NOT_OK(e.client_governed.Hello(governed));
+      }
     }
     return Status::OK();
   }
 
   Database& oracle_db() { return entries[0].db; }
 };
+
+Result<Chunk> RunOnce(WorkerDbs::Entry& e, const std::string& sql,
+                      RunMode mode, DiffStats* stats) {
+  if (e.server != nullptr) {
+    // Loopback path: same matrix, but every execution round-trips the
+    // wire protocol. The session's limits were fixed at HELLO, so the
+    // governed leg uses its own connection.
+    VdmClient& client =
+        mode == RunMode::kGoverned ? e.client_governed : e.client_open;
+    Result<Chunk> result = client.Query(sql);
+    if (mode == RunMode::kWarmCache && stats != nullptr &&
+        client.last_cache_hit()) {
+      ++stats->plan_cache_hits;
+    }
+    return result;
+  }
+  switch (mode) {
+    case RunMode::kGoverned:
+      return e.db.Query(sql, GenerousLimits());
+    case RunMode::kWarmCache: {
+      QueryTiming timing;
+      Result<Chunk> result = e.db.Query(sql, nullptr, &timing);
+      if (stats != nullptr && timing.cache_hit) ++stats->plan_cache_hits;
+      return result;
+    }
+    case RunMode::kPlain:
+    case RunMode::kColdCache:
+      return e.db.Query(sql);
+  }
+  return Status::Internal("unknown run mode");
+}
 
 /// Everything needed to re-run (and minimize) one failing execution.
 struct FailureSite {
@@ -145,7 +184,9 @@ class Worker {
   Worker(const DiffOptions& options, const std::vector<GeneratedQuery>* qs)
       : options_(options), queries_(qs) {}
 
-  Status SetUp() { return dbs_.SetUp(options_.exec_threads); }
+  Status SetUp() {
+    return dbs_.SetUp(options_.exec_threads, options_.through_server);
+  }
 
   DiffStats& stats() { return stats_; }
 
@@ -178,7 +219,7 @@ class Worker {
                                     : RunMode::kGoverned};
         for (RunMode mode : modes) {
           ++stats_.executions;
-          Result<Chunk> actual = RunOnce(e.db, q.sql, mode, &stats_);
+          Result<Chunk> actual = RunOnce(e, q.sql, mode, &stats_);
           if (!CheckResult(qidx, q, expected, actual,
                            {profile, i, mode, "base"})) {
             query_failed = true;
@@ -198,7 +239,7 @@ class Worker {
       WorkerDbs::Entry& e = dbs_.entries[1];
       e.db.SetOptimizerConfig(ConfigFor(SystemProfile::kHana, "reorder-off"));
       ++stats_.executions;
-      Result<Chunk> actual = RunOnce(e.db, q.sql, RunMode::kPlain, &stats_);
+      Result<Chunk> actual = RunOnce(e, q.sql, RunMode::kPlain, &stats_);
       if (!CheckResult(qidx, q, expected, actual,
                        {SystemProfile::kHana, 1, RunMode::kPlain,
                         "reorder-off"})) {
@@ -216,7 +257,7 @@ class Worker {
              {SystemProfile::kHana, SystemProfile::kNone}) {
           e.db.SetOptimizerConfig(ConfigFor(profile));
           ++stats_.metamorphic_checks;
-          Result<Chunk> actual = RunOnce(e.db, variant.sql, RunMode::kPlain,
+          Result<Chunk> actual = RunOnce(e, variant.sql, RunMode::kPlain,
                                          &stats_);
           if (!CheckVariant(qidx, q, variant, expected, actual,
                             {profile, 1, RunMode::kPlain, variant.kind},
@@ -285,9 +326,9 @@ class Worker {
     e.db.SetOptimizerConfig(ConfigFor(site.profile, site.kind));
     if (site.mode == RunMode::kWarmCache) {
       // Prime the cache, then diff the warm run.
-      (void)RunOnce(e.db, sql, RunMode::kColdCache, nullptr);
+      (void)RunOnce(e, sql, RunMode::kColdCache, nullptr);
     }
-    Result<Chunk> actual = RunOnce(e.db, sql, site.mode, nullptr);
+    Result<Chunk> actual = RunOnce(e, sql, site.mode, nullptr);
     if (!actual.ok()) return true;
     return NormalizeChunk(*actual, ordered) != expected;
   }

@@ -44,6 +44,11 @@ struct DiffOptions {
   bool with_metamorphic = true;
   /// Print a progress line every N queries (0 = quiet).
   int progress_every = 0;
+  /// Route every engine execution through a loopback vdmserve connection
+  /// (wire encode -> session -> wire decode) instead of the in-process
+  /// Database API. Oracle binding and plan dumps stay in-process; results
+  /// must be byte-identical either way.
+  bool through_server = false;
   /// Test-only: plants a wrong-result bug by corrupting the plan after the
   /// named optimizer pass fires (OptimizerConfig::debug_corrupt_pass). The
   /// harness must then report the mismatch — the injected-bug self-test.

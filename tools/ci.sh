@@ -8,6 +8,8 @@
 #   tools/ci.sh thread       # TSan over the executor + governor tests only
 #   tools/ci.sh fault        # ASan + fault injection compiled in + soak
 #   tools/ci.sh fuzz         # ASan differential fuzz: vdmfuzz, 10k queries
+#   tools/ci.sh server       # wire server: ASan+TSan conformance, fuzz leg,
+#                            # loopback vdmload smoke
 #   tools/ci.sh lint         # vdmlint catalog audit (baseline-gated) + tidy
 set -euo pipefail
 
@@ -121,6 +123,45 @@ run_fuzz() {
   echo "== fuzz: zero engine-vs-oracle mismatches =="
 }
 
+run_server() {
+  # Wire-server battery (DESIGN.md §16). Four legs:
+  #   1. ASan + fault points: the full conformance suite (session isolation,
+  #      prepared rebind across invalidation, CANCEL, tenant admission,
+  #      dying connections) plus the frame fuzzer — garbage frames must
+  #      produce typed errors or a dropped connection, never a crash or
+  #      leak, and the teardown-ordering test runs with the merge/rollback
+  #      fault points armed.
+  #   2. TSan over the same suite: poll thread vs. worker pool vs. client
+  #      threads, admission gate, CANCEL racing a running statement.
+  #   3. A short vdmfuzz --server sweep: the differential oracle matrix
+  #      with every engine execution round-tripping a loopback connection;
+  #      results must be byte-identical with the in-process path.
+  #   4. A pinned low-QPS vdmload smoke with --verify: every row that comes
+  #      back over the wire is diffed against the in-process expectation.
+  local asan_dir="build-fault"
+  echo "== server: ASan + fault-injection conformance + frame fuzzer =="
+  cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DVDMQO_SANITIZE=address -DVDMQO_FAULT_INJECTION=ON >/dev/null
+  cmake --build "${asan_dir}" -j "${JOBS}" --target server_test vdmfuzz vdmload
+  ctest --test-dir "${asan_dir}" --output-on-failure -R 'server_test'
+
+  local tsan_dir="build-thread"
+  echo "== server: TSan conformance (poll/worker/cancel/admission races) =="
+  cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DVDMQO_SANITIZE=thread >/dev/null
+  cmake --build "${tsan_dir}" -j "${JOBS}" --target server_test
+  ctest --test-dir "${tsan_dir}" --output-on-failure -R 'server_test'
+
+  echo "== server: differential fuzz through the loopback server =="
+  "${asan_dir}/tools/vdmfuzz" --server --seed 42 --queries 300 \
+      --progress 100 --artifacts "${asan_dir}/fuzz-artifacts"
+
+  echo "== server: vdmload smoke (open-loop, verified results) =="
+  "${asan_dir}/tools/vdmload" --connections 8 --qps 100 --duration 5 \
+      --scale 0.05 --verify --out "${asan_dir}/BENCH_server_smoke.json"
+  echo "== server: all legs passed =="
+}
+
 run_lint() {
   # Whole-catalog semantic audit (DESIGN.md §12): build vdmlint and run the
   # static inference rules over the synthetic + JEIB + fixture catalogs,
@@ -175,6 +216,9 @@ case "${MODE}" in
   fuzz)
     run_fuzz
     ;;
+  server)
+    run_server
+    ;;
   lint)
     run_lint
     ;;
@@ -184,10 +228,11 @@ case "${MODE}" in
     run_thread_sanitizer
     run_fault
     run_fuzz
+    run_server
     run_lint
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|fault|fuzz|lint|all]" >&2
+    echo "usage: $0 [address|undefined|thread|fault|fuzz|server|lint|all]" >&2
     exit 2
     ;;
 esac

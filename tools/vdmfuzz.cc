@@ -20,6 +20,10 @@
 //   --progress N        progress line every N queries (default 500; 0 off)
 //   --corrupt PASS      plant a wrong-result bug after the named optimizer
 //                       pass (debug; the run SHOULD then report mismatches)
+//   --server            route every engine execution through a loopback
+//                       vdmserve connection (wire encode/decode round
+//                       trip); results must stay byte-identical with the
+//                       in-process path
 //   --dml N             run the DML differential instead: N interleaved
 //                       transaction scripts over the MVCC delta store,
 //                       diffed mid-script against the reference
@@ -263,8 +267,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--queries N] [--workers N] "
                "[--exec-threads N] [--artifacts DIR] [--no-metamorphic] "
-               "[--progress N] [--corrupt PASS] [--dml N] [--dml-faults] "
-               "[--self-test]\n",
+               "[--progress N] [--corrupt PASS] [--server] [--dml N] "
+               "[--dml-faults] [--self-test]\n",
                argv0);
   return 2;
 }
@@ -316,6 +320,8 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage(argv[0]);
       corrupt_pass = v;
       options.debug_corrupt_pass = corrupt_pass.c_str();
+    } else if (arg == "--server") {
+      options.through_server = true;
     } else if (arg == "--dml") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

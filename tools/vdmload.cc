@@ -1,0 +1,479 @@
+// vdmload — open-loop load driver for vdmserve (DESIGN.md §16).
+//
+//   $ ./tools/vdmload --connections 32 --qps 1000 --duration 10 --verify
+//
+// Spins up an in-process vdmserve over a freshly loaded database (or
+// targets an external server via --host/--port), opens N loopback
+// connections, and replays a workload mix at a fixed aggregate arrival
+// rate. The schedule is OPEN-LOOP: request i has an arrival time of
+// t0 + i/QPS regardless of how the server keeps up, and latency is
+// measured from that scheduled arrival — so queueing delay under
+// saturation is charged to the server, not hidden by the driver.
+//
+// Mixes:
+//   paging  (default) the paper's §4.4 / Fig. 6 paging query over a TPC-H
+//           population, issued through per-connection PREPAREd handles
+//           with rotating (limit, offset) pages
+//   gen     seeded query_gen SELECTs over the pinned fuzz corpus, issued
+//           as QUERY frames
+//
+// Flags:
+//   --connections N   client connections (default 32)
+//   --qps N           target aggregate arrival rate (default 1000)
+//   --duration S      measured-run length in seconds (default 10)
+//   --mix M           paging | gen (default paging)
+//   --scale F         TPC-H scale for the paging mix (default 0.2)
+//   --seed N          query_gen seed for the gen mix (default 42)
+//   --tenants SPEC    VDM_TENANT_CLASSES-format tenant classes; the
+//                     connections round-robin across the declared names
+//   --verify          precompute every item's expected rows in-process and
+//                     diff each response (normalized multiset compare)
+//   --knee            sweep doubling QPS targets (short runs) until the
+//                     achieved rate falls under 90% of target; reports the
+//                     last sustained target as the saturation knee
+//   --out FILE        JSON report path (default BENCH_server.json)
+//   --host H --port P drive an external vdmserve instead of the
+//                     in-process one (--verify then snapshots expected
+//                     rows through a warm-up connection)
+//
+// Exit status: 0 clean, 1 wrong results or excessive errors, 2 usage or
+// setup error.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/differential.h"
+#include "testing/query_gen.h"
+#include "workload/tpch.h"
+
+using namespace vdm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadOptions {
+  int connections = 32;
+  double qps = 1000.0;
+  double duration_s = 10.0;
+  std::string mix = "paging";
+  double scale = 0.2;
+  uint64_t seed = 42;
+  std::string tenants_spec;
+  bool verify = false;
+  bool knee = false;
+  double knee_duration_s = 3.0;
+  std::string out = "BENCH_server.json";
+  std::string host;
+  int port = 0;
+};
+
+/// One schedulable request: either an EXECUTE on the per-connection paging
+/// handle (paging mix) or a QUERY frame (gen mix).
+struct WorkItem {
+  std::string sql;           // gen mix: the statement; paging mix: unused
+  int64_t limit = -1;        // paging mix: page geometry
+  int64_t offset = -1;
+  bool ordered = false;      // row-order-comparable result
+  std::vector<std::string> expected;  // --verify: normalized oracle rows
+};
+
+struct RunResult {
+  std::vector<double> latencies_ms;  // sorted on return
+  int64_t scheduled = 0;
+  int64_t completed = 0;
+  int64_t errors = 0;
+  int64_t serialization_retries = 0;
+  int64_t wrong_results = 0;
+  double achieved_qps = 0;
+  double wall_s = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Runs one open-loop interval: `qps` aggregate across the connections,
+/// request k owned by connection k % N, arrival time t0 + k/qps.
+RunResult RunLoad(const LoadOptions& opts, const std::string& host, int port,
+                  const std::vector<WorkItem>& items,
+                  const std::vector<std::string>& tenant_names, double qps,
+                  double duration_s, bool verify) {
+  const int n = opts.connections;
+  const int64_t total =
+      static_cast<int64_t>(std::llround(qps * duration_s));
+  std::vector<RunResult> per_conn(static_cast<size_t>(n));
+  std::atomic<bool> setup_failed{false};
+
+  auto conn_main = [&](int ci) {
+    RunResult& r = per_conn[static_cast<size_t>(ci)];
+    VdmClient client;
+    if (!client.Connect(host, port).ok()) {
+      setup_failed.store(true);
+      return;
+    }
+    HelloMsg hello;
+    hello.timeout_ms = 30000;
+    if (!tenant_names.empty()) {
+      hello.tenant =
+          tenant_names[static_cast<size_t>(ci) % tenant_names.size()];
+    }
+    if (!client.Hello(hello).ok()) {
+      setup_failed.store(true);
+      return;
+    }
+    uint32_t paging_stmt = 0;
+    if (opts.mix == "paging") {
+      Result<PreparedMsg> prep = client.Prepare(PagingQuerySql(10, 0));
+      if (!prep.ok() || !prep->has_limit || !prep->has_offset) {
+        setup_failed.store(true);
+        return;
+      }
+      paging_stmt = prep->stmt_id;
+    }
+
+    const Clock::time_point t0 = Clock::now();
+    const Clock::time_point t_end =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(duration_s));
+    r.latencies_ms.reserve(static_cast<size_t>(total / n + 1));
+    for (int64_t k = ci; k < total; k += n) {
+      const Clock::time_point arrival =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(static_cast<double>(k) /
+                                                 qps));
+      if (arrival >= t_end) break;
+      std::this_thread::sleep_until(arrival);
+      ++r.scheduled;
+      const WorkItem& item = items[static_cast<size_t>(k) % items.size()];
+      Result<Chunk> result =
+          opts.mix == "paging"
+              ? client.Execute(paging_stmt, {}, item.limit, item.offset)
+              : client.Query(item.sql);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - arrival)
+              .count();
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kSerializationFailure) {
+          ++r.serialization_retries;
+        } else {
+          ++r.errors;
+        }
+        continue;
+      }
+      ++r.completed;
+      r.latencies_ms.push_back(ms);
+      if (verify &&
+          NormalizeChunk(*result, item.ordered) != item.expected) {
+        ++r.wrong_results;
+      }
+    }
+    client.Close();
+  };
+
+  const Clock::time_point wall0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int ci = 0; ci < n; ++ci) threads.emplace_back(conn_main, ci);
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+
+  RunResult agg;
+  for (RunResult& r : per_conn) {
+    agg.scheduled += r.scheduled;
+    agg.completed += r.completed;
+    agg.errors += r.errors;
+    agg.serialization_retries += r.serialization_retries;
+    agg.wrong_results += r.wrong_results;
+    agg.latencies_ms.insert(agg.latencies_ms.end(), r.latencies_ms.begin(),
+                            r.latencies_ms.end());
+  }
+  if (setup_failed.load()) agg.errors += 1;
+  std::sort(agg.latencies_ms.begin(), agg.latencies_ms.end());
+  agg.wall_s = wall_s;
+  agg.achieved_qps =
+      wall_s > 0 ? static_cast<double>(agg.completed) / wall_s : 0;
+  return agg;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--connections N] [--qps N] [--duration S] "
+               "[--mix paging|gen] [--scale F] [--seed N] [--tenants SPEC] "
+               "[--verify] [--knee] [--out FILE] [--host H --port P]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--connections" && (v = next())) {
+      opts.connections = std::atoi(v);
+    } else if (arg == "--qps" && (v = next())) {
+      opts.qps = std::atof(v);
+    } else if (arg == "--duration" && (v = next())) {
+      opts.duration_s = std::atof(v);
+    } else if (arg == "--mix" && (v = next())) {
+      opts.mix = v;
+    } else if (arg == "--scale" && (v = next())) {
+      opts.scale = std::atof(v);
+    } else if (arg == "--seed" && (v = next())) {
+      opts.seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--tenants" && (v = next())) {
+      opts.tenants_spec = v;
+    } else if (arg == "--verify") {
+      opts.verify = true;
+    } else if (arg == "--knee") {
+      opts.knee = true;
+    } else if (arg == "--knee-duration" && (v = next())) {
+      opts.knee_duration_s = std::atof(v);
+    } else if (arg == "--out" && (v = next())) {
+      opts.out = v;
+    } else if (arg == "--host" && (v = next())) {
+      opts.host = v;
+    } else if (arg == "--port" && (v = next())) {
+      opts.port = std::atoi(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.connections <= 0 || opts.qps <= 0 || opts.duration_s <= 0 ||
+      (opts.mix != "paging" && opts.mix != "gen")) {
+    return Usage(argv[0]);
+  }
+  const bool external = !opts.host.empty() || opts.port != 0;
+  if (external && (opts.host.empty() || opts.port == 0)) {
+    std::fprintf(stderr, "vdmload: --host and --port go together\n");
+    return 2;
+  }
+
+  // --- workload items ------------------------------------------------
+  std::vector<WorkItem> items;
+  if (opts.mix == "paging") {
+    // The paper's page sweep: three page sizes, sixteen pages each.
+    for (int64_t limit : {int64_t{10}, int64_t{100}, int64_t{1000}}) {
+      for (int64_t page = 0; page < 16; ++page) {
+        WorkItem item;
+        item.limit = limit;
+        item.offset = page * limit;
+        item.sql = PagingQuerySql(limit, item.offset);
+        items.push_back(std::move(item));
+      }
+    }
+  }
+
+  // --- database + in-process server ----------------------------------
+  Database db;
+  std::unique_ptr<Server> server;
+  std::string host = opts.host;
+  int port = opts.port;
+  if (!external) {
+    if (opts.mix == "paging") {
+      TpchOptions tpch;
+      tpch.scale = opts.scale;
+      if (!CreateTpchSchema(&db, tpch).ok() ||
+          !LoadTpchData(&db, tpch).ok()) {
+        std::fprintf(stderr, "vdmload: TPC-H setup failed\n");
+        return 2;
+      }
+    } else {
+      Result<QueryCorpus> corpus = SetUpFuzzDatabase(&db);
+      if (!corpus.ok()) {
+        std::fprintf(stderr, "vdmload: corpus setup failed: %s\n",
+                     corpus.status().ToString().c_str());
+        return 2;
+      }
+      QueryGenerator generator(std::move(*corpus),
+                               QueryGenOptions{opts.seed, false});
+      for (int i = 0; i < 256; ++i) {
+        GeneratedQuery q = generator.Next();
+        WorkItem item;
+        item.sql = std::move(q.sql);
+        item.ordered = q.ordered;
+        items.push_back(std::move(item));
+      }
+    }
+    db.AnalyzeTables();
+    db.EnablePlanCache();
+    // Single-threaded execution per statement: page-bounded statements
+    // don't amortize fan-out, concurrency comes from the connections —
+    // and it keeps unordered-LIMIT row choice deterministic for --verify.
+    ExecOptions exec;
+    exec.num_threads = 1;
+    db.SetExecOptions(exec);
+    ExecLimits limits;
+    limits.timeout_ms = 30000;
+    limits.memory_budget = 0;
+    limits.max_queued_ms = 10000;
+    db.set_default_limits(limits);
+
+    ServerOptions sopts;
+    sopts.tenant_spec = opts.tenants_spec;
+    server = std::make_unique<Server>(&db, sopts);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "vdmload: server start failed: %s\n",
+                   started.ToString().c_str());
+      return 2;
+    }
+    host = "127.0.0.1";
+    port = server->port();
+  } else if (opts.mix == "gen") {
+    std::fprintf(stderr, "vdmload: --mix gen needs the in-process server\n");
+    return 2;
+  }
+
+  std::vector<std::string> tenant_names;
+  if (!opts.tenants_spec.empty() && server != nullptr) {
+    tenant_names = server->tenants().DeclaredNames();
+  }
+
+  // --- expected rows for --verify ------------------------------------
+  if (opts.verify) {
+    if (!external) {
+      for (WorkItem& item : items) {
+        Result<Chunk> oracle = db.Query(item.sql);
+        if (!oracle.ok()) {
+          std::fprintf(stderr, "vdmload: verify precompute failed: %s\n",
+                       oracle.status().ToString().c_str());
+          return 2;
+        }
+        item.expected = NormalizeChunk(*oracle, item.ordered);
+      }
+    } else {
+      VdmClient snap;
+      if (!snap.Connect(host, port).ok() || !snap.Hello(HelloMsg{}).ok()) {
+        std::fprintf(stderr, "vdmload: verify snapshot connect failed\n");
+        return 2;
+      }
+      for (WorkItem& item : items) {
+        Result<Chunk> oracle = snap.Query(item.sql);
+        if (!oracle.ok()) {
+          std::fprintf(stderr, "vdmload: verify snapshot failed: %s\n",
+                       oracle.status().ToString().c_str());
+          return 2;
+        }
+        item.expected = NormalizeChunk(*oracle, item.ordered);
+      }
+      snap.Close();
+    }
+  }
+
+  // --- saturation-knee sweep -----------------------------------------
+  struct KneePoint {
+    double target_qps;
+    double achieved_qps;
+    double p99_ms;
+  };
+  std::vector<KneePoint> knee_points;
+  double knee_qps = 0;
+  if (opts.knee) {
+    double target = opts.qps;
+    for (int step = 0; step < 12; ++step) {
+      RunResult r = RunLoad(opts, host, port, items, tenant_names, target,
+                            opts.knee_duration_s, /*verify=*/false);
+      double p99 = Percentile(r.latencies_ms, 0.99);
+      knee_points.push_back({target, r.achieved_qps, p99});
+      std::printf("vdmload knee: target %.0f qps -> achieved %.0f qps "
+                  "(p99 %.2f ms)\n",
+                  target, r.achieved_qps, p99);
+      if (r.achieved_qps < 0.9 * target) break;
+      knee_qps = target;
+      target *= 2;
+    }
+  }
+
+  // --- measured run ---------------------------------------------------
+  std::printf("vdmload: %s mix, %d connections, target %.0f qps for %.0fs"
+              "%s...\n",
+              opts.mix.c_str(), opts.connections, opts.qps, opts.duration_s,
+              opts.verify ? ", verifying every result" : "");
+  RunResult run = RunLoad(opts, host, port, items, tenant_names, opts.qps,
+                          opts.duration_s, opts.verify);
+  const double p50 = Percentile(run.latencies_ms, 0.50);
+  const double p95 = Percentile(run.latencies_ms, 0.95);
+  const double p99 = Percentile(run.latencies_ms, 0.99);
+  const double max_ms =
+      run.latencies_ms.empty() ? 0 : run.latencies_ms.back();
+
+  std::printf(
+      "vdmload: %lld completed (%.0f qps achieved), %lld errors, "
+      "%lld serialization retries, %lld wrong results\n",
+      static_cast<long long>(run.completed), run.achieved_qps,
+      static_cast<long long>(run.errors),
+      static_cast<long long>(run.serialization_retries),
+      static_cast<long long>(run.wrong_results));
+  std::printf("vdmload: latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, "
+              "max %.3f ms\n",
+              p50, p95, p99, max_ms);
+  if (opts.knee) {
+    std::printf("vdmload: saturation knee ~%.0f qps\n", knee_qps);
+  }
+
+  std::FILE* f = std::fopen(opts.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "vdmload: cannot write %s\n", opts.out.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"server\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"mix\": \"%s\", \"connections\": %d, "
+               "\"target_qps\": %.1f, \"duration_s\": %.1f, "
+               "\"tpch_scale\": %.3f, \"verify\": %s, \"tenants\": \"%s\"},\n",
+               opts.mix.c_str(), opts.connections, opts.qps, opts.duration_s,
+               opts.scale, opts.verify ? "true" : "false",
+               opts.tenants_spec.c_str());
+  std::fprintf(f,
+               "  \"results\": {\"completed\": %lld, \"achieved_qps\": %.1f, "
+               "\"errors\": %lld, \"serialization_retries\": %lld, "
+               "\"wrong_results\": %lld, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"max_ms\": %.3f",
+               static_cast<long long>(run.completed), run.achieved_qps,
+               static_cast<long long>(run.errors),
+               static_cast<long long>(run.serialization_retries),
+               static_cast<long long>(run.wrong_results), p50, p95, p99,
+               max_ms);
+  if (opts.knee) {
+    std::fprintf(f, ", \"saturation_knee_qps\": %.0f, \"knee_sweep\": [",
+                 knee_qps);
+    for (size_t i = 0; i < knee_points.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"target_qps\": %.0f, \"achieved_qps\": %.1f, "
+                   "\"p99_ms\": %.3f}",
+                   i == 0 ? "" : ", ", knee_points[i].target_qps,
+                   knee_points[i].achieved_qps, knee_points[i].p99_ms);
+    }
+    std::fprintf(f, "]");
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("vdmload: wrote %s\n", opts.out.c_str());
+
+  const bool too_many_errors =
+      run.errors > run.scheduled / 100;  // >1% hard errors
+  return (run.wrong_results > 0 || too_many_errors) ? 1 : 0;
+}
